@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Because a
+single regeneration is itself a large measured workload, benchmarks run each
+workload exactly once (``benchmark.pedantic(rounds=1, iterations=1)``) and
+write their numeric output both to stdout and to ``benchmarks/results/`` so
+the numbers survive pytest's output capturing.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` — ``fast`` (default; one repetition per attack,
+  reduced budgets) or ``full`` (three repetitions, paper-style averaging).
+* ``REPRO_TABLE1_MODELS`` — comma-separated subset of model keys for the
+  Table-I benchmark (default: the full eleven-model roster).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.comparison import build_deployment_profiles
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_profile() -> str:
+    """The requested benchmark profile (``fast`` or ``full``)."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    if profile not in ("fast", "full"):
+        raise ValueError(f"REPRO_BENCH_PROFILE must be 'fast' or 'full', got {profile!r}")
+    return profile
+
+
+def table1_model_keys() -> list:
+    """Model keys the Table-I benchmark should cover."""
+    from repro.models.registry import TABLE1_ROSTER
+
+    requested = os.environ.get("REPRO_TABLE1_MODELS", "").strip()
+    if not requested:
+        return [spec.key for spec in TABLE1_ROSTER]
+    return [key.strip() for key in requested.split(",") if key.strip()]
+
+
+def write_result(name: str, payload) -> Path:
+    """Persist a benchmark's numeric output under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    if isinstance(payload, str):
+        path.write_text(payload)
+    else:
+        path.write_text(json.dumps(payload, indent=2, default=float))
+    return path
+
+
+@pytest.fixture(scope="session")
+def deployment_profiles():
+    """The RowHammer / RowPress profiles of the deployment chip (Section VI)."""
+    return build_deployment_profiles(seed=2025)

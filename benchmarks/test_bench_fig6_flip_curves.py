@@ -1,0 +1,60 @@
+"""Fig. 6: raw bit flips vs attack budget for RowHammer and RowPress.
+
+The benchmark sweeps hammer counts (RowHammer) and open-window cycles
+(RowPress) over a simulated chip region and reports the cumulative flip
+counts — the two curves of Fig. 6 — plus the Takeaway-1 equal-time
+comparison (the paper reports RowPress producing ~20x more flips within the
+same operational window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_profile, write_result
+from repro.analysis.figures import build_fig6_series
+from repro.dram.chip import DramChip
+from repro.dram.geometry import DramGeometry
+from repro.faults.sweep import equal_time_comparison, rowhammer_flip_curve, rowpress_flip_curve
+
+
+def _sweep_chip() -> DramChip:
+    geometry = DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=1024)
+    return DramChip(geometry, seed=3)
+
+
+def _run_fig6():
+    chip = _sweep_chip()
+    points = 10 if bench_profile() == "full" else 8
+    hammer_counts = np.linspace(1e5, 9e5, points).astype(int)
+    open_cycles = np.linspace(1e7, 1e8, points).astype(int)
+    max_rows = 24 if bench_profile() == "full" else 16
+    rh_curve = rowhammer_flip_curve(chip, hammer_counts, max_rows_per_bank=max_rows)
+    rp_curve = rowpress_flip_curve(chip, open_cycles, max_rows_per_bank=max_rows)
+    return rh_curve, rp_curve
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_flip_curves(benchmark):
+    """Regenerate the Fig. 6 flip-count curves and the 20x equal-time claim."""
+    rh_curve, rp_curve = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+
+    series = build_fig6_series(rh_curve, rp_curve)
+    comparison = equal_time_comparison(rh_curve, rp_curve)
+    report = {
+        "series": series,
+        "equal_time_comparison": comparison,
+        "rows_tested": rh_curve.rows_tested,
+    }
+    print("\nFIG 6 equal-time comparison:", comparison)
+    write_result("fig6.json", report)
+
+    # Shape checks mirroring the paper:
+    assert rh_curve.is_monotonic() and rp_curve.is_monotonic()
+    assert rh_curve.final_flips > 0
+    assert rp_curve.final_flips > rh_curve.final_flips
+    # Takeaway 1: an order of magnitude more RowPress flips in equal time
+    # (the paper reports up to ~20x; we require >= 8x to allow for the
+    # statistical chip model's variance).
+    assert comparison["rowpress_to_rowhammer_ratio"] >= 8.0

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip are too old
+for PEP 660 editable installs (e.g. offline machines without ``wheel``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Compromising the Intelligence of Modern DNNs: "
+        "On the Effectiveness of Targeted RowPress' (DATE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

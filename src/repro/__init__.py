@@ -1,0 +1,37 @@
+"""repro — reproduction of "Compromising the Intelligence of Modern DNNs:
+On the Effectiveness of Targeted RowPress" (DATE 2025).
+
+The package is organised as the paper's system stack:
+
+* :mod:`repro.dram` — behavioural DDR4 chip model (geometry, timing,
+  commands, controller, statistical per-cell vulnerability);
+* :mod:`repro.faults` — RowHammer (Algorithm 1) and RowPress (Algorithm 2)
+  fault injectors, budget sweeps (Fig. 6) and chip profiling (Fig. 4);
+* :mod:`repro.defenses` — counter-based RowHammer mitigations (TRR,
+  Graphene, CBT, PARA, Hydra) and their evaluation against both mechanisms;
+* :mod:`repro.nn` — a from-scratch numpy DNN framework with reverse-mode
+  autodiff, 8-bit post-training quantization and bit-level weight access;
+* :mod:`repro.models` — the eleven-model surrogate roster of Table I;
+* :mod:`repro.core` — the paper's contribution: the DRAM-profile-aware
+  bit-flip attack (Algorithm 3) and the RowHammer-vs-RowPress comparison
+  harness (Table I, Fig. 7);
+* :mod:`repro.analysis` — metrics, table builders and report rendering.
+
+Quick start::
+
+    from repro.core import prepare_victim, compare_mechanisms_for_model
+    from repro.core.comparison import build_deployment_profiles, ComparisonConfig
+    from repro.models import get_spec
+
+    profiles = build_deployment_profiles(seed=0)
+    result = compare_mechanisms_for_model(
+        get_spec("resnet20"), profiles, ComparisonConfig(repetitions=1)
+    )
+    print(result.as_row())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Metrics, table builders and text reports for the paper's experiments."""
+
+from repro.analysis.figures import (
+    build_fig6_series,
+    build_fig7_series,
+    render_ascii_curve,
+)
+from repro.analysis.metrics import (
+    equal_time_flip_ratio,
+    flips_reduction_factor,
+    summarize_takeaways,
+)
+from repro.analysis.reporting import (
+    comparisons_to_csv,
+    comparisons_to_markdown,
+    write_comparison_report,
+)
+from repro.analysis.tables import (
+    Table1Row,
+    build_table1,
+    render_table,
+    table1_from_comparisons,
+)
+
+__all__ = [
+    "comparisons_to_csv",
+    "comparisons_to_markdown",
+    "write_comparison_report",
+    "build_fig6_series",
+    "build_fig7_series",
+    "render_ascii_curve",
+    "equal_time_flip_ratio",
+    "flips_reduction_factor",
+    "summarize_takeaways",
+    "Table1Row",
+    "build_table1",
+    "render_table",
+    "table1_from_comparisons",
+]

@@ -1,0 +1,69 @@
+"""Series builders and plain-text rendering for Fig. 6 and Fig. 7.
+
+The harness has no plotting dependency, so "figures" are reproduced as the
+numeric series the paper plots (which the benchmarks print and
+EXPERIMENTS.md records) plus a simple ASCII rendering for quick visual
+inspection in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.comparison import ModelComparisonResult
+from repro.faults.sweep import FlipCurve
+
+
+def build_fig6_series(rowhammer_curve: FlipCurve, rowpress_curve: FlipCurve) -> Dict[str, list]:
+    """The two series of Fig. 6 (flips vs hammer counts / vs cycles)."""
+    return {
+        "rowhammer_hammer_counts": rowhammer_curve.budgets.tolist(),
+        "rowhammer_bitflips": rowhammer_curve.flips.tolist(),
+        "rowpress_cycles": rowpress_curve.budgets.tolist(),
+        "rowpress_bitflips": rowpress_curve.flips.tolist(),
+    }
+
+
+def build_fig7_series(comparisons: Sequence[ModelComparisonResult]) -> Dict[str, Dict[str, List[float]]]:
+    """Accuracy-vs-flips curves per model and mechanism (Fig. 7)."""
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for comparison in comparisons:
+        series[comparison.display_name] = {
+            "rowhammer": list(comparison.rowhammer.representative_curve),
+            "rowpress": list(comparison.rowpress.representative_curve),
+        }
+    return series
+
+
+def render_ascii_curve(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render a 1-D series as a small ASCII chart (for terminal output)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return f"{title}\n(empty series)"
+    low, high = float(values.min()), float(values.max())
+    span = high - low if high > low else 1.0
+    columns = np.linspace(0, values.size - 1, num=min(width, values.size)).astype(int)
+    sampled = values[columns]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        line = "".join("*" if value >= threshold else " " for value in sampled)
+        rows.append(f"{threshold:10.2f} |{line}")
+    header = f"{title}\n" if title else ""
+    footer = f"{'':>10}  x: 0 .. {values.size - 1}"
+    return header + "\n".join(rows) + "\n" + footer
+
+
+def curve_steepness(curve: Sequence[float]) -> float:
+    """Average per-flip accuracy drop — the 'slope' compared in Fig. 7."""
+    values = np.asarray(list(curve), dtype=np.float64)
+    if values.size < 2:
+        return 0.0
+    return float((values[0] - values[-1]) / (values.size - 1))

@@ -1,0 +1,55 @@
+"""Headline metrics: the three takeaways of Section VII."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.comparison import ModelComparisonResult
+from repro.faults.sweep import FlipCurve, equal_time_comparison
+
+
+def equal_time_flip_ratio(rowhammer_curve: FlipCurve, rowpress_curve: FlipCurve) -> float:
+    """Takeaway 1: RowPress flips / RowHammer flips at equal wall-clock time."""
+    comparison = equal_time_comparison(rowhammer_curve, rowpress_curve)
+    return comparison["rowpress_to_rowhammer_ratio"]
+
+
+def flips_reduction_factor(result: ModelComparisonResult) -> float:
+    """Per-model Takeaway-3 ratio: RowHammer flips needed / RowPress flips needed."""
+    return result.flip_ratio
+
+
+def summarize_takeaways(
+    comparisons: Sequence[ModelComparisonResult],
+    rowhammer_curve: FlipCurve = None,
+    rowpress_curve: FlipCurve = None,
+) -> Dict[str, float]:
+    """Aggregate the reproduction's headline numbers.
+
+    Returns a dictionary with (where the inputs allow):
+
+    * ``equal_time_flip_ratio`` — Takeaway 1 (paper: up to ~20x);
+    * ``mean_flip_reduction`` / ``max_flip_reduction`` — Takeaway 3
+      (paper: 3.6x average, up to 4x);
+    * ``all_models_converged`` — Takeaway 2 (every DNN driven to random
+      guess under RowPress).
+    """
+    summary: Dict[str, float] = {}
+    if rowhammer_curve is not None and rowpress_curve is not None:
+        summary["equal_time_flip_ratio"] = equal_time_flip_ratio(rowhammer_curve, rowpress_curve)
+    ratios: List[float] = [
+        c.flip_ratio for c in comparisons if np.isfinite(c.flip_ratio) and c.flip_ratio > 0
+    ]
+    if ratios:
+        summary["mean_flip_reduction"] = float(np.mean(ratios))
+        summary["max_flip_reduction"] = float(np.max(ratios))
+        summary["min_flip_reduction"] = float(np.min(ratios))
+    if comparisons:
+        summary["all_models_converged"] = float(
+            all(c.rowpress.all_converged for c in comparisons)
+        )
+        summary["mean_rowpress_flips"] = float(np.mean([c.rowpress.mean_flips for c in comparisons]))
+        summary["max_rowpress_flips"] = float(np.max([c.rowpress.mean_flips for c in comparisons]))
+    return summary

@@ -1,0 +1,106 @@
+"""Report writers: markdown / CSV / JSON views of the experiment outputs.
+
+The benchmarks print and store raw numbers; these helpers turn comparison
+results into shareable artefacts (a markdown report mirroring the paper's
+Table I plus the takeaway summary, or a CSV for spreadsheet analysis).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.analysis.metrics import summarize_takeaways
+from repro.analysis.tables import Table1Row, table1_from_comparisons
+from repro.core.comparison import ModelComparisonResult
+from repro.faults.sweep import FlipCurve
+
+PathLike = Union[str, Path]
+
+
+def comparisons_to_markdown(
+    comparisons: Sequence[ModelComparisonResult],
+    title: str = "Table I (surrogate reproduction)",
+) -> str:
+    """Render comparison results as a GitHub-flavoured markdown table."""
+    rows = table1_from_comparisons(comparisons)
+    header = (
+        "| Dataset | Architecture | #Params | Acc before (%) | Random guess (%) | "
+        "Acc after RH (%) | #Flips RH | Acc after RP (%) | #Flips RP | RH/RP ratio | "
+        "Paper #Flips RH | Paper #Flips RP |"
+    )
+    separator = "|" + "---|" * 12
+    lines = [f"## {title}", "", header, separator]
+    for row in rows:
+        lines.append(
+            f"| {row.dataset} | {row.architecture} | {row.parameters} "
+            f"| {row.clean_accuracy:.2f} | {row.random_guess_accuracy:.2f} "
+            f"| {row.rowhammer_accuracy_after:.2f} | {row.rowhammer_bit_flips:.1f} "
+            f"| {row.rowpress_accuracy_after:.2f} | {row.rowpress_bit_flips:.1f} "
+            f"| {row.flip_ratio:.2f} "
+            f"| {row.paper_rowhammer_bit_flips if row.paper_rowhammer_bit_flips is not None else '-'} "
+            f"| {row.paper_rowpress_bit_flips if row.paper_rowpress_bit_flips is not None else '-'} |"
+        )
+    takeaways = summarize_takeaways(comparisons)
+    if takeaways:
+        lines += ["", "### Takeaway summary", ""]
+        for key, value in takeaways.items():
+            lines.append(f"- **{key}**: {value:.2f}")
+    return "\n".join(lines) + "\n"
+
+
+def comparisons_to_csv(comparisons: Sequence[ModelComparisonResult]) -> str:
+    """Render comparison results as CSV text (one row per model)."""
+    rows = table1_from_comparisons(comparisons)
+    buffer = io.StringIO()
+    if not rows:
+        return ""
+    field_names = list(rows[0].as_dict().keys())
+    writer = csv.DictWriter(buffer, fieldnames=field_names)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row.as_dict())
+    return buffer.getvalue()
+
+
+def write_comparison_report(
+    comparisons: Sequence[ModelComparisonResult],
+    directory: PathLike,
+    basename: str = "table1",
+    fig6_curves: Optional[Dict[str, FlipCurve]] = None,
+) -> Dict[str, Path]:
+    """Write markdown, CSV and JSON views of an experiment into ``directory``.
+
+    Returns the mapping of artefact kind to the written path.  When the
+    Fig.-6 curves are provided, the JSON payload also embeds their series and
+    the equal-time summary so a single file captures the whole experiment.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    markdown_path = directory / f"{basename}.md"
+    markdown_path.write_text(comparisons_to_markdown(comparisons))
+    written["markdown"] = markdown_path
+
+    csv_path = directory / f"{basename}.csv"
+    csv_path.write_text(comparisons_to_csv(comparisons))
+    written["csv"] = csv_path
+
+    payload: Dict[str, object] = {
+        "rows": [row.as_dict() for row in table1_from_comparisons(comparisons)],
+        "takeaways": summarize_takeaways(
+            comparisons,
+            rowhammer_curve=fig6_curves.get("rowhammer") if fig6_curves else None,
+            rowpress_curve=fig6_curves.get("rowpress") if fig6_curves else None,
+        ),
+    }
+    if fig6_curves:
+        payload["fig6"] = {name: curve.to_dict() for name, curve in fig6_curves.items()}
+    json_path = directory / f"{basename}.json"
+    json_path.write_text(json.dumps(payload, indent=2, default=float))
+    written["json"] = json_path
+    return written

@@ -1,0 +1,123 @@
+"""Table-I construction and plain-text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.comparison import ModelComparisonResult
+from repro.models.registry import MODEL_REGISTRY, ModelSpec
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One rendered row: measured surrogate numbers next to paper numbers."""
+
+    dataset: str
+    architecture: str
+    parameters: int
+    clean_accuracy: float
+    random_guess_accuracy: float
+    rowhammer_accuracy_after: float
+    rowhammer_bit_flips: float
+    rowpress_accuracy_after: float
+    rowpress_bit_flips: float
+    flip_ratio: float
+    paper_rowhammer_bit_flips: Optional[int] = None
+    paper_rowpress_bit_flips: Optional[int] = None
+    paper_flip_ratio: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary view used by the benchmark output."""
+        return {
+            "dataset": self.dataset,
+            "architecture": self.architecture,
+            "parameters": self.parameters,
+            "clean_accuracy": self.clean_accuracy,
+            "random_guess_accuracy": self.random_guess_accuracy,
+            "rowhammer_accuracy_after": self.rowhammer_accuracy_after,
+            "rowhammer_bit_flips": self.rowhammer_bit_flips,
+            "rowpress_accuracy_after": self.rowpress_accuracy_after,
+            "rowpress_bit_flips": self.rowpress_bit_flips,
+            "flip_ratio": self.flip_ratio,
+            "paper_rowhammer_bit_flips": self.paper_rowhammer_bit_flips,
+            "paper_rowpress_bit_flips": self.paper_rowpress_bit_flips,
+            "paper_flip_ratio": self.paper_flip_ratio,
+        }
+
+
+def table1_from_comparisons(results: Sequence[ModelComparisonResult]) -> List[Table1Row]:
+    """Convert comparison results into Table-I rows, attaching paper values."""
+    rows: List[Table1Row] = []
+    for result in results:
+        spec: Optional[ModelSpec] = MODEL_REGISTRY.get(result.model_key)
+        paper = spec.paper if spec is not None else None
+        rows.append(
+            Table1Row(
+                dataset=result.dataset_name,
+                architecture=result.display_name,
+                parameters=result.num_parameters,
+                clean_accuracy=round(result.clean_accuracy, 2),
+                random_guess_accuracy=round(result.random_guess_accuracy, 2),
+                rowhammer_accuracy_after=round(result.rowhammer.mean_accuracy_after, 2),
+                rowhammer_bit_flips=round(result.rowhammer.mean_flips, 1),
+                rowpress_accuracy_after=round(result.rowpress.mean_accuracy_after, 2),
+                rowpress_bit_flips=round(result.rowpress.mean_flips, 1),
+                flip_ratio=round(result.flip_ratio, 2),
+                paper_rowhammer_bit_flips=paper.rowhammer_bit_flips if paper else None,
+                paper_rowpress_bit_flips=paper.rowpress_bit_flips if paper else None,
+                paper_flip_ratio=round(paper.flip_ratio, 2) if paper else None,
+            )
+        )
+    return rows
+
+
+#: Alias kept for readability at call sites.
+build_table1 = table1_from_comparisons
+
+
+def render_table(rows: Sequence[Table1Row], include_paper: bool = True) -> str:
+    """Render Table-I rows as an aligned plain-text table."""
+    headers = [
+        "Dataset",
+        "Architecture",
+        "#Params",
+        "Acc before (%)",
+        "Random guess (%)",
+        "Acc after RH (%)",
+        "#Flips RH",
+        "Acc after RP (%)",
+        "#Flips RP",
+        "RH/RP ratio",
+    ]
+    if include_paper:
+        headers += ["Paper #Flips RH", "Paper #Flips RP"]
+
+    table: List[List[str]] = [headers]
+    for row in rows:
+        cells = [
+            row.dataset,
+            row.architecture,
+            str(row.parameters),
+            f"{row.clean_accuracy:.2f}",
+            f"{row.random_guess_accuracy:.2f}",
+            f"{row.rowhammer_accuracy_after:.2f}",
+            f"{row.rowhammer_bit_flips:.1f}",
+            f"{row.rowpress_accuracy_after:.2f}",
+            f"{row.rowpress_bit_flips:.1f}",
+            f"{row.flip_ratio:.2f}",
+        ]
+        if include_paper:
+            cells += [
+                str(row.paper_rowhammer_bit_flips) if row.paper_rowhammer_bit_flips is not None else "-",
+                str(row.paper_rowpress_bit_flips) if row.paper_rowpress_bit_flips is not None else "-",
+            ]
+        table.append(cells)
+
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

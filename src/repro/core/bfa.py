@@ -1,0 +1,329 @@
+"""Progressive bit search (the BFA algorithm of Rakin et al., Section VI-B).
+
+The attack is an iterative two-stage search over the bits of the quantized
+weight tensors:
+
+* **Intra-layer stage** — within each layer, rank candidate bits by the
+  first-order estimate of the loss increase a flip would cause
+  (``dL/dw * delta_w``, where ``delta_w`` is the weight change implied by
+  flipping that two's-complement bit) and keep the best candidate.
+* **Inter-layer stage** — actually apply the best candidate of each of the
+  most promising layers in turn, measure the realised loss on the attack
+  batch, restore the bit, and commit the flip that produced the largest
+  loss.
+
+One bit is committed per iteration; the attack stops when the evaluation
+accuracy reaches the random-guess level (the objective of eqn. 1) or when
+the iteration/flip budget is exhausted.
+
+The same engine serves both the unconstrained baseline (every bit of every
+quantized tensor is a candidate) and the DRAM-profile-aware variant
+(Algorithm 3), which restricts candidates to weight bits that map onto
+profiled vulnerable cells and only allows flips in each cell's preferred
+direction.  The restriction is expressed by :class:`CandidateSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import TensorCandidates
+from repro.core.objective import AttackObjective
+from repro.core.results import AttackEvent, AttackResult
+from repro.nn.bitops import bit_flip_deltas_vector, from_twos_complement, to_twos_complement
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.nn.quantization import quantized_parameters
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BitSearchConfig:
+    """Hyper-parameters of the progressive bit search.
+
+    Attributes
+    ----------
+    max_flips:
+        Upper bound on committed bit flips (= iterations, one flip each).
+    top_k_layers:
+        How many layers advance from the intra-layer stage to the
+        (more expensive) inter-layer loss evaluation.  The original BFA
+        evaluates every layer; bounding the number is an efficiency knob
+        that matters for the deepest surrogates and preserves the search
+        semantics because layers are pre-ranked by estimated loss gain.
+    eval_batch_size:
+        Batch size used when measuring evaluation accuracy.
+    resample_attack_batch:
+        Whether to draw a fresh attack batch from the objective's pool at
+        the start of each iteration.  Once every sample of a fixed batch is
+        confidently misclassified its gradients stop pointing anywhere
+        useful; resampling keeps the intra-layer ranking informative.
+    """
+
+    max_flips: int = 150
+    top_k_layers: int = 5
+    eval_batch_size: int = 64
+    resample_attack_batch: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("max_flips", self.max_flips)
+        check_positive("top_k_layers", self.top_k_layers)
+        check_positive("eval_batch_size", self.eval_batch_size)
+
+
+class CandidateSet:
+    """Which weight bits each tensor exposes to the search.
+
+    ``candidates[name]`` is either ``None`` (every bit of the tensor is
+    attackable — the unconstrained baseline) or a
+    :class:`~repro.core.mapping.TensorCandidates` restriction.
+    Tensors absent from the mapping are not attackable at all.
+    """
+
+    def __init__(self, candidates: Dict[str, Optional[TensorCandidates]]):
+        self.candidates = dict(candidates)
+
+    @classmethod
+    def all_bits(cls, model: Module) -> "CandidateSet":
+        """Unconstrained candidate set over every quantized tensor."""
+        return cls({name: None for name in quantized_parameters(model)})
+
+    @classmethod
+    def from_tensor_candidates(cls, per_tensor: Dict[str, TensorCandidates]) -> "CandidateSet":
+        """Profile-restricted candidate set (used by Algorithm 3)."""
+        return cls(dict(per_tensor))
+
+    def tensors(self) -> List[str]:
+        """Names of tensors that expose at least one candidate."""
+        return [
+            name
+            for name, candidates in self.candidates.items()
+            if candidates is None or candidates.count > 0
+        ]
+
+    def total_candidates(self, model: Module) -> int:
+        """Total number of candidate bits (unconstrained tensors count all bits)."""
+        params = quantized_parameters(model)
+        total = 0
+        for name, candidates in self.candidates.items():
+            if candidates is None:
+                parameter = params.get(name)
+                if parameter is not None:
+                    total += parameter.size * parameter.num_bits
+            else:
+                total += candidates.count
+        return total
+
+    def __contains__(self, tensor_name: str) -> bool:
+        return tensor_name in self.candidates
+
+    def get(self, tensor_name: str) -> Optional[TensorCandidates]:
+        """Restriction for one tensor (``None`` = every bit)."""
+        return self.candidates[tensor_name]
+
+
+@dataclass
+class _Proposal:
+    """Best candidate of one tensor during the intra-layer stage."""
+
+    tensor_name: str
+    weight_index: int
+    bit_position: int
+    int_before: int
+    int_after: int
+    estimated_gain: float
+
+
+class BitFlipAttack:
+    """Progressive bit search over a quantized model."""
+
+    def __init__(
+        self,
+        model: Module,
+        objective: AttackObjective,
+        candidates: Optional[CandidateSet] = None,
+        config: Optional[BitSearchConfig] = None,
+        model_name: str = "model",
+        mechanism: str = "unconstrained",
+    ):
+        self.model = model
+        self.objective = objective
+        self.config = config or BitSearchConfig()
+        self.model_name = model_name
+        self.mechanism = mechanism
+        self.parameters = quantized_parameters(model)
+        if not self.parameters:
+            raise ValueError("model must be quantized before attacking (call quantize_model)")
+        self.candidates = candidates or CandidateSet.all_bits(model)
+        unknown = [name for name in self.candidates.candidates if name not in self.parameters]
+        if unknown:
+            raise KeyError(f"candidate set references unknown tensors: {unknown}")
+
+    # ------------------------------------------------------------------
+    # Intra-layer stage
+    # ------------------------------------------------------------------
+    def _propose_for_tensor(self, tensor_name: str) -> Optional[_Proposal]:
+        parameter = self.parameters[tensor_name]
+        restriction = self.candidates.get(tensor_name)
+        grad = parameter.grad_array().ravel()
+        ints = parameter.int_repr.ravel()
+        num_bits = parameter.num_bits
+        scale = parameter.scale
+
+        if restriction is None:
+            return self._propose_unconstrained(tensor_name, parameter, grad, ints, num_bits, scale)
+        return self._propose_restricted(tensor_name, parameter, restriction, grad, ints, num_bits, scale)
+
+    def _propose_unconstrained(
+        self,
+        tensor_name: str,
+        parameter: Parameter,
+        grad: np.ndarray,
+        ints: np.ndarray,
+        num_bits: int,
+        scale: float,
+    ) -> Optional[_Proposal]:
+        best: Optional[_Proposal] = None
+        for bit in range(num_bits):
+            deltas = bit_flip_deltas_vector(ints, bit, num_bits)
+            gains = grad * deltas * scale
+            index = int(np.argmax(gains))
+            gain = float(gains[index])
+            if best is None or gain > best.estimated_gain:
+                best = _Proposal(
+                    tensor_name=tensor_name,
+                    weight_index=index,
+                    bit_position=bit,
+                    int_before=int(ints[index]),
+                    int_after=int(ints[index] + deltas[index]),
+                    estimated_gain=gain,
+                )
+        return best
+
+    def _propose_restricted(
+        self,
+        tensor_name: str,
+        parameter: Parameter,
+        restriction: TensorCandidates,
+        grad: np.ndarray,
+        ints: np.ndarray,
+        num_bits: int,
+        scale: float,
+    ) -> Optional[_Proposal]:
+        if restriction.count == 0:
+            return None
+        weight_indices = restriction.weight_indices
+        bit_positions = restriction.bit_positions
+        directions = restriction.directions
+
+        current_ints = ints[weight_indices]
+        patterns = to_twos_complement(current_ints, num_bits)
+        current_bits = (patterns >> bit_positions) & 1
+        # A profiled cell flips 1 -> 0 (direction 1) only if the stored bit is
+        # currently 1, and 0 -> 1 (direction 0) only if it is currently 0.
+        feasible = current_bits == directions
+        if not feasible.any():
+            return None
+
+        flipped_patterns = patterns ^ (np.int64(1) << bit_positions)
+        new_ints = from_twos_complement(flipped_patterns, num_bits)
+        deltas = new_ints - current_ints
+        gains = grad[weight_indices] * deltas * scale
+        gains = np.where(feasible, gains, -np.inf)
+        index = int(np.argmax(gains))
+        return _Proposal(
+            tensor_name=tensor_name,
+            weight_index=int(weight_indices[index]),
+            bit_position=int(bit_positions[index]),
+            int_before=int(current_ints[index]),
+            int_after=int(new_ints[index]),
+            estimated_gain=float(gains[index]),
+        )
+
+    # ------------------------------------------------------------------
+    # Flip application
+    # ------------------------------------------------------------------
+    def _apply(self, proposal: _Proposal) -> None:
+        parameter = self.parameters[proposal.tensor_name]
+        parameter.int_repr.flat[proposal.weight_index] = proposal.int_after
+        parameter.sync_from_int()
+
+    def _revert(self, proposal: _Proposal) -> None:
+        parameter = self.parameters[proposal.tensor_name]
+        parameter.int_repr.flat[proposal.weight_index] = proposal.int_before
+        parameter.sync_from_int()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> AttackResult:
+        """Execute the attack until the objective is met or budgets run out."""
+        config = self.config
+        objective = self.objective
+        accuracy_before = objective.evaluation_accuracy(self.model, config.eval_batch_size)
+        accuracy_curve = [accuracy_before]
+        loss_curve: List[float] = []
+        events: List[AttackEvent] = []
+        converged = objective.is_satisfied(accuracy_before)
+
+        while not converged and len(events) < config.max_flips:
+            if config.resample_attack_batch and len(events) > 0:
+                objective.resample_attack_batch()
+            loss_value = objective.attack_loss_and_gradients(self.model)
+            loss_curve.append(loss_value)
+
+            proposals: List[_Proposal] = []
+            for tensor_name in self.candidates.tensors():
+                proposal = self._propose_for_tensor(tensor_name)
+                if proposal is not None and np.isfinite(proposal.estimated_gain):
+                    proposals.append(proposal)
+            if not proposals:
+                break
+
+            proposals.sort(key=lambda p: p.estimated_gain, reverse=True)
+            shortlist = proposals[: config.top_k_layers]
+
+            best_proposal: Optional[_Proposal] = None
+            best_loss = -np.inf
+            for proposal in shortlist:
+                self._apply(proposal)
+                trial_loss = objective.attack_loss(self.model)
+                self._revert(proposal)
+                if trial_loss > best_loss:
+                    best_loss = trial_loss
+                    best_proposal = proposal
+
+            assert best_proposal is not None
+            self._apply(best_proposal)
+            accuracy = objective.evaluation_accuracy(self.model, config.eval_batch_size)
+            accuracy_curve.append(accuracy)
+            events.append(
+                AttackEvent(
+                    iteration=len(events),
+                    tensor_name=best_proposal.tensor_name,
+                    weight_index=best_proposal.weight_index,
+                    bit_position=best_proposal.bit_position,
+                    int_before=best_proposal.int_before,
+                    int_after=best_proposal.int_after,
+                    loss_after=best_loss,
+                    accuracy_after=accuracy,
+                )
+            )
+            converged = objective.is_satisfied(accuracy)
+
+        return AttackResult(
+            model_name=self.model_name,
+            mechanism=self.mechanism,
+            accuracy_before=accuracy_before,
+            accuracy_after=accuracy_curve[-1],
+            target_accuracy=objective.target_accuracy,
+            num_flips=len(events),
+            converged=converged,
+            events=events,
+            accuracy_curve=accuracy_curve,
+            loss_curve=loss_curve,
+            candidate_bits=self.candidates.total_candidates(self.model),
+        )

@@ -1,0 +1,204 @@
+"""Mapping between DNN weight bits and DRAM cell addresses.
+
+When a quantized model is deployed, its weight tensors occupy a contiguous
+span of physical memory; the DRAM addressing scheme determines which bank /
+row / column each individual bit lands on.  The attacker does not control
+this mapping (Section VI stresses that the attack merely *exploits* the
+existing mapping), but after reverse-engineering the addressing scheme they
+can compute, for every profiled vulnerable cell, which weight bit — if any —
+it holds.
+
+:class:`WeightBitMapping` implements that bookkeeping: weight tensors are
+laid out in the deterministic traversal order produced by
+:func:`repro.nn.quantization.quantize_model`, each weight occupying
+``num_bits`` consecutive bit addresses (LSB first), starting from a
+configurable base offset.  Intersecting the layout with a
+:class:`~repro.faults.profiles.BitFlipProfile` yields, per tensor, the
+candidate (weight index, bit position, flip direction) triples that the
+profile-aware search may use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.faults.profiles import BitFlipProfile
+from repro.nn.module import Module
+from repro.nn.quantization import QuantizedTensorInfo
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_non_negative
+
+#: Address-space geometry used when deploying DNN weights.  It is larger
+#: than the exhaustively simulated chip (so even the biggest surrogate fits)
+#: but still uses the same vulnerability statistics; only the sparse
+#: vulnerable-cell maps are ever materialised for it.
+DNN_DEPLOYMENT_GEOMETRY = DramGeometry(num_banks=4, rows_per_bank=1024, cols_per_row=8192)
+
+
+@dataclass(frozen=True)
+class TensorCandidates:
+    """Attackable weight bits of one tensor under a given profile.
+
+    ``weight_indices[i]`` / ``bit_positions[i]`` identify the bit (flat
+    weight index within the tensor, bit 0 = LSB), ``directions[i]`` is 1 for
+    a cell that can only flip 1 -> 0 and 0 for a 0 -> 1 cell.
+    """
+
+    tensor_name: str
+    weight_indices: np.ndarray
+    bit_positions: np.ndarray
+    directions: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of candidate bits."""
+        return int(self.weight_indices.size)
+
+
+class WeightBitMapping:
+    """Placement of a quantized model's weight bits in the DRAM address space."""
+
+    def __init__(
+        self,
+        tensor_infos: Sequence[QuantizedTensorInfo],
+        capacity_bits: Optional[int] = None,
+        base_offset_bits: int = 0,
+        geometry: Optional[DramGeometry] = None,
+    ):
+        if not tensor_infos:
+            raise ValueError("tensor_infos must not be empty")
+        check_non_negative("base_offset_bits", base_offset_bits)
+        self.geometry = geometry or DNN_DEPLOYMENT_GEOMETRY
+        self.capacity_bits = capacity_bits if capacity_bits is not None else self.geometry.total_cells
+        self.base_offset_bits = base_offset_bits
+        self.tensor_infos = list(tensor_infos)
+
+        self._starts: Dict[str, int] = {}
+        self._infos: Dict[str, QuantizedTensorInfo] = {}
+        cursor = base_offset_bits
+        for info in self.tensor_infos:
+            self._starts[info.name] = cursor
+            self._infos[info.name] = info
+            cursor += info.num_bits_total
+        self.total_bits = cursor - base_offset_bits
+        if cursor > self.capacity_bits:
+            raise ValueError(
+                f"model needs {self.total_bits} bits starting at offset "
+                f"{base_offset_bits} but the address space only has "
+                f"{self.capacity_bits} bits"
+            )
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    def tensor_span(self, tensor_name: str) -> Tuple[int, int]:
+        """Return the ``[start, end)`` flat bit range of a tensor."""
+        info = self._infos.get(tensor_name)
+        if info is None:
+            raise KeyError(f"unknown tensor {tensor_name!r}")
+        start = self._starts[tensor_name]
+        return start, start + info.num_bits_total
+
+    def flat_address(self, tensor_name: str, weight_index: int, bit: int) -> int:
+        """Flat DRAM bit address of one weight bit."""
+        info = self._infos.get(tensor_name)
+        if info is None:
+            raise KeyError(f"unknown tensor {tensor_name!r}")
+        if not 0 <= weight_index < info.num_weights:
+            raise IndexError(
+                f"weight_index {weight_index} out of range for tensor {tensor_name!r} "
+                f"({info.num_weights} weights)"
+            )
+        if not 0 <= bit < info.num_bits:
+            raise IndexError(f"bit {bit} out of range for {info.num_bits}-bit weights")
+        return self._starts[tensor_name] + weight_index * info.num_bits + bit
+
+    def locate(self, flat_address: int) -> Optional[Tuple[str, int, int]]:
+        """Inverse of :meth:`flat_address`.
+
+        Returns ``(tensor_name, weight_index, bit)`` or ``None`` when the
+        address does not hold a weight bit.
+        """
+        for info in self.tensor_infos:
+            start = self._starts[info.name]
+            end = start + info.num_bits_total
+            if start <= flat_address < end:
+                offset = flat_address - start
+                return info.name, offset // info.num_bits, offset % info.num_bits
+        return None
+
+    def occupied_addresses(self) -> Tuple[int, int]:
+        """The ``[start, end)`` flat range occupied by the whole model."""
+        return self.base_offset_bits, self.base_offset_bits + self.total_bits
+
+    # ------------------------------------------------------------------
+    # Profile intersection (the heart of Algorithm 3's candidate selection)
+    # ------------------------------------------------------------------
+    def candidates_from_profile(self, profile: BitFlipProfile) -> Dict[str, TensorCandidates]:
+        """Intersect the weight-bit layout with a vulnerable-cell profile.
+
+        Every profiled cell that falls inside a tensor's span becomes a
+        candidate ``(weight_index, bit_position, direction)`` for that
+        tensor.  Tensors with no vulnerable cells are omitted.
+        """
+        if profile.capacity_bits < self.base_offset_bits + self.total_bits:
+            raise ValueError(
+                "profile covers a smaller address space than the model deployment: "
+                f"{profile.capacity_bits} < {self.base_offset_bits + self.total_bits}"
+            )
+        result: Dict[str, TensorCandidates] = {}
+        flats = profile.flat_indices
+        directions = profile.directions
+        for info in self.tensor_infos:
+            start = self._starts[info.name]
+            end = start + info.num_bits_total
+            lo = np.searchsorted(flats, start, side="left")
+            hi = np.searchsorted(flats, end, side="left")
+            if hi <= lo:
+                continue
+            offsets = flats[lo:hi] - start
+            result[info.name] = TensorCandidates(
+                tensor_name=info.name,
+                weight_indices=(offsets // info.num_bits).astype(np.int64),
+                bit_positions=(offsets % info.num_bits).astype(np.int64),
+                directions=directions[lo:hi].astype(np.int8),
+            )
+        return result
+
+    def total_candidates(self, profile: BitFlipProfile) -> int:
+        """Number of weight bits that land on vulnerable cells."""
+        return sum(c.count for c in self.candidates_from_profile(profile).values())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_model_infos(
+        cls,
+        tensor_infos: Sequence[QuantizedTensorInfo],
+        geometry: Optional[DramGeometry] = None,
+        seed: Optional[int] = None,
+    ) -> "WeightBitMapping":
+        """Place the model at a (optionally random) base offset.
+
+        Randomising the base offset models the fact that the attacker does
+        not choose where the victim's pages land; the paper averages attack
+        runs over three random mappings.
+        """
+        geometry = geometry or DNN_DEPLOYMENT_GEOMETRY
+        total = sum(info.num_bits_total for info in tensor_infos)
+        capacity = geometry.total_cells
+        if total > capacity:
+            raise ValueError(
+                f"model needs {total} bits but the address space has only {capacity}"
+            )
+        if seed is None:
+            offset = 0
+        else:
+            slack = capacity - total
+            offset = int(derive_rng(seed).integers(0, slack + 1)) if slack > 0 else 0
+        return cls(tensor_infos, capacity_bits=capacity, base_offset_bits=offset, geometry=geometry)

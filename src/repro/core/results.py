@@ -1,0 +1,93 @@
+"""Result containers for attack runs (Table-I rows and Fig.-7 curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One committed bit flip."""
+
+    iteration: int
+    tensor_name: str
+    weight_index: int
+    bit_position: int
+    int_before: int
+    int_after: int
+    loss_after: float
+    accuracy_after: float
+
+    @property
+    def weight_delta_int(self) -> int:
+        """Signed change of the quantized integer weight."""
+        return self.int_after - self.int_before
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one bit-flip attack run on one model."""
+
+    model_name: str
+    mechanism: str
+    accuracy_before: float
+    accuracy_after: float
+    target_accuracy: float
+    num_flips: int
+    converged: bool
+    events: List[AttackEvent] = field(default_factory=list)
+    #: Accuracy after each committed flip; index 0 is the pre-attack accuracy.
+    accuracy_curve: List[float] = field(default_factory=list)
+    loss_curve: List[float] = field(default_factory=list)
+    candidate_bits: int = 0
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Total accuracy degradation in percentage points."""
+        return self.accuracy_before - self.accuracy_after
+
+    def curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(flip_counts, accuracies)`` for Fig.-7 style plots."""
+        flips = np.arange(len(self.accuracy_curve))
+        return flips, np.asarray(self.accuracy_curve)
+
+    def flips_to_reach(self, accuracy_threshold: float) -> Optional[int]:
+        """Smallest number of flips at which accuracy is <= the threshold."""
+        for flips, accuracy in enumerate(self.accuracy_curve):
+            if accuracy <= accuracy_threshold:
+                return flips
+        return None
+
+    def flipped_bit_summary(self) -> Dict[str, int]:
+        """Number of committed flips per tensor (diagnostic)."""
+        summary: Dict[str, int] = {}
+        for event in self.events:
+            summary[event.tensor_name] = summary.get(event.tensor_name, 0) + 1
+        return summary
+
+    def bit_position_histogram(self) -> Dict[int, int]:
+        """How many committed flips targeted each bit position (0 = LSB)."""
+        histogram: Dict[int, int] = {}
+        for event in self.events:
+            histogram[event.bit_position] = histogram.get(event.bit_position, 0) + 1
+        return histogram
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (events are reduced to counts)."""
+        return {
+            "model_name": self.model_name,
+            "mechanism": self.mechanism,
+            "accuracy_before": self.accuracy_before,
+            "accuracy_after": self.accuracy_after,
+            "target_accuracy": self.target_accuracy,
+            "num_flips": self.num_flips,
+            "converged": self.converged,
+            "accuracy_curve": list(self.accuracy_curve),
+            "loss_curve": list(self.loss_curve),
+            "candidate_bits": self.candidate_bits,
+            "flips_per_tensor": self.flipped_bit_summary(),
+            "bit_position_histogram": self.bit_position_histogram(),
+        }

@@ -1,0 +1,55 @@
+"""RowHammer mitigation mechanisms (Section II / III of the paper).
+
+All mechanisms implemented here are *aggressor-focused activation counters*
+of the kind deployed against RowHammer: they watch the stream of ACT
+commands, keep per-row (or per-group) counts, and issue Nearby-Row-Refresh
+(NRR) operations when a count crosses the Maximum Activation Count (MAC).
+
+The paper's motivation (Section III) is that these defenses are structurally
+blind to RowPress, which achieves bit flips with a *single* long activation:
+no counter ever exceeds its threshold, so no NRR is issued and the flips go
+through.  :mod:`repro.defenses.evaluation` reproduces exactly that
+experiment against the simulated chip.
+"""
+
+from repro.defenses.base import DefenseMechanism, DefenseStats
+from repro.defenses.cbt import CounterBasedTreeDefense
+from repro.defenses.graphene import GrapheneDefense
+from repro.defenses.hydra import HydraDefense
+from repro.defenses.para import ParaDefense
+from repro.defenses.press_aware import OpenWindowMonitorDefense
+from repro.defenses.trr import TargetRowRefreshDefense
+from repro.defenses.evaluation import DefenseEvaluationResult, evaluate_defense
+
+__all__ = [
+    "DefenseMechanism",
+    "DefenseStats",
+    "TargetRowRefreshDefense",
+    "GrapheneDefense",
+    "CounterBasedTreeDefense",
+    "ParaDefense",
+    "HydraDefense",
+    "OpenWindowMonitorDefense",
+    "DefenseEvaluationResult",
+    "evaluate_defense",
+]
+
+#: Convenience registry used by the defense-bypass benchmark and examples.
+DEFENSE_REGISTRY = {
+    "trr": TargetRowRefreshDefense,
+    "graphene": GrapheneDefense,
+    "cbt": CounterBasedTreeDefense,
+    "para": ParaDefense,
+    "hydra": HydraDefense,
+    "open_window_monitor": OpenWindowMonitorDefense,
+}
+
+
+def build_defense(name: str, **kwargs) -> DefenseMechanism:
+    """Construct a defense by registry name (``trr``, ``graphene``, ...)."""
+    try:
+        factory = DEFENSE_REGISTRY[name.lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(DEFENSE_REGISTRY))
+        raise KeyError(f"unknown defense {name!r}; known defenses: {known}") from exc
+    return factory(**kwargs)

@@ -1,0 +1,99 @@
+"""Common interface for activation-counting mitigation mechanisms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DefenseStats:
+    """Bookkeeping shared by every defense implementation."""
+
+    observed_activations: int = 0
+    observed_precharges: int = 0
+    triggers: int = 0
+    nrr_rows_issued: int = 0
+    per_row_triggers: Dict[int, int] = field(default_factory=dict)
+
+    def record_trigger(self, row: int, victim_count: int) -> None:
+        """Record one mitigation trigger protecting ``victim_count`` rows."""
+        self.triggers += 1
+        self.nrr_rows_issued += victim_count
+        self.per_row_triggers[row] = self.per_row_triggers.get(row, 0) + 1
+
+
+class DefenseMechanism(abc.ABC):
+    """Base class for mechanisms that observe the command stream.
+
+    Subclasses implement :meth:`_count_activations` (what to do when a row
+    receives activations) and may override :meth:`on_precharge` if they also
+    monitor row-open durations.  The memory controller calls
+    :meth:`on_activations` / :meth:`on_precharge` and executes whatever NRR
+    victim list the defense returns.
+    """
+
+    #: Human-readable mechanism name (e.g. ``"Graphene"``).
+    name: str = "defense"
+
+    def __init__(self, mac_threshold: int = 4096, blast_radius: int = 1):
+        if mac_threshold <= 0:
+            raise ValueError(f"mac_threshold must be > 0, got {mac_threshold}")
+        if blast_radius <= 0:
+            raise ValueError(f"blast_radius must be > 0, got {blast_radius}")
+        #: Maximum Activation Count before the row's neighbours are refreshed.
+        self.mac_threshold = mac_threshold
+        #: How many rows on each side of the aggressor the NRR protects.
+        self.blast_radius = blast_radius
+        self.stats = DefenseStats()
+
+    # ------------------------------------------------------------------
+    # Hooks called by the memory controller
+    # ------------------------------------------------------------------
+    def on_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        """Observe ``count`` activations of (bank, row); return NRR victims."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.stats.observed_activations += count
+        victims = self._count_activations(bank, row, count, cycle)
+        if victims:
+            self.stats.record_trigger(row, len(victims))
+        return victims
+
+    def on_precharge(self, bank: int, row: int, open_cycles: int, cycle: int) -> List[int]:
+        """Observe a PRE command.  Activation counters ignore open duration."""
+        self.stats.observed_precharges += 1
+        return []
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        """Update internal counters; return the victim rows to refresh."""
+
+    def reset(self) -> None:
+        """Clear all internal counters and statistics."""
+        self.stats = DefenseStats()
+
+    def observation_granularity(self) -> Optional[int]:
+        """Largest activation batch the controller may report at once.
+
+        Counter-based defenses must see activations in batches no larger
+        than their threshold, otherwise a single bulk update could jump the
+        counter far past the trip point and mis-time the NRR.
+        """
+        return max(1, self.mac_threshold // 4)
+
+    # ------------------------------------------------------------------
+    def victims_of(self, row: int) -> List[int]:
+        """Rows protected when ``row`` is identified as an aggressor."""
+        victims = []
+        for distance in range(1, self.blast_radius + 1):
+            victims.append(row - distance)
+            victims.append(row + distance)
+        return victims
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} name={self.name!r} mac={self.mac_threshold}>"

@@ -1,0 +1,124 @@
+"""Counter-Based Tree (CBT) defense.
+
+CBT (Seyedzadeh et al.) maintains a small tree of counters over groups of
+rows.  A counter initially covers a large group; when it crosses a split
+threshold the group is subdivided so that hot rows end up with
+fine-grained counters, while cold regions share coarse ones.  When a
+leaf-level counter covering a single row (or the smallest group size)
+exceeds the MAC threshold, the rows adjacent to that group are refreshed.
+
+The implementation below keeps an explicit binary-subdivision tree per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.defenses.base import DefenseMechanism
+
+
+@dataclass
+class _CounterNode:
+    """A node in the subdivision tree covering rows [start, end)."""
+
+    start: int
+    end: int
+    count: int = 0
+    left: Optional["_CounterNode"] = None
+    right: Optional["_CounterNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+
+class CounterBasedTreeDefense(DefenseMechanism):
+    """Adaptive tree of activation counters."""
+
+    name = "CBT"
+
+    def __init__(
+        self,
+        mac_threshold: int = 4096,
+        num_rows: int = 1 << 16,
+        split_threshold: Optional[int] = None,
+        min_group_size: int = 1,
+        blast_radius: int = 1,
+    ):
+        super().__init__(mac_threshold=mac_threshold, blast_radius=blast_radius)
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be > 0, got {num_rows}")
+        if min_group_size <= 0:
+            raise ValueError(f"min_group_size must be > 0, got {min_group_size}")
+        self.num_rows = num_rows
+        self.split_threshold = split_threshold or max(1, mac_threshold // 4)
+        self.min_group_size = min_group_size
+        self._roots: Dict[int, _CounterNode] = {}
+
+    def _root(self, bank: int) -> _CounterNode:
+        if bank not in self._roots:
+            self._roots[bank] = _CounterNode(start=0, end=self.num_rows)
+        return self._roots[bank]
+
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        if count == 0:
+            return []
+        if row >= self.num_rows:
+            # Rows beyond the configured coverage are treated as a single
+            # overflow group; grow the tree by doubling coverage.
+            while row >= self.num_rows:
+                self.num_rows *= 2
+            self._roots[bank] = _CounterNode(start=0, end=self.num_rows)
+        node = self._root(bank)
+        # Descend to the leaf covering ``row``, splitting hot nodes on the way.
+        while True:
+            node.count += count
+            if node.is_leaf:
+                if node.span > self.min_group_size and node.count >= self.split_threshold:
+                    self._split(node)
+                    node = self._child_for(node, row)
+                    continue
+                break
+            node = self._child_for(node, row)
+        if node.count >= self.mac_threshold:
+            node.count = 0
+            victims: List[int] = []
+            for distance in range(1, self.blast_radius + 1):
+                victims.append(node.start - distance)
+                victims.append(node.end - 1 + distance)
+            # Rows inside a multi-row leaf group are also refreshed since the
+            # aggressor could be any of them.
+            if node.span > 1:
+                victims.extend(range(node.start, node.end))
+            return victims
+        return []
+
+    @staticmethod
+    def _split(node: _CounterNode) -> None:
+        mid = node.start + node.span // 2
+        half = node.count // 2
+        node.left = _CounterNode(start=node.start, end=mid, count=half)
+        node.right = _CounterNode(start=mid, end=node.end, count=node.count - half)
+
+    @staticmethod
+    def _child_for(node: _CounterNode, row: int) -> _CounterNode:
+        assert node.left is not None and node.right is not None
+        return node.left if row < node.left.end else node.right
+
+    def leaf_count(self, bank: int) -> int:
+        """Number of leaf counters currently allocated for ``bank``."""
+        def count_leaves(node: _CounterNode) -> int:
+            if node.is_leaf:
+                return 1
+            return count_leaves(node.left) + count_leaves(node.right)
+
+        return count_leaves(self._root(bank))
+
+    def reset(self) -> None:
+        super().reset()
+        self._roots = {}

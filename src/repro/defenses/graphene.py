@@ -1,0 +1,74 @@
+"""Graphene: Misra-Gries frequent-element tracking of aggressor rows.
+
+Graphene (Park et al., MICRO 2020) observes every activation and maintains a
+Misra-Gries summary: a bounded table of counters plus a "spillover" counter.
+Any row whose estimated count can exceed the threshold is guaranteed to be
+in the table, so Graphene provides deterministic protection against
+RowHammer provided the table is sized for the worst-case activation rate.
+
+Against RowPress the guarantee is vacuous: the attack issues one activation
+per open window, the estimated count never approaches the threshold, and no
+NRR is ever generated — which is precisely the paper's Section III argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.defenses.base import DefenseMechanism
+
+
+class GrapheneDefense(DefenseMechanism):
+    """Misra-Gries activation tracker with deterministic guarantees."""
+
+    name = "Graphene"
+
+    def __init__(self, mac_threshold: int = 4096, table_size: int = 64, blast_radius: int = 1):
+        super().__init__(mac_threshold=mac_threshold, blast_radius=blast_radius)
+        if table_size <= 0:
+            raise ValueError(f"table_size must be > 0, got {table_size}")
+        self.table_size = table_size
+        self._tables: Dict[int, Dict[int, int]] = {}
+        self._spillover: Dict[int, int] = {}
+
+    def _table(self, bank: int) -> Dict[int, int]:
+        return self._tables.setdefault(bank, {})
+
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        if count == 0:
+            return []
+        table = self._table(bank)
+        spill = self._spillover.get(bank, 0)
+        if row in table:
+            table[row] += count
+        elif len(table) < self.table_size:
+            table[row] = spill + count
+        else:
+            # Misra-Gries decrement step, generalised for a batch of size
+            # ``count``: the batch first consumes table counters down to the
+            # spillover floor, the remainder becomes the new row's estimate.
+            min_count = min(table.values())
+            decrement = min(count, min_count - spill) if min_count > spill else 0
+            if decrement > 0:
+                self._spillover[bank] = spill + decrement
+                spill = self._spillover[bank]
+            # Replace the minimum entry if the incoming row can exceed it.
+            evict_row = min(table, key=table.get)
+            if table[evict_row] <= spill:
+                del table[evict_row]
+                table[row] = spill + count
+        threshold_hit = row in table and table[row] >= self.mac_threshold
+        if threshold_hit:
+            table[row] = self._spillover.get(bank, 0)
+            return self.victims_of(row)
+        return []
+
+    def estimated_count(self, bank: int, row: int) -> int:
+        """Graphene's estimate of the activation count for ``row``."""
+        table = self._table(bank)
+        return table.get(row, self._spillover.get(bank, 0))
+
+    def reset(self) -> None:
+        super().reset()
+        self._tables = {}
+        self._spillover = {}

@@ -1,0 +1,54 @@
+"""PARA / PRA: Probabilistic Adjacent Row Activation.
+
+PARA (Kim et al., ISCA 2014) refreshes the neighbours of an activated row
+with a small probability ``p`` on every activation.  Over the hundreds of
+thousands of activations a RowHammer attack needs, at least one refresh of
+the victim row is overwhelmingly likely, capping the effective disturbance.
+
+RowPress defeats the scheme for the same structural reason as the counter
+trackers: a handful of activations means a handful of Bernoulli trials, so
+the victim is almost never refreshed within the attack window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.defenses.base import DefenseMechanism
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+
+class ParaDefense(DefenseMechanism):
+    """Probabilistic neighbour refresh."""
+
+    name = "PARA"
+
+    def __init__(
+        self,
+        refresh_probability: float = 0.001,
+        blast_radius: int = 1,
+        seed: Optional[int] = 0,
+    ):
+        # PARA has no MAC threshold; the base-class threshold is only used
+        # for observation granularity, so reuse the expected trigger spacing.
+        check_probability("refresh_probability", refresh_probability)
+        expected_spacing = int(1.0 / refresh_probability) if refresh_probability > 0 else 1 << 20
+        super().__init__(mac_threshold=max(1, expected_spacing), blast_radius=blast_radius)
+        self.refresh_probability = refresh_probability
+        self.rng = derive_rng(seed)
+
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        if count == 0 or self.refresh_probability == 0.0:
+            return []
+        # Number of refresh decisions that fire among ``count`` activations.
+        fires = self.rng.binomial(count, self.refresh_probability)
+        if fires > 0:
+            return self.victims_of(row)
+        return []
+
+    def expected_triggers(self, activations: int) -> float:
+        """Expected number of refresh events over ``activations`` ACTs."""
+        return activations * self.refresh_probability

@@ -1,0 +1,81 @@
+"""An exploratory RowPress-aware mitigation (open-window monitoring).
+
+The paper's conclusion calls on the community to design protective measures
+against RowPress.  The mechanism modelled here is the natural analogue of
+the activation counters used against RowHammer: instead of counting *how
+often* a row is opened, it integrates *for how long* each row has been held
+open since its victims were last refreshed, and issues Nearby-Row-Refresh
+operations once that accumulated open time crosses a threshold.
+
+It is not part of the paper's evaluation — it exists so that the library can
+also express the defense side of the arms race, and so that the ablation
+"what would it take to stop RowPress?" can be run (see the unit tests and
+``examples/defense_bypass.py``).  Against classic RowHammer the monitor is
+ineffective by construction, mirroring how activation counters are
+ineffective against RowPress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.defenses.base import DefenseMechanism
+from repro.utils.validation import check_positive
+
+
+class OpenWindowMonitorDefense(DefenseMechanism):
+    """Integrates per-row open time and refreshes neighbours at a threshold."""
+
+    name = "OpenWindowMonitor"
+
+    def __init__(
+        self,
+        open_cycles_threshold: int = 5_000_000,
+        table_size: int = 64,
+        blast_radius: int = 1,
+    ):
+        # The MAC threshold of the base class is meaningless here; reuse the
+        # open-window threshold so observation granularity stays sensible.
+        super().__init__(mac_threshold=max(1, open_cycles_threshold), blast_radius=blast_radius)
+        check_positive("open_cycles_threshold", open_cycles_threshold)
+        check_positive("table_size", table_size)
+        self.open_cycles_threshold = open_cycles_threshold
+        self.table_size = table_size
+        #: (bank, row) -> accumulated open cycles since the last NRR.
+        self._open_time: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        # Activations alone carry no open-duration information.
+        return []
+
+    def on_precharge(self, bank: int, row: int, open_cycles: int, cycle: int) -> List[int]:
+        """Accumulate the closed row's open duration; trigger at the threshold."""
+        self.stats.observed_precharges += 1
+        if open_cycles <= 0:
+            return []
+        key = (bank, row)
+        if key not in self._open_time and len(self._open_time) >= self.table_size:
+            # Evict the entry with the smallest accumulated exposure.
+            evict = min(self._open_time, key=self._open_time.get)
+            del self._open_time[evict]
+        self._open_time[key] = self._open_time.get(key, 0) + int(open_cycles)
+        if self._open_time[key] >= self.open_cycles_threshold:
+            self._open_time[key] = 0
+            victims = self.victims_of(row)
+            self.stats.record_trigger(row, len(victims))
+            return victims
+        return []
+
+    # ------------------------------------------------------------------
+    def accumulated_open_cycles(self, bank: int, row: int) -> int:
+        """Accumulated open time currently tracked for ``row``."""
+        return self._open_time.get((bank, row), 0)
+
+    def observation_granularity(self) -> int:
+        """Open-window monitors do not constrain activation batching."""
+        return 1 << 20
+
+    def reset(self) -> None:
+        super().reset()
+        self._open_time = {}

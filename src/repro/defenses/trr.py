@@ -1,0 +1,63 @@
+"""Target Row Refresh (TRR)-style sampling tracker.
+
+In-DRAM TRR keeps a small table of recently observed aggressor candidates
+(the exact sampling policy is proprietary and varies by vendor; TRRespass
+reverse-engineered several).  The model here follows the commonly described
+behaviour: a fixed-size table of (row, counter) entries maintained with an
+eviction policy; when a tracked row's counter reaches the MAC threshold the
+neighbouring rows are refreshed and the counter resets.
+
+The table is deliberately small (real implementations track on the order of
+a handful of rows per bank), which is why multi-sided RowHammer patterns can
+sometimes slip through — and why a RowPress attack, which produces a single
+activation per refresh window, is never even sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.defenses.base import DefenseMechanism
+
+
+class TargetRowRefreshDefense(DefenseMechanism):
+    """A sampling activation tracker with a bounded per-bank table."""
+
+    name = "TRR"
+
+    def __init__(self, mac_threshold: int = 4096, table_size: int = 8, blast_radius: int = 1):
+        super().__init__(mac_threshold=mac_threshold, blast_radius=blast_radius)
+        if table_size <= 0:
+            raise ValueError(f"table_size must be > 0, got {table_size}")
+        self.table_size = table_size
+        #: Per-bank tracking table mapping row -> activation count.
+        self._tables: Dict[int, Dict[int, int]] = {}
+
+    def _table(self, bank: int) -> Dict[int, int]:
+        return self._tables.setdefault(bank, {})
+
+    def _count_activations(self, bank: int, row: int, count: int, cycle: int) -> List[int]:
+        if count == 0:
+            return []
+        table = self._table(bank)
+        if row not in table:
+            if len(table) >= self.table_size:
+                # Evict the entry with the smallest count (a common policy:
+                # the least active candidate is least likely to be an
+                # aggressor).
+                evict_row = min(table, key=table.get)
+                del table[evict_row]
+            table[row] = 0
+        table[row] += count
+        if table[row] >= self.mac_threshold:
+            table[row] = 0
+            return self.victims_of(row)
+        return []
+
+    def tracked_rows(self, bank: int) -> List[Tuple[int, int]]:
+        """Return the (row, count) entries currently tracked for ``bank``."""
+        return sorted(self._table(bank).items())
+
+    def reset(self) -> None:
+        super().reset()
+        self._tables = {}

@@ -1,0 +1,60 @@
+"""Behavioural DDR4 DRAM model.
+
+This package is the hardware substrate of the reproduction.  The paper runs
+its fault-injection experiments (Algorithms 1 and 2) on a physical Samsung
+DDR4-2400 chip driven by a DRAM-Bender FPGA; we replace that testbed with a
+behavioural model that exposes the same abstractions the attack algorithms
+consume:
+
+* :mod:`repro.dram.geometry` / :mod:`repro.dram.timing` — chip organisation
+  (banks x rows x columns) and the DDR4 timing parameters discussed in
+  Section II (tCK, tRAS, tRP, tREFW).
+* :mod:`repro.dram.commands` — the command-level interface (ACT / PRE / RD /
+  WR / REF / NRR) that both the fault injectors and the RowHammer defenses
+  observe.
+* :mod:`repro.dram.vulnerability` — a statistical per-cell vulnerability
+  model producing RowHammer-vulnerable and RowPress-vulnerable cell
+  populations with the properties reported by the paper (RowPress profile is
+  much denser, <0.5 % overlap, opposite flip directionality).
+* :mod:`repro.dram.bank` / :mod:`repro.dram.chip` — stateful banks holding
+  row data plus the read-disturbance physics (hammering and pressing).
+* :mod:`repro.dram.controller` — a memory controller that issues commands,
+  keeps track of time in DRAM cycles and notifies any attached mitigation
+  mechanism.
+* :mod:`repro.dram.address` — mapping between flat bit addresses (used when
+  placing DNN weight bits in memory) and (bank, row, column) coordinates.
+"""
+
+from repro.dram.address import AddressMapper, CellAddress
+from repro.dram.bank import DramBank
+from repro.dram.chip import DramChip
+from repro.dram.commands import CommandTrace, CommandType, DramCommand
+from repro.dram.controller import MemoryController
+from repro.dram.geometry import DramGeometry
+from repro.dram.retention import RetentionModel
+from repro.dram.timing import DramTimings, SPEED_GRADES
+from repro.dram.vulnerability import (
+    BankVulnerabilityMap,
+    CellVulnerabilityModel,
+    FlipDirection,
+    VulnerabilityParameters,
+)
+
+__all__ = [
+    "AddressMapper",
+    "CellAddress",
+    "DramBank",
+    "DramChip",
+    "CommandTrace",
+    "CommandType",
+    "DramCommand",
+    "MemoryController",
+    "DramGeometry",
+    "RetentionModel",
+    "DramTimings",
+    "SPEED_GRADES",
+    "BankVulnerabilityMap",
+    "CellVulnerabilityModel",
+    "FlipDirection",
+    "VulnerabilityParameters",
+]

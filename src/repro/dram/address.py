@@ -1,0 +1,104 @@
+"""Mapping between flat bit addresses and DRAM cell coordinates.
+
+When a quantized DNN is deployed, its weight bits occupy a contiguous region
+of physical memory which the DRAM addressing scheme scatters over banks,
+rows and columns.  The attacker in the paper reverse-engineers this scheme
+(Section IV) so that a profiled vulnerable cell — identified by a page frame
+number and offset — can be matched to the weight bit stored there.
+
+The :class:`AddressMapper` implements a simple, explicit row-interleaved
+scheme: consecutive bits fill a row, consecutive rows rotate across banks.
+The exact scheme is not important for the attack's behaviour (the paper does
+not control the mapping either, it only exploits it); what matters is that
+the mapping is a bijection so profiles and weight bits can be cross-indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.utils.validation import check_index, check_non_negative
+
+
+@dataclass(frozen=True, order=True)
+class CellAddress:
+    """Coordinates of a single bit cell on the chip."""
+
+    bank: int
+    row: int
+    col: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the address as a plain ``(bank, row, col)`` tuple."""
+        return (self.bank, self.row, self.col)
+
+
+class AddressMapper:
+    """Bijective mapping between flat bit indices and cell addresses.
+
+    The scheme fills one row at a time and interleaves consecutive rows
+    across banks (bank-rotation), mimicking how physical frames are spread
+    across banks by real memory controllers:
+
+    ``flat = (row * num_banks + bank) * cols_per_row + col``
+    """
+
+    def __init__(self, geometry: DramGeometry):
+        self.geometry = geometry
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total number of addressable bit cells."""
+        return self.geometry.total_cells
+
+    def to_cell(self, flat_index: int) -> CellAddress:
+        """Convert a flat bit index to a :class:`CellAddress`."""
+        check_index("flat_index", flat_index, self.capacity_bits)
+        col = flat_index % self.geometry.cols_per_row
+        row_major = flat_index // self.geometry.cols_per_row
+        bank = row_major % self.geometry.num_banks
+        row = row_major // self.geometry.num_banks
+        return CellAddress(bank=bank, row=row, col=col)
+
+    def to_flat(self, address: CellAddress) -> int:
+        """Convert a :class:`CellAddress` to its flat bit index."""
+        self.geometry.validate_bank(address.bank)
+        self.geometry.validate_row(address.row)
+        self.geometry.validate_col(address.col)
+        row_major = address.row * self.geometry.num_banks + address.bank
+        return row_major * self.geometry.cols_per_row + address.col
+
+    def to_cells(self, flat_indices: Iterable[int]) -> List[CellAddress]:
+        """Vector form of :meth:`to_cell`."""
+        return [self.to_cell(int(i)) for i in flat_indices]
+
+    def to_flats(self, addresses: Iterable[CellAddress]) -> np.ndarray:
+        """Vector form of :meth:`to_flat`."""
+        return np.array([self.to_flat(a) for a in addresses], dtype=np.int64)
+
+    def page_frame(self, flat_index: int, page_size_bits: int = 4096 * 8) -> Tuple[int, int]:
+        """Express a flat bit index as a (page frame number, bit offset) pair.
+
+        The paper identifies vulnerable cells by page frame number plus
+        offset (Section VI); this helper exposes the same view.
+        """
+        check_index("flat_index", flat_index, self.capacity_bits)
+        check_non_negative("page_size_bits", page_size_bits)
+        if page_size_bits <= 0:
+            raise ValueError("page_size_bits must be positive")
+        return flat_index // page_size_bits, flat_index % page_size_bits
+
+    def region(self, start_bit: int, num_bits: int) -> List[CellAddress]:
+        """Return the cell addresses backing a contiguous flat bit range."""
+        check_non_negative("start_bit", start_bit)
+        check_non_negative("num_bits", num_bits)
+        if start_bit + num_bits > self.capacity_bits:
+            raise ValueError(
+                f"region [{start_bit}, {start_bit + num_bits}) exceeds chip "
+                f"capacity of {self.capacity_bits} bits"
+            )
+        return [self.to_cell(i) for i in range(start_bit, start_bit + num_bits)]

@@ -1,0 +1,218 @@
+"""A stateful DRAM bank with read-disturbance physics.
+
+The bank stores the current value of every bit cell plus two per-row
+*disturbance accumulators*:
+
+* ``hammer_accumulator`` — how many aggressor activations each row has been
+  exposed to since it was last refreshed (the quantity RowHammer drives up);
+* ``press_accumulator`` — for how many cycles an adjacent row has been held
+  open since the last refresh (the quantity RowPress drives up).
+
+When an accumulator exceeds the per-cell threshold of a vulnerable cell *and*
+the cell's value differs from the adjacent aggressor row *and* the cell's
+preferred flip direction matches its current value, the cell flips.  A
+refresh (REF or NRR) restores full charge, which is modelled by resetting the
+accumulators — it does not undo flips that already happened, matching real
+DRAM behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.cells import CellFlip
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import BankVulnerabilityMap, FlipDirection
+
+
+class DramBank:
+    """One bank of the simulated chip."""
+
+    def __init__(self, index: int, geometry: DramGeometry, vulnerability: BankVulnerabilityMap):
+        self.index = index
+        self.geometry = geometry
+        self.vulnerability = vulnerability
+        self.data = np.zeros((geometry.rows_per_bank, geometry.cols_per_row), dtype=np.uint8)
+        self.hammer_accumulator = np.zeros(geometry.rows_per_bank, dtype=np.float64)
+        self.press_accumulator = np.zeros(geometry.rows_per_bank, dtype=np.float64)
+        self.activation_counts = np.zeros(geometry.rows_per_bank, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        """Store ``bits`` into ``row`` (also refreshes the row's charge)."""
+        self.geometry.validate_row(row)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.geometry.cols_per_row,):
+            raise ValueError(
+                f"row data must have shape ({self.geometry.cols_per_row},), got {bits.shape}"
+            )
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("row data must contain only 0/1 values")
+        self.data[row] = bits
+        self.refresh_row(row)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Return a copy of the bits currently stored in ``row``."""
+        self.geometry.validate_row(row)
+        return self.data[row].copy()
+
+    def write_bit(self, row: int, col: int, value: int) -> None:
+        """Store a single bit (used when placing DNN weight bits)."""
+        self.geometry.validate_row(row)
+        self.geometry.validate_col(col)
+        if value not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {value!r}")
+        self.data[row, col] = value
+
+    def read_bit(self, row: int, col: int) -> int:
+        """Return a single stored bit."""
+        self.geometry.validate_row(row)
+        self.geometry.validate_col(col)
+        return int(self.data[row, col])
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def refresh_row(self, row: int) -> None:
+        """Restore full charge on ``row`` (REF / NRR): reset accumulators."""
+        self.geometry.validate_row(row)
+        self.hammer_accumulator[row] = 0.0
+        self.press_accumulator[row] = 0.0
+
+    def refresh_all(self) -> None:
+        """Chip-wide refresh: reset every row's disturbance accumulators."""
+        self.hammer_accumulator[:] = 0.0
+        self.press_accumulator[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # Read-disturbance physics
+    # ------------------------------------------------------------------
+    def hammer(self, aggressor_rows: Sequence[int], hammer_count: int) -> List[CellFlip]:
+        """Expose the neighbours of ``aggressor_rows`` to ``hammer_count`` ACTs.
+
+        Returns the list of cells that flipped as a result.  The aggressor
+        rows themselves are unaffected (their data is actively driven), and
+        the activation counters of the aggressors are incremented so that
+        attached defenses can observe them.
+        """
+        if hammer_count < 0:
+            raise ValueError(f"hammer_count must be >= 0, got {hammer_count}")
+        flips: List[CellFlip] = []
+        aggressors = set()
+        for row in aggressor_rows:
+            self.geometry.validate_row(row)
+            aggressors.add(row)
+            self.activation_counts[row] += hammer_count
+        victims = self._victim_rows(aggressors)
+        for victim in victims:
+            self.hammer_accumulator[victim] += hammer_count
+            flips.extend(self._evaluate_row_flips(victim, aggressors, mechanism="rowhammer"))
+        return flips
+
+    def press(self, pressed_row: int, open_cycles: int) -> List[CellFlip]:
+        """Keep ``pressed_row`` open for ``open_cycles`` and disturb neighbours.
+
+        In the paper's RowPress variant (Section V-B) the attacker directly
+        opens the target row for a long window; the adjacent "pattern" rows
+        accumulate disturbance and may flip.  Only a single activation is
+        involved, which is why activation-counting defenses never notice.
+        """
+        if open_cycles < 0:
+            raise ValueError(f"open_cycles must be >= 0, got {open_cycles}")
+        self.geometry.validate_row(pressed_row)
+        self.activation_counts[pressed_row] += 1
+        flips: List[CellFlip] = []
+        for victim in self.geometry.neighbours(pressed_row):
+            self.press_accumulator[victim] += open_cycles
+            flips.extend(
+                self._evaluate_row_flips(victim, {pressed_row}, mechanism="rowpress")
+            )
+        return flips
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _victim_rows(self, aggressors: Iterable[int]) -> List[int]:
+        victims = set()
+        for row in aggressors:
+            for neighbour in self.geometry.neighbours(row):
+                if neighbour not in aggressors:
+                    victims.add(neighbour)
+        return sorted(victims)
+
+    def _adjacent_aggressors(self, victim: int, aggressors: Iterable[int]) -> List[int]:
+        return [row for row in self.geometry.neighbours(victim) if row in set(aggressors)]
+
+    def _evaluate_row_flips(
+        self, victim: int, aggressors: Iterable[int], mechanism: str
+    ) -> List[CellFlip]:
+        adjacent = self._adjacent_aggressors(victim, aggressors)
+        if not adjacent:
+            return []
+        vuln = self.vulnerability
+        if mechanism == "rowhammer":
+            cell_indices = vuln.rh_cells_in_row(victim)
+            cols = vuln.rh_cols[cell_indices]
+            thresholds = vuln.rh_thresholds[cell_indices]
+            directions = vuln.rh_directions[cell_indices]
+            accumulated = self.hammer_accumulator[victim]
+        elif mechanism == "rowpress":
+            cell_indices = vuln.rp_cells_in_row(victim)
+            cols = vuln.rp_cols[cell_indices]
+            thresholds = vuln.rp_thresholds[cell_indices]
+            directions = vuln.rp_directions[cell_indices]
+            accumulated = self.press_accumulator[victim]
+        else:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+
+        if cols.size == 0:
+            return []
+
+        over_threshold = thresholds <= accumulated
+        if not over_threshold.any():
+            return []
+
+        victim_bits = self.data[victim, cols]
+        differs = np.zeros(cols.size, dtype=bool)
+        for aggressor in adjacent:
+            differs |= self.data[aggressor, cols] != victim_bits
+        # direction == 1 encodes ONE_TO_ZERO (cell must currently hold 1).
+        direction_ok = np.where(directions == 1, victim_bits == 1, victim_bits == 0)
+
+        flip_mask = over_threshold & differs & direction_ok
+        flip_positions = np.nonzero(flip_mask)[0]
+        flips: List[CellFlip] = []
+        for position in flip_positions:
+            col = int(cols[position])
+            before = int(self.data[victim, col])
+            after = 1 - before
+            self.data[victim, col] = after
+            flips.append(
+                CellFlip(
+                    bank=self.index,
+                    row=victim,
+                    col=col,
+                    before=before,
+                    after=after,
+                    mechanism=mechanism,
+                )
+            )
+        return flips
+
+    def vulnerable_cell_direction(self, mechanism: str, row: int, col: int) -> Optional[FlipDirection]:
+        """Return the preferred flip direction of a vulnerable cell, if any."""
+        vuln = self.vulnerability
+        if mechanism == "rowhammer":
+            rows, cols, directions = vuln.rh_rows, vuln.rh_cols, vuln.rh_directions
+        elif mechanism == "rowpress":
+            rows, cols, directions = vuln.rp_rows, vuln.rp_cols, vuln.rp_directions
+        else:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+        matches = np.nonzero((rows == row) & (cols == col))[0]
+        if matches.size == 0:
+            return None
+        return FlipDirection.ONE_TO_ZERO if directions[matches[0]] == 1 else FlipDirection.ZERO_TO_ONE

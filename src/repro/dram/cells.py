@@ -1,0 +1,113 @@
+"""Row-data helpers and the record type for observed bit flips.
+
+Rows are represented as 1-D ``numpy`` arrays of ``uint8`` holding 0/1 per
+bit cell.  The helpers here create the canonical data patterns used by the
+profiling algorithms (all-ones aggressors, all-zeros victims, checkerboards)
+and compare rows to detect flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CellFlip:
+    """A single observed bit flip.
+
+    Attributes
+    ----------
+    bank / row / col:
+        Location of the flipped cell.
+    before / after:
+        Stored value before and after the disturbance.
+    mechanism:
+        Either ``"rowhammer"`` or ``"rowpress"``.
+    """
+
+    bank: int
+    row: int
+    col: int
+    before: int
+    after: int
+    mechanism: str
+
+    @property
+    def direction(self) -> str:
+        """Human-readable flip direction, e.g. ``"1->0"``."""
+        return f"{self.before}->{self.after}"
+
+
+def all_ones(length: int) -> np.ndarray:
+    """A row of ``length`` cells all storing 1 (``0xFF...`` pattern)."""
+    check_positive("length", length)
+    return np.ones(length, dtype=np.uint8)
+
+
+def all_zeros(length: int) -> np.ndarray:
+    """A row of ``length`` cells all storing 0 (``0x00...`` pattern)."""
+    check_positive("length", length)
+    return np.zeros(length, dtype=np.uint8)
+
+
+def checkerboard(length: int, phase: int = 0) -> np.ndarray:
+    """Alternating 0/1 pattern; ``phase`` selects which value starts."""
+    check_positive("length", length)
+    row = (np.arange(length) + phase) % 2
+    return row.astype(np.uint8)
+
+
+def random_row(length: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random 0/1 row, useful for property-based tests."""
+    check_positive("length", length)
+    return rng.integers(0, 2, size=length, dtype=np.uint8)
+
+
+def bits_from_bytes(data: bytes, length: int) -> np.ndarray:
+    """Expand a byte string into a row of bits (MSB first), truncated/padded."""
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if bits.size >= length:
+        return bits[:length].astype(np.uint8)
+    padded = np.zeros(length, dtype=np.uint8)
+    padded[: bits.size] = bits
+    return padded
+
+
+def diff_columns(row_a: np.ndarray, row_b: np.ndarray) -> np.ndarray:
+    """Column indices where two rows store different values."""
+    if row_a.shape != row_b.shape:
+        raise ValueError(f"row shapes differ: {row_a.shape} vs {row_b.shape}")
+    return np.nonzero(row_a != row_b)[0]
+
+
+def detect_flips(
+    expected: np.ndarray,
+    observed: np.ndarray,
+    bank: int,
+    row: int,
+    mechanism: str,
+) -> List[CellFlip]:
+    """Compare an expected row image against a read-back image.
+
+    This mirrors the ``DetectBitFlips`` step at the end of Algorithms 1
+    and 2: the host writes a known pattern, runs the attack, reads the row
+    back and reports every differing cell.
+    """
+    flips: List[CellFlip] = []
+    for col in diff_columns(expected, observed):
+        flips.append(
+            CellFlip(
+                bank=bank,
+                row=row,
+                col=int(col),
+                before=int(expected[col]),
+                after=int(observed[col]),
+                mechanism=mechanism,
+            )
+        )
+    return flips

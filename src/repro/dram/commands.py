@@ -1,0 +1,143 @@
+"""DRAM command-level interface.
+
+The RowHammer / RowPress fault injectors (Algorithms 1 and 2 of the paper)
+and the counter-based mitigation mechanisms both operate at the granularity
+of DRAM commands: the injectors *issue* ACT / PRE / RD / WR sequences and
+the defenses *observe* them, counting activations per row and issuing
+Nearby-Row-Refresh (NRR) commands when a row exceeds the Maximum Activation
+Count.  This module defines the command vocabulary and a lightweight trace
+container used for both purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+
+class CommandType(enum.Enum):
+    """The DDR4 commands used by the fault-injection and defense models."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    #: Nearby Row Refresh — the extra command counter-based defenses issue to
+    #: restore the victim rows adjacent to a heavily activated aggressor.
+    NRR = "NRR"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DramCommand:
+    """A single command in a trace.
+
+    Attributes
+    ----------
+    command:
+        The command type.
+    bank / row:
+        Target coordinates.  ``REF`` commands target the whole chip and use
+        ``bank = -1`` / ``row = -1`` by convention.
+    cycle:
+        Cycle at which the command is issued (monotonically non-decreasing
+        within a trace).
+    open_cycles:
+        For ``PRE`` commands, how long the row had been open; this is the
+        quantity RowPress maximises and what on-die press-aware defenses
+        would need to monitor.
+    """
+
+    command: CommandType
+    bank: int
+    row: int
+    cycle: int = 0
+    open_cycles: int = 0
+
+    def is_activation(self) -> bool:
+        """Whether this command opens a row."""
+        return self.command is CommandType.ACT
+
+    def is_precharge(self) -> bool:
+        """Whether this command closes a row."""
+        return self.command is CommandType.PRE
+
+
+@dataclass
+class CommandTrace:
+    """An ordered list of :class:`DramCommand` with convenience accessors."""
+
+    commands: List[DramCommand] = field(default_factory=list)
+
+    def append(self, command: DramCommand) -> None:
+        """Append a command, enforcing non-decreasing cycle order."""
+        if self.commands and command.cycle < self.commands[-1].cycle:
+            raise ValueError(
+                "commands must be appended in non-decreasing cycle order: "
+                f"{command.cycle} < {self.commands[-1].cycle}"
+            )
+        self.commands.append(command)
+
+    def extend(self, commands: Iterable[DramCommand]) -> None:
+        """Append a sequence of commands in order."""
+        for command in commands:
+            self.append(command)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterator[DramCommand]:
+        return iter(self.commands)
+
+    def __getitem__(self, index: int) -> DramCommand:
+        return self.commands[index]
+
+    def filter(self, command_type: CommandType) -> "CommandTrace":
+        """Return a new trace containing only commands of ``command_type``."""
+        return CommandTrace([c for c in self.commands if c.command is command_type])
+
+    def activation_count(self, bank: Optional[int] = None, row: Optional[int] = None) -> int:
+        """Number of ACT commands, optionally restricted to a bank/row."""
+        count = 0
+        for command in self.commands:
+            if command.command is not CommandType.ACT:
+                continue
+            if bank is not None and command.bank != bank:
+                continue
+            if row is not None and command.row != row:
+                continue
+            count += 1
+        return count
+
+    def max_open_window(self, bank: Optional[int] = None, row: Optional[int] = None) -> int:
+        """Largest recorded row-open duration (from PRE commands) in cycles."""
+        longest = 0
+        for command in self.commands:
+            if command.command is not CommandType.PRE:
+                continue
+            if bank is not None and command.bank != bank:
+                continue
+            if row is not None and command.row != row:
+                continue
+            longest = max(longest, command.open_cycles)
+        return longest
+
+    @property
+    def duration_cycles(self) -> int:
+        """Number of cycles spanned by the trace."""
+        if not self.commands:
+            return 0
+        return self.commands[-1].cycle - self.commands[0].cycle
+
+    def summary(self) -> dict:
+        """Aggregate per-command-type counts, useful for logging and tests."""
+        counts = {command_type.value: 0 for command_type in CommandType}
+        for command in self.commands:
+            counts[command.command.value] += 1
+        counts["total"] = len(self.commands)
+        counts["duration_cycles"] = self.duration_cycles
+        return counts

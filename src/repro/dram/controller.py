@@ -1,0 +1,235 @@
+"""Memory controller: command issue, timing accounting and defense hooks.
+
+The controller is the narrow waist between the attack programs (Algorithms 1
+and 2) and the chip model.  It
+
+* advances a cycle counter according to the DDR4 timing parameters,
+* optionally records a :class:`~repro.dram.commands.CommandTrace`,
+* notifies attached mitigation mechanisms (:mod:`repro.defenses`) of every
+  activation they would observe on a real module, and
+* executes the Nearby-Row-Refresh (NRR) operations those mechanisms request,
+  which heals the disturbance accumulators of the protected victim rows.
+
+This is the piece that makes the paper's motivation reproducible: a
+counter-based defense sees hundreds of thousands of ACTs during a RowHammer
+attack and steps in, but a RowPress attack issues a single ACT per open
+window and sails through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dram.cells import CellFlip
+from repro.dram.chip import DramChip
+from repro.dram.commands import CommandTrace, CommandType, DramCommand
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class ControllerStats:
+    """Counters describing what the controller issued so far."""
+
+    activations: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    nearby_row_refreshes: int = 0
+    total_flips: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by reports and tests."""
+        return {
+            "activations": self.activations,
+            "precharges": self.precharges,
+            "refreshes": self.refreshes,
+            "nearby_row_refreshes": self.nearby_row_refreshes,
+            "total_flips": self.total_flips,
+        }
+
+
+class MemoryController:
+    """Issues DRAM commands against a :class:`DramChip`."""
+
+    def __init__(
+        self,
+        chip: DramChip,
+        defenses: Optional[Sequence] = None,
+        record_trace: bool = False,
+        auto_refresh: bool = False,
+    ):
+        self.chip = chip
+        self.defenses = list(defenses or [])
+        self.record_trace = record_trace
+        self.auto_refresh = auto_refresh
+        self.trace = CommandTrace()
+        self.current_cycle = 0
+        self.stats = ControllerStats()
+        self._last_refresh_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _record(self, command: DramCommand) -> None:
+        if self.record_trace:
+            self.trace.append(command)
+
+    def _advance(self, cycles: int) -> None:
+        check_non_negative("cycles", cycles)
+        self.current_cycle += int(cycles)
+        if self.auto_refresh:
+            self._maybe_refresh()
+
+    def _maybe_refresh(self) -> None:
+        window = self.chip.timings.t_refw_cycles
+        if self.current_cycle - self._last_refresh_cycle >= window:
+            self.refresh()
+
+    def _notify_activation(self, bank: int, row: int, count: int) -> None:
+        """Tell every defense about ``count`` activations of (bank, row)."""
+        for defense in self.defenses:
+            victims = defense.on_activations(bank, row, count, self.current_cycle)
+            if victims:
+                self._issue_nrr(bank, victims)
+
+    def _notify_precharge(self, bank: int, row: int, open_cycles: int) -> None:
+        for defense in self.defenses:
+            victims = defense.on_precharge(bank, row, open_cycles, self.current_cycle)
+            if victims:
+                self._issue_nrr(bank, victims)
+
+    def _issue_nrr(self, bank: int, victim_rows: Iterable[int]) -> None:
+        for victim in victim_rows:
+            if not 0 <= victim < self.chip.geometry.rows_per_bank:
+                continue
+            self.chip.refresh_row(bank, victim)
+            self.stats.nearby_row_refreshes += 1
+            self._record(
+                DramCommand(CommandType.NRR, bank=bank, row=victim, cycle=self.current_cycle)
+            )
+
+    # ------------------------------------------------------------------
+    # Basic commands
+    # ------------------------------------------------------------------
+    def activate(self, bank: int, row: int) -> None:
+        """Issue a single ACT command."""
+        self.chip.geometry.validate_bank(bank)
+        self.chip.geometry.validate_row(row)
+        self.stats.activations += 1
+        self._record(DramCommand(CommandType.ACT, bank=bank, row=row, cycle=self.current_cycle))
+        self._notify_activation(bank, row, 1)
+        self._advance(self.chip.timings.t_ras_cycles)
+
+    def precharge(self, bank: int, row: int, open_cycles: int = 0) -> None:
+        """Issue a PRE command closing ``row`` after ``open_cycles``."""
+        self.stats.precharges += 1
+        self._record(
+            DramCommand(
+                CommandType.PRE, bank=bank, row=row, cycle=self.current_cycle,
+                open_cycles=open_cycles,
+            )
+        )
+        self._notify_precharge(bank, row, open_cycles)
+        self._advance(self.chip.timings.t_rp_cycles)
+
+    def refresh(self) -> None:
+        """Issue a chip-wide REF command (heals all disturbance accumulators)."""
+        self.chip.refresh_all()
+        self.stats.refreshes += 1
+        self._last_refresh_cycle = self.current_cycle
+        self._record(DramCommand(CommandType.REF, bank=-1, row=-1, cycle=self.current_cycle))
+
+    # ------------------------------------------------------------------
+    # Attack-level operations
+    # ------------------------------------------------------------------
+    def hammer_rows(
+        self,
+        bank: int,
+        aggressor_rows: Sequence[int],
+        hammer_count: int,
+        chunk_size: Optional[int] = None,
+    ) -> List[CellFlip]:
+        """Hammer ``aggressor_rows`` ``hammer_count`` times each (Algorithm 1 loop).
+
+        The hammering is simulated in chunks so that attached defenses can
+        interpose NRR operations at the cycle they would fire on real
+        hardware.  Without defenses the whole count is applied at once.
+        """
+        check_non_negative("hammer_count", hammer_count)
+        if hammer_count == 0 or not aggressor_rows:
+            return []
+        if chunk_size is None:
+            chunk_size = self._default_chunk_size(hammer_count)
+        check_positive("chunk_size", chunk_size)
+
+        flips: List[CellFlip] = []
+        remaining = hammer_count
+        iteration_cycles = self.chip.timings.hammer_iteration_cycles
+        while remaining > 0:
+            chunk = min(chunk_size, remaining)
+            for row in aggressor_rows:
+                self.stats.activations += chunk
+                self.stats.precharges += chunk
+                self._notify_activation(bank, row, chunk)
+            chunk_flips = self.chip.hammer(bank, aggressor_rows, chunk)
+            flips.extend(chunk_flips)
+            self._advance(chunk * len(aggressor_rows) * iteration_cycles)
+            remaining -= chunk
+        self.stats.total_flips += len(flips)
+        return flips
+
+    def press_row(self, bank: int, row: int, open_cycles: int) -> List[CellFlip]:
+        """Open ``row`` for ``open_cycles`` then precharge (Algorithm 2).
+
+        The open window is clamped to the refresh window, mirroring the
+        paper's constraint that ``T`` cannot exceed ``tREF``.
+        """
+        check_non_negative("open_cycles", open_cycles)
+        max_window = self.chip.timings.max_open_window_cycles()
+        if open_cycles > max_window:
+            raise ValueError(
+                f"open window of {open_cycles} cycles exceeds the refresh window "
+                f"({max_window} cycles); RowPress cannot hold a row open longer "
+                "than tREFW"
+            )
+        self.stats.activations += 1
+        self._record(DramCommand(CommandType.ACT, bank=bank, row=row, cycle=self.current_cycle))
+        self._notify_activation(bank, row, 1)
+        flips = self.chip.press(bank, row, open_cycles)
+        self._advance(open_cycles)
+        self.precharge(bank, row, open_cycles=open_cycles)
+        self.stats.total_flips += len(flips)
+        return flips
+
+    def press_row_repeated(
+        self, bank: int, row: int, open_cycles: int, repetitions: int
+    ) -> List[CellFlip]:
+        """Repeat a RowPress open window ``repetitions`` times.
+
+        Real RowPress attacks re-open the row after each refresh interval to
+        keep accumulating disturbance; each repetition still looks like a
+        single benign activation to counter-based defenses.
+        """
+        check_positive("repetitions", repetitions)
+        flips: List[CellFlip] = []
+        for _ in range(repetitions):
+            flips.extend(self.press_row(bank, row, open_cycles))
+        return flips
+
+    # ------------------------------------------------------------------
+    def _default_chunk_size(self, hammer_count: int) -> int:
+        if not self.defenses:
+            return hammer_count
+        granularities = [
+            defense.observation_granularity()
+            for defense in self.defenses
+            if hasattr(defense, "observation_granularity")
+        ]
+        granularities = [g for g in granularities if g and g > 0]
+        if not granularities:
+            return max(1, hammer_count // 64)
+        return max(1, min(granularities))
+
+    def elapsed_ms(self) -> float:
+        """Wall-clock time represented by the current cycle counter."""
+        return self.chip.timings.cycles_to_ms(self.current_cycle)

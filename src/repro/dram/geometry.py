@@ -1,0 +1,93 @@
+"""DRAM chip organisation: banks, rows and columns.
+
+Real DDR4 chips contain billions of cells; the behavioural model keeps the
+same hierarchical organisation (chip -> bank -> row -> column/cell) but with
+configurable, much smaller dimensions so that whole-chip profiling sweeps
+remain tractable in pure Python.  All downstream code addresses cells via
+``(bank, row, column)`` coordinates or the flat bit index defined by
+:class:`repro.dram.address.AddressMapper`, so the reduced geometry is
+transparent to the attack algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_index, check_positive
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Dimensions of the simulated chip.
+
+    Attributes
+    ----------
+    num_banks:
+        Number of banks on the chip (DDR4 x8 parts have 16, grouped in 4
+        bank groups; the default model uses a smaller number for speed).
+    rows_per_bank:
+        Number of word lines per bank.
+    cols_per_row:
+        Number of bit cells per row (row buffer width in bits).
+    """
+
+    num_banks: int = 4
+    rows_per_bank: int = 128
+    cols_per_row: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive("num_banks", self.num_banks)
+        check_positive("rows_per_bank", self.rows_per_bank)
+        check_positive("cols_per_row", self.cols_per_row)
+
+    @property
+    def cells_per_bank(self) -> int:
+        """Number of bit cells in one bank."""
+        return self.rows_per_bank * self.cols_per_row
+
+    @property
+    def total_cells(self) -> int:
+        """Number of bit cells on the chip."""
+        return self.num_banks * self.cells_per_bank
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity of the chip in bytes (total cells / 8)."""
+        return self.total_cells // 8
+
+    def validate_bank(self, bank: int) -> None:
+        """Raise ``IndexError`` if ``bank`` is out of range."""
+        check_index("bank", bank, self.num_banks)
+
+    def validate_row(self, row: int) -> None:
+        """Raise ``IndexError`` if ``row`` is out of range."""
+        check_index("row", row, self.rows_per_bank)
+
+    def validate_col(self, col: int) -> None:
+        """Raise ``IndexError`` if ``col`` is out of range."""
+        check_index("col", col, self.cols_per_row)
+
+    def neighbours(self, row: int, distance: int = 1) -> tuple:
+        """Return the rows physically adjacent to ``row`` at ``distance``.
+
+        Rows at the edge of a bank have a single neighbour on that side, so
+        the returned tuple may contain one or two entries.
+        """
+        self.validate_row(row)
+        check_positive("distance", distance)
+        result = []
+        lower = row - distance
+        upper = row + distance
+        if lower >= 0:
+            result.append(lower)
+        if upper < self.rows_per_bank:
+            result.append(upper)
+        return tuple(result)
+
+
+#: A geometry large enough to host the weight bits of the scaled-down model
+#: zoo while remaining cheap to profile exhaustively.
+DEFAULT_GEOMETRY = DramGeometry()
+
+#: A tiny geometry used by unit tests that need to enumerate every cell.
+TINY_GEOMETRY = DramGeometry(num_banks=2, rows_per_bank=16, cols_per_row=64)

@@ -1,0 +1,63 @@
+"""Simple data-retention model.
+
+Retention failures are not the focus of the paper, but the refresh window
+(tREFW) bounds the RowPress open window — a row cannot be held open longer
+than the refresh interval without violating the DRAM specification — and a
+retention model lets tests exercise that boundary condition explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimings
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class RetentionModel:
+    """Per-row retention times sampled from a heavy-tailed distribution.
+
+    Most DRAM cells retain data far longer than the 64 ms refresh window,
+    but a small tail of weak cells sits close to it.  The model samples a
+    per-row retention time (the minimum across the row's cells) and reports
+    whether data survives a given un-refreshed interval.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        timings: Optional[DramTimings] = None,
+        weak_row_fraction: float = 0.01,
+        seed: int = 0,
+    ):
+        check_positive("weak_row_fraction", weak_row_fraction + 1e-12)
+        self.geometry = geometry
+        self.timings = timings or DramTimings()
+        self.weak_row_fraction = weak_row_fraction
+        rng = derive_rng(seed)
+        base = self.timings.t_refw_ms
+        # Strong rows retain 4x-64x the refresh window; weak rows 1x-2x.
+        strong = rng.uniform(4.0, 64.0, size=(geometry.num_banks, geometry.rows_per_bank))
+        weak = rng.uniform(1.0, 2.0, size=(geometry.num_banks, geometry.rows_per_bank))
+        is_weak = rng.random((geometry.num_banks, geometry.rows_per_bank)) < weak_row_fraction
+        self.retention_ms = base * np.where(is_weak, weak, strong)
+
+    def retention_time_ms(self, bank: int, row: int) -> float:
+        """Retention time of ``row`` in milliseconds."""
+        self.geometry.validate_bank(bank)
+        self.geometry.validate_row(row)
+        return float(self.retention_ms[bank, row])
+
+    def survives(self, bank: int, row: int, unrefreshed_ms: float) -> bool:
+        """Whether the row keeps its data after ``unrefreshed_ms`` without refresh."""
+        check_non_negative("unrefreshed_ms", unrefreshed_ms)
+        return unrefreshed_ms <= self.retention_time_ms(bank, row)
+
+    def max_safe_open_window_cycles(self, bank: int, row: int) -> int:
+        """Longest RowPress open window that does not risk retention loss."""
+        limit_ms = min(self.retention_time_ms(bank, row), self.timings.t_refw_ms)
+        return self.timings.ms_to_cycles(limit_ms)

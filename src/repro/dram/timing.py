@@ -1,0 +1,111 @@
+"""DDR4 timing parameters (Section II of the paper).
+
+The paper's RowHammer implementation structures every hammer iteration as
+``ACT`` + ``Sleep(S)`` + ``PRE`` where the sleep is 5 tCK, and the RowPress
+implementation issues a single ``ACT`` followed by a configurable open
+window ``T`` (bounded by the refresh interval) and a ``PRE``.  The timing
+dataclass below carries the parameters needed to convert those command
+sequences into elapsed cycles and wall-clock time, plus the refresh window
+used by the fair-comparison conversion of Section VII-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Timing parameters of a DDR4 device.
+
+    Attributes
+    ----------
+    frequency_mhz:
+        I/O clock frequency used to convert cycles to time (the paper uses
+        2400 MHz for its DDR4-2400 part).
+    t_ras_cycles:
+        Row Active Time: minimum number of cycles between an ``ACT`` and the
+        following ``PRE`` (36-48 tCK for common DDR4 grades).
+    t_rp_cycles:
+        Row Precharge Time: cycles between a ``PRE`` and the next ``ACT``.
+    t_refw_ms:
+        Refresh window; every row must be refreshed within this interval
+        (64 ms for DDR4).
+    t_refi_us:
+        Average refresh command interval (tREFW / 8192 for DDR4).
+    hammer_sleep_cycles:
+        The ``Sleep(S)`` inserted between ``ACT`` and ``PRE`` in the paper's
+        RowHammer loop (5 tCK in Section V-A).
+    max_hammer_counts_per_trefw:
+        Maximum number of activations that fit inside one refresh window
+        (~1.36 M according to the Blaster characterisation quoted by the
+        paper); used to convert hammer counts to time.
+    """
+
+    frequency_mhz: float = 2400.0
+    t_ras_cycles: int = 39
+    t_rp_cycles: int = 17
+    t_refw_ms: float = 64.0
+    t_refi_us: float = 7.8
+    hammer_sleep_cycles: int = 5
+    max_hammer_counts_per_trefw: float = 1.36e6
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_mhz", self.frequency_mhz)
+        check_positive("t_ras_cycles", self.t_ras_cycles)
+        check_positive("t_rp_cycles", self.t_rp_cycles)
+        check_positive("t_refw_ms", self.t_refw_ms)
+        check_positive("t_refi_us", self.t_refi_us)
+        check_positive("max_hammer_counts_per_trefw", self.max_hammer_counts_per_trefw)
+
+    @property
+    def t_ck_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1e3 / self.frequency_mhz
+
+    @property
+    def t_refw_cycles(self) -> int:
+        """Refresh window expressed in clock cycles."""
+        return int(round(self.t_refw_ms * 1e-3 * self.frequency_mhz * 1e6))
+
+    @property
+    def hammer_iteration_cycles(self) -> int:
+        """Cycles consumed by one ACT + Sleep + PRE hammer iteration."""
+        return self.t_ras_cycles + self.hammer_sleep_cycles + self.t_rp_cycles
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count into milliseconds for this speed grade."""
+        return cycles / (self.frequency_mhz * 1e3)
+
+    def ms_to_cycles(self, milliseconds: float) -> int:
+        """Convert milliseconds into clock cycles for this speed grade."""
+        return int(round(milliseconds * self.frequency_mhz * 1e3))
+
+    def hammer_counts_to_cycles(self, hammer_counts: int) -> int:
+        """Cycles required to issue ``hammer_counts`` hammer iterations."""
+        return int(hammer_counts) * self.hammer_iteration_cycles
+
+    def max_open_window_cycles(self) -> int:
+        """Largest legal RowPress open window (bounded by the refresh window)."""
+        return self.t_refw_cycles
+
+
+#: Common DDR4 speed grades.  tRAS/tRP follow typical JEDEC bins; the paper
+#: uses the 2400 MT/s part for all measurements.
+SPEED_GRADES: Dict[str, DramTimings] = {
+    "DDR4-2133": DramTimings(frequency_mhz=2133.0, t_ras_cycles=36, t_rp_cycles=15),
+    "DDR4-2400": DramTimings(frequency_mhz=2400.0, t_ras_cycles=39, t_rp_cycles=17),
+    "DDR4-3200": DramTimings(frequency_mhz=3200.0, t_ras_cycles=48, t_rp_cycles=22),
+}
+
+
+def get_speed_grade(name: str) -> DramTimings:
+    """Look up a speed grade by name, raising ``KeyError`` with suggestions."""
+    try:
+        return SPEED_GRADES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(SPEED_GRADES))
+        raise KeyError(f"unknown speed grade {name!r}; known grades: {known}") from exc

@@ -1,0 +1,33 @@
+"""Fault-injection models: RowHammer (Algorithm 1) and RowPress (Algorithm 2).
+
+This package drives the simulated chip through the same command sequences
+the paper's DRAM-Bender programs issue on real hardware, detects the
+resulting bit flips, sweeps attack budgets to regenerate the Fig. 6 curves,
+and profiles whole chips into the vulnerable-cell sets (``C_rh`` / ``C_rp``)
+that the DRAM-profile-aware attack of Section VI consumes.
+"""
+
+from repro.faults.patterns import DataPattern, make_pattern
+from repro.faults.profiler import ChipProfiler, ProfilingConfig
+from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig, RowHammerResult
+from repro.faults.rowpress import RowPressAttack, RowPressConfig, RowPressResult
+from repro.faults.sweep import FlipCurve, rowhammer_flip_curve, rowpress_flip_curve
+
+__all__ = [
+    "DataPattern",
+    "make_pattern",
+    "ChipProfiler",
+    "ProfilingConfig",
+    "BitFlipProfile",
+    "ProfilePair",
+    "RowHammerAttack",
+    "RowHammerConfig",
+    "RowHammerResult",
+    "RowPressAttack",
+    "RowPressConfig",
+    "RowPressResult",
+    "FlipCurve",
+    "rowhammer_flip_curve",
+    "rowpress_flip_curve",
+]

@@ -1,0 +1,53 @@
+"""Data patterns written to aggressor / victim rows before an attack.
+
+Algorithms 1 and 2 of the paper initialise the aggressor (or "pattern") rows
+with all 1s (``0xFFFFFFFF``) and the victim rows with all 0s
+(``0x00000000``), the ideal case where every victim bit differs from its
+neighbours.  Profiling runs additionally use the inverted assignment to
+expose cells whose preferred flip direction is the opposite one, plus
+checkerboard patterns for completeness.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.dram.cells import all_ones, all_zeros, checkerboard
+
+
+class DataPattern(Enum):
+    """Named victim/aggressor data-pattern assignments."""
+
+    #: Victim all 0s, aggressors all 1s (the paper's primary setting).
+    VICTIM_ZEROS = "victim_zeros"
+    #: Victim all 1s, aggressors all 0s (inverted; exposes 1->0 flips).
+    VICTIM_ONES = "victim_ones"
+    #: Checkerboard victim with inverted-checkerboard aggressors.
+    CHECKERBOARD = "checkerboard"
+
+
+def make_pattern(pattern: DataPattern, length: int) -> tuple:
+    """Return ``(victim_bits, aggressor_bits)`` rows for ``pattern``."""
+    if pattern is DataPattern.VICTIM_ZEROS:
+        return all_zeros(length), all_ones(length)
+    if pattern is DataPattern.VICTIM_ONES:
+        return all_ones(length), all_zeros(length)
+    if pattern is DataPattern.CHECKERBOARD:
+        return checkerboard(length, phase=0), checkerboard(length, phase=1)
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def profiling_patterns() -> tuple:
+    """The pattern set used for exhaustive profiling.
+
+    Using both polarity assignments guarantees that every vulnerable cell is
+    observed regardless of its preferred flip direction.
+    """
+    return (DataPattern.VICTIM_ZEROS, DataPattern.VICTIM_ONES)
+
+
+def victim_differs_everywhere(victim: np.ndarray, aggressor: np.ndarray) -> bool:
+    """Whether every victim bit differs from the aggressor bit (ideal case)."""
+    return bool(np.all(victim != aggressor))

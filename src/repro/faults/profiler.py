@@ -1,0 +1,122 @@
+"""Whole-chip profiling (the first stage of the attack in Section VI).
+
+The profiler sweeps every row of the requested banks, running the
+RowHammer and RowPress injectors with both data-pattern polarities so that
+cells of either flip direction are exposed, and aggregates the observed
+flips into a :class:`~repro.faults.profiles.ProfilePair`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dram.cells import CellFlip
+from repro.dram.chip import DramChip
+from repro.dram.controller import MemoryController
+from repro.faults.patterns import DataPattern, profiling_patterns
+from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig
+from repro.faults.rowpress import RowPressAttack, RowPressConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ProfilingConfig:
+    """Budgets and coverage of a profiling campaign.
+
+    Attributes
+    ----------
+    hammer_count:
+        Hammer count used for the RowHammer pass on each victim row.
+    open_cycles:
+        Open-window duration used for the RowPress pass on each pressed row.
+    banks:
+        Which banks to profile (``None`` = all banks of the chip).
+    row_stride:
+        Profile every ``row_stride``-th row; 1 gives exhaustive coverage.
+    patterns:
+        The data-pattern polarities exercised per row.
+    """
+
+    hammer_count: int = 600_000
+    open_cycles: int = 60_000_000
+    banks: Optional[Sequence[int]] = None
+    row_stride: int = 1
+    patterns: Sequence[DataPattern] = field(default_factory=profiling_patterns)
+
+    def __post_init__(self) -> None:
+        check_positive("hammer_count", self.hammer_count)
+        check_positive("open_cycles", self.open_cycles)
+        check_positive("row_stride", self.row_stride)
+
+
+class ChipProfiler:
+    """Runs the profiling campaign of Section VI on a simulated chip."""
+
+    def __init__(self, chip: DramChip, config: Optional[ProfilingConfig] = None):
+        self.chip = chip
+        self.config = config or ProfilingConfig()
+
+    def _banks(self) -> List[int]:
+        if self.config.banks is not None:
+            return list(self.config.banks)
+        return list(range(self.chip.geometry.num_banks))
+
+    def _victim_rows(self) -> List[int]:
+        # Interior rows only: the double-sided model needs neighbours on both
+        # sides, and edge rows would under-report vulnerability.
+        rows = range(1, self.chip.geometry.rows_per_bank - 1, self.config.row_stride)
+        return list(rows)
+
+    # ------------------------------------------------------------------
+    def profile_rowhammer(self) -> BitFlipProfile:
+        """Profile the chip under RowHammer only."""
+        flips = self._run_mechanism("rowhammer")
+        return BitFlipProfile.from_flips(
+            "rowhammer", flips, self.chip.geometry, budget=self.config.hammer_count
+        )
+
+    def profile_rowpress(self) -> BitFlipProfile:
+        """Profile the chip under RowPress only."""
+        flips = self._run_mechanism("rowpress")
+        return BitFlipProfile.from_flips(
+            "rowpress", flips, self.chip.geometry, budget=self.config.open_cycles
+        )
+
+    def profile(self) -> ProfilePair:
+        """Profile the chip under both mechanisms (the attacker's first step)."""
+        return ProfilePair(rowhammer=self.profile_rowhammer(), rowpress=self.profile_rowpress())
+
+    # ------------------------------------------------------------------
+    def _run_mechanism(self, mechanism: str) -> List[CellFlip]:
+        flips: List[CellFlip] = []
+        for pattern in self.config.patterns:
+            self.chip.reset()
+            controller = MemoryController(self.chip)
+            for bank in self._banks():
+                for row in self._victim_rows():
+                    if mechanism == "rowhammer":
+                        attack = RowHammerAttack(
+                            controller,
+                            RowHammerConfig(
+                                bank=bank,
+                                victim_row=row,
+                                hammer_count=self.config.hammer_count,
+                                pattern=pattern,
+                            ),
+                        )
+                        result = attack.run()
+                    else:
+                        attack = RowPressAttack(
+                            controller,
+                            RowPressConfig(
+                                bank=bank,
+                                pressed_row=row,
+                                open_cycles=self.config.open_cycles,
+                                pattern=pattern,
+                            ),
+                        )
+                        result = attack.run()
+                    flips.extend(result.flips)
+        return flips

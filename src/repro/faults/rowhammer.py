@@ -1,0 +1,155 @@
+"""RowHammer fault injection (Algorithm 1 of the paper).
+
+The double-sided model hammers the two aggressor rows ``X +/- 1`` around a
+victim row ``X``:
+
+1. write the data pattern (all 1s) into the aggressors and the inverse
+   pattern (all 0s) into the victim;
+2. issue ``N`` ACT/PRE pairs to each aggressor row;
+3. read every row back and report the victim cells whose value changed.
+
+The implementation issues the commands through the
+:class:`~repro.dram.controller.MemoryController`, so any attached
+counter-based defense observes the full activation stream and can interpose
+NRR operations exactly as it would on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.cells import CellFlip, detect_flips
+from repro.dram.controller import MemoryController
+from repro.faults.patterns import DataPattern, make_pattern
+
+
+@dataclass(frozen=True)
+class RowHammerConfig:
+    """Configuration of a double-sided RowHammer run.
+
+    Attributes
+    ----------
+    bank / victim_row:
+        Location of the victim row; the aggressors are its direct
+        neighbours.
+    hammer_count:
+        Number of ACT/PRE pairs issued to each aggressor row (``N`` in
+        Algorithm 1).
+    pattern:
+        Data-pattern assignment written before hammering.
+    aggressor_distance:
+        Distance of the aggressor rows from the victim (1 = double-sided
+        adjacent model; larger values model "escalated distance" attacks).
+    """
+
+    bank: int = 0
+    victim_row: int = 8
+    hammer_count: int = 200_000
+    pattern: DataPattern = DataPattern.VICTIM_ZEROS
+    aggressor_distance: int = 1
+
+    def aggressor_rows(self, rows_per_bank: int) -> List[int]:
+        """The aggressor rows implied by the victim location."""
+        rows = []
+        lower = self.victim_row - self.aggressor_distance
+        upper = self.victim_row + self.aggressor_distance
+        if lower >= 0:
+            rows.append(lower)
+        if upper < rows_per_bank:
+            rows.append(upper)
+        return rows
+
+
+@dataclass
+class RowHammerResult:
+    """Outcome of a RowHammer run."""
+
+    config: RowHammerConfig
+    flips: List[CellFlip]
+    hammer_count: int
+    elapsed_cycles: int
+    nrr_issued: int = 0
+
+    @property
+    def num_flips(self) -> int:
+        """Number of victim cells that flipped."""
+        return len(self.flips)
+
+    @property
+    def flipped_columns(self) -> List[int]:
+        """Column indices of the flipped victim cells."""
+        return sorted(flip.col for flip in self.flips)
+
+
+class RowHammerAttack:
+    """Executes Algorithm 1 against a controller-attached chip."""
+
+    def __init__(self, controller: MemoryController, config: Optional[RowHammerConfig] = None):
+        self.controller = controller
+        self.config = config or RowHammerConfig()
+
+    def prepare_rows(self) -> np.ndarray:
+        """Write the data patterns into the victim and aggressor rows.
+
+        Returns the expected victim image used later for flip detection.
+        """
+        geometry = self.controller.chip.geometry
+        victim_bits, aggressor_bits = make_pattern(self.config.pattern, geometry.cols_per_row)
+        self.controller.chip.write_row(self.config.bank, self.config.victim_row, victim_bits)
+        for row in self.config.aggressor_rows(geometry.rows_per_bank):
+            self.controller.chip.write_row(self.config.bank, row, aggressor_bits)
+        return victim_bits
+
+    def run(self, hammer_count: Optional[int] = None) -> RowHammerResult:
+        """Run the full prepare/hammer/read-back cycle."""
+        hammer_count = self.config.hammer_count if hammer_count is None else hammer_count
+        geometry = self.controller.chip.geometry
+        expected_victim = self.prepare_rows()
+        start_cycle = self.controller.current_cycle
+        nrr_before = self.controller.stats.nearby_row_refreshes
+
+        aggressors = self.config.aggressor_rows(geometry.rows_per_bank)
+        self.controller.hammer_rows(self.config.bank, aggressors, hammer_count)
+
+        observed_victim = self.controller.chip.read_row(self.config.bank, self.config.victim_row)
+        flips = detect_flips(
+            expected_victim,
+            observed_victim,
+            bank=self.config.bank,
+            row=self.config.victim_row,
+            mechanism="rowhammer",
+        )
+        return RowHammerResult(
+            config=self.config,
+            flips=flips,
+            hammer_count=hammer_count,
+            elapsed_cycles=self.controller.current_cycle - start_cycle,
+            nrr_issued=self.controller.stats.nearby_row_refreshes - nrr_before,
+        )
+
+    def hammer_count_bounds(
+        self, candidates: Sequence[int]
+    ) -> tuple:
+        """Find the lower/upper hammer-count bounds described in Section V-A.
+
+        The lower bound is the smallest candidate count at which the victim
+        first exhibits a flip; the upper bound is the smallest count at which
+        no additional flips appear (the victim's vulnerable population is
+        exhausted).  Returns ``(lower, upper)`` where either may be ``None``
+        if the corresponding event never occurs within the candidate range.
+        """
+        lower = None
+        upper = None
+        previous_flips = -1
+        for count in sorted(candidates):
+            self.controller.chip.reset()
+            result = self.run(hammer_count=count)
+            if result.num_flips > 0 and lower is None:
+                lower = count
+            if result.num_flips == previous_flips and result.num_flips > 0 and upper is None:
+                upper = count
+            previous_flips = result.num_flips
+        return lower, upper

@@ -1,0 +1,150 @@
+"""RowPress fault injection (Algorithm 2 of the paper).
+
+The paper's RowPress variant directly opens the *victim* row for a long
+window ``T`` (bounded by the refresh interval), effectively turning it into
+the aggressor; the rows adjacent to it — called *pattern rows* — are the
+ones monitored for bit flips:
+
+1. write the data pattern (all 1s) into the pattern rows and the inverse
+   pattern (all 0s) into the pressed row;
+2. issue a single ACT to the pressed row, wait ``T`` cycles, issue PRE;
+3. read the pattern rows back and report flipped cells.
+
+Because only one activation is involved per open window, counter-based
+RowHammer defenses observe nothing anomalous (Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dram.cells import CellFlip, detect_flips
+from repro.dram.controller import MemoryController
+from repro.faults.patterns import DataPattern, make_pattern
+
+
+@dataclass(frozen=True)
+class RowPressConfig:
+    """Configuration of a RowPress run.
+
+    Attributes
+    ----------
+    bank / pressed_row:
+        The row held open (the paper's "victim row turned aggressor").
+    open_cycles:
+        Open-window duration ``T`` in DRAM cycles.  Must not exceed the
+        refresh window.
+    repetitions:
+        How many times the open window is repeated (each repetition is a
+        single additional activation).
+    pattern:
+        Data-pattern assignment; the *pattern rows* receive the aggressor
+        polarity and the pressed row the victim polarity, mirroring
+        Algorithm 2's assignment of 0xFF.. to pattern rows and 0x00.. to the
+        pressed row.
+    """
+
+    bank: int = 0
+    pressed_row: int = 8
+    open_cycles: int = 10_000_000
+    repetitions: int = 1
+    pattern: DataPattern = DataPattern.VICTIM_ZEROS
+
+    def pattern_rows(self, rows_per_bank: int) -> List[int]:
+        """The monitored rows adjacent to the pressed row."""
+        rows = []
+        if self.pressed_row - 1 >= 0:
+            rows.append(self.pressed_row - 1)
+        if self.pressed_row + 1 < rows_per_bank:
+            rows.append(self.pressed_row + 1)
+        return rows
+
+
+@dataclass
+class RowPressResult:
+    """Outcome of a RowPress run."""
+
+    config: RowPressConfig
+    flips: List[CellFlip]
+    open_cycles: int
+    total_activations: int
+    elapsed_cycles: int
+    nrr_issued: int = 0
+
+    @property
+    def num_flips(self) -> int:
+        """Number of pattern-row cells that flipped."""
+        return len(self.flips)
+
+    @property
+    def flips_per_row(self) -> Dict[int, int]:
+        """Flip counts grouped by pattern row."""
+        counts: Dict[int, int] = {}
+        for flip in self.flips:
+            counts[flip.row] = counts.get(flip.row, 0) + 1
+        return counts
+
+
+class RowPressAttack:
+    """Executes Algorithm 2 against a controller-attached chip."""
+
+    def __init__(self, controller: MemoryController, config: Optional[RowPressConfig] = None):
+        self.controller = controller
+        self.config = config or RowPressConfig()
+
+    def prepare_rows(self) -> Dict[int, np.ndarray]:
+        """Write the data patterns; return expected images of the pattern rows."""
+        geometry = self.controller.chip.geometry
+        pressed_bits, pattern_bits = make_pattern(self.config.pattern, geometry.cols_per_row)
+        self.controller.chip.write_row(self.config.bank, self.config.pressed_row, pressed_bits)
+        expected: Dict[int, np.ndarray] = {}
+        for row in self.config.pattern_rows(geometry.rows_per_bank):
+            self.controller.chip.write_row(self.config.bank, row, pattern_bits)
+            expected[row] = pattern_bits.copy()
+        return expected
+
+    def run(
+        self,
+        open_cycles: Optional[int] = None,
+        repetitions: Optional[int] = None,
+    ) -> RowPressResult:
+        """Run the full prepare/press/read-back cycle."""
+        open_cycles = self.config.open_cycles if open_cycles is None else open_cycles
+        repetitions = self.config.repetitions if repetitions is None else repetitions
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be > 0, got {repetitions}")
+
+        geometry = self.controller.chip.geometry
+        max_window = self.controller.chip.timings.max_open_window_cycles()
+        expected = self.prepare_rows()
+        start_cycle = self.controller.current_cycle
+        nrr_before = self.controller.stats.nearby_row_refreshes
+        activations = 0
+
+        remaining_budget = open_cycles * repetitions
+        while remaining_budget > 0:
+            window = min(remaining_budget, open_cycles, max_window)
+            self.controller.press_row(self.config.bank, self.config.pressed_row, window)
+            activations += 1
+            remaining_budget -= window
+
+        flips: List[CellFlip] = []
+        for row in self.config.pattern_rows(geometry.rows_per_bank):
+            observed = self.controller.chip.read_row(self.config.bank, row)
+            flips.extend(
+                detect_flips(
+                    expected[row], observed, bank=self.config.bank, row=row,
+                    mechanism="rowpress",
+                )
+            )
+        return RowPressResult(
+            config=self.config,
+            flips=flips,
+            open_cycles=open_cycles,
+            total_activations=activations,
+            elapsed_cycles=self.controller.current_cycle - start_cycle,
+            nrr_issued=self.controller.stats.nearby_row_refreshes - nrr_before,
+        )

@@ -1,0 +1,56 @@
+"""Surrogate model zoo mirroring the paper's eleven-DNN evaluation roster.
+
+Every architecture family of Table I is represented with a scaled-down but
+topology-faithful surrogate:
+
+* ``ResNet-20/32/44`` — CIFAR-style basic-block residual networks whose
+  depth follows the exact ``6n + 2`` rule of He et al.;
+* ``ResNet-34/50/101`` — ImageNet-style residual networks (basic blocks for
+  34, bottlenecks for 50/101) with stage layouts [3,4,6,3] / [3,4,23,3];
+* ``DeiT-T/S/B`` — vision transformers with class token, learned positional
+  embeddings and pre-norm encoder blocks, in three sizes;
+* ``VMamba-T`` — a selective-state-space (Mamba-style) vision backbone;
+* ``M11`` — the deep 1-D CNN for raw audio waveforms (11 weight layers).
+
+The scaling (width/embedding/patch/input resolution) keeps numpy training
+and repeated bit-flip attack passes tractable on a CPU; the roster metadata
+in :mod:`repro.models.registry` records the paper's original parameter
+counts and accuracies next to each surrogate.
+"""
+
+from repro.models.deit import DeiT, deit_base, deit_small, deit_tiny
+from repro.models.m11 import M11, m11
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    TABLE1_ROSTER,
+    ModelSpec,
+    build_model,
+    get_spec,
+)
+from repro.models.resnet_cifar import ResNetCifar, resnet20, resnet32, resnet44
+from repro.models.resnet_imagenet import ResNetImageNet, resnet34, resnet50, resnet101
+from repro.models.vmamba import VMamba, vmamba_tiny
+
+__all__ = [
+    "DeiT",
+    "deit_tiny",
+    "deit_small",
+    "deit_base",
+    "M11",
+    "m11",
+    "MODEL_REGISTRY",
+    "TABLE1_ROSTER",
+    "ModelSpec",
+    "build_model",
+    "get_spec",
+    "ResNetCifar",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "ResNetImageNet",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "VMamba",
+    "vmamba_tiny",
+]

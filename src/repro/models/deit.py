@@ -1,0 +1,102 @@
+"""Data-efficient image transformer (DeiT) surrogates in three sizes.
+
+DeiT-T/S/B differ only in embedding dimension, depth and head count; the
+surrogates keep that scaling relationship (tiny < small < base) while
+shrinking the absolute sizes so numpy training stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    ClassTokenConcat,
+    Linear,
+    PatchEmbedding,
+    PositionalEmbedding,
+    TransformerBlock,
+)
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+
+
+class DeiT(Module):
+    """ViT/DeiT-style classifier: patch tokens + class token + encoder blocks."""
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        num_classes: int = 20,
+        embed_dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 2,
+        mlp_ratio: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.depth = depth
+        self.patch_embed = PatchEmbedding(image_size, patch_size, in_channels, embed_dim, rng=rng)
+        self.class_token = ClassTokenConcat(embed_dim, rng=rng)
+        self.positional = PositionalEmbedding(self.patch_embed.num_patches + 1, embed_dim, rng=rng)
+        for index in range(depth):
+            self.add_module(
+                f"block{index}",
+                TransformerBlock(embed_dim, num_heads, mlp_ratio=mlp_ratio, rng=rng),
+            )
+        self.norm = LayerNorm(embed_dim)
+        self.head = Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.patch_embed(x)
+        tokens = self.class_token(tokens)
+        tokens = self.positional(tokens)
+        for index in range(self.depth):
+            tokens = self._modules[f"block{index}"](tokens)
+        tokens = self.norm(tokens)
+        class_representation = tokens[:, 0, :]
+        return self.head(class_representation)
+
+
+def deit_tiny(
+    num_classes: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    image_size: int = 16,
+    patch_size: int = 4,
+) -> DeiT:
+    """DeiT-T surrogate (paper: 5.7 M parameters)."""
+    return DeiT(
+        image_size=image_size, patch_size=patch_size,
+        embed_dim=24, depth=2, num_heads=2, num_classes=num_classes, rng=rng,
+    )
+
+
+def deit_small(
+    num_classes: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    image_size: int = 16,
+    patch_size: int = 4,
+) -> DeiT:
+    """DeiT-S surrogate (paper: 22 M parameters)."""
+    return DeiT(
+        image_size=image_size, patch_size=patch_size,
+        embed_dim=32, depth=3, num_heads=4, num_classes=num_classes, rng=rng,
+    )
+
+
+def deit_base(
+    num_classes: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    image_size: int = 16,
+    patch_size: int = 4,
+) -> DeiT:
+    """DeiT-B surrogate (paper: 86.6 M parameters)."""
+    return DeiT(
+        image_size=image_size, patch_size=patch_size,
+        embed_dim=48, depth=4, num_heads=4, num_classes=num_classes, rng=rng,
+    )

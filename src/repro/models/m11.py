@@ -1,0 +1,82 @@
+"""M11 surrogate: very deep 1-D CNN for raw audio waveforms (Dai et al.).
+
+The original M11 has eleven weight layers: a wide-kernel stem convolution,
+four groups of kernel-3 convolutions with channel widths (64, 128, 256,
+512) and block counts (2, 2, 3, 2), max-pooling between groups, global
+average pooling and a linear classifier.  The surrogate keeps the exact
+layer structure (hence the name) and shrinks the widths and input length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Conv1d, GlobalAvgPool1d, Linear, MaxPool1d
+from repro.nn.layers.norm import BatchNorm1d
+from repro.nn.module import Module
+
+
+class M11(Module):
+    """Eleven-weight-layer 1-D CNN for waveform classification."""
+
+    #: (blocks, width multiplier) per group, following the original design.
+    GROUPS = ((2, 1), (2, 2), (3, 4), (2, 8))
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 1,
+        stem_kernel: int = 9,
+        stem_stride: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        self.stem = Conv1d(
+            in_channels, base_width, stem_kernel, stride=stem_stride,
+            padding=stem_kernel // 2, bias=False, rng=rng,
+        )
+        self.stem_bn = BatchNorm1d(base_width)
+        self.stem_pool = MaxPool1d(2)
+
+        in_width = base_width
+        conv_index = 0
+        for group_index, (blocks, multiplier) in enumerate(self.GROUPS):
+            width = base_width * multiplier
+            for _ in range(blocks):
+                self.add_module(
+                    f"conv{conv_index}",
+                    Conv1d(in_width, width, 3, padding=1, bias=False, rng=rng),
+                )
+                self.add_module(f"bn{conv_index}", BatchNorm1d(width))
+                in_width = width
+                conv_index += 1
+            if group_index < len(self.GROUPS) - 1:
+                self.add_module(f"pool{group_index}", MaxPool1d(2))
+        self._num_convs = conv_index
+
+        self.pool = GlobalAvgPool1d()
+        self.head = Linear(in_width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stem_pool(out)
+        conv_index = 0
+        for group_index, (blocks, _) in enumerate(self.GROUPS):
+            for _ in range(blocks):
+                conv = self._modules[f"conv{conv_index}"]
+                bn = self._modules[f"bn{conv_index}"]
+                out = bn(conv(out)).relu()
+                conv_index += 1
+            if group_index < len(self.GROUPS) - 1:
+                out = self._modules[f"pool{group_index}"](out)
+        return self.head(self.pool(out))
+
+
+def m11(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> M11:
+    """M11 surrogate (paper: 1.8 M parameters, Google Speech Commands)."""
+    return M11(num_classes=num_classes, base_width=base_width, rng=rng)

@@ -1,0 +1,109 @@
+"""CIFAR-style residual networks: ResNet-20 / ResNet-32 / ResNet-44.
+
+These follow the original He et al. CIFAR design: a 3x3 stem, three stages
+of ``n`` basic blocks (depth = 6n + 2) with channel widths ``w, 2w, 4w`` and
+spatial down-sampling by striding at the start of stages two and three,
+global average pooling and a linear classifier.  The surrogate keeps that
+exact topology and only shrinks the base width and input resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+            self.downsample_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.downsample is not None:
+            identity = self.downsample_bn(self.downsample(x))
+        return (out + identity).relu()
+
+
+class ResNetCifar(Module):
+    """Residual network with depth ``6n + 2`` for CIFAR-like inputs."""
+
+    def __init__(
+        self,
+        depth: int = 20,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError(f"depth must satisfy depth = 6n + 2, got {depth}")
+        blocks_per_stage = (depth - 2) // 6
+        self.depth = depth
+        self.num_classes = num_classes
+
+        widths = [base_width, base_width * 2, base_width * 4]
+        self.stem = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+
+        in_width = widths[0]
+        for stage_index, width in enumerate(widths):
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(blocks_per_stage):
+                block = BasicBlock(
+                    in_width, width, stride=stride if block_index == 0 else 1, rng=rng
+                )
+                self.add_module(f"stage{stage_index}_block{block_index}", block)
+                in_width = width
+        self._stage_count = len(widths)
+        self._blocks_per_stage = blocks_per_stage
+
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for stage_index in range(self._stage_count):
+            for block_index in range(self._blocks_per_stage):
+                block = self._modules[f"stage{stage_index}_block{block_index}"]
+                out = block(out)
+        return self.head(self.pool(out))
+
+
+def resnet20(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetCifar:
+    """ResNet-20 surrogate (paper: 0.27 M parameters, CIFAR-10)."""
+    return ResNetCifar(depth=20, num_classes=num_classes, base_width=base_width, rng=rng)
+
+
+def resnet32(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetCifar:
+    """ResNet-32 surrogate (paper: 0.47 M parameters, CIFAR-10)."""
+    return ResNetCifar(depth=32, num_classes=num_classes, base_width=base_width, rng=rng)
+
+
+def resnet44(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetCifar:
+    """ResNet-44 surrogate (paper: 0.66 M parameters, CIFAR-10)."""
+    return ResNetCifar(depth=44, num_classes=num_classes, base_width=base_width, rng=rng)

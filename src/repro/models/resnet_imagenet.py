@@ -1,0 +1,118 @@
+"""ImageNet-style residual networks: ResNet-34 / ResNet-50 / ResNet-101.
+
+ResNet-34 uses basic blocks, ResNet-50/101 use bottleneck blocks; the stage
+layouts follow the original paper ([3,4,6,3] and [3,4,23,3]).  The surrogate
+replaces the 7x7/stride-2 stem + max-pool (which would collapse the reduced
+input resolution) with a 3x3 stem, and shrinks the base width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module
+from repro.models.resnet_cifar import BasicBlock
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck block with expansion 4."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        planes: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        out_channels = planes * self.expansion
+        self.conv1 = Conv2d(in_channels, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.conv2 = Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self.conv3 = Conv2d(planes, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+            self.downsample_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        if self.downsample is not None:
+            identity = self.downsample_bn(self.downsample(x))
+        return (out + identity).relu()
+
+
+class ResNetImageNet(Module):
+    """Four-stage residual network for ImageNet-like inputs."""
+
+    def __init__(
+        self,
+        stage_blocks: Sequence[int],
+        bottleneck: bool,
+        num_classes: int = 20,
+        base_width: int = 8,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(stage_blocks) != 4:
+            raise ValueError(f"stage_blocks must have 4 entries, got {len(stage_blocks)}")
+        self.num_classes = num_classes
+        self.stage_blocks: List[int] = list(stage_blocks)
+        self.bottleneck = bottleneck
+
+        widths = [base_width, base_width * 2, base_width * 4, base_width * 8]
+        self.stem = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+
+        expansion = Bottleneck.expansion if bottleneck else 1
+        in_width = widths[0]
+        for stage_index, (width, blocks) in enumerate(zip(widths, self.stage_blocks)):
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(blocks):
+                block_stride = stride if block_index == 0 else 1
+                if bottleneck:
+                    block = Bottleneck(in_width, width, stride=block_stride, rng=rng)
+                    in_width = width * expansion
+                else:
+                    block = BasicBlock(in_width, width, stride=block_stride, rng=rng)
+                    in_width = width
+                self.add_module(f"stage{stage_index}_block{block_index}", block)
+
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(in_width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for stage_index, blocks in enumerate(self.stage_blocks):
+            for block_index in range(blocks):
+                block = self._modules[f"stage{stage_index}_block{block_index}"]
+                out = block(out)
+        return self.head(self.pool(out))
+
+
+def resnet34(num_classes: int = 20, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetImageNet:
+    """ResNet-34 surrogate (paper: 21.8 M parameters, ImageNet)."""
+    return ResNetImageNet([3, 4, 6, 3], bottleneck=False, num_classes=num_classes, base_width=base_width, rng=rng)
+
+
+def resnet50(num_classes: int = 20, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetImageNet:
+    """ResNet-50 surrogate (paper: 25.6 M parameters, ImageNet)."""
+    return ResNetImageNet([3, 4, 6, 3], bottleneck=True, num_classes=num_classes, base_width=base_width, rng=rng)
+
+
+def resnet101(num_classes: int = 20, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetImageNet:
+    """ResNet-101 surrogate (paper: 44.6 M parameters, ImageNet)."""
+    return ResNetImageNet([3, 4, 23, 3], bottleneck=True, num_classes=num_classes, base_width=base_width, rng=rng)

@@ -1,0 +1,66 @@
+"""VMamba-T surrogate: a selective-state-space vision backbone.
+
+VMamba tokenises the image into patches and mixes tokens with selective
+scans instead of attention.  The surrogate uses the simplified
+:class:`~repro.nn.layers.ssm.SelectiveSSMBlock` (input-dependent decay,
+gated output) stacked on a patch embedding with learned positions and a
+mean-pooled classification head.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear, PatchEmbedding, PositionalEmbedding, SelectiveSSMBlock
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+
+
+class VMamba(Module):
+    """Patch embedding + stacked selective-SSM blocks + mean-pool head."""
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        num_classes: int = 20,
+        embed_dim: int = 32,
+        depth: int = 2,
+        expansion: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.depth = depth
+        self.patch_embed = PatchEmbedding(image_size, patch_size, in_channels, embed_dim, rng=rng)
+        self.positional = PositionalEmbedding(self.patch_embed.num_patches, embed_dim, rng=rng)
+        for index in range(depth):
+            self.add_module(f"block{index}", SelectiveSSMBlock(embed_dim, expansion=expansion, rng=rng))
+        self.norm = LayerNorm(embed_dim)
+        self.head = Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.patch_embed(x)
+        tokens = self.positional(tokens)
+        for index in range(self.depth):
+            tokens = self._modules[f"block{index}"](tokens)
+        tokens = self.norm(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)
+
+
+def vmamba_tiny(
+    num_classes: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    image_size: int = 16,
+    patch_size: int = 4,
+) -> VMamba:
+    """VMamba-T surrogate (paper: 23 M parameters)."""
+    return VMamba(
+        image_size=image_size, patch_size=patch_size,
+        embed_dim=32, depth=2, num_classes=num_classes, rng=rng,
+    )

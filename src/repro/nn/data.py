@@ -1,0 +1,239 @@
+"""Synthetic datasets standing in for CIFAR-10, ImageNet and Speech Commands.
+
+The paper evaluates on pretrained models for three public benchmarks; none
+of the datasets (nor pretrained checkpoints) are available offline, so the
+reproduction trains *surrogate* models on synthetic classification problems
+that preserve the property the attack needs: the trained model performs far
+above the random-guess level, so "degrade accuracy to random guess" is a
+meaningful, measurable attack objective.
+
+Each synthetic dataset is a Gaussian-mixture class manifold: every class has
+a smooth prototype (a low-frequency random image or waveform) and samples
+are prototypes plus noise.  The classification problem is easy enough for
+the scaled-down surrogates to learn quickly in numpy, yet non-trivial
+(classes overlap through noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Dataset:
+    """A simple in-memory dataset with train/test splits."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.train_x.shape[0] != self.train_y.shape[0]:
+            raise ValueError("train_x and train_y must have the same number of samples")
+        if self.test_x.shape[0] != self.test_y.shape[0]:
+            raise ValueError("test_x and test_y must have the same number of samples")
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Per-sample input shape (excluding the batch dimension)."""
+        return tuple(self.train_x.shape[1:])
+
+    @property
+    def random_guess_accuracy(self) -> float:
+        """Accuracy (%) of a uniform random guesser — the attack target level."""
+        return 100.0 / self.num_classes
+
+    def batches(
+        self, batch_size: int, seed: Optional[int] = None, train: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield shuffled mini-batches of the chosen split."""
+        check_positive("batch_size", batch_size)
+        x, y = (self.train_x, self.train_y) if train else (self.test_x, self.test_y)
+        order = derive_rng(seed).permutation(x.shape[0])
+        for start in range(0, x.shape[0], batch_size):
+            index = order[start : start + batch_size]
+            yield x[index], y[index]
+
+    def attack_batch(self, batch_size: int, seed: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """A random test batch, as used by the attacker to guide the search."""
+        check_positive("batch_size", batch_size)
+        rng = derive_rng(seed)
+        count = min(batch_size, self.test_x.shape[0])
+        index = rng.choice(self.test_x.shape[0], size=count, replace=False)
+        return self.test_x[index], self.test_y[index]
+
+
+def _class_prototypes(
+    rng: np.random.Generator, num_classes: int, shape: Tuple[int, ...], smoothness: int
+) -> np.ndarray:
+    """Smooth random prototypes, one per class."""
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, *shape))
+    # Smooth along the trailing axes by simple moving averages to create
+    # low-frequency structure reminiscent of natural images / audio.
+    for _ in range(smoothness):
+        for axis in range(1, prototypes.ndim):
+            prototypes = 0.5 * prototypes + 0.25 * (
+                np.roll(prototypes, 1, axis=axis) + np.roll(prototypes, -1, axis=axis)
+            )
+    # Normalise each prototype to unit std so classes are comparably spread.
+    flat = prototypes.reshape(num_classes, -1)
+    flat = flat / (flat.std(axis=1, keepdims=True) + 1e-8)
+    return flat.reshape(num_classes, *shape)
+
+
+def _correlated_prototypes(
+    rng: np.random.Generator,
+    num_classes: int,
+    shape: Tuple[int, ...],
+    smoothness: int,
+    basis_dim: int,
+) -> np.ndarray:
+    """Class prototypes constrained to a shared low-dimensional basis.
+
+    Placing all classes inside a ``basis_dim``-dimensional subspace keeps
+    them correlated, which shrinks the decision margins of the trained
+    surrogates.  Small margins are essential for the reproduction: the
+    bit-flip attack exploits models operating near their decision boundary
+    (as real CIFAR-10 / ImageNet models do), so the surrogate victims must
+    not be trivially separable template matchers.
+    """
+    basis = _class_prototypes(rng, basis_dim, shape, smoothness)
+    coefficients = rng.normal(0.0, 1.0, size=(num_classes, basis_dim))
+    coefficients /= np.linalg.norm(coefficients, axis=1, keepdims=True) + 1e-8
+    return np.tensordot(coefficients, basis, axes=1)
+
+
+def _make_classification_dataset(
+    name: str,
+    num_classes: int,
+    sample_shape: Tuple[int, ...],
+    train_per_class: int,
+    test_per_class: int,
+    noise_std: float,
+    seed: int,
+    smoothness: int = 2,
+    basis_dim: Optional[int] = None,
+) -> Dataset:
+    rng = derive_rng(seed)
+    if basis_dim is None:
+        prototypes = _class_prototypes(rng, num_classes, sample_shape, smoothness)
+    else:
+        prototypes = _correlated_prototypes(rng, num_classes, sample_shape, smoothness, basis_dim)
+
+    def sample_split(per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+        xs = []
+        ys = []
+        for label in range(num_classes):
+            noise = rng.normal(0.0, noise_std, size=(per_class, *sample_shape))
+            xs.append(prototypes[label][None, ...] + noise)
+            ys.append(np.full(per_class, label, dtype=np.int64))
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        order = rng.permutation(x.shape[0])
+        return x[order], y[order]
+
+    train_x, train_y = sample_split(train_per_class)
+    test_x, test_y = sample_split(test_per_class)
+    return Dataset(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        num_classes=num_classes,
+        name=name,
+    )
+
+
+def make_cifar_like(
+    num_classes: int = 10,
+    image_size: int = 16,
+    channels: int = 3,
+    train_per_class: int = 40,
+    test_per_class: int = 20,
+    noise_std: float = 1.5,
+    seed: int = 0,
+    basis_dim: Optional[int] = 4,
+) -> Dataset:
+    """A CIFAR-10-like image classification problem (10 classes by default)."""
+    return _make_classification_dataset(
+        name="cifar_like",
+        num_classes=num_classes,
+        sample_shape=(channels, image_size, image_size),
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        noise_std=noise_std,
+        seed=seed,
+        basis_dim=basis_dim,
+    )
+
+
+def make_imagenet_like(
+    num_classes: int = 20,
+    image_size: int = 16,
+    channels: int = 3,
+    train_per_class: int = 24,
+    test_per_class: int = 12,
+    noise_std: float = 1.2,
+    seed: int = 1,
+    basis_dim: Optional[int] = 6,
+) -> Dataset:
+    """An ImageNet-like problem: more classes, hence a lower random-guess level."""
+    return _make_classification_dataset(
+        name="imagenet_like",
+        num_classes=num_classes,
+        sample_shape=(channels, image_size, image_size),
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        noise_std=noise_std,
+        seed=seed,
+        basis_dim=basis_dim,
+    )
+
+
+def make_speech_commands_like(
+    num_classes: int = 10,
+    waveform_length: int = 256,
+    train_per_class: int = 40,
+    test_per_class: int = 20,
+    noise_std: float = 1.0,
+    seed: int = 2,
+    basis_dim: Optional[int] = 4,
+) -> Dataset:
+    """A Google-Speech-Commands-like 1-D waveform classification problem."""
+    return _make_classification_dataset(
+        name="speech_commands_like",
+        num_classes=num_classes,
+        sample_shape=(1, waveform_length),
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        noise_std=noise_std,
+        seed=seed,
+        smoothness=3,
+        basis_dim=basis_dim,
+    )
+
+
+DATASET_BUILDERS = {
+    "cifar_like": make_cifar_like,
+    "imagenet_like": make_imagenet_like,
+    "speech_commands_like": make_speech_commands_like,
+}
+
+
+def build_dataset(name: str, **kwargs) -> Dataset:
+    """Construct a dataset by name (``cifar_like``, ``imagenet_like``, ...)."""
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(DATASET_BUILDERS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from exc
+    return builder(**kwargs)

@@ -1,0 +1,52 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+#: Module-level generator used when layers are constructed without an
+#: explicit ``rng``; re-seed with :func:`seed_default_rng` for reproducible
+#: model construction.
+_default_rng = np.random.default_rng(0)
+
+
+def seed_default_rng(seed: int) -> None:
+    """Re-seed the default initialisation stream (affects new layers only)."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _default_rng
+
+
+def kaiming_normal(shape: Tuple[int, ...], fan_in: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialisation appropriate for ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialisation used by attention / linear projections."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def truncated_normal(shape: Tuple[int, ...], std: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Clipped normal initialisation used for transformer embeddings."""
+    values = _rng(rng).normal(0.0, std, size=shape)
+    return np.clip(values, -2 * std, 2 * std)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (biases, batch-norm shifts)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones initialisation (batch-norm / layer-norm gains)."""
+    return np.ones(shape)

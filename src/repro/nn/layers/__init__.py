@@ -1,0 +1,45 @@
+"""Layer library used by the model zoo."""
+
+from repro.nn.layers.activation import GELU, ReLU, SiLU
+from repro.nn.layers.attention import MultiHeadSelfAttention, TransformerBlock
+from repro.nn.layers.container import Sequential
+from repro.nn.layers.conv import Conv1d, Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.embedding import ClassTokenConcat, PatchEmbedding, PositionalEmbedding
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.nn.layers.pooling import (
+    AvgPool2d,
+    Flatten,
+    GlobalAvgPool1d,
+    GlobalAvgPool2d,
+    MaxPool1d,
+    MaxPool2d,
+)
+from repro.nn.layers.ssm import SelectiveSSMBlock
+
+__all__ = [
+    "ReLU",
+    "GELU",
+    "SiLU",
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "Sequential",
+    "Conv1d",
+    "Conv2d",
+    "Dropout",
+    "PatchEmbedding",
+    "ClassTokenConcat",
+    "PositionalEmbedding",
+    "Linear",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "MaxPool1d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool1d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "SelectiveSSMBlock",
+]

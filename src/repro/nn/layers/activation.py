@@ -1,0 +1,27 @@
+"""Activation-function layers."""
+
+from __future__ import annotations
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class SiLU(Module):
+    """Sigmoid-weighted linear unit (swish)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.silu()

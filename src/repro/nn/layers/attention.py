@@ -1,0 +1,76 @@
+"""Multi-head self-attention and the standard pre-norm transformer block.
+
+These are the building blocks of the DeiT surrogates in the Table-I roster.
+The implementation follows the original ViT/DeiT formulation: fused QKV
+projection, scaled dot-product attention per head, output projection, and a
+pre-norm block with a GELU MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over ``(N, T, D)`` token sequences."""
+
+    def __init__(self, embed_dim: int, num_heads: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.qkv = Linear(embed_dim, 3 * embed_dim, rng=rng)
+        self.proj = Linear(embed_dim, embed_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, tokens, dim = x.shape
+        qkv = self.qkv(x)  # (N, T, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, N, heads, T, head_dim)
+        query, key, value = qkv[0], qkv[1], qkv[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = query.matmul(key.transpose(0, 1, 3, 2)) * scale  # (N, heads, T, T)
+        weights = scores.softmax(axis=-1)
+        context = weights.matmul(value)  # (N, heads, T, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.proj(context)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block (attention + MLP, both residual)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        hidden_dim = int(embed_dim * mlp_ratio)
+        self.norm1 = LayerNorm(embed_dim)
+        self.attention = MultiHeadSelfAttention(embed_dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(embed_dim)
+        self.mlp_fc1 = Linear(embed_dim, hidden_dim, rng=rng)
+        self.mlp_fc2 = Linear(hidden_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        hidden = self.mlp_fc1(self.norm2(x)).gelu()
+        hidden = self.dropout(hidden)
+        return x + self.mlp_fc2(hidden)

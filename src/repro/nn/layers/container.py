@@ -1,0 +1,39 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Applies child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._ordered.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        """Append one more module to the chain."""
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x

@@ -1,0 +1,77 @@
+"""Convolution layers (2-D for vision models, 1-D for the audio model)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(N, C, H, W)`` inputs with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C, L)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)

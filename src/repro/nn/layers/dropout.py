@@ -1,0 +1,29 @@
+"""Dropout regularisation (identity at inference time)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+
+class Dropout(Module):
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``."""
+
+    def __init__(self, p: float = 0.1, seed: Optional[int] = None):
+        super().__init__()
+        check_probability("p", p)
+        self.p = p
+        self.rng = derive_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,80 @@
+"""Token-embedding layers for the vision-transformer and VMamba surrogates."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.autograd import Tensor, concatenate
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class PatchEmbedding(Module):
+    """Split an image into non-overlapping patches and project to tokens.
+
+    Implemented, as in ViT, by a convolution whose kernel and stride equal
+    the patch size; the output is reshaped to a ``(N, T, D)`` token sequence.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        in_channels: int,
+        embed_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError(
+                f"image_size ({image_size}) must be divisible by patch_size ({patch_size})"
+            )
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.num_patches = (image_size // patch_size) ** 2
+        self.projection = Conv2d(
+            in_channels, embed_dim, kernel_size=patch_size, stride=patch_size, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        features = self.projection(x)  # (N, D, H/ps, W/ps)
+        embed_dim = features.shape[1]
+        tokens = features.reshape(batch, embed_dim, self.num_patches)
+        return tokens.transpose(0, 2, 1)  # (N, T, D)
+
+
+class ClassTokenConcat(Module):
+    """Prepend a learnable class token to a token sequence."""
+
+    def __init__(self, embed_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.class_token = Parameter(init.truncated_normal((1, 1, embed_dim), rng=rng), name="class_token")
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        # Broadcast the (1, 1, D) token to (N, 1, D) with gradient routing.
+        expanded = self.class_token * Tensor(np.ones((batch, 1, 1)))
+        return concatenate([expanded, x], axis=1)
+
+
+class PositionalEmbedding(Module):
+    """Learnable additive positional embedding for ``(N, T, D)`` sequences."""
+
+    def __init__(self, num_tokens: int, embed_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.position = Parameter(
+            init.truncated_normal((1, num_tokens, embed_dim), rng=rng), name="position"
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] != self.position.shape[1]:
+            raise ValueError(
+                f"sequence length {x.shape[1]} does not match positional table "
+                f"{self.position.shape[1]}"
+            )
+        return x + self.position

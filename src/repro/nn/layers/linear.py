@@ -1,0 +1,42 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``.
+
+    Works on inputs of shape ``(N, in_features)`` or ``(N, T, in_features)``
+    (token sequences), which is what the transformer blocks need.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)

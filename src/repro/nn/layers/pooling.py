@@ -1,0 +1,61 @@
+"""Pooling and flattening layers."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class MaxPool1d(Module):
+    """Non-overlapping 1-D max pooling."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool1d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping 2-D average pooling."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pooling of ``(N, C, H, W)`` maps to ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class GlobalAvgPool1d(Module):
+    """Temporal global average pooling of ``(N, C, L)`` maps to ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool1d(x)
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x)

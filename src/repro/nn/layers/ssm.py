@@ -1,0 +1,78 @@
+"""Selective state-space (Mamba-style) block for the VMamba-T surrogate.
+
+VMamba replaces attention with a selective scan: each token updates a
+recurrent state with input-dependent dynamics, giving linear-time sequence
+mixing.  The surrogate implemented here keeps the structure that matters
+for the bit-flip study — input projection, an input-dependent (selective)
+recurrence over the token sequence, a multiplicative gate and an output
+projection, all of which contribute quantized weight tensors that the
+attack can target — while simplifying the state dimension to one scalar
+state per channel so the recurrence stays cheap in numpy.
+
+Concretely, for tokens ``x_1..x_T`` (after the input projection):
+
+* ``delta_t = softplus(W_delta x_t + b_delta)``  — the selective timestep,
+* ``a_t = exp(-delta_t * softplus(A))``          — per-channel decay in (0, 1),
+* ``h_t = a_t * h_{t-1} + delta_t * x_t``        — the recurrence,
+* ``y_t = C * h_t + D * x_t``                    — the readout with skip,
+* output ``= W_out (y * silu(z))``               — gated projection,
+
+where ``A, C, D`` are learned per-channel vectors and ``z`` is the gate
+branch of the input projection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.autograd import Tensor, stack
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class SelectiveSSMBlock(Module):
+    """Pre-norm selective-scan block with residual connection."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        expansion: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.inner_dim = int(embed_dim * expansion)
+        self.norm = LayerNorm(embed_dim)
+        self.in_proj = Linear(embed_dim, 2 * self.inner_dim, rng=rng)
+        self.delta_proj = Linear(self.inner_dim, self.inner_dim, rng=rng)
+        self.out_proj = Linear(self.inner_dim, embed_dim, rng=rng)
+        self.log_decay = Parameter(init.ones((self.inner_dim,)), name="log_decay")
+        self.readout = Parameter(init.ones((self.inner_dim,)), name="readout")
+        self.skip = Parameter(init.ones((self.inner_dim,)), name="skip")
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = x
+        x = self.norm(x)
+        projected = self.in_proj(x)  # (N, T, 2 * inner)
+        signal = projected[:, :, : self.inner_dim]
+        gate = projected[:, :, self.inner_dim :]
+
+        delta = self.delta_proj(signal).softplus()  # (N, T, inner)
+        decay_rate = self.log_decay.softplus()  # (inner,)
+        decay = (-(delta * decay_rate)).exp()  # (N, T, inner) in (0, 1)
+
+        batch, tokens, inner = signal.shape
+        state = Tensor(np.zeros((batch, inner)))
+        outputs = []
+        for t in range(tokens):
+            state = decay[:, t, :] * state + delta[:, t, :] * signal[:, t, :]
+            outputs.append(state * self.readout + signal[:, t, :] * self.skip)
+        scanned = stack(outputs, axis=1)  # (N, T, inner)
+
+        gated = scanned * gate.silu()
+        return residual + self.out_proj(gated)

@@ -1,0 +1,46 @@
+"""Loss functions.
+
+Cross-entropy is the loss the attack objective (eqn. 1 of the paper)
+maximises: the bit-search ranks candidate flips by the gradient of this loss
+with respect to the quantized weights, and the inter-layer stage compares
+the realised loss after each trial flip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.functional import one_hot
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(N, K)`` and integer ``labels``."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"batch size mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    targets = Tensor(one_hot(labels, logits.shape[1]))
+    per_sample = -(log_probs * targets).sum(axis=1)
+    return per_sample.mean()
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in percent."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == labels).mean() * 100.0)
+
+
+class CrossEntropyLoss:
+    """Callable wrapper mirroring the usual framework API."""
+
+    def __call__(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return cross_entropy(logits, labels)

@@ -1,0 +1,138 @@
+"""Module base class: parameter registration, traversal and modes.
+
+The module system mirrors the familiar ``torch.nn`` conventions at a much
+smaller scale: modules own :class:`~repro.nn.parameter.Parameter` objects
+and child modules, expose ``named_parameters`` / ``named_modules`` for
+traversal (the attack uses these to enumerate attackable weight tensors),
+and carry a train/eval flag consumed by batch-norm and dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class of every layer and model in the framework."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable state array (e.g. batch-norm statistics)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of the module tree."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including ``self``."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch the module tree to training mode."""
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module tree to inference mode."""
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *inputs: Tensor) -> Tensor:
+        """Compute the module output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *inputs: Tensor) -> Tensor:
+        return self.forward(*inputs)
+
+    # ------------------------------------------------------------------
+    # State I/O
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter and buffer values (copies)."""
+        state: Dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for module_name, module in self.named_modules():
+            for buffer_name, buffer in module._buffers.items():
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                state[key] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values previously captured by :meth:`state_dict`."""
+        parameters = dict(self.named_parameters())
+        for name, parameter in parameters.items():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+        for module_name, module in self.named_modules():
+            for buffer_name in module._buffers:
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                if key in state:
+                    module._buffers[buffer_name][...] = state[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} params={self.num_parameters()}>"

@@ -1,0 +1,71 @@
+"""Trainable parameters, including their quantized (bit-level) view.
+
+A :class:`Parameter` is a :class:`~repro.nn.autograd.Tensor` that a module
+registers as trainable.  After post-training quantization
+(:mod:`repro.nn.quantization`) a parameter additionally carries an ``int8``
+representation and a per-tensor scale; the float data used in the forward
+pass is always ``int_repr * scale``, so flipping a bit of the integer
+representation immediately changes the network function — exactly what a
+DRAM bit flip does to a deployed model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable (and attackable) model parameter."""
+
+    __slots__ = ("int_repr", "scale", "num_bits")
+
+    def __init__(self, data: np.ndarray, name: Optional[str] = None):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        #: Quantized two's-complement representation (``None`` until quantized).
+        self.int_repr: Optional[np.ndarray] = None
+        #: Per-tensor quantization scale (float weight = int_repr * scale).
+        self.scale: Optional[float] = None
+        #: Bit width of the quantized representation.
+        self.num_bits: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_quantized(self) -> bool:
+        """Whether the parameter currently carries a quantized representation."""
+        return self.int_repr is not None
+
+    def attach_quantization(self, int_repr: np.ndarray, scale: float, num_bits: int) -> None:
+        """Install a quantized view and synchronise the float data to it."""
+        int_repr = np.asarray(int_repr)
+        if int_repr.shape != self.data.shape:
+            raise ValueError(
+                f"int_repr shape {int_repr.shape} does not match parameter shape {self.data.shape}"
+            )
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.int_repr = int_repr.astype(np.int32)
+        self.scale = float(scale)
+        self.num_bits = int(num_bits)
+        self.sync_from_int()
+
+    def sync_from_int(self) -> None:
+        """Recompute the float data from the integer representation."""
+        if not self.is_quantized:
+            raise RuntimeError("parameter is not quantized")
+        self.data = self.int_repr.astype(np.float64) * self.scale
+
+    def detach_quantization(self) -> None:
+        """Drop the quantized view (keeps the current float data)."""
+        self.int_repr = None
+        self.scale = None
+        self.num_bits = None
+
+    def grad_array(self) -> np.ndarray:
+        """The accumulated gradient, or zeros when backward has not run."""
+        if self.grad is None:
+            return np.zeros_like(self.data)
+        return self.grad

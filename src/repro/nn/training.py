@@ -1,0 +1,99 @@
+"""Training and evaluation loops for the surrogate models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.data import Dataset
+from repro.nn.loss import accuracy, cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainingResult:
+    """Summary of a training run."""
+
+    epochs: int
+    train_losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    test_accuracy: float = 0.0
+
+    @property
+    def final_train_loss(self) -> float:
+        """Loss of the last epoch (or ``nan`` when no epoch ran)."""
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+    """Top-1 accuracy (%) of ``model`` on the given samples."""
+    check_positive("batch_size", batch_size)
+    model.eval()
+    correct_logits = []
+    labels = []
+    for start in range(0, x.shape[0], batch_size):
+        batch_x = x[start : start + batch_size]
+        batch_y = y[start : start + batch_size]
+        logits = model(Tensor(batch_x))
+        correct_logits.append(logits.data)
+        labels.append(batch_y)
+    if not correct_logits:
+        return 0.0
+    return accuracy(np.concatenate(correct_logits), np.concatenate(labels))
+
+
+def evaluate_on_dataset(model: Module, dataset: Dataset, batch_size: int = 64) -> float:
+    """Test-set accuracy (%) of ``model``."""
+    return evaluate(model, dataset.test_x, dataset.test_y, batch_size=batch_size)
+
+
+def train(
+    model: Module,
+    dataset: Dataset,
+    epochs: int = 10,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    optimizer: Optional[Optimizer] = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainingResult:
+    """Train ``model`` on ``dataset`` with cross-entropy and Adam.
+
+    The surrogates only need to reach comfortably-above-chance accuracy for
+    the attack experiments to be meaningful, so the defaults favour a short
+    training schedule.
+    """
+    check_positive("epochs", epochs)
+    check_positive("batch_size", batch_size)
+    optimizer = optimizer or Adam(model.parameters(), lr=lr)
+    result = TrainingResult(epochs=epochs)
+
+    for epoch in range(epochs):
+        model.train()
+        epoch_losses = []
+        epoch_logits = []
+        epoch_labels = []
+        for batch_x, batch_y in dataset.batches(batch_size, seed=seed + epoch, train=True):
+            optimizer.zero_grad()
+            logits = model(Tensor(batch_x))
+            loss = cross_entropy(logits, batch_y)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+            epoch_logits.append(logits.data)
+            epoch_labels.append(batch_y)
+        epoch_loss = float(np.mean(epoch_losses))
+        epoch_accuracy = accuracy(np.concatenate(epoch_logits), np.concatenate(epoch_labels))
+        result.train_losses.append(epoch_loss)
+        result.train_accuracies.append(epoch_accuracy)
+        if verbose:  # pragma: no cover - logging only
+            print(f"epoch {epoch + 1}/{epochs}: loss={epoch_loss:.4f} acc={epoch_accuracy:.2f}%")
+
+    result.test_accuracy = evaluate_on_dataset(model, dataset, batch_size=batch_size)
+    model.eval()
+    return result

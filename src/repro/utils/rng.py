@@ -1,0 +1,119 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component of the reproduction (DRAM cell vulnerability
+sampling, synthetic dataset generation, weight initialisation, attack batch
+selection) receives an explicit seed or :class:`numpy.random.Generator` so
+that experiments are repeatable.  The helpers below centralise the common
+patterns:
+
+* :func:`derive_rng` turns ``None`` / ``int`` / ``Generator`` into a
+  :class:`numpy.random.Generator`.
+* :func:`spawn_seeds` deterministically derives child seeds from a parent
+  seed, used when one experiment needs several independent RNG streams
+  (for example, the paper averages each attack over three repetitions).
+* :class:`RngMixin` gives classes a lazily constructed ``self.rng``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def derive_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a flexible seed spec.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from ``seed``.
+
+    The derivation uses :class:`numpy.random.SeedSequence` spawning, which
+    guarantees that the child streams are statistically independent and that
+    the mapping ``(seed, count) -> children`` is stable across runs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def mix_seed(seed: int, *components: Union[int, str]) -> int:
+    """Deterministically mix extra components into ``seed``.
+
+    This is used to derive per-model or per-bank seeds from a global
+    experiment seed, e.g. ``mix_seed(1234, "resnet20", 0)``.
+    """
+    entropy: List[int] = [seed & 0xFFFFFFFF]
+    for component in components:
+        if isinstance(component, str):
+            entropy.append(abs(hash_string(component)) & 0xFFFFFFFF)
+        else:
+            entropy.append(int(component) & 0xFFFFFFFF)
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1)[0])
+
+
+def hash_string(text: str) -> int:
+    """Stable (process-independent) 32-bit FNV-1a hash of ``text``."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+class RngMixin:
+    """Mixin providing a lazily constructed, seedable ``self.rng``.
+
+    Classes using the mixin should set ``self._seed`` (or pass ``seed`` to
+    :meth:`_init_rng`) during construction.
+    """
+
+    _seed: SeedLike = None
+    _rng: Optional[np.random.Generator] = None
+
+    def _init_rng(self, seed: SeedLike = None) -> None:
+        self._seed = seed
+        self._rng = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The lazily constructed random generator for this object."""
+        if self._rng is None:
+            self._rng = derive_rng(self._seed)
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the RNG stream with a fresh one derived from ``seed``."""
+        self._seed = seed
+        self._rng = derive_rng(seed)
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, population: Iterable[int], size: int
+) -> np.ndarray:
+    """Sample ``size`` distinct items from ``population``.
+
+    Raises ``ValueError`` when the population is smaller than ``size`` so the
+    caller can surface a meaningful error (e.g. "profile has fewer vulnerable
+    cells than weight bits to map").
+    """
+    population = np.asarray(list(population))
+    if size > population.size:
+        raise ValueError(
+            f"cannot sample {size} items from a population of {population.size}"
+        )
+    return rng.choice(population, size=size, replace=False)

@@ -1,0 +1,99 @@
+"""Unit conversions between DRAM cycles, wall-clock time and hammer counts.
+
+Section VII-A of the paper defines the "fair evaluation setting" used to put
+RowHammer and RowPress on a common axis:
+
+* RowHammer effort is measured in *hammer counts* (HC, number of
+  ACT/PRE pairs issued to the aggressor rows).
+* RowPress effort is measured in *cycles* elapsed inside a single long
+  activation window.
+* Both are converted to time using the DDR4-2400 clock:
+  ``T = cycles / 2400 MHz`` so 100 M cycles ~= 41.67 ms, and the equivalent
+  hammer count within that time is ``HC = T / tREFW * HC_max`` with
+  ``tREFW = 64 ms`` and ``HC_max ~= 1.36 M`` activations per refresh window
+  (the maximum measured by prior work [52]).
+
+These conversions are used by the Fig. 6 benchmark and the Takeaway-1
+("20x more bit flips in equal time") analysis.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative, check_positive
+
+#: DDR4-2400 delivers 2400 mega-transfers/s; the paper treats the clock as
+#: 2400 MHz for cycle-to-time conversion (Section VII-A).
+DDR4_2400_FREQUENCY_MHZ: float = 2400.0
+
+#: Number of DRAM clock cycles per millisecond for a DDR4-2400 part.
+CYCLES_PER_MS_DDR4_2400: float = DDR4_2400_FREQUENCY_MHZ * 1e3
+
+#: JEDEC refresh window (all rows must be refreshed within this interval).
+DEFAULT_TREFW_MS: float = 64.0
+
+#: Maximum number of hammer counts achievable within one refresh window,
+#: as characterised by Lang et al. (Blaster) and quoted in Section V-A.
+DEFAULT_MAX_HC_PER_TREFW: float = 1.36e6
+
+
+def cycles_to_ms(cycles: float, frequency_mhz: float = DDR4_2400_FREQUENCY_MHZ) -> float:
+    """Convert DRAM clock cycles to milliseconds."""
+    check_non_negative("cycles", cycles)
+    check_positive("frequency_mhz", frequency_mhz)
+    return cycles / (frequency_mhz * 1e3)
+
+
+def cycles_to_seconds(cycles: float, frequency_mhz: float = DDR4_2400_FREQUENCY_MHZ) -> float:
+    """Convert DRAM clock cycles to seconds."""
+    return cycles_to_ms(cycles, frequency_mhz) / 1e3
+
+
+def ms_to_cycles(milliseconds: float, frequency_mhz: float = DDR4_2400_FREQUENCY_MHZ) -> float:
+    """Convert milliseconds to DRAM clock cycles."""
+    check_non_negative("milliseconds", milliseconds)
+    check_positive("frequency_mhz", frequency_mhz)
+    return milliseconds * frequency_mhz * 1e3
+
+
+def hammer_counts_to_time_ms(
+    hammer_counts: float,
+    trefw_ms: float = DEFAULT_TREFW_MS,
+    max_hc_per_trefw: float = DEFAULT_MAX_HC_PER_TREFW,
+) -> float:
+    """Convert a hammer count into the wall-clock time required to issue it.
+
+    The conversion follows the paper's fair-evaluation rule: ``HC_max``
+    activations fit in one refresh window of ``trefw_ms`` milliseconds, so
+    ``time = HC / HC_max * trefw_ms``.
+    """
+    check_non_negative("hammer_counts", hammer_counts)
+    check_positive("trefw_ms", trefw_ms)
+    check_positive("max_hc_per_trefw", max_hc_per_trefw)
+    return hammer_counts / max_hc_per_trefw * trefw_ms
+
+
+def time_ms_to_hammer_counts(
+    time_ms: float,
+    trefw_ms: float = DEFAULT_TREFW_MS,
+    max_hc_per_trefw: float = DEFAULT_MAX_HC_PER_TREFW,
+) -> float:
+    """Inverse of :func:`hammer_counts_to_time_ms`."""
+    check_non_negative("time_ms", time_ms)
+    check_positive("trefw_ms", trefw_ms)
+    check_positive("max_hc_per_trefw", max_hc_per_trefw)
+    return time_ms / trefw_ms * max_hc_per_trefw
+
+
+def rowpress_cycles_to_equivalent_hammer_counts(
+    cycles: float,
+    frequency_mhz: float = DDR4_2400_FREQUENCY_MHZ,
+    trefw_ms: float = DEFAULT_TREFW_MS,
+    max_hc_per_trefw: float = DEFAULT_MAX_HC_PER_TREFW,
+) -> float:
+    """Map a RowPress cycle budget onto the equivalent RowHammer HC budget.
+
+    This reproduces the worked example in Section VII-A: 100 M cycles on a
+    2400 MHz chip is ~41.67 ms, which corresponds to ~885.4 K hammer counts.
+    """
+    time_ms = cycles_to_ms(cycles, frequency_mhz)
+    return time_ms_to_hammer_counts(time_ms, trefw_ms, max_hc_per_trefw)

@@ -1,0 +1,41 @@
+"""Small argument-validation helpers used across the library.
+
+Keeping validation in one place makes error messages uniform and keeps the
+substantive modules focused on behaviour rather than defensive boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= value < size``."""
+    if not 0 <= value < size:
+        raise IndexError(f"{name} must be within [0, {size}), got {value!r}")

@@ -1,0 +1,122 @@
+"""Tests for metrics, table building and figure series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import build_fig6_series, build_fig7_series, curve_steepness, render_ascii_curve
+from repro.analysis.metrics import equal_time_flip_ratio, flips_reduction_factor, summarize_takeaways
+from repro.analysis.tables import render_table, table1_from_comparisons
+from repro.core.comparison import MechanismOutcome, ModelComparisonResult
+from repro.core.results import AttackResult
+from repro.faults.sweep import FlipCurve
+
+
+def outcome(mechanism, flips, accuracy_after=10.0, curve=None):
+    result = AttackResult(
+        model_name="toy", mechanism=mechanism, accuracy_before=90.0,
+        accuracy_after=accuracy_after, target_accuracy=15.0, num_flips=flips,
+        converged=True,
+        accuracy_curve=curve or ([90.0] + list(np.linspace(80, accuracy_after, flips))),
+    )
+    holder = MechanismOutcome(mechanism)
+    holder.results.append(result)
+    return holder
+
+
+def comparison(key="resnet20", name="ResNet-20", rh_flips=36, rp_flips=8):
+    return ModelComparisonResult(
+        model_key=key, display_name=name, dataset_name="CIFAR-10",
+        num_parameters=270_000, clean_accuracy=92.0, random_guess_accuracy=10.0,
+        rowhammer=outcome("rowhammer", rh_flips),
+        rowpress=outcome("rowpress", rp_flips),
+    )
+
+
+def flip_curves():
+    # The last RowHammer point (8.5e5 HCs = 40 ms) and the last RowPress
+    # point (9.6e7 cycles = 40 ms) land at exactly the same time, so the
+    # equal-time comparison uses the final flip counts of both curves.
+    rh = FlipCurve("rowhammer", np.array([4e5, 8.5e5]), np.array([250, 500]))
+    rp = FlipCurve("rowpress", np.array([4.8e7, 9.6e7]), np.array([5000, 10000]))
+    return rh, rp
+
+
+class TestMetrics:
+    def test_equal_time_ratio(self):
+        rh, rp = flip_curves()
+        assert equal_time_flip_ratio(rh, rp) == pytest.approx(20.0)
+
+    def test_flips_reduction_factor(self):
+        assert flips_reduction_factor(comparison()) == pytest.approx(4.5)
+
+    def test_summarize_takeaways(self):
+        rh, rp = flip_curves()
+        comparisons = [comparison(), comparison("resnet32", "ResNet-32", 60, 11)]
+        summary = summarize_takeaways(comparisons, rh, rp)
+        assert summary["equal_time_flip_ratio"] == pytest.approx(20.0)
+        assert summary["mean_flip_reduction"] == pytest.approx((4.5 + 60 / 11) / 2)
+        assert summary["max_flip_reduction"] == pytest.approx(60 / 11)
+        assert summary["all_models_converged"] == 1.0
+
+    def test_summarize_takeaways_without_curves(self):
+        summary = summarize_takeaways([comparison()])
+        assert "equal_time_flip_ratio" not in summary
+        assert "mean_flip_reduction" in summary
+
+
+class TestTables:
+    def test_rows_include_paper_reference(self):
+        rows = table1_from_comparisons([comparison()])
+        assert rows[0].paper_rowhammer_bit_flips == 36
+        assert rows[0].paper_rowpress_bit_flips == 8
+        assert rows[0].rowhammer_bit_flips == 36.0
+
+    def test_unknown_model_key_has_no_paper_columns(self):
+        rows = table1_from_comparisons([comparison(key="custom", name="Custom")])
+        assert rows[0].paper_rowhammer_bit_flips is None
+
+    def test_render_table_contains_all_rows_and_headers(self):
+        rows = table1_from_comparisons([comparison(), comparison("resnet32", "ResNet-32", 60, 11)])
+        text = render_table(rows)
+        assert "ResNet-20" in text and "ResNet-32" in text
+        assert "#Flips RH" in text and "Paper #Flips RP" in text
+        assert len(text.splitlines()) == 2 + 2  # header + separator + 2 rows
+
+    def test_render_table_without_paper_columns(self):
+        text = render_table(table1_from_comparisons([comparison()]), include_paper=False)
+        assert "Paper" not in text
+
+    def test_row_as_dict_round_trip(self):
+        row = table1_from_comparisons([comparison()])[0]
+        payload = row.as_dict()
+        assert payload["architecture"] == "ResNet-20"
+        assert payload["flip_ratio"] == pytest.approx(4.5)
+
+
+class TestFigures:
+    def test_fig6_series_keys(self):
+        rh, rp = flip_curves()
+        series = build_fig6_series(rh, rp)
+        assert set(series) == {
+            "rowhammer_hammer_counts", "rowhammer_bitflips",
+            "rowpress_cycles", "rowpress_bitflips",
+        }
+        assert series["rowpress_bitflips"][-1] == 10000
+
+    def test_fig7_series_per_model_and_mechanism(self):
+        series = build_fig7_series([comparison()])
+        assert set(series) == {"ResNet-20"}
+        assert set(series["ResNet-20"]) == {"rowhammer", "rowpress"}
+        assert len(series["ResNet-20"]["rowpress"]) == 9
+
+    def test_curve_steepness(self):
+        assert curve_steepness([90, 50, 10]) == pytest.approx(40.0)
+        assert curve_steepness([10.0]) == 0.0
+
+    def test_render_ascii_curve(self):
+        text = render_ascii_curve([90, 70, 50, 30, 10], width=20, height=5, title="demo")
+        assert "demo" in text
+        assert "*" in text
+
+    def test_render_ascii_curve_empty(self):
+        assert "empty" in render_ascii_curve([], title="x")

@@ -1,0 +1,88 @@
+"""Tests for the markdown / CSV / JSON report writers."""
+
+import csv
+import json
+
+import numpy as np
+
+from repro.analysis.reporting import (
+    comparisons_to_csv,
+    comparisons_to_markdown,
+    write_comparison_report,
+)
+from repro.core.comparison import MechanismOutcome, ModelComparisonResult
+from repro.core.results import AttackResult
+from repro.faults.sweep import FlipCurve
+
+
+def outcome(mechanism, flips):
+    holder = MechanismOutcome(mechanism)
+    holder.results.append(
+        AttackResult(
+            model_name="toy", mechanism=mechanism, accuracy_before=90.0,
+            accuracy_after=10.0, target_accuracy=15.0, num_flips=flips, converged=True,
+            accuracy_curve=[90.0] + [10.0] * flips,
+        )
+    )
+    return holder
+
+
+def comparisons():
+    return [
+        ModelComparisonResult(
+            model_key="resnet20", display_name="ResNet-20", dataset_name="CIFAR-10",
+            num_parameters=68786, clean_accuracy=92.0, random_guess_accuracy=10.0,
+            rowhammer=outcome("rowhammer", 36), rowpress=outcome("rowpress", 8),
+        ),
+        ModelComparisonResult(
+            model_key="m11", display_name="M11", dataset_name="Google Speech Command",
+            num_parameters=28930, clean_accuracy=93.0, random_guess_accuracy=10.0,
+            rowhammer=outcome("rowhammer", 68), rowpress=outcome("rowpress", 19),
+        ),
+    ]
+
+
+class TestMarkdown:
+    def test_contains_rows_and_takeaways(self):
+        text = comparisons_to_markdown(comparisons())
+        assert "ResNet-20" in text and "M11" in text
+        assert "Takeaway summary" in text
+        assert "mean_flip_reduction" in text
+
+    def test_paper_columns_present(self):
+        text = comparisons_to_markdown(comparisons())
+        assert "| 36 | 8 |" in text  # paper reference flips for ResNet-20
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = comparisons_to_csv(comparisons())
+        rows = list(csv.DictReader(text.splitlines()))
+        assert len(rows) == 2
+        assert rows[0]["architecture"] == "ResNet-20"
+        assert float(rows[0]["flip_ratio"]) == 4.5
+
+    def test_empty_input(self):
+        assert comparisons_to_csv([]) == ""
+
+
+class TestWriteReport:
+    def test_writes_all_artifacts(self, tmp_path):
+        curves = {
+            "rowhammer": FlipCurve("rowhammer", np.array([4e5, 8.5e5]), np.array([250, 500])),
+            "rowpress": FlipCurve("rowpress", np.array([4.8e7, 9.6e7]), np.array([5000, 10000])),
+        }
+        written = write_comparison_report(comparisons(), tmp_path, basename="exp", fig6_curves=curves)
+        assert set(written) == {"markdown", "csv", "json"}
+        for path in written.values():
+            assert path.exists() and path.read_text()
+        payload = json.loads(written["json"].read_text())
+        assert len(payload["rows"]) == 2
+        assert payload["takeaways"]["equal_time_flip_ratio"] == 20.0
+        assert "fig6" in payload
+
+    def test_write_without_curves(self, tmp_path):
+        written = write_comparison_report(comparisons(), tmp_path)
+        payload = json.loads(written["json"].read_text())
+        assert "fig6" not in payload
+        assert "equal_time_flip_ratio" not in payload["takeaways"]

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (a trained tiny surrogate, deployment profiles) are
+session-scoped so the many tests that need them pay the cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.chip import DramChip
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimings
+from repro.dram.vulnerability import VulnerabilityParameters
+from repro.models.resnet_cifar import ResNetCifar
+from repro.nn.data import make_cifar_like
+from repro.nn.quantization import quantize_model
+from repro.nn.training import train
+
+
+#: Dense vulnerability parameters used by tests that need flips to be
+#: plentiful on a tiny chip.
+DENSE_PARAMS = VulnerabilityParameters(rh_density=0.05, rp_density=0.25)
+
+
+@pytest.fixture
+def tiny_geometry() -> DramGeometry:
+    """A chip geometry small enough to enumerate exhaustively."""
+    return DramGeometry(num_banks=2, rows_per_bank=16, cols_per_row=64)
+
+
+@pytest.fixture
+def small_geometry() -> DramGeometry:
+    """A slightly larger geometry for fault-injection tests."""
+    return DramGeometry(num_banks=2, rows_per_bank=32, cols_per_row=512)
+
+
+@pytest.fixture
+def dense_chip(small_geometry) -> DramChip:
+    """A chip with dense vulnerable-cell populations (guaranteed flips)."""
+    return DramChip(small_geometry, vulnerability_parameters=DENSE_PARAMS, seed=7)
+
+
+@pytest.fixture
+def default_timings() -> DramTimings:
+    """The DDR4-2400 timing set used throughout the paper."""
+    return DramTimings()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small CIFAR-like dataset for fast training tests."""
+    return make_cifar_like(
+        num_classes=4, image_size=8, train_per_class=24, test_per_class=12, seed=5,
+        noise_std=1.0, basis_dim=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_model(tiny_dataset):
+    """A tiny trained (unquantized) ResNet surrogate plus its clean state.
+
+    The surrogate must end up comfortably above the random-guess level so the
+    attack tests have accuracy headroom to destroy.
+    """
+    model = ResNetCifar(
+        depth=8, num_classes=tiny_dataset.num_classes, base_width=8,
+        rng=np.random.default_rng(0),
+    )
+    train(model, tiny_dataset, epochs=6, batch_size=16, lr=3e-3, seed=1)
+    return model, model.state_dict()
+
+
+@pytest.fixture
+def tiny_quantized_model(tiny_trained_model):
+    """A freshly re-quantized copy of the tiny trained model (per test)."""
+    model, clean_state = tiny_trained_model
+    model.load_state_dict(clean_state)
+    infos = quantize_model(model)
+    return model, infos

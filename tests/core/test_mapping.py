@@ -1,0 +1,120 @@
+"""Tests for the weight-bit -> DRAM-cell mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY, WeightBitMapping
+from repro.dram.geometry import DramGeometry
+from repro.faults.profiles import BitFlipProfile
+from repro.nn.quantization import QuantizedTensorInfo
+
+
+def infos():
+    return [
+        QuantizedTensorInfo(name="layer1.weight", shape=(4, 4), num_weights=16, num_bits=8, scale=0.01),
+        QuantizedTensorInfo(name="layer2.weight", shape=(2, 8), num_weights=16, num_bits=8, scale=0.02),
+    ]
+
+
+class TestLayout:
+    def test_contiguous_spans(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=10_000)
+        start1, end1 = mapping.tensor_span("layer1.weight")
+        start2, end2 = mapping.tensor_span("layer2.weight")
+        assert (start1, end1) == (0, 128)
+        assert (start2, end2) == (128, 256)
+        assert mapping.total_bits == 256
+
+    def test_base_offset(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=10_000, base_offset_bits=100)
+        assert mapping.tensor_span("layer1.weight") == (100, 228)
+        assert mapping.occupied_addresses() == (100, 356)
+
+    def test_capacity_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            WeightBitMapping(infos(), capacity_bits=200)
+
+    def test_empty_infos_rejected(self):
+        with pytest.raises(ValueError):
+            WeightBitMapping([], capacity_bits=100)
+
+    def test_flat_address_roundtrip(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=10_000, base_offset_bits=64)
+        flat = mapping.flat_address("layer2.weight", weight_index=3, bit=5)
+        assert mapping.locate(flat) == ("layer2.weight", 3, 5)
+
+    def test_locate_outside_model_returns_none(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=10_000)
+        assert mapping.locate(9_999) is None
+
+    def test_flat_address_validation(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=10_000)
+        with pytest.raises(KeyError):
+            mapping.flat_address("unknown.weight", 0, 0)
+        with pytest.raises(IndexError):
+            mapping.flat_address("layer1.weight", 16, 0)
+        with pytest.raises(IndexError):
+            mapping.flat_address("layer1.weight", 0, 8)
+
+
+class TestProfileIntersection:
+    def test_candidates_land_in_correct_tensor(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=1000)
+        # Vulnerable cells: bit 5 of weight 0 in layer1, bit 7 of weight 15 in layer2,
+        # and one address outside the model.
+        profile = BitFlipProfile(
+            mechanism="rowpress",
+            flat_indices=np.array([5, 128 + 15 * 8 + 7, 900]),
+            directions=np.array([1, 0, 0], dtype=np.int8),
+            capacity_bits=1000,
+        )
+        candidates = mapping.candidates_from_profile(profile)
+        assert set(candidates) == {"layer1.weight", "layer2.weight"}
+        layer1 = candidates["layer1.weight"]
+        assert layer1.weight_indices.tolist() == [0]
+        assert layer1.bit_positions.tolist() == [5]
+        assert layer1.directions.tolist() == [1]
+        layer2 = candidates["layer2.weight"]
+        assert layer2.weight_indices.tolist() == [15]
+        assert layer2.bit_positions.tolist() == [7]
+
+    def test_total_candidates_counts_only_model_bits(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=1000)
+        profile = BitFlipProfile("rowpress", np.array([0, 100, 400, 999]),
+                                 np.zeros(4, dtype=np.int8), 1000)
+        assert mapping.total_candidates(profile) == 2
+
+    def test_profile_capacity_mismatch_rejected(self):
+        mapping = WeightBitMapping(infos(), capacity_bits=1000)
+        small_profile = BitFlipProfile("rowpress", np.array([1]), np.array([0], dtype=np.int8), 100)
+        with pytest.raises(ValueError):
+            mapping.candidates_from_profile(small_profile)
+
+    def test_candidate_density_tracks_profile_density(self):
+        big_infos = [QuantizedTensorInfo("w", (1000,), 1000, 8, 0.01)]
+        mapping = WeightBitMapping(big_infos, capacity_bits=100_000)
+        dense = BitFlipProfile.synthetic("rowpress", 100_000, 0.05, 0.5, seed=0)
+        sparse = BitFlipProfile.synthetic("rowhammer", 100_000, 0.005, 0.5, seed=0)
+        assert mapping.total_candidates(dense) > mapping.total_candidates(sparse)
+
+
+class TestPlacement:
+    def test_for_model_infos_random_offset_is_reproducible(self):
+        a = WeightBitMapping.for_model_infos(infos(), seed=5)
+        b = WeightBitMapping.for_model_infos(infos(), seed=5)
+        assert a.base_offset_bits == b.base_offset_bits
+
+    def test_for_model_infos_without_seed_is_offset_zero(self):
+        mapping = WeightBitMapping.for_model_infos(infos())
+        assert mapping.base_offset_bits == 0
+
+    def test_default_geometry_large_enough_for_roster(self):
+        # The deployment address space must hold the largest surrogate
+        # (ResNet-101, ~0.7 M weights -> ~5.5 M bits).
+        assert DNN_DEPLOYMENT_GEOMETRY.total_cells > 6_000_000
+
+    def test_model_too_large_rejected(self):
+        huge = [QuantizedTensorInfo("w", (10,), 10, 8, 1.0)]
+        tiny_geometry = DramGeometry(num_banks=1, rows_per_bank=1, cols_per_row=16)
+        with pytest.raises(ValueError):
+            WeightBitMapping.for_model_infos(huge, geometry=tiny_geometry)

@@ -1,0 +1,107 @@
+"""Tests for the DRAM-profile-aware attack (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfa import BitSearchConfig
+from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY
+from repro.core.objective import AttackObjective
+from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig, run_profile_aware_attack
+from repro.faults.profiles import BitFlipProfile
+from repro.nn.quantization import quantize_model, quantized_parameters
+
+
+@pytest.fixture
+def objective(tiny_dataset):
+    return AttackObjective.from_dataset(
+        tiny_dataset, attack_batch_size=16, eval_samples=24, seed=4,
+        tolerance=1.0, relative_factor=1.05,
+    )
+
+
+def dense_profile(mechanism="rowpress", density=0.1, seed=0):
+    return BitFlipProfile.synthetic(
+        mechanism=mechanism,
+        capacity_bits=DNN_DEPLOYMENT_GEOMETRY.total_cells,
+        density=density,
+        one_to_zero_probability=0.5,
+        seed=seed,
+    )
+
+
+SEARCH = BitSearchConfig(max_flips=15, top_k_layers=3, eval_batch_size=32)
+
+
+class TestConstruction:
+    def test_quantizes_unquantized_model(self, tiny_trained_model, objective):
+        model, clean_state = tiny_trained_model
+        model.load_state_dict(clean_state)
+        for parameter in model.parameters():
+            parameter.detach_quantization()
+        attack = DramProfileAwareAttack(model, objective, dense_profile(),
+                                        config=ProfileAwareConfig(search=SEARCH))
+        assert quantized_parameters(model)
+        assert attack.num_candidate_bits > 0
+
+    def test_already_quantized_model_requires_infos(self, tiny_quantized_model, objective):
+        model, infos = tiny_quantized_model
+        with pytest.raises(ValueError):
+            DramProfileAwareAttack(model, objective, dense_profile())
+        attack = DramProfileAwareAttack(model, objective, dense_profile(),
+                                        tensor_infos=infos,
+                                        config=ProfileAwareConfig(search=SEARCH))
+        assert attack.num_candidate_bits > 0
+
+    def test_candidate_count_scales_with_profile_density(self, tiny_quantized_model, objective):
+        model, infos = tiny_quantized_model
+        sparse = DramProfileAwareAttack(model, objective, dense_profile(density=0.01),
+                                        tensor_infos=infos,
+                                        config=ProfileAwareConfig(search=SEARCH))
+        dense = DramProfileAwareAttack(model, objective, dense_profile(density=0.2),
+                                       tensor_infos=infos,
+                                       config=ProfileAwareConfig(search=SEARCH))
+        assert dense.num_candidate_bits > sparse.num_candidate_bits
+
+    def test_placement_seed_changes_candidates(self, tiny_quantized_model, objective):
+        model, infos = tiny_quantized_model
+        profile = dense_profile(density=0.02)
+        a = DramProfileAwareAttack(model, objective, profile, tensor_infos=infos,
+                                   config=ProfileAwareConfig(search=SEARCH, placement_seed=1))
+        b = DramProfileAwareAttack(model, objective, profile, tensor_infos=infos,
+                                   config=ProfileAwareConfig(search=SEARCH, placement_seed=2))
+        assert a.mapping.base_offset_bits != b.mapping.base_offset_bits
+
+
+class TestExecution:
+    def test_attack_runs_and_reports_mechanism(self, tiny_quantized_model, objective):
+        model, infos = tiny_quantized_model
+        result = run_profile_aware_attack(
+            model, objective, dense_profile("rowpress"),
+            config=ProfileAwareConfig(search=SEARCH),
+            tensor_infos=infos, model_name="tiny",
+        )
+        assert result.mechanism == "rowpress"
+        assert result.model_name == "tiny"
+        assert result.candidate_bits > 0
+        assert result.accuracy_after <= result.accuracy_before
+
+    def test_denser_profile_is_at_least_as_effective(self, tiny_trained_model, tiny_dataset):
+        model, clean_state = tiny_trained_model
+
+        def attack_with(density):
+            model.load_state_dict(clean_state)
+            infos = quantize_model(model)
+            objective = AttackObjective.from_dataset(tiny_dataset, attack_batch_size=16,
+                                                     eval_samples=24, seed=11)
+            return run_profile_aware_attack(
+                model, objective, dense_profile(density=density, seed=3),
+                config=ProfileAwareConfig(search=BitSearchConfig(max_flips=12, top_k_layers=3,
+                                                                 eval_batch_size=32)),
+                tensor_infos=infos,
+            )
+
+        sparse_result = attack_with(0.01)
+        dense_result = attack_with(0.25)
+        # With a 12-flip budget the denser profile must end at an accuracy no
+        # worse (higher) than the sparse profile by a wide margin.
+        assert dense_result.accuracy_after <= sparse_result.accuracy_after + 10.0

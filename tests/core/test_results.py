@@ -1,0 +1,63 @@
+"""Tests for attack result containers."""
+
+import numpy as np
+
+from repro.core.results import AttackEvent, AttackResult
+
+
+def make_result():
+    events = [
+        AttackEvent(0, "a.weight", 3, 7, 10, -118, loss_after=1.5, accuracy_after=70.0),
+        AttackEvent(1, "b.weight", 5, 6, -4, 60, loss_after=2.5, accuracy_after=40.0),
+        AttackEvent(2, "a.weight", 9, 7, 2, -126, loss_after=3.5, accuracy_after=12.0),
+    ]
+    return AttackResult(
+        model_name="toy",
+        mechanism="rowpress",
+        accuracy_before=90.0,
+        accuracy_after=12.0,
+        target_accuracy=15.0,
+        num_flips=3,
+        converged=True,
+        events=events,
+        accuracy_curve=[90.0, 70.0, 40.0, 12.0],
+        loss_curve=[1.0, 1.5, 2.5],
+        candidate_bits=1000,
+    )
+
+
+class TestAttackEvent:
+    def test_weight_delta(self):
+        event = AttackEvent(0, "w", 0, 7, 10, -118, 0.0, 0.0)
+        assert event.weight_delta_int == -128
+
+
+class TestAttackResult:
+    def test_accuracy_drop(self):
+        assert make_result().accuracy_drop == 78.0
+
+    def test_curve_arrays(self):
+        flips, accuracy = make_result().curve()
+        assert np.array_equal(flips, [0, 1, 2, 3])
+        assert accuracy[-1] == 12.0
+
+    def test_flips_to_reach(self):
+        result = make_result()
+        assert result.flips_to_reach(50.0) == 2
+        assert result.flips_to_reach(12.0) == 3
+        assert result.flips_to_reach(5.0) is None
+
+    def test_flipped_bit_summary(self):
+        assert make_result().flipped_bit_summary() == {"a.weight": 2, "b.weight": 1}
+
+    def test_bit_position_histogram(self):
+        histogram = make_result().bit_position_histogram()
+        assert histogram == {7: 2, 6: 1}
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        payload = make_result().to_dict()
+        text = json.dumps(payload)
+        assert "rowpress" in text
+        assert payload["num_flips"] == 3

@@ -1,0 +1,165 @@
+"""Unit tests for the individual mitigation mechanisms."""
+
+import pytest
+
+from repro.defenses import build_defense
+from repro.defenses.base import DefenseMechanism
+from repro.defenses.cbt import CounterBasedTreeDefense
+from repro.defenses.graphene import GrapheneDefense
+from repro.defenses.hydra import HydraDefense
+from repro.defenses.para import ParaDefense
+from repro.defenses.trr import TargetRowRefreshDefense
+
+
+class TestBaseBehaviour:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            GrapheneDefense(mac_threshold=0)
+        with pytest.raises(ValueError):
+            TargetRowRefreshDefense(table_size=0)
+        with pytest.raises(ValueError):
+            HydraDefense(group_size=0)
+
+    def test_victims_of_blast_radius(self):
+        defense = GrapheneDefense(mac_threshold=10, blast_radius=2)
+        assert sorted(defense.victims_of(10)) == [8, 9, 11, 12]
+
+    def test_observation_granularity_bounded_by_threshold(self):
+        defense = GrapheneDefense(mac_threshold=4096)
+        assert 0 < defense.observation_granularity() <= 4096
+
+    def test_negative_count_rejected(self):
+        defense = GrapheneDefense(mac_threshold=10)
+        with pytest.raises(ValueError):
+            defense.on_activations(0, 1, -1, 0)
+
+    def test_registry_builder(self):
+        for name in ("trr", "graphene", "cbt", "para", "hydra"):
+            assert isinstance(build_defense(name), DefenseMechanism)
+        with pytest.raises(KeyError):
+            build_defense("nonexistent")
+
+
+def drive(defense, bank, row, total, chunk):
+    """Feed activations in chunks, returning all NRR victim rows observed."""
+    victims = []
+    remaining = total
+    while remaining > 0:
+        batch = min(chunk, remaining)
+        victims.extend(defense.on_activations(bank, row, batch, cycle=0))
+        remaining -= batch
+    return victims
+
+
+class TestTRR:
+    def test_triggers_at_threshold(self):
+        defense = TargetRowRefreshDefense(mac_threshold=1000, table_size=4)
+        victims = drive(defense, 0, 10, 2500, 250)
+        assert victims.count(9) == 2 and victims.count(11) == 2
+
+    def test_table_eviction_keeps_hot_rows(self):
+        defense = TargetRowRefreshDefense(mac_threshold=1000, table_size=2)
+        drive(defense, 0, 1, 500, 100)
+        drive(defense, 0, 2, 400, 100)
+        drive(defense, 0, 3, 50, 50)  # evicts the least active entry
+        tracked = dict(defense.tracked_rows(0))
+        assert 1 in tracked
+        assert len(tracked) <= 2
+
+    def test_single_activation_never_triggers(self):
+        defense = TargetRowRefreshDefense(mac_threshold=1000)
+        assert defense.on_activations(0, 5, 1, 0) == []
+
+    def test_reset(self):
+        defense = TargetRowRefreshDefense(mac_threshold=10)
+        drive(defense, 0, 1, 20, 5)
+        defense.reset()
+        assert defense.tracked_rows(0) == []
+        assert defense.stats.triggers == 0
+
+
+class TestGraphene:
+    def test_triggers_at_threshold(self):
+        defense = GrapheneDefense(mac_threshold=1000, table_size=8)
+        victims = drive(defense, 0, 7, 1200, 100)
+        assert 6 in victims and 8 in victims
+
+    def test_estimate_tracks_heavy_hitter(self):
+        defense = GrapheneDefense(mac_threshold=100_000, table_size=4)
+        drive(defense, 0, 3, 5000, 500)
+        assert defense.estimated_count(0, 3) >= 5000
+
+    def test_per_bank_isolation(self):
+        defense = GrapheneDefense(mac_threshold=1000)
+        drive(defense, 0, 3, 900, 100)
+        assert defense.estimated_count(1, 3) == 0
+
+    def test_many_distinct_rows_do_not_trigger(self):
+        defense = GrapheneDefense(mac_threshold=1000, table_size=8)
+        victims = []
+        for row in range(200):
+            victims.extend(defense.on_activations(0, row, 10, 0))
+        assert victims == []
+
+
+class TestCBT:
+    def test_triggers_and_subdivides(self):
+        defense = CounterBasedTreeDefense(mac_threshold=1000, num_rows=64, split_threshold=100)
+        victims = drive(defense, 0, 20, 1500, 100)
+        assert victims  # some NRR issued
+        assert defense.leaf_count(0) > 1
+
+    def test_row_beyond_coverage_grows_tree(self):
+        defense = CounterBasedTreeDefense(mac_threshold=100, num_rows=16)
+        defense.on_activations(0, 64, 10, 0)
+        assert defense.num_rows >= 65
+
+    def test_reset(self):
+        defense = CounterBasedTreeDefense(mac_threshold=100, num_rows=16)
+        drive(defense, 0, 3, 200, 50)
+        defense.reset()
+        assert defense.leaf_count(0) == 1
+
+
+class TestPARA:
+    def test_probability_zero_never_triggers(self):
+        defense = ParaDefense(refresh_probability=0.0, seed=0)
+        assert drive(defense, 0, 4, 100_000, 1000) == []
+
+    def test_high_activation_count_triggers_with_high_probability(self):
+        defense = ParaDefense(refresh_probability=0.001, seed=0)
+        victims = drive(defense, 0, 4, 100_000, 1000)
+        assert len(victims) > 0
+
+    def test_expected_triggers(self):
+        defense = ParaDefense(refresh_probability=0.001)
+        assert defense.expected_triggers(10_000) == pytest.approx(10.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ParaDefense(refresh_probability=1.5)
+
+
+class TestHydra:
+    def test_group_counter_expands_to_row_counters(self):
+        defense = HydraDefense(mac_threshold=1000, group_size=8, group_threshold=100)
+        drive(defense, 0, 12, 150, 50)
+        assert defense.is_group_expanded(0, 12)
+        assert defense.row_counter(0, 12) > 0
+
+    def test_triggers_after_expansion(self):
+        defense = HydraDefense(mac_threshold=1000, group_size=8, group_threshold=100)
+        victims = drive(defense, 0, 12, 2500, 100)
+        assert 11 in victims and 13 in victims
+
+    def test_cold_group_does_not_expand(self):
+        defense = HydraDefense(mac_threshold=1000, group_size=8, group_threshold=1000)
+        drive(defense, 0, 12, 100, 10)
+        assert not defense.is_group_expanded(0, 12)
+
+    def test_reset(self):
+        defense = HydraDefense(mac_threshold=100, group_size=8, group_threshold=10)
+        drive(defense, 0, 12, 500, 50)
+        defense.reset()
+        assert not defense.is_group_expanded(0, 12)
+        assert defense.row_counter(0, 12) == 0

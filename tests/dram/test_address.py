@@ -1,0 +1,68 @@
+"""Tests for the flat-address <-> cell-coordinate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper, CellAddress
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DramGeometry(num_banks=2, rows_per_bank=4, cols_per_row=8))
+
+
+class TestAddressMapper:
+    def test_capacity(self, mapper):
+        assert mapper.capacity_bits == 2 * 4 * 8
+
+    def test_roundtrip_all_addresses(self, mapper):
+        for flat in range(mapper.capacity_bits):
+            cell = mapper.to_cell(flat)
+            assert mapper.to_flat(cell) == flat
+
+    def test_bijection(self, mapper):
+        cells = {mapper.to_cell(flat).as_tuple() for flat in range(mapper.capacity_bits)}
+        assert len(cells) == mapper.capacity_bits
+
+    def test_consecutive_bits_fill_a_row(self, mapper):
+        first = mapper.to_cell(0)
+        second = mapper.to_cell(1)
+        assert first.bank == second.bank and first.row == second.row
+        assert second.col == first.col + 1
+
+    def test_rows_rotate_across_banks(self, mapper):
+        cols = mapper.geometry.cols_per_row
+        assert mapper.to_cell(0).bank == 0
+        assert mapper.to_cell(cols).bank == 1
+
+    def test_out_of_range_rejected(self, mapper):
+        with pytest.raises(IndexError):
+            mapper.to_cell(mapper.capacity_bits)
+        with pytest.raises(IndexError):
+            mapper.to_flat(CellAddress(bank=99, row=0, col=0))
+
+    def test_vector_forms(self, mapper):
+        flats = [0, 5, 17, 33]
+        cells = mapper.to_cells(flats)
+        assert np.array_equal(mapper.to_flats(cells), np.asarray(flats))
+
+    def test_page_frame(self, mapper):
+        frame, offset = mapper.page_frame(10, page_size_bits=16)
+        assert (frame, offset) == (0, 10)
+        frame, offset = mapper.page_frame(35, page_size_bits=16)
+        assert (frame, offset) == (2, 3)
+
+    def test_region(self, mapper):
+        region = mapper.region(start_bit=4, num_bits=6)
+        assert len(region) == 6
+        with pytest.raises(ValueError):
+            mapper.region(start_bit=mapper.capacity_bits - 2, num_bits=10)
+
+
+class TestCellAddress:
+    def test_ordering_and_tuple(self):
+        a = CellAddress(0, 1, 2)
+        b = CellAddress(0, 1, 3)
+        assert a < b
+        assert a.as_tuple() == (0, 1, 2)

@@ -1,0 +1,69 @@
+"""Tests for row-data helpers and flip detection."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cells import (
+    CellFlip,
+    all_ones,
+    all_zeros,
+    bits_from_bytes,
+    checkerboard,
+    detect_flips,
+    diff_columns,
+    random_row,
+)
+
+
+class TestPatterns:
+    def test_all_ones_zeros(self):
+        assert all_ones(8).sum() == 8
+        assert all_zeros(8).sum() == 0
+
+    def test_checkerboard_alternates(self):
+        row = checkerboard(6)
+        assert row.tolist() == [0, 1, 0, 1, 0, 1]
+        assert checkerboard(6, phase=1).tolist() == [1, 0, 1, 0, 1, 0]
+
+    def test_random_row_is_binary(self):
+        row = random_row(100, np.random.default_rng(0))
+        assert set(np.unique(row)) <= {0, 1}
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            all_ones(0)
+
+    def test_bits_from_bytes(self):
+        bits = bits_from_bytes(b"\xff\x00", 16)
+        assert bits[:8].sum() == 8 and bits[8:].sum() == 0
+        padded = bits_from_bytes(b"\xff", 12)
+        assert padded.size == 12 and padded[8:].sum() == 0
+
+
+class TestFlipDetection:
+    def test_diff_columns(self):
+        a = np.array([0, 1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 0, 0, 0], dtype=np.uint8)
+        assert diff_columns(a, b).tolist() == [1, 3]
+
+    def test_diff_columns_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            diff_columns(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    def test_detect_flips_records_direction(self):
+        expected = np.array([1, 1, 0, 0], dtype=np.uint8)
+        observed = np.array([1, 0, 0, 1], dtype=np.uint8)
+        flips = detect_flips(expected, observed, bank=2, row=3, mechanism="rowpress")
+        assert len(flips) == 2
+        directions = {flip.col: flip.direction for flip in flips}
+        assert directions == {1: "1->0", 3: "0->1"}
+        assert all(flip.mechanism == "rowpress" for flip in flips)
+        assert all(flip.bank == 2 and flip.row == 3 for flip in flips)
+
+    def test_no_flips(self):
+        row = np.zeros(8, dtype=np.uint8)
+        assert detect_flips(row, row.copy(), 0, 0, "rowhammer") == []
+
+    def test_cellflip_direction_property(self):
+        flip = CellFlip(bank=0, row=1, col=2, before=1, after=0, mechanism="rowhammer")
+        assert flip.direction == "1->0"

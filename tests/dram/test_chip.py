@@ -1,0 +1,77 @@
+"""Tests for the chip-level model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import CellAddress
+from repro.dram.chip import ChipInfo, DramChip
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def chip():
+    return DramChip(DramGeometry(num_banks=2, rows_per_bank=16, cols_per_row=64), seed=1)
+
+
+class TestBankManagement:
+    def test_banks_are_lazy(self, chip):
+        assert chip.instantiated_banks == []
+        chip.bank(1)
+        assert chip.instantiated_banks == [1]
+
+    def test_bank_identity_is_stable(self, chip):
+        assert chip.bank(0) is chip.bank(0)
+
+    def test_invalid_bank(self, chip):
+        with pytest.raises(IndexError):
+            chip.bank(5)
+
+    def test_reset_drops_state_but_keeps_vulnerability(self, chip):
+        bank_map_before = chip.bank(0).vulnerability
+        chip.write_row(0, 3, np.ones(64, dtype=np.uint8))
+        chip.reset()
+        assert chip.instantiated_banks == []
+        assert chip.read_row(0, 3).sum() == 0
+        bank_map_after = chip.bank(0).vulnerability
+        assert np.array_equal(bank_map_before.rp_cols, bank_map_after.rp_cols)
+
+
+class TestDataAccess:
+    def test_row_roundtrip(self, chip):
+        row = np.ones(64, dtype=np.uint8)
+        chip.write_row(1, 4, row)
+        assert np.array_equal(chip.read_row(1, 4), row)
+
+    def test_bit_roundtrip_by_address(self, chip):
+        address = CellAddress(bank=1, row=2, col=3)
+        chip.write_bit(address, 1)
+        assert chip.read_bit(address) == 1
+
+    def test_flat_bits_roundtrip(self, chip):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        chip.write_bits_flat(100, bits)
+        assert np.array_equal(chip.read_bits_flat(100, 8), bits)
+
+
+class TestDisturbanceAndInfo:
+    def test_hammer_and_press_delegate_to_bank(self, chip):
+        chip.write_row(0, 5, np.zeros(64, dtype=np.uint8))
+        chip.write_row(0, 4, np.ones(64, dtype=np.uint8))
+        chip.write_row(0, 6, np.ones(64, dtype=np.uint8))
+        flips = chip.hammer(0, [4, 6], 10_000_000)
+        assert isinstance(flips, list)
+        flips = chip.press(0, 5, 10_000_000)
+        assert isinstance(flips, list)
+
+    def test_refresh_all_resets_accumulators(self, chip):
+        chip.hammer(0, [4, 6], 1000)
+        chip.refresh_all()
+        assert chip.bank(0).hammer_accumulator.sum() == 0
+
+    def test_vulnerability_statistics_shape(self, chip):
+        stats = chip.vulnerability_statistics()
+        assert {"rh_cells", "rp_cells", "overlap_fraction_of_union"} <= set(stats)
+
+    def test_describe_mentions_geometry_and_vendor(self, chip):
+        text = chip.describe()
+        assert "banks" in text and ChipInfo().manufacturer in text

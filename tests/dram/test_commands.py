@@ -1,0 +1,72 @@
+"""Tests for the DRAM command vocabulary and trace container."""
+
+import pytest
+
+from repro.dram.commands import CommandTrace, CommandType, DramCommand
+
+
+class TestDramCommand:
+    def test_activation_and_precharge_predicates(self):
+        act = DramCommand(CommandType.ACT, bank=0, row=1, cycle=0)
+        pre = DramCommand(CommandType.PRE, bank=0, row=1, cycle=10, open_cycles=10)
+        assert act.is_activation() and not act.is_precharge()
+        assert pre.is_precharge() and not pre.is_activation()
+
+    def test_str_of_command_type(self):
+        assert str(CommandType.NRR) == "NRR"
+
+
+class TestCommandTrace:
+    def _trace(self):
+        trace = CommandTrace()
+        trace.extend(
+            [
+                DramCommand(CommandType.ACT, 0, 5, cycle=0),
+                DramCommand(CommandType.PRE, 0, 5, cycle=40, open_cycles=40),
+                DramCommand(CommandType.ACT, 0, 7, cycle=60),
+                DramCommand(CommandType.PRE, 0, 7, cycle=100, open_cycles=40),
+                DramCommand(CommandType.ACT, 1, 5, cycle=120),
+                DramCommand(CommandType.REF, -1, -1, cycle=200),
+            ]
+        )
+        return trace
+
+    def test_length_and_iteration(self):
+        trace = self._trace()
+        assert len(trace) == 6
+        assert [c.command for c in trace][:2] == [CommandType.ACT, CommandType.PRE]
+
+    def test_out_of_order_append_rejected(self):
+        trace = self._trace()
+        with pytest.raises(ValueError):
+            trace.append(DramCommand(CommandType.ACT, 0, 1, cycle=10))
+
+    def test_filter(self):
+        trace = self._trace()
+        assert len(trace.filter(CommandType.ACT)) == 3
+        assert len(trace.filter(CommandType.REF)) == 1
+
+    def test_activation_count_scoping(self):
+        trace = self._trace()
+        assert trace.activation_count() == 3
+        assert trace.activation_count(bank=0) == 2
+        assert trace.activation_count(bank=0, row=5) == 1
+        assert trace.activation_count(bank=2) == 0
+
+    def test_max_open_window(self):
+        trace = self._trace()
+        assert trace.max_open_window() == 40
+        assert trace.max_open_window(bank=1) == 0
+
+    def test_duration_and_summary(self):
+        trace = self._trace()
+        assert trace.duration_cycles == 200
+        summary = trace.summary()
+        assert summary["ACT"] == 3
+        assert summary["total"] == 6
+        assert summary["duration_cycles"] == 200
+
+    def test_empty_trace(self):
+        trace = CommandTrace()
+        assert trace.duration_cycles == 0
+        assert trace.activation_count() == 0

@@ -1,0 +1,129 @@
+"""Tests for the memory controller."""
+
+import numpy as np
+import pytest
+
+from repro.dram.chip import DramChip
+from repro.dram.commands import CommandType
+from repro.dram.controller import MemoryController
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import VulnerabilityParameters
+from repro.defenses.graphene import GrapheneDefense
+
+
+@pytest.fixture
+def chip():
+    params = VulnerabilityParameters(rh_density=0.05, rp_density=0.25)
+    return DramChip(
+        DramGeometry(num_banks=1, rows_per_bank=32, cols_per_row=512),
+        vulnerability_parameters=params,
+        seed=7,
+    )
+
+
+def prepare_double_sided(chip, victim=10):
+    chip.write_row(0, victim, np.zeros(512, dtype=np.uint8))
+    chip.write_row(0, victim - 1, np.ones(512, dtype=np.uint8))
+    chip.write_row(0, victim + 1, np.ones(512, dtype=np.uint8))
+
+
+class TestBasicCommands:
+    def test_activate_advances_time_and_counts(self, chip):
+        controller = MemoryController(chip, record_trace=True)
+        controller.activate(0, 3)
+        assert controller.stats.activations == 1
+        assert controller.current_cycle == chip.timings.t_ras_cycles
+        assert controller.trace[0].command is CommandType.ACT
+
+    def test_precharge_records_open_window(self, chip):
+        controller = MemoryController(chip, record_trace=True)
+        controller.precharge(0, 3, open_cycles=123)
+        assert controller.trace[0].open_cycles == 123
+
+    def test_refresh_resets_accumulators(self, chip):
+        controller = MemoryController(chip)
+        prepare_double_sided(chip)
+        controller.hammer_rows(0, [9, 11], 10_000)
+        controller.refresh()
+        assert chip.bank(0).hammer_accumulator.sum() == 0
+        assert controller.stats.refreshes == 1
+
+
+class TestHammerRows:
+    def test_produces_flips_without_defense(self, chip):
+        controller = MemoryController(chip)
+        prepare_double_sided(chip)
+        flips = controller.hammer_rows(0, [9, 11], 800_000)
+        assert len(flips) > 0
+        assert controller.stats.total_flips == len(flips)
+
+    def test_zero_count_is_noop(self, chip):
+        controller = MemoryController(chip)
+        assert controller.hammer_rows(0, [9, 11], 0) == []
+
+    def test_time_accounting(self, chip):
+        controller = MemoryController(chip)
+        prepare_double_sided(chip)
+        controller.hammer_rows(0, [9, 11], 1000)
+        expected = 1000 * 2 * chip.timings.hammer_iteration_cycles
+        assert controller.current_cycle == expected
+
+    def test_defense_receives_activations_and_mitigates(self, chip):
+        defense = GrapheneDefense(mac_threshold=4096)
+        controller = MemoryController(chip, defenses=[defense])
+        prepare_double_sided(chip)
+        flips = controller.hammer_rows(0, [9, 11], 800_000)
+        assert flips == []
+        assert controller.stats.nearby_row_refreshes > 0
+        assert defense.stats.observed_activations == 2 * 800_000
+
+
+class TestPressRow:
+    def test_produces_flips_and_single_activation_per_window(self, chip):
+        controller = MemoryController(chip)
+        chip.write_row(0, 20, np.ones(512, dtype=np.uint8))
+        chip.write_row(0, 19, np.zeros(512, dtype=np.uint8))
+        chip.write_row(0, 21, np.zeros(512, dtype=np.uint8))
+        flips = controller.press_row(0, 20, 80_000_000)
+        assert len(flips) > 0
+        assert controller.stats.activations == 1
+
+    def test_open_window_bounded_by_refresh_window(self, chip):
+        controller = MemoryController(chip)
+        too_long = chip.timings.max_open_window_cycles() + 1
+        with pytest.raises(ValueError, match="refresh window"):
+            controller.press_row(0, 20, too_long)
+
+    def test_press_bypasses_counter_defense(self, chip):
+        defense = GrapheneDefense(mac_threshold=4096)
+        controller = MemoryController(chip, defenses=[defense])
+        chip.write_row(0, 20, np.ones(512, dtype=np.uint8))
+        chip.write_row(0, 19, np.zeros(512, dtype=np.uint8))
+        chip.write_row(0, 21, np.zeros(512, dtype=np.uint8))
+        flips = controller.press_row(0, 20, 80_000_000)
+        assert len(flips) > 0
+        assert defense.stats.triggers == 0
+        assert controller.stats.nearby_row_refreshes == 0
+
+    def test_press_repeated_accumulates(self, chip):
+        controller = MemoryController(chip)
+        chip.write_row(0, 20, np.ones(512, dtype=np.uint8))
+        chip.write_row(0, 19, np.zeros(512, dtype=np.uint8))
+        chip.write_row(0, 21, np.zeros(512, dtype=np.uint8))
+        once = len(controller.press_row(0, 20, 30_000_000))
+        more = len(controller.press_row_repeated(0, 20, 30_000_000, repetitions=3))
+        assert once + more >= once  # repetitions never reduce flips
+        assert controller.stats.activations == 4
+
+    def test_elapsed_ms(self, chip):
+        controller = MemoryController(chip)
+        controller.press_row(0, 20, 2_400_000)  # 1 ms of open window
+        assert controller.elapsed_ms() >= 1.0
+
+
+class TestAutoRefresh:
+    def test_auto_refresh_triggers_on_refresh_window(self, chip):
+        controller = MemoryController(chip, auto_refresh=True)
+        window = chip.timings.t_refw_cycles
+        controller._advance(window + 1)
+        assert controller.stats.refreshes >= 1

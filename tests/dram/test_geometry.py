@@ -1,0 +1,59 @@
+"""Tests for DRAM geometry."""
+
+import pytest
+
+from repro.dram.geometry import DEFAULT_GEOMETRY, TINY_GEOMETRY, DramGeometry
+
+
+class TestDramGeometry:
+    def test_cell_counts(self):
+        geometry = DramGeometry(num_banks=2, rows_per_bank=4, cols_per_row=8)
+        assert geometry.cells_per_bank == 32
+        assert geometry.total_cells == 64
+        assert geometry.total_bytes == 8
+
+    def test_default_geometry_is_nontrivial(self):
+        assert DEFAULT_GEOMETRY.total_cells > 100_000
+
+    def test_tiny_geometry_smaller_than_default(self):
+        assert TINY_GEOMETRY.total_cells < DEFAULT_GEOMETRY.total_cells
+
+    def test_validation(self):
+        geometry = TINY_GEOMETRY
+        geometry.validate_bank(0)
+        geometry.validate_row(geometry.rows_per_bank - 1)
+        geometry.validate_col(geometry.cols_per_row - 1)
+        with pytest.raises(IndexError):
+            geometry.validate_bank(geometry.num_banks)
+        with pytest.raises(IndexError):
+            geometry.validate_row(-1)
+        with pytest.raises(IndexError):
+            geometry.validate_col(geometry.cols_per_row)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DramGeometry(num_banks=0)
+        with pytest.raises(ValueError):
+            DramGeometry(rows_per_bank=0)
+        with pytest.raises(ValueError):
+            DramGeometry(cols_per_row=-1)
+
+
+class TestNeighbours:
+    def test_interior_row_has_two_neighbours(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=10, cols_per_row=4)
+        assert geometry.neighbours(5) == (4, 6)
+
+    def test_edge_rows_have_single_neighbour(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=10, cols_per_row=4)
+        assert geometry.neighbours(0) == (1,)
+        assert geometry.neighbours(9) == (8,)
+
+    def test_distance_two(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=10, cols_per_row=4)
+        assert geometry.neighbours(5, distance=2) == (3, 7)
+
+    def test_invalid_distance(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=10, cols_per_row=4)
+        with pytest.raises(ValueError):
+            geometry.neighbours(5, distance=0)

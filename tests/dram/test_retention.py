@@ -1,0 +1,44 @@
+"""Tests for the retention-time model."""
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.retention import RetentionModel
+from repro.dram.timing import DramTimings
+
+
+@pytest.fixture
+def model():
+    return RetentionModel(DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=16), seed=3)
+
+
+class TestRetentionModel:
+    def test_retention_exceeds_refresh_window(self, model):
+        # Every row must retain data at least as long as the refresh window.
+        timings = DramTimings()
+        for bank in range(2):
+            for row in range(64):
+                assert model.retention_time_ms(bank, row) >= timings.t_refw_ms
+
+    def test_deterministic_for_seed(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=8, cols_per_row=4)
+        a = RetentionModel(geometry, seed=1)
+        b = RetentionModel(geometry, seed=1)
+        assert a.retention_time_ms(0, 3) == b.retention_time_ms(0, 3)
+
+    def test_survives_semantics(self, model):
+        retention = model.retention_time_ms(0, 0)
+        assert model.survives(0, 0, retention - 1)
+        assert not model.survives(0, 0, retention + 1)
+
+    def test_negative_interval_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.survives(0, 0, -1)
+
+    def test_max_safe_open_window_bounded_by_refresh_window(self, model):
+        timings = DramTimings()
+        assert model.max_safe_open_window_cycles(0, 0) <= timings.t_refw_cycles
+
+    def test_out_of_range_row(self, model):
+        with pytest.raises(IndexError):
+            model.retention_time_ms(0, 999)

@@ -1,0 +1,58 @@
+"""Tests for DDR4 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import SPEED_GRADES, DramTimings, get_speed_grade
+
+
+class TestDramTimings:
+    def test_default_is_ddr4_2400(self):
+        timings = DramTimings()
+        assert timings.frequency_mhz == 2400.0
+        assert timings.t_refw_ms == 64.0
+
+    def test_clock_period(self):
+        assert DramTimings().t_ck_ns == pytest.approx(1e3 / 2400.0)
+
+    def test_refresh_window_cycles(self):
+        timings = DramTimings()
+        # 64 ms at 2400 MHz = 153.6 M cycles.
+        assert timings.t_refw_cycles == pytest.approx(153_600_000, rel=1e-6)
+
+    def test_hammer_iteration_cycles(self):
+        timings = DramTimings(t_ras_cycles=39, t_rp_cycles=17, hammer_sleep_cycles=5)
+        # ACT + Sleep(5 tCK) + PRE, as described in Section V-A.
+        assert timings.hammer_iteration_cycles == 39 + 5 + 17
+
+    def test_cycles_ms_roundtrip(self):
+        timings = DramTimings()
+        assert timings.cycles_to_ms(timings.ms_to_cycles(3.5)) == pytest.approx(3.5)
+
+    def test_hammer_counts_to_cycles(self):
+        timings = DramTimings()
+        assert timings.hammer_counts_to_cycles(10) == 10 * timings.hammer_iteration_cycles
+
+    def test_max_open_window_is_refresh_window(self):
+        timings = DramTimings()
+        assert timings.max_open_window_cycles() == timings.t_refw_cycles
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DramTimings(frequency_mhz=0)
+        with pytest.raises(ValueError):
+            DramTimings(t_ras_cycles=0)
+
+
+class TestSpeedGrades:
+    def test_known_grades_present(self):
+        assert {"DDR4-2133", "DDR4-2400", "DDR4-3200"} <= set(SPEED_GRADES)
+
+    def test_lookup(self):
+        assert get_speed_grade("DDR4-3200").frequency_mhz == 3200.0
+
+    def test_unknown_grade_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="DDR4-2400"):
+            get_speed_grade("DDR5-4800")
+
+    def test_faster_grades_have_shorter_clock(self):
+        assert SPEED_GRADES["DDR4-3200"].t_ck_ns < SPEED_GRADES["DDR4-2133"].t_ck_ns

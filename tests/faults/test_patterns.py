@@ -1,0 +1,36 @@
+"""Tests for data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.faults.patterns import (
+    DataPattern,
+    make_pattern,
+    profiling_patterns,
+    victim_differs_everywhere,
+)
+
+
+class TestMakePattern:
+    def test_victim_zeros(self):
+        victim, aggressor = make_pattern(DataPattern.VICTIM_ZEROS, 16)
+        assert victim.sum() == 0 and aggressor.sum() == 16
+
+    def test_victim_ones(self):
+        victim, aggressor = make_pattern(DataPattern.VICTIM_ONES, 16)
+        assert victim.sum() == 16 and aggressor.sum() == 0
+
+    def test_checkerboard_differs_everywhere(self):
+        victim, aggressor = make_pattern(DataPattern.CHECKERBOARD, 16)
+        assert victim_differs_everywhere(victim, aggressor)
+
+    @pytest.mark.parametrize("pattern", list(DataPattern))
+    def test_all_patterns_fully_differ(self, pattern):
+        victim, aggressor = make_pattern(pattern, 32)
+        assert victim_differs_everywhere(victim, aggressor)
+        assert victim.dtype == np.uint8 and aggressor.dtype == np.uint8
+
+    def test_profiling_patterns_cover_both_polarities(self):
+        patterns = profiling_patterns()
+        assert DataPattern.VICTIM_ZEROS in patterns
+        assert DataPattern.VICTIM_ONES in patterns

@@ -1,0 +1,79 @@
+"""Tests for the RowHammer fault-injection model (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.controller import MemoryController
+from repro.faults.patterns import DataPattern
+from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig
+
+
+@pytest.fixture
+def controller(dense_chip):
+    return MemoryController(dense_chip)
+
+
+class TestRowHammerConfig:
+    def test_aggressor_rows_double_sided(self):
+        config = RowHammerConfig(victim_row=8, aggressor_distance=1)
+        assert config.aggressor_rows(rows_per_bank=32) == [7, 9]
+
+    def test_aggressor_rows_at_edge(self):
+        config = RowHammerConfig(victim_row=0)
+        assert config.aggressor_rows(rows_per_bank=32) == [1]
+
+    def test_escalated_distance(self):
+        config = RowHammerConfig(victim_row=8, aggressor_distance=2)
+        assert config.aggressor_rows(rows_per_bank=32) == [6, 10]
+
+
+class TestRowHammerAttack:
+    def test_prepare_rows_writes_patterns(self, controller):
+        attack = RowHammerAttack(controller, RowHammerConfig(victim_row=8, hammer_count=100))
+        expected = attack.prepare_rows()
+        assert expected.sum() == 0
+        assert controller.chip.read_row(0, 7).sum() == controller.chip.geometry.cols_per_row
+
+    def test_flips_accumulate_with_hammer_count(self, controller):
+        low = RowHammerAttack(controller, RowHammerConfig(victim_row=8, hammer_count=30_000)).run()
+        controller.chip.reset()
+        high = RowHammerAttack(controller, RowHammerConfig(victim_row=8, hammer_count=900_000)).run()
+        assert high.num_flips >= low.num_flips
+        assert high.num_flips > 0
+
+    def test_result_metadata(self, controller):
+        result = RowHammerAttack(controller, RowHammerConfig(victim_row=8, hammer_count=500_000)).run()
+        assert result.hammer_count == 500_000
+        assert result.elapsed_cycles > 0
+        assert all(flip.mechanism == "rowhammer" for flip in result.flips)
+        assert result.flipped_columns == sorted(result.flipped_columns)
+
+    def test_inverted_pattern_exposes_other_direction(self, controller):
+        zeros = RowHammerAttack(
+            controller, RowHammerConfig(victim_row=8, hammer_count=900_000, pattern=DataPattern.VICTIM_ZEROS)
+        ).run()
+        controller.chip.reset()
+        ones = RowHammerAttack(
+            controller, RowHammerConfig(victim_row=8, hammer_count=900_000, pattern=DataPattern.VICTIM_ONES)
+        ).run()
+        zero_direction = {flip.direction for flip in zeros.flips}
+        one_direction = {flip.direction for flip in ones.flips}
+        assert zero_direction <= {"0->1"}
+        assert one_direction <= {"1->0"}
+
+    def test_no_flips_when_data_matches_aggressors(self, controller):
+        config = RowHammerConfig(victim_row=8, hammer_count=900_000)
+        attack = RowHammerAttack(controller, config)
+        attack.prepare_rows()
+        # Overwrite the victim with the aggressor pattern: no differing bits.
+        cols = controller.chip.geometry.cols_per_row
+        controller.chip.write_row(0, 8, np.ones(cols, dtype=np.uint8))
+        controller.hammer_rows(0, [7, 9], 900_000)
+        observed = controller.chip.read_row(0, 8)
+        assert observed.sum() == cols  # nothing flipped
+
+    def test_hammer_count_bounds(self, controller):
+        attack = RowHammerAttack(controller, RowHammerConfig(victim_row=8))
+        lower, upper = attack.hammer_count_bounds([10_000, 100_000, 400_000, 900_000, 1_200_000])
+        assert lower is not None
+        assert lower <= 900_000

@@ -1,0 +1,65 @@
+"""Tests for the RowPress fault-injection model (Algorithm 2)."""
+
+import pytest
+
+from repro.dram.controller import MemoryController
+from repro.faults.rowpress import RowPressAttack, RowPressConfig
+
+
+@pytest.fixture
+def controller(dense_chip):
+    return MemoryController(dense_chip)
+
+
+class TestRowPressConfig:
+    def test_pattern_rows(self):
+        config = RowPressConfig(pressed_row=8)
+        assert config.pattern_rows(rows_per_bank=32) == [7, 9]
+
+    def test_pattern_rows_at_edge(self):
+        config = RowPressConfig(pressed_row=0)
+        assert config.pattern_rows(rows_per_bank=32) == [1]
+
+
+class TestRowPressAttack:
+    def test_flips_increase_with_open_window(self, controller):
+        short = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=1_000_000)).run()
+        controller.chip.reset()
+        long = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=90_000_000)).run()
+        assert long.num_flips >= short.num_flips
+        assert long.num_flips > 0
+
+    def test_single_activation_per_window(self, controller):
+        result = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=50_000_000)).run()
+        assert result.total_activations == 1
+
+    def test_window_larger_than_refresh_window_is_split(self, controller):
+        max_window = controller.chip.timings.max_open_window_cycles()
+        result = RowPressAttack(
+            controller, RowPressConfig(pressed_row=8, open_cycles=max_window + 1000)
+        ).run()
+        assert result.total_activations == 2
+
+    def test_repetitions_accumulate(self, controller):
+        once = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=20_000_000)).run()
+        controller.chip.reset()
+        controller2 = MemoryController(controller.chip)
+        thrice = RowPressAttack(
+            controller2, RowPressConfig(pressed_row=8, open_cycles=20_000_000, repetitions=3)
+        ).run()
+        assert thrice.num_flips >= once.num_flips
+        assert thrice.total_activations == 3
+
+    def test_flips_confined_to_pattern_rows(self, controller):
+        result = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=90_000_000)).run()
+        assert set(flip.row for flip in result.flips) <= {7, 9}
+        assert all(flip.mechanism == "rowpress" for flip in result.flips)
+
+    def test_flips_per_row_accounting(self, controller):
+        result = RowPressAttack(controller, RowPressConfig(pressed_row=8, open_cycles=90_000_000)).run()
+        assert sum(result.flips_per_row.values()) == result.num_flips
+
+    def test_invalid_repetitions(self, controller):
+        attack = RowPressAttack(controller, RowPressConfig(pressed_row=8))
+        with pytest.raises(ValueError):
+            attack.run(repetitions=0)

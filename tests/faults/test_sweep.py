@@ -1,0 +1,76 @@
+"""Tests for the Fig.-6 budget sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.dram.chip import DramChip
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import VulnerabilityParameters
+from repro.faults.sweep import (
+    FlipCurve,
+    equal_time_comparison,
+    rowhammer_flip_curve,
+    rowpress_flip_curve,
+)
+
+
+@pytest.fixture
+def chip():
+    geometry = DramGeometry(num_banks=1, rows_per_bank=32, cols_per_row=512)
+    params = VulnerabilityParameters(rh_density=0.02, rp_density=0.2)
+    return DramChip(geometry, vulnerability_parameters=params, seed=13)
+
+
+class TestFlipCurve:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FlipCurve("rowhammer", np.array([1.0, 2.0]), np.array([1]))
+
+    def test_time_axis_rowhammer(self):
+        curve = FlipCurve("rowhammer", np.array([1.36e6]), np.array([10]))
+        assert curve.time_axis_ms()[0] == pytest.approx(64.0)
+
+    def test_time_axis_rowpress(self):
+        curve = FlipCurve("rowpress", np.array([2.4e6]), np.array([10]))
+        assert curve.time_axis_ms()[0] == pytest.approx(1.0)
+
+    def test_flips_at_time(self):
+        curve = FlipCurve("rowpress", np.array([2.4e6, 4.8e6]), np.array([5, 9]))
+        assert curve.flips_at_time_ms(0.5) == 0
+        assert curve.flips_at_time_ms(1.0) == 5
+        assert curve.flips_at_time_ms(10.0) == 9
+
+    def test_serialisation(self):
+        curve = FlipCurve("rowpress", np.array([1.0]), np.array([2]), rows_tested=3)
+        payload = curve.to_dict()
+        assert payload["mechanism"] == "rowpress" and payload["rows_tested"] == 3
+
+
+class TestSweeps:
+    def test_rowhammer_curve_monotone(self, chip):
+        curve = rowhammer_flip_curve(chip, [100_000, 400_000, 800_000], max_rows_per_bank=6)
+        assert curve.mechanism == "rowhammer"
+        assert curve.is_monotonic()
+        assert curve.final_flips > 0
+
+    def test_rowpress_curve_monotone(self, chip):
+        curve = rowpress_flip_curve(chip, [10_000_000, 50_000_000, 100_000_000], max_rows_per_bank=6)
+        assert curve.mechanism == "rowpress"
+        assert curve.is_monotonic()
+        assert curve.final_flips > 0
+
+    def test_equal_time_comparison_shows_rowpress_advantage(self, chip):
+        rh = rowhammer_flip_curve(chip, [300_000, 600_000, 885_000], max_rows_per_bank=6)
+        chip.reset()
+        rp = rowpress_flip_curve(chip, [30_000_000, 60_000_000, 100_000_000], max_rows_per_bank=6)
+        comparison = equal_time_comparison(rh, rp)
+        assert comparison["rowpress_flips"] > comparison["rowhammer_flips"]
+        assert comparison["rowpress_to_rowhammer_ratio"] > 1.0
+        # The fair-conversion rule of Section VII-A.
+        assert comparison["rowpress_budget_equivalent_hammer_counts"] == pytest.approx(885_416.7, rel=1e-3)
+
+    def test_empty_budget_rejected(self, chip):
+        with pytest.raises(ValueError):
+            rowhammer_flip_curve(chip, [])
+        with pytest.raises(ValueError):
+            rowpress_flip_curve(chip, [])

@@ -1,0 +1,97 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfa import BitSearchConfig
+from repro.core.mapping import WeightBitMapping
+from repro.core.objective import AttackObjective
+from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
+from repro.defenses import GrapheneDefense
+from repro.dram.chip import DramChip
+from repro.dram.controller import MemoryController
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import VulnerabilityParameters
+from repro.faults.profiler import ChipProfiler, ProfilingConfig
+from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig
+from repro.faults.rowpress import RowPressAttack, RowPressConfig
+from repro.nn.quantization import quantize_model
+
+
+class TestProfileThenAttackPipeline:
+    """The attacker's full workflow: profile a chip, then attack a model."""
+
+    def test_profiled_chip_drives_profile_aware_attack(self, tiny_trained_model, tiny_dataset):
+        # 1. Profile a simulated chip under both mechanisms.
+        geometry = DramGeometry(num_banks=2, rows_per_bank=48, cols_per_row=2048)
+        params = VulnerabilityParameters(rh_density=0.02, rp_density=0.15)
+        chip = DramChip(geometry, vulnerability_parameters=params, seed=31)
+        profiler = ChipProfiler(chip, ProfilingConfig(hammer_count=900_000, open_cycles=100_000_000,
+                                                      row_stride=2))
+        pair = profiler.profile()
+        assert len(pair.rowpress) > len(pair.rowhammer)
+
+        # 2. Deploy the quantized surrogate into the same address space and
+        #    attack it with each profile.
+        model, clean_state = tiny_trained_model
+
+        def run(profile):
+            model.load_state_dict(clean_state)
+            infos = quantize_model(model)
+            objective = AttackObjective.from_dataset(tiny_dataset, attack_batch_size=16,
+                                                     eval_samples=24, seed=41)
+            attack = DramProfileAwareAttack(
+                model, objective, profile,
+                config=ProfileAwareConfig(
+                    search=BitSearchConfig(max_flips=10, top_k_layers=3, eval_batch_size=32),
+                    geometry=geometry,
+                ),
+                tensor_infos=infos, model_name="tiny",
+            )
+            return attack.run()
+
+        rowpress_result = run(pair.rowpress)
+        rowhammer_result = run(pair.rowhammer)
+        # The denser RowPress profile exposes more candidate weight bits.
+        assert rowpress_result.candidate_bits > rowhammer_result.candidate_bits
+        # Both attacks make progress (accuracy does not increase).
+        assert rowpress_result.accuracy_after <= rowpress_result.accuracy_before
+        assert rowhammer_result.accuracy_after <= rowhammer_result.accuracy_before
+
+
+class TestDefenseInteractionWithAttacks:
+    def test_defended_chip_blocks_rowhammer_but_not_rowpress(self):
+        geometry = DramGeometry(num_banks=1, rows_per_bank=32, cols_per_row=512)
+        params = VulnerabilityParameters(rh_density=0.05, rp_density=0.25)
+        chip = DramChip(geometry, vulnerability_parameters=params, seed=7)
+
+        defense = GrapheneDefense(mac_threshold=2048)
+        controller = MemoryController(chip, defenses=[defense])
+
+        rowhammer = RowHammerAttack(controller, RowHammerConfig(victim_row=8, hammer_count=700_000)).run()
+        rowpress = RowPressAttack(controller, RowPressConfig(pressed_row=20, open_cycles=80_000_000)).run()
+
+        assert rowhammer.num_flips == 0
+        assert rowhammer.nrr_issued > 0
+        assert rowpress.num_flips > 0
+        assert rowpress.nrr_issued == 0
+
+
+class TestWeightPlacementOnChip:
+    def test_model_bits_round_trip_through_dram(self, tiny_quantized_model):
+        """Deploy quantized weight bits into the simulated chip and read back."""
+        from repro.nn.bitops import int_to_bits
+
+        model, infos = tiny_quantized_model
+        geometry = DramGeometry(num_banks=2, rows_per_bank=96, cols_per_row=2048)
+        chip = DramChip(geometry, seed=3)
+        mapping = WeightBitMapping(infos, capacity_bits=geometry.total_cells)
+        # Deploy the first tensor's bits.
+        info = infos[0]
+        parameter = dict(model.named_parameters())[info.name]
+        bits = int_to_bits(parameter.int_repr.ravel(), info.num_bits).ravel()
+        start, end = mapping.tensor_span(info.name)
+        assert end - start == bits.size
+        chip.write_bits_flat(start, bits[: min(bits.size, 2048)])
+        read_back = chip.read_bits_flat(start, min(bits.size, 2048))
+        assert np.array_equal(read_back, bits[: min(bits.size, 2048)])

@@ -1,0 +1,145 @@
+"""Tests for the surrogate model zoo (topology and forward/backward)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    M11,
+    DeiT,
+    ResNetCifar,
+    ResNetImageNet,
+    VMamba,
+    deit_base,
+    deit_small,
+    deit_tiny,
+    m11,
+    resnet20,
+    resnet32,
+    resnet44,
+    resnet34,
+    resnet50,
+    resnet101,
+    vmamba_tiny,
+)
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Conv1d, Conv2d, Linear
+from repro.nn.loss import cross_entropy
+
+rng = np.random.default_rng(5)
+
+
+def count_weight_layers(model, layer_types=(Conv2d, Conv1d, Linear)):
+    return sum(1 for _, module in model.named_modules() if isinstance(module, layer_types))
+
+
+class TestCifarResNets:
+    def test_depth_rule(self):
+        with pytest.raises(ValueError):
+            ResNetCifar(depth=21)
+
+    @pytest.mark.parametrize("factory,depth", [(resnet20, 20), (resnet32, 32), (resnet44, 44)])
+    def test_conv_count_matches_depth(self, factory, depth):
+        model = factory(num_classes=10, base_width=4, rng=rng)
+        # depth = 6n + 2 means (depth - 2) 3x3 convs in blocks + stem + head,
+        # plus the 1x1 downsample convs at the two stage transitions.
+        convs = sum(1 for _, m in model.named_modules() if isinstance(m, Conv2d))
+        assert convs == (depth - 2) + 1 + 2
+        assert isinstance(model.head, Linear)
+
+    def test_forward_backward(self):
+        model = resnet20(num_classes=10, base_width=4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)))
+        logits = model(x)
+        assert logits.shape == (2, 10)
+        cross_entropy(logits, np.array([0, 1])).backward()
+        assert model.stem.weight.grad is not None
+
+    def test_parameter_count_ordering(self):
+        p20 = resnet20(base_width=4, rng=rng).num_parameters()
+        p32 = resnet32(base_width=4, rng=rng).num_parameters()
+        p44 = resnet44(base_width=4, rng=rng).num_parameters()
+        assert p20 < p32 < p44
+
+
+class TestImageNetResNets:
+    def test_stage_layouts(self):
+        model = resnet34(num_classes=5, base_width=4, rng=rng)
+        assert model.stage_blocks == [3, 4, 6, 3] and not model.bottleneck
+        model = resnet101(num_classes=5, base_width=4, rng=rng)
+        assert model.stage_blocks == [3, 4, 23, 3] and model.bottleneck
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            ResNetImageNet([2, 2, 2], bottleneck=False)
+
+    @pytest.mark.parametrize("factory", [resnet34, resnet50])
+    def test_forward_shapes(self, factory):
+        model = factory(num_classes=7, base_width=4, rng=rng)
+        logits = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert logits.shape == (2, 7)
+
+    def test_parameter_count_ordering(self):
+        p34 = resnet34(base_width=4, rng=rng).num_parameters()
+        p50 = resnet50(base_width=4, rng=rng).num_parameters()
+        p101 = resnet101(base_width=4, rng=rng).num_parameters()
+        assert p34 < p101 and p50 < p101
+
+
+class TestDeiT:
+    def test_sizes_are_ordered(self):
+        tiny = deit_tiny(num_classes=5, rng=rng).num_parameters()
+        small = deit_small(num_classes=5, rng=rng).num_parameters()
+        base = deit_base(num_classes=5, rng=rng).num_parameters()
+        assert tiny < small < base
+
+    def test_forward_backward_and_image_size_override(self):
+        model = deit_tiny(num_classes=6, rng=rng, image_size=8)
+        logits = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert logits.shape == (2, 6)
+        cross_entropy(logits, np.array([0, 1])).backward()
+        assert model.head.weight.grad is not None
+
+    def test_token_count(self):
+        model = DeiT(image_size=16, patch_size=4, embed_dim=16, depth=1, num_heads=2)
+        assert model.patch_embed.num_patches == 16
+        assert model.positional.position.shape[1] == 17  # +1 class token
+
+
+class TestVMambaAndM11:
+    def test_vmamba_forward_backward(self):
+        model = vmamba_tiny(num_classes=6, rng=rng, image_size=8)
+        logits = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert logits.shape == (2, 6)
+        cross_entropy(logits, np.array([0, 1])).backward()
+        assert model.head.weight.grad is not None
+
+    def test_vmamba_has_ssm_blocks(self):
+        from repro.nn.layers import SelectiveSSMBlock
+
+        model = VMamba(embed_dim=16, depth=3, num_classes=4)
+        blocks = [m for _, m in model.named_modules() if isinstance(m, SelectiveSSMBlock)]
+        assert len(blocks) == 3
+
+    def test_m11_has_eleven_weight_layers(self):
+        model = m11(num_classes=10, base_width=4, rng=rng)
+        # 1 stem conv + 9 group convs + 1 linear head = 11 weight layers.
+        assert count_weight_layers(model) == 11
+
+    def test_m11_forward_backward(self):
+        model = m11(num_classes=10, base_width=4, rng=rng)
+        logits = model(Tensor(rng.normal(size=(2, 1, 256))))
+        assert logits.shape == (2, 10)
+        cross_entropy(logits, np.array([0, 3])).backward()
+        assert model.stem.weight.grad is not None
+
+    def test_m11_widths_follow_group_multipliers(self):
+        model = M11(num_classes=4, base_width=4)
+        assert model.head.in_features == 4 * 8  # last group multiplier is 8
+
+
+class TestDeterminism:
+    def test_same_rng_gives_same_weights(self):
+        a = resnet20(base_width=4, rng=np.random.default_rng(7))
+        b = resnet20(base_width=4, rng=np.random.default_rng(7))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)

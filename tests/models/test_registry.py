@@ -1,0 +1,71 @@
+"""Tests for the Table-I roster registry."""
+
+import pytest
+
+from repro.models.registry import MODEL_REGISTRY, TABLE1_ROSTER, build_model, get_spec
+
+
+class TestRosterContents:
+    def test_eleven_models(self):
+        assert len(TABLE1_ROSTER) == 11
+        assert len(MODEL_REGISTRY) == 11
+
+    def test_expected_keys_present(self):
+        expected = {
+            "resnet20", "resnet32", "resnet44",
+            "resnet34", "resnet50", "resnet101",
+            "deit_tiny", "deit_small", "deit_base",
+            "vmamba_tiny", "m11",
+        }
+        assert set(MODEL_REGISTRY) == expected
+
+    def test_order_matches_table1(self):
+        keys = [spec.key for spec in TABLE1_ROSTER]
+        assert keys[0] == "resnet20" and keys[-1] == "m11"
+
+    def test_paper_numbers_recorded(self):
+        spec = get_spec("resnet20")
+        assert spec.paper.rowhammer_bit_flips == 36
+        assert spec.paper.rowpress_bit_flips == 8
+        assert spec.paper.clean_accuracy == pytest.approx(92.42)
+
+    def test_paper_flip_ratios_in_expected_range(self):
+        # The paper reports RowPress needing up to ~4x fewer flips, 3.6x avg.
+        ratios = [spec.paper.flip_ratio for spec in TABLE1_ROSTER]
+        assert all(1.5 <= ratio <= 6.0 for ratio in ratios)
+        mean = sum(ratios) / len(ratios)
+        assert 3.0 <= mean <= 4.2
+
+    def test_families_cover_all_architecture_types(self):
+        families = {spec.family for spec in TABLE1_ROSTER}
+        assert families == {"cnn", "vision_transformer", "state_space", "audio_cnn"}
+
+    def test_datasets_cover_all_modalities(self):
+        datasets = {spec.paper_dataset for spec in TABLE1_ROSTER}
+        assert datasets == {"CIFAR-10", "ImageNet", "Google Speech Command"}
+
+
+class TestBuilders:
+    def test_get_spec_unknown_key(self):
+        with pytest.raises(KeyError, match="resnet20"):
+            get_spec("alexnet")
+
+    def test_build_model_returns_consistent_pair(self):
+        model, dataset = build_model("deit_tiny", seed=1)
+        logits_dim = model.head.out_features
+        assert logits_dim == dataset.num_classes
+
+    def test_build_dataset_deterministic_per_seed(self):
+        spec = get_spec("resnet20")
+        a = spec.build_dataset(seed=3)
+        b = spec.build_dataset(seed=3)
+        assert (a.train_x == b.train_x).all()
+
+    def test_build_model_deterministic_per_seed(self):
+        spec = get_spec("resnet20")
+        import numpy as np
+
+        a = spec.build_model(num_classes=10, seed=3)
+        b = spec.build_model(num_classes=10, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)

@@ -1,0 +1,116 @@
+"""Tests for two's-complement bit manipulation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.bitops import (
+    bit_flip_delta,
+    bit_flip_deltas_vector,
+    bits_to_int,
+    flip_bit,
+    from_twos_complement,
+    get_bit,
+    hamming_distance,
+    int_range,
+    int_to_bits,
+    to_twos_complement,
+)
+
+
+class TestTwosComplement:
+    def test_int_range_8bit(self):
+        assert int_range(8) == (-128, 127)
+
+    def test_encode_decode_roundtrip(self):
+        values = np.arange(-128, 128)
+        encoded = to_twos_complement(values, 8)
+        assert np.array_equal(from_twos_complement(encoded, 8), values)
+
+    def test_known_encodings(self):
+        assert to_twos_complement(np.array([-1]), 8)[0] == 0xFF
+        assert to_twos_complement(np.array([-128]), 8)[0] == 0x80
+        assert to_twos_complement(np.array([127]), 8)[0] == 0x7F
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(np.array([128]), 8)
+        with pytest.raises(ValueError):
+            to_twos_complement(np.array([-129]), 8)
+
+    def test_invalid_bit_width(self):
+        with pytest.raises(ValueError):
+            int_range(1)
+        with pytest.raises(ValueError):
+            int_range(64)
+
+
+class TestBitExpansion:
+    def test_int_to_bits_lsb_first(self):
+        bits = int_to_bits(np.array([5]), 8)[0]
+        assert bits.tolist() == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_sign_bit_of_negative(self):
+        bits = int_to_bits(np.array([-1]), 8)[0]
+        assert bits.tolist() == [1] * 8
+
+    def test_bits_to_int_roundtrip(self):
+        values = np.arange(-128, 128)
+        assert np.array_equal(bits_to_int(int_to_bits(values, 8), 8), values)
+
+    def test_bits_to_int_shape_check(self):
+        with pytest.raises(ValueError):
+            bits_to_int(np.zeros((3, 7)), 8)
+
+    def test_get_bit(self):
+        assert get_bit(5, 0, 8) == 1
+        assert get_bit(5, 1, 8) == 0
+        assert get_bit(-1, 7, 8) == 1
+        with pytest.raises(IndexError):
+            get_bit(5, 8, 8)
+
+
+class TestBitFlips:
+    def test_flip_magnitude_bit(self):
+        assert flip_bit(0, 0, 8) == 1
+        assert flip_bit(1, 0, 8) == 0
+        assert flip_bit(0, 6, 8) == 64
+
+    def test_flip_sign_bit(self):
+        assert flip_bit(0, 7, 8) == -128
+        assert flip_bit(-128, 7, 8) == 0
+        assert flip_bit(127, 7, 8) == -1
+        assert flip_bit(-1, 7, 8) == 127
+
+    def test_flip_is_involution(self):
+        for value in (-128, -5, 0, 17, 127):
+            for bit in range(8):
+                assert flip_bit(flip_bit(value, bit, 8), bit, 8) == value
+
+    def test_bit_flip_delta_consistency(self):
+        for value in (-100, -1, 0, 3, 100):
+            for bit in range(8):
+                assert bit_flip_delta(value, bit, 8) == flip_bit(value, bit, 8) - value
+
+    def test_vectorised_deltas_match_scalar(self):
+        values = np.arange(-128, 128)
+        for bit in range(8):
+            vector = bit_flip_deltas_vector(values, bit, 8)
+            scalar = np.array([bit_flip_delta(int(v), bit, 8) for v in values])
+            assert np.array_equal(vector, scalar)
+
+    def test_sign_bit_delta_has_magnitude_128(self):
+        deltas = bit_flip_deltas_vector(np.array([-5, 5]), 7, 8)
+        assert np.array_equal(np.abs(deltas), [128, 128])
+
+
+class TestHammingDistance:
+    def test_identical_is_zero(self):
+        values = np.array([1, -3, 100])
+        assert hamming_distance(values, values, 8) == 0
+
+    def test_single_bit_difference(self):
+        assert hamming_distance(np.array([0]), np.array([1]), 8) == 1
+        assert hamming_distance(np.array([0]), np.array([-128]), 8) == 1
+
+    def test_counts_all_differing_bits(self):
+        assert hamming_distance(np.array([0]), np.array([-1]), 8) == 8

@@ -1,0 +1,220 @@
+"""Tests for the layer library (shapes, modes, parameter registration)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    GELU,
+    BatchNorm1d,
+    BatchNorm2d,
+    ClassTokenConcat,
+    Conv1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    MultiHeadSelfAttention,
+    PatchEmbedding,
+    PositionalEmbedding,
+    ReLU,
+    SelectiveSSMBlock,
+    Sequential,
+    SiLU,
+    TransformerBlock,
+)
+
+rng = np.random.default_rng(2)
+
+
+class TestLinearAndConvLayers:
+    def test_linear_shapes_and_params(self):
+        layer = Linear(6, 3)
+        assert layer(Tensor(rng.normal(size=(4, 6)))).shape == (4, 3)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_linear_without_bias(self):
+        layer = Linear(6, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_conv2d_shape(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(Tensor(rng.normal(size=(2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_conv1d_shape(self):
+        layer = Conv1d(2, 4, 5, stride=2, padding=2)
+        assert layer(Tensor(rng.normal(size=(2, 2, 16)))).shape == (2, 4, 8)
+
+    def test_gradients_reach_parameters(self):
+        layer = Conv2d(2, 4, 3, padding=1)
+        out = layer(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None and np.any(layer.weight.grad != 0)
+        assert layer.bias.grad is not None
+
+
+class TestNormLayers:
+    def test_batchnorm2d_train_normalises_batch(self):
+        layer = BatchNorm2d(3)
+        x = Tensor(rng.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4)))
+        out = layer(x)
+        assert abs(out.data.mean()) < 1e-6
+        assert out.data.std() == pytest.approx(1.0, rel=1e-2)
+
+    def test_batchnorm_running_stats_updated_and_used_in_eval(self):
+        layer = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.normal(loc=3.0, size=(16, 2, 4, 4)))
+        layer.train()
+        layer(x)
+        assert np.any(layer.running_mean != 0)
+        layer.eval()
+        out_eval = layer(Tensor(np.zeros((2, 2, 4, 4))))
+        # In eval mode the output depends on running stats, not on the batch.
+        assert not np.allclose(out_eval.data, 0.0)
+
+    def test_batchnorm1d_shape(self):
+        layer = BatchNorm1d(4)
+        assert layer(Tensor(rng.normal(size=(3, 4, 10)))).shape == (3, 4, 10)
+
+    def test_layernorm_normalises_last_dim(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(loc=2.0, size=(3, 5, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_invalid_feature_count(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestActivationsAndPooling:
+    def test_relu_gelu_silu_shapes(self):
+        x = Tensor(rng.normal(size=(4, 5)))
+        for layer in (ReLU(), GELU(), SiLU()):
+            assert layer(x).shape == (4, 5)
+
+    def test_relu_clamps_negative(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_pool_and_flatten(self):
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)))
+        assert MaxPool2d(2)(x).shape == (2, 3, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (2, 3)
+        assert Flatten()(x).shape == (2, 48)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_some_activations(self):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        x = Tensor(np.ones((20, 20)))
+        out = layer(x)
+        assert (out.data == 0).any()
+        # Inverted dropout preserves the expectation roughly.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestSequential:
+    def test_forward_and_iteration(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert model(Tensor(rng.normal(size=(3, 4)))).shape == (3, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_append(self):
+        model = Sequential(Linear(4, 4))
+        model.append(ReLU())
+        assert len(model) == 2
+        assert len(model.parameters()) == 2  # only the linear layer has params
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(4, 4))
+        model.eval()
+        assert not model[0].training
+
+
+class TestTransformerLayers:
+    def test_attention_shape_preserved(self):
+        attention = MultiHeadSelfAttention(embed_dim=16, num_heads=4)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        assert attention(x).shape == (2, 5, 16)
+
+    def test_attention_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(embed_dim=10, num_heads=3)
+
+    def test_transformer_block_shape_and_gradients(self):
+        block = TransformerBlock(embed_dim=16, num_heads=2, mlp_ratio=2.0)
+        x = Tensor(rng.normal(size=(2, 5, 16)), requires_grad=True)
+        out = block(x)
+        assert out.shape == (2, 5, 16)
+        out.sum().backward()
+        assert x.grad is not None
+        assert block.attention.qkv.weight.grad is not None
+
+    def test_patch_embedding_token_count(self):
+        embed = PatchEmbedding(image_size=16, patch_size=4, in_channels=3, embed_dim=8)
+        tokens = embed(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert tokens.shape == (2, 16, 8)
+
+    def test_patch_embedding_divisibility(self):
+        with pytest.raises(ValueError):
+            PatchEmbedding(image_size=10, patch_size=4, in_channels=3, embed_dim=8)
+
+    def test_class_token_prepended(self):
+        concat = ClassTokenConcat(embed_dim=8)
+        tokens = concat(Tensor(rng.normal(size=(3, 4, 8))))
+        assert tokens.shape == (3, 5, 8)
+        # The class token is shared across the batch.
+        assert np.allclose(tokens.data[0, 0], tokens.data[1, 0])
+
+    def test_positional_embedding_shape_check(self):
+        positional = PositionalEmbedding(num_tokens=5, embed_dim=8)
+        assert positional(Tensor(rng.normal(size=(2, 5, 8)))).shape == (2, 5, 8)
+        with pytest.raises(ValueError):
+            positional(Tensor(rng.normal(size=(2, 7, 8))))
+
+
+class TestSelectiveSSM:
+    def test_shape_preserved_and_gradients_flow(self):
+        block = SelectiveSSMBlock(embed_dim=12, expansion=2.0)
+        x = Tensor(rng.normal(size=(2, 6, 12)), requires_grad=True)
+        out = block(x)
+        assert out.shape == (2, 6, 12)
+        out.sum().backward()
+        assert x.grad is not None
+        assert block.in_proj.weight.grad is not None
+        assert block.log_decay.grad is not None
+
+    def test_sequence_mixing_is_causal_in_scan(self):
+        # Changing a later token must not change earlier outputs (the scan
+        # runs left to right).
+        block = SelectiveSSMBlock(embed_dim=8, expansion=1.0)
+        base = rng.normal(size=(1, 5, 8))
+        modified = base.copy()
+        modified[0, 4] += 10.0
+        out_base = block(Tensor(base)).data
+        out_modified = block(Tensor(modified)).data
+        assert np.allclose(out_base[0, :4], out_modified[0, :4])
+        assert not np.allclose(out_base[0, 4], out_modified[0, 4])

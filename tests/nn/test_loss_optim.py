@@ -1,0 +1,122 @@
+"""Tests for the loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.loss import CrossEntropyLoss, accuracy, cross_entropy
+from repro.nn.optim import SGD, Adam
+from repro.nn.parameter import Parameter
+
+rng = np.random.default_rng(3)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_correct_confident_prediction_gives_small_loss(self):
+        logits = np.full((2, 5), -10.0)
+        logits[np.arange(2), [1, 3]] = 10.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 3]))
+        assert loss.item() < 1e-6
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        logits_value = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        logits = Tensor(logits_value, requires_grad=True)
+        cross_entropy(logits, labels).backward()
+        softmax = np.exp(logits_value - logits_value.max(axis=1, keepdims=True))
+        softmax /= softmax.sum(axis=1, keepdims=True)
+        onehot = np.eye(4)[labels]
+        expected = (softmax - onehot) / 3
+        assert np.allclose(logits.grad, expected, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_callable_wrapper(self):
+        loss = CrossEntropyLoss()(Tensor(np.zeros((2, 2))), np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(2))
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.eye(3)
+        assert accuracy(logits, np.array([0, 1, 2])) == 100.0
+        assert accuracy(logits, np.array([1, 2, 0])) == 0.0
+
+    def test_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0)) == 0.0
+
+
+class TestOptimizers:
+    def test_sgd_plain_step(self):
+        parameter = Parameter(np.array([1.0, 2.0]))
+        parameter.grad = np.array([0.5, -0.5])
+        SGD([parameter], lr=0.1).step()
+        assert np.allclose(parameter.data, [0.95, 2.05])
+
+    def test_sgd_momentum_accumulates(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], lr=1.0, momentum=0.9)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        first = parameter.data.copy()
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        # Second step is larger than the first because of momentum.
+        assert abs(parameter.data[0] - first[0]) > 1.0
+
+    def test_weight_decay_pulls_towards_zero(self):
+        parameter = Parameter(np.array([10.0]))
+        parameter.grad = np.array([0.0])
+        SGD([parameter], lr=0.1, weight_decay=0.5).step()
+        assert parameter.data[0] < 10.0
+
+    def test_adam_moves_against_gradient(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_skip_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        Adam([parameter], lr=0.1).step()
+        assert parameter.data[0] == 1.0
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([1.0])
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_optimizers_reduce_loss_on_regression_task(self):
+        from repro.nn.loss import cross_entropy as ce
+
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(32, 5))
+        y = rng.integers(0, 3, size=32)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = ce(layer(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.7

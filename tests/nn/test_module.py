@@ -1,0 +1,125 @@
+"""Tests for Module registration, traversal and state I/O."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class SmallNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2)
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_named_parameters_qualified_names(self):
+        net = SmallNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(names) == 4
+
+    def test_named_modules_includes_self_and_children(self):
+        net = SmallNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "act" in names
+
+    def test_num_parameters(self):
+        net = SmallNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_add_module_explicit(self):
+        net = SmallNet()
+        net.add_module("extra", Linear(2, 2))
+        assert "extra" in dict(net.named_modules())
+
+
+class TestModesAndGrads:
+    def test_train_eval_propagation(self):
+        net = Sequential(SmallNet(), SmallNet())
+        net.eval()
+        assert all(not module.training for _, module in net.named_modules())
+        net.train()
+        assert all(module.training for _, module in net.named_modules())
+
+    def test_zero_grad(self):
+        net = SmallNet()
+        out = net(Tensor(np.random.default_rng(0).normal(size=(3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = SmallNet()
+        state = net.state_dict()
+        # Mutate then restore.
+        for parameter in net.parameters():
+            parameter.data += 1.0
+        net.load_state_dict(state)
+        for name, parameter in net.named_parameters():
+            assert np.allclose(parameter.data, state[name])
+
+    def test_state_dict_contains_buffers(self):
+        net = SmallNet()
+        assert "counter" in net.state_dict()
+
+    def test_missing_key_rejected(self):
+        net = SmallNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = SmallNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_values_are_copies(self):
+        net = SmallNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.allclose(dict(net.named_parameters())["fc1.weight"].data, 99.0)
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        assert parameter.requires_grad
+
+    def test_quantization_lifecycle(self):
+        parameter = Parameter(np.array([[0.5, -1.0]]))
+        parameter.attach_quantization(np.array([[64, -127]]), scale=1 / 127, num_bits=8)
+        assert parameter.is_quantized
+        assert np.allclose(parameter.data, np.array([[64, -127]]) / 127)
+        parameter.detach_quantization()
+        assert not parameter.is_quantized
+
+    def test_attach_quantization_validation(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            parameter.attach_quantization(np.zeros((3, 3)), scale=1.0, num_bits=8)
+        with pytest.raises(ValueError):
+            parameter.attach_quantization(np.zeros((2, 2)), scale=0.0, num_bits=8)
+
+    def test_grad_array_defaults_to_zeros(self):
+        parameter = Parameter(np.ones((3,)))
+        assert np.allclose(parameter.grad_array(), 0.0)

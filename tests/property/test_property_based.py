@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry
+from repro.faults.profiles import BitFlipProfile
+from repro.nn.autograd import Tensor
+from repro.nn.bitops import (
+    bit_flip_delta,
+    bits_to_int,
+    flip_bit,
+    from_twos_complement,
+    hamming_distance,
+    int_to_bits,
+    to_twos_complement,
+)
+from repro.nn.quantization import dequantize_array, quantize_array
+from repro.utils.units import (
+    cycles_to_ms,
+    hammer_counts_to_time_ms,
+    ms_to_cycles,
+    time_ms_to_hammer_counts,
+)
+
+int8_values = st.integers(min_value=-128, max_value=127)
+bit_positions = st.integers(min_value=0, max_value=7)
+
+
+class TestBitopsProperties:
+    @given(int8_values)
+    def test_twos_complement_roundtrip(self, value):
+        encoded = to_twos_complement(np.array([value]), 8)
+        assert from_twos_complement(encoded, 8)[0] == value
+
+    @given(int8_values)
+    def test_bit_expansion_roundtrip(self, value):
+        bits = int_to_bits(np.array([value]), 8)
+        assert bits_to_int(bits, 8)[0] == value
+
+    @given(int8_values, bit_positions)
+    def test_flip_is_involution_and_stays_in_range(self, value, bit):
+        flipped = flip_bit(value, bit, 8)
+        assert -128 <= flipped <= 127
+        assert flip_bit(flipped, bit, 8) == value
+
+    @given(int8_values, bit_positions)
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        flipped = flip_bit(value, bit, 8)
+        assert hamming_distance(np.array([value]), np.array([flipped]), 8) == 1
+
+    @given(int8_values, bit_positions)
+    def test_delta_magnitude_is_power_of_two(self, value, bit):
+        delta = abs(bit_flip_delta(value, bit, 8))
+        assert delta == 2 ** bit
+
+
+class TestQuantizationProperties:
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=64)
+    )
+    def test_quantization_error_bounded(self, values):
+        weights = np.asarray(values)
+        ints, scale = quantize_array(weights, 8)
+        reconstructed = dequantize_array(ints, scale)
+        assert np.all(np.abs(reconstructed - weights) <= scale / 2 + 1e-9)
+        assert ints.min() >= -128 and ints.max() <= 127
+
+    @given(st.floats(min_value=0.01, max_value=100, allow_nan=False))
+    def test_quantization_scale_invariance_of_sign(self, magnitude):
+        weights = np.array([-magnitude, magnitude / 3, magnitude])
+        ints, _ = quantize_array(weights, 8)
+        assert ints[0] < 0 < ints[2]
+
+
+class TestAddressProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=64),
+        st.data(),
+    )
+    def test_flat_cell_roundtrip(self, banks, rows, cols, data):
+        geometry = DramGeometry(num_banks=banks, rows_per_bank=rows, cols_per_row=cols)
+        mapper = AddressMapper(geometry)
+        flat = data.draw(st.integers(min_value=0, max_value=geometry.total_cells - 1))
+        assert mapper.to_flat(mapper.to_cell(flat)) == flat
+
+
+class TestUnitsProperties:
+    @given(st.floats(min_value=0, max_value=1e10, allow_nan=False))
+    def test_cycles_ms_roundtrip(self, cycles):
+        assert ms_to_cycles(cycles_to_ms(cycles)) == np.float64(cycles).round() or True
+        assert abs(ms_to_cycles(cycles_to_ms(cycles)) - cycles) <= 1.0
+
+    @given(st.floats(min_value=0, max_value=1e7, allow_nan=False))
+    def test_hammer_count_time_roundtrip(self, hammer_counts):
+        time_ms = hammer_counts_to_time_ms(hammer_counts)
+        assert time_ms_to_hammer_counts(time_ms) == np.float64(hammer_counts).item() or True
+        assert abs(time_ms_to_hammer_counts(time_ms) - hammer_counts) < 1e-3 * max(hammer_counts, 1)
+
+
+class TestProfileProperties:
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9999), min_size=0, max_size=200),
+        st.lists(st.integers(min_value=0, max_value=9999), min_size=0, max_size=200),
+    )
+    def test_overlap_is_symmetric_and_bounded(self, a_indices, b_indices):
+        a = BitFlipProfile("rowhammer", np.array(sorted(set(a_indices)), dtype=np.int64),
+                           np.zeros(len(set(a_indices)), dtype=np.int8), 10_000)
+        b = BitFlipProfile("rowpress", np.array(sorted(set(b_indices)), dtype=np.int64),
+                           np.zeros(len(set(b_indices)), dtype=np.int8), 10_000)
+        assert a.overlap(b).size == b.overlap(a).size
+        assert a.overlap(b).size <= min(len(a), len(b))
+        assert 0.0 <= a.overlap_fraction(b) <= 1.0
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=100))
+    def test_profile_restriction_is_subset(self, indices):
+        profile = BitFlipProfile("rowpress", np.array(sorted(set(indices)), dtype=np.int64),
+                                 np.zeros(len(set(indices)), dtype=np.int8), 1_000)
+        restricted = profile.restricted_to(indices[: len(indices) // 2])
+        assert set(restricted.flat_indices.tolist()) <= set(profile.flat_indices.tolist())
+
+
+class TestAutogradProperties:
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=16)
+    )
+    def test_softmax_is_distribution(self, values):
+        tensor = Tensor(np.asarray(values))
+        out = tensor.softmax(axis=-1).data
+        assert np.all(out >= 0)
+        assert out.sum() == np.float64(1.0).item() or abs(out.sum() - 1.0) < 1e-9
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=16)
+    )
+    def test_sum_gradient_is_ones(self, values):
+        tensor = Tensor(np.asarray(values), requires_grad=True)
+        tensor.sum().backward()
+        assert np.allclose(tensor.grad, 1.0)

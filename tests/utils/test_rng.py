@@ -1,0 +1,89 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngMixin,
+    choice_without_replacement,
+    derive_rng,
+    hash_string,
+    mix_seed,
+    spawn_seeds,
+)
+
+
+class TestDeriveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).random(5)
+        b = derive_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert derive_rng(rng) is rng
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds_a = spawn_seeds(7, 5)
+        seeds_b = spawn_seeds(7, 5)
+        assert len(seeds_a) == 5
+        assert seeds_a == seeds_b
+
+    def test_children_are_distinct(self):
+        seeds = spawn_seeds(3, 10)
+        assert len(set(seeds)) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+
+class TestMixSeed:
+    def test_deterministic(self):
+        assert mix_seed(1, "model", 3) == mix_seed(1, "model", 3)
+
+    def test_component_sensitivity(self):
+        assert mix_seed(1, "a") != mix_seed(1, "b")
+        assert mix_seed(1, 2) != mix_seed(1, 3)
+
+    def test_hash_string_stable(self):
+        # FNV-1a of "abc" is a fixed published value.
+        assert hash_string("abc") == 0x1A47E90B
+        assert hash_string("") == 0x811C9DC5
+
+
+class TestRngMixin:
+    def test_lazy_rng_and_reseed(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self._init_rng(seed)
+
+        thing = Thing(5)
+        first = thing.rng.random()
+        thing.reseed(5)
+        assert thing.rng.random() == pytest.approx(first)
+
+
+class TestChoiceWithoutReplacement:
+    def test_unique_samples(self):
+        rng = derive_rng(0)
+        picks = choice_without_replacement(rng, range(100), 50)
+        assert len(set(picks.tolist())) == 50
+
+    def test_oversample_raises(self):
+        rng = derive_rng(0)
+        with pytest.raises(ValueError):
+            choice_without_replacement(rng, range(5), 6)

@@ -1,0 +1,55 @@
+"""Tests for cycle/time/hammer-count conversions (Section VII-A)."""
+
+import pytest
+
+from repro.utils.units import (
+    cycles_to_ms,
+    cycles_to_seconds,
+    hammer_counts_to_time_ms,
+    ms_to_cycles,
+    rowpress_cycles_to_equivalent_hammer_counts,
+    time_ms_to_hammer_counts,
+)
+
+
+class TestCycleConversions:
+    def test_paper_example_100m_cycles(self):
+        # Section VII-A: 100 M cycles at 2400 MHz is ~41.67 ms.
+        assert cycles_to_ms(100e6) == pytest.approx(41.6667, rel=1e-3)
+
+    def test_roundtrip(self):
+        assert ms_to_cycles(cycles_to_ms(123456)) == pytest.approx(123456, rel=1e-9)
+
+    def test_seconds(self):
+        assert cycles_to_seconds(2.4e9) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_ms(-1)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_ms(10, frequency_mhz=0)
+
+
+class TestHammerCountConversions:
+    def test_paper_example_equivalent_hc(self):
+        # Section VII-A: 41.67 ms corresponds to ~885.5 K hammer counts.
+        hc = rowpress_cycles_to_equivalent_hammer_counts(100e6)
+        assert hc == pytest.approx(885_416.7, rel=1e-3)
+
+    def test_full_refresh_window_gives_max_hc(self):
+        assert time_ms_to_hammer_counts(64.0) == pytest.approx(1.36e6)
+
+    def test_roundtrip(self):
+        time_ms = hammer_counts_to_time_ms(500_000)
+        assert time_ms_to_hammer_counts(time_ms) == pytest.approx(500_000)
+
+    def test_monotonic_in_time(self):
+        assert time_ms_to_hammer_counts(10) < time_ms_to_hammer_counts(20)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hammer_counts_to_time_ms(-5)
+        with pytest.raises(ValueError):
+            time_ms_to_hammer_counts(1.0, trefw_ms=0)

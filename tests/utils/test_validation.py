@@ -1,0 +1,63 @@
+"""Tests for the validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        check_in_range("x", 0, 0, 10)
+        check_in_range("x", 10, 0, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+
+class TestCheckIndex:
+    def test_accepts_valid_index(self):
+        check_index("i", 0, 5)
+        check_index("i", 4, 5)
+
+    @pytest.mark.parametrize("value", [-1, 5, 100])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(IndexError):
+            check_index("i", value, 5)
