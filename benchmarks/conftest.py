@@ -1,10 +1,12 @@
 """Shared fixtures and helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures.  Because a
-single regeneration is itself a large measured workload, benchmarks run each
-workload exactly once (``benchmark.pedantic(rounds=1, iterations=1)``) and
-write their numeric output both to stdout and to ``benchmarks/results/`` so
-the numbers survive pytest's output capturing.
+Every benchmark regenerates one of the paper's tables or figures by
+declaring a :class:`repro.experiments.ExperimentSpec` and executing it on
+the session-wide :class:`repro.experiments.ExperimentRunner`.  Because a
+single regeneration is itself a large measured workload, benchmarks run
+each workload exactly once (``benchmark.pedantic(rounds=1, iterations=1)``)
+and persist their results through the session :class:`ResultStore` under
+``benchmarks/results/`` so the numbers survive pytest's output capturing.
 
 Environment knobs:
 
@@ -12,6 +14,9 @@ Environment knobs:
   reduced budgets) or ``full`` (three repetitions, paper-style averaging).
 * ``REPRO_TABLE1_MODELS`` — comma-separated subset of model keys for the
   Table-I benchmark (default: the full eleven-model roster).
+* ``REPRO_BENCH_BACKEND`` — ``serial`` (default) or ``process`` to fan the
+  experiment work units out over a process pool.
+* ``REPRO_BENCH_WORKERS`` — process-pool size for the ``process`` backend.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.comparison import build_deployment_profiles
+from repro.experiments import ExperimentRunner, ResultStore, make_backend
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -46,7 +51,7 @@ def table1_model_keys() -> list:
 
 
 def write_result(name: str, payload) -> Path:
-    """Persist a benchmark's numeric output under ``benchmarks/results``."""
+    """Persist auxiliary benchmark output (e.g. rendered tables) to ``results``."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / name
     if isinstance(payload, str):
@@ -57,6 +62,20 @@ def write_result(name: str, payload) -> Path:
 
 
 @pytest.fixture(scope="session")
-def deployment_profiles():
-    """The RowHammer / RowPress profiles of the deployment chip (Section VI)."""
-    return build_deployment_profiles(seed=2025)
+def result_store() -> ResultStore:
+    """The store every benchmark persists its experiment result into."""
+    return ResultStore(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def experiment_runner(result_store) -> ExperimentRunner:
+    """One runner for the whole benchmark session.
+
+    Sharing the runner shares its :class:`VictimCache`, so benchmarks whose
+    specs use the same (model, seed, epochs) reuse already-trained
+    surrogates instead of retraining per driver.
+    """
+    backend_name = os.environ.get("REPRO_BENCH_BACKEND", "serial")
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    backend = make_backend(backend_name, max_workers=int(workers) if workers else None)
+    return ExperimentRunner(backend=backend, store=result_store)

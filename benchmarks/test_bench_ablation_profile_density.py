@@ -2,94 +2,62 @@
 
 DESIGN.md calls out the key design choice behind the Table-I dynamics: the
 attack's efficiency is governed by how many (and which) weight bits the
-DRAM profile exposes.  This ablation sweeps the candidate-profile density
-for a fixed victim (the ResNet-20 surrogate) and also runs the unconstrained
-BFA baseline (every bit attackable), reporting the flips needed at each
+DRAM profile exposes.  The benchmark declares a
+:class:`repro.experiments.ProfileDensitySpec` — sweep the candidate-profile
+density for a fixed victim (the ResNet-20 surrogate) plus the unconstrained
+BFA baseline (every bit attackable) — and reports the flips needed at each
 density.  The expected shape — denser profiles need fewer flips, with the
 unconstrained baseline as the lower bound — is asserted loosely to allow
-for search stochasticity.
+for search stochasticity.  The experiment is persisted as
+``benchmarks/results/ablation_profile_density.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import write_result
-from repro.core.bfa import BitFlipAttack, BitSearchConfig, CandidateSet
-from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY
-from repro.core.objective import AttackObjective
-from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
-from repro.faults.profiles import BitFlipProfile
-from repro.models.registry import get_spec
-from repro.core.comparison import prepare_victim
-from repro.nn.quantization import quantize_model
+from repro.core.bfa import BitSearchConfig
+from repro.experiments import ProfileDensitySpec
 
-DENSITIES = [0.005, 0.02, 0.08]
-SEARCH = BitSearchConfig(max_flips=150, top_k_layers=5)
+DENSITIES = (0.005, 0.02, 0.08)
 
 
-def _run_ablation():
-    spec = get_spec("resnet20")
-    model, dataset, clean_state = prepare_victim(spec, seed=3)
-    capacity = DNN_DEPLOYMENT_GEOMETRY.total_cells
-    outcomes = {}
-
-    for density in DENSITIES:
-        model.load_state_dict(clean_state)
-        tensor_infos = quantize_model(model)
-        profile = BitFlipProfile.synthetic(
-            mechanism=f"synthetic-{density}",
-            capacity_bits=capacity,
-            density=density,
-            one_to_zero_probability=0.5,
-            seed=17,
-        )
-        objective = AttackObjective.from_dataset(dataset, attack_batch_size=32, eval_samples=80, seed=23)
-        attack = DramProfileAwareAttack(
-            model, objective, profile,
-            config=ProfileAwareConfig(search=SEARCH),
-            tensor_infos=tensor_infos, model_name=spec.display_name,
-        )
-        result = attack.run()
-        outcomes[density] = {
-            "num_flips": result.num_flips,
-            "converged": result.converged,
-            "candidate_bits": result.candidate_bits,
-            "accuracy_after": result.accuracy_after,
-        }
-
-    # Unconstrained BFA baseline (the original Rakin et al. attack).
-    model.load_state_dict(clean_state)
-    quantize_model(model)
-    objective = AttackObjective.from_dataset(dataset, attack_batch_size=32, eval_samples=80, seed=23)
-    baseline = BitFlipAttack(
-        model, objective, candidates=CandidateSet.all_bits(model), config=SEARCH,
-        model_name=spec.display_name, mechanism="unconstrained",
-    ).run()
-    outcomes["unconstrained"] = {
-        "num_flips": baseline.num_flips,
-        "converged": baseline.converged,
-        "candidate_bits": baseline.candidate_bits,
-        "accuracy_after": baseline.accuracy_after,
-    }
-    return outcomes
+def _ablation_spec() -> ProfileDensitySpec:
+    return ProfileDensitySpec(
+        model_key="resnet20",
+        densities=DENSITIES,
+        include_unconstrained=True,
+        search=BitSearchConfig(max_flips=150, top_k_layers=5),
+        eval_samples=80,
+        seed=3,
+        profile_seed=17,
+        objective_seed=23,
+    )
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_profile_density_ablation(benchmark):
+def test_profile_density_ablation(benchmark, experiment_runner):
     """Sweep profile density and compare against the unconstrained baseline."""
-    outcomes = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    spec = _ablation_spec()
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,),
+        kwargs={"save_as": "ablation_profile_density"},
+        rounds=1, iterations=1,
+    )
+    outcome = result.payload
 
-    print("\nPROFILE DENSITY ABLATION:", outcomes)
-    write_result("ablation_profile_density.json", outcomes)
+    print("\nPROFILE DENSITY ABLATION:", outcome.as_table())
 
-    densities = sorted(d for d in outcomes if isinstance(d, float))
+    by_density = dict(outcome.density_results)
+    densities = sorted(by_density)
+    assert densities == sorted(DENSITIES)
     # Candidate pools grow with density.
-    candidate_counts = [outcomes[d]["candidate_bits"] for d in densities]
+    candidate_counts = [by_density[d].candidate_bits for d in densities]
     assert candidate_counts == sorted(candidate_counts)
     # The densest profile converges.
-    assert outcomes[densities[-1]]["converged"]
+    assert by_density[densities[-1]].converged
     # The densest profile needs no more flips than the sparsest one.
-    assert outcomes[densities[-1]]["num_flips"] <= outcomes[densities[0]]["num_flips"]
+    assert by_density[densities[-1]].num_flips <= by_density[densities[0]].num_flips
     # The unconstrained baseline is at least as efficient as any profile.
-    assert outcomes["unconstrained"]["num_flips"] <= outcomes[densities[0]]["num_flips"]
+    assert outcome.unconstrained is not None
+    assert outcome.unconstrained.num_flips <= by_density[densities[0]].num_flips

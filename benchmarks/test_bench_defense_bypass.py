@@ -1,75 +1,40 @@
 """Section III motivation: counter-based defenses stop RowHammer, not RowPress.
 
-The benchmark replays identical fault-injection programs against a simulated
-chip with each mitigation mechanism attached to the memory controller and
-reports, per defense and per mechanism, how many bit flips survive and how
-many Nearby-Row-Refresh operations the defense issued.
+The benchmark declares a :class:`repro.experiments.DefenseMatrixSpec` —
+identical fault-injection programs replayed against a simulated chip with
+each mitigation mechanism attached to the memory controller — and reports,
+per defense and per mechanism, how many bit flips survive and how many
+Nearby-Row-Refresh operations the defense issued.  The full experiment is
+persisted as ``benchmarks/results/defense_bypass.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import write_result
-from repro.defenses import (
-    CounterBasedTreeDefense,
-    GrapheneDefense,
-    HydraDefense,
-    ParaDefense,
-    TargetRowRefreshDefense,
-)
-from repro.defenses.evaluation import evaluate_defense_matrix
-from repro.dram.chip import DramChip
-from repro.dram.geometry import DramGeometry
-from repro.dram.vulnerability import VulnerabilityParameters
-from repro.faults.rowhammer import RowHammerConfig
-from repro.faults.rowpress import RowPressConfig
-
-
-def _chip() -> DramChip:
-    geometry = DramGeometry(num_banks=2, rows_per_bank=32, cols_per_row=1024)
-    params = VulnerabilityParameters(rh_density=0.05, rp_density=0.2)
-    return DramChip(geometry, vulnerability_parameters=params, seed=21)
-
-
-def _defenses():
-    return {
-        "trr": TargetRowRefreshDefense(mac_threshold=4096),
-        "graphene": GrapheneDefense(mac_threshold=4096),
-        "cbt": CounterBasedTreeDefense(mac_threshold=4096, num_rows=32),
-        "para": ParaDefense(refresh_probability=0.001, seed=0),
-        "hydra": HydraDefense(mac_threshold=2048, group_size=8, group_threshold=512),
-    }
-
-
-def _run_matrix():
-    chip = _chip()
-    return evaluate_defense_matrix(
-        chip,
-        _defenses(),
-        rowhammer_config=RowHammerConfig(bank=0, victim_row=10, hammer_count=600_000),
-        rowpress_config=RowPressConfig(bank=0, pressed_row=20, open_cycles=80_000_000),
-    )
+from repro.experiments import DefenseMatrixSpec
 
 
 @pytest.mark.benchmark(group="defenses")
-def test_defense_bypass_matrix(benchmark):
+def test_defense_bypass_matrix(benchmark, experiment_runner):
     """Evaluate every defense against both mechanisms."""
-    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    spec = DefenseMatrixSpec()  # defaults mirror the paper's Section-III setup
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,), kwargs={"save_as": "defense_bypass"},
+        rounds=1, iterations=1,
+    )
+    results = result.payload
 
-    report = {
-        name: {mechanism: outcome.as_dict() for mechanism, outcome in row.items()}
-        for name, row in results.items()
-    }
     print("\nDEFENSE BYPASS MATRIX:")
-    for name, row in report.items():
-        print(f"  {name}: RH flips {row['rowhammer']['flips_with_defense']}"
-              f"/{row['rowhammer']['flips_without_defense']}"
-              f" | RP flips {row['rowpress']['flips_with_defense']}"
-              f"/{row['rowpress']['flips_without_defense']}"
-              f" | RP NRRs issued {row['rowpress']['nrr_issued']}")
-    write_result("defense_bypass.json", report)
+    for name, row in results.items():
+        rowhammer, rowpress = row["rowhammer"], row["rowpress"]
+        print(f"  {name}: RH flips {rowhammer.flips_with_defense}"
+              f"/{rowhammer.flips_without_defense}"
+              f" | RP flips {rowpress.flips_with_defense}"
+              f"/{rowpress.flips_without_defense}"
+              f" | RP NRRs issued {rowpress.nrr_issued}")
 
+    assert set(results) == {config.name for config in spec.defenses}
     for name, row in results.items():
         rowhammer = row["rowhammer"]
         rowpress = row["rowpress"]

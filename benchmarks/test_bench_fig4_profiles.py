@@ -1,59 +1,46 @@
 """Fig. 4: vulnerable-cell maps under RowHammer vs RowPress profiling.
 
-The benchmark runs the full profiling campaign of Section VI on a simulated
-chip (both data-pattern polarities, every interior row) and reports the
+The benchmark declares a :class:`repro.experiments.ChipProfileSpec` — the
+full profiling campaign of Section VI on a simulated chip (both data
+-pattern polarities, every covered interior row) — and reports the
 quantities Fig. 4 visualises: the number of RowHammer-only, RowPress-only
 and overlapping vulnerable cells, their densities and the overlap fraction
-(< 0.5 % on the paper's chip).
+(< 0.5 % on the paper's chip).  The experiment (including the idealised
+model-derived cell counts) is persisted as ``benchmarks/results/fig4.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_profile, write_result
-from repro.dram.chip import DramChip
+from benchmarks.conftest import bench_profile
 from repro.dram.geometry import DramGeometry
-from repro.faults.profiler import ChipProfiler, ProfilingConfig
-from repro.faults.profiles import BitFlipProfile
+from repro.experiments import ChipProfileSpec
 
 
-def _profiling_chip() -> DramChip:
-    geometry = DramGeometry(num_banks=2, rows_per_bank=48, cols_per_row=1024)
-    return DramChip(geometry, seed=9)
-
-
-def _run_profiling():
-    chip = _profiling_chip()
-    stride = 1 if bench_profile() == "full" else 2
-    config = ProfilingConfig(hammer_count=900_000, open_cycles=100_000_000, row_stride=stride)
-    return chip, ChipProfiler(chip, config).profile()
+def _fig4_spec() -> ChipProfileSpec:
+    return ChipProfileSpec(
+        geometry=DramGeometry(num_banks=2, rows_per_bank=48, cols_per_row=1024),
+        chip_seed=9,
+        hammer_count=900_000,
+        open_cycles=100_000_000,
+        row_stride=1 if bench_profile() == "full" else 2,
+    )
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_vulnerable_cell_profiles(benchmark):
+def test_fig4_vulnerable_cell_profiles(benchmark, experiment_runner):
     """Regenerate the Fig. 4 profile statistics."""
-    chip, pair = benchmark.pedantic(_run_profiling, rounds=1, iterations=1)
+    spec = _fig4_spec()
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,), kwargs={"save_as": "fig4"},
+        rounds=1, iterations=1,
+    )
+    outcome = result.payload
+    pair = outcome.pair
 
     stats = pair.statistics()
-    # Cross-check the measured profile against the idealised profile derived
-    # directly from the statistical cell model (they should agree on the
-    # interior rows that were actually profiled).
-    ideal_rh = BitFlipProfile.from_vulnerability_model(
-        chip.vulnerability_model, "rowhammer", budget=900_000
-    )
-    ideal_rp = BitFlipProfile.from_vulnerability_model(
-        chip.vulnerability_model, "rowpress", budget=100_000_000
-    )
-    report = {
-        "measured": stats,
-        "rowhammer_direction_counts": pair.rowhammer.direction_counts(),
-        "rowpress_direction_counts": pair.rowpress.direction_counts(),
-        "ideal_rh_cells": len(ideal_rh),
-        "ideal_rp_cells": len(ideal_rp),
-    }
     print("\nFIG 4 profile statistics:", stats)
-    write_result("fig4.json", report)
 
     # Shape checks mirroring the paper:
     assert stats["rp_cells"] > stats["rh_cells"] * 3
@@ -63,6 +50,7 @@ def test_fig4_vulnerable_cell_profiles(benchmark):
     rp_directions = pair.rowpress.direction_counts()
     assert rh_directions["1->0"] > rh_directions["0->1"]
     assert rp_directions["0->1"] > rp_directions["1->0"]
-    # The measured profile is a subset of the idealised one.
-    assert len(pair.rowhammer) <= len(ideal_rh)
-    assert len(pair.rowpress) <= len(ideal_rp)
+    # The measured profile is a subset of the idealised one (the cross-check
+    # against thresholding the statistical cell model directly).
+    assert len(pair.rowhammer) <= outcome.ideal_rowhammer_cells
+    assert len(pair.rowpress) <= outcome.ideal_rowpress_cells

@@ -1,10 +1,11 @@
 """Fig. 6: raw bit flips vs attack budget for RowHammer and RowPress.
 
-The benchmark sweeps hammer counts (RowHammer) and open-window cycles
-(RowPress) over a simulated chip region and reports the cumulative flip
-counts — the two curves of Fig. 6 — plus the Takeaway-1 equal-time
-comparison (the paper reports RowPress producing ~20x more flips within the
-same operational window).
+The benchmark declares a :class:`repro.experiments.FlipSweepSpec` — sweep
+hammer counts (RowHammer) and open-window cycles (RowPress) over a
+simulated chip region — and reports the cumulative flip counts (the two
+curves of Fig. 6) plus the Takeaway-1 equal-time comparison (the paper
+reports RowPress producing ~20x more flips within the same operational
+window).  The experiment is persisted as ``benchmarks/results/fig6.json``.
 """
 
 from __future__ import annotations
@@ -12,43 +13,35 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import bench_profile, write_result
-from repro.analysis.figures import build_fig6_series
-from repro.dram.chip import DramChip
+from benchmarks.conftest import bench_profile
 from repro.dram.geometry import DramGeometry
-from repro.faults.sweep import equal_time_comparison, rowhammer_flip_curve, rowpress_flip_curve
+from repro.experiments import FlipSweepSpec
 
 
-def _sweep_chip() -> DramChip:
-    geometry = DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=1024)
-    return DramChip(geometry, seed=3)
-
-
-def _run_fig6():
-    chip = _sweep_chip()
+def _fig6_spec() -> FlipSweepSpec:
     points = 10 if bench_profile() == "full" else 8
-    hammer_counts = np.linspace(1e5, 9e5, points).astype(int)
-    open_cycles = np.linspace(1e7, 1e8, points).astype(int)
-    max_rows = 24 if bench_profile() == "full" else 16
-    rh_curve = rowhammer_flip_curve(chip, hammer_counts, max_rows_per_bank=max_rows)
-    rp_curve = rowpress_flip_curve(chip, open_cycles, max_rows_per_bank=max_rows)
-    return rh_curve, rp_curve
+    return FlipSweepSpec(
+        geometry=DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=1024),
+        chip_seed=3,
+        hammer_counts=tuple(int(h) for h in np.linspace(1e5, 9e5, points)),
+        open_cycles=tuple(int(c) for c in np.linspace(1e7, 1e8, points)),
+        max_rows_per_bank=24 if bench_profile() == "full" else 16,
+    )
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6_flip_curves(benchmark):
+def test_fig6_flip_curves(benchmark, experiment_runner):
     """Regenerate the Fig. 6 flip-count curves and the 20x equal-time claim."""
-    rh_curve, rp_curve = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+    spec = _fig6_spec()
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,), kwargs={"save_as": "fig6"},
+        rounds=1, iterations=1,
+    )
+    outcome = result.payload
+    rh_curve, rp_curve = outcome.rowhammer, outcome.rowpress
 
-    series = build_fig6_series(rh_curve, rp_curve)
-    comparison = equal_time_comparison(rh_curve, rp_curve)
-    report = {
-        "series": series,
-        "equal_time_comparison": comparison,
-        "rows_tested": rh_curve.rows_tested,
-    }
+    comparison = outcome.equal_time()
     print("\nFIG 6 equal-time comparison:", comparison)
-    write_result("fig6.json", report)
 
     # Shape checks mirroring the paper:
     assert rh_curve.is_monotonic() and rp_curve.is_monotonic()

@@ -1,10 +1,11 @@
 """Fig. 7: accuracy-vs-bit-flips degradation curves under both profiles.
 
-For a set of representative models the benchmark records the accuracy after
+For a set of representative models the benchmark runs a
+:class:`repro.experiments.ComparisonSpec` and records the accuracy after
 every committed flip under the RowHammer profile and under the RowPress
 profile.  The paper's observation is that the RowPress curves fall
 noticeably more steeply; the benchmark asserts that shape and stores the
-full curves for plotting.
+full experiment (spec + per-flip curves) as ``benchmarks/results/fig7.json``.
 """
 
 from __future__ import annotations
@@ -13,43 +14,45 @@ import os
 
 import pytest
 
-from benchmarks.conftest import bench_profile, write_result
+from benchmarks.conftest import write_result
 from repro.analysis.figures import build_fig7_series, curve_steepness, render_ascii_curve
 from repro.core.bfa import BitSearchConfig
-from repro.core.comparison import ComparisonConfig, compare_mechanisms_for_model
-from repro.models.registry import get_spec
+from repro.experiments import ComparisonSpec
 
 #: Representative subset (one CIFAR CNN, one transformer, the audio model),
 #: mirroring the representative curves the paper chooses for Fig. 7.
 FIG7_MODELS = os.environ.get("REPRO_FIG7_MODELS", "resnet20,deit_tiny,m11").split(",")
 
 
-def _run_fig7(deployment_profiles):
-    config = ComparisonConfig(
+def _fig7_spec() -> ComparisonSpec:
+    return ComparisonSpec(
+        model_keys=tuple(key.strip() for key in FIG7_MODELS if key.strip()),
         repetitions=1,
         search=BitSearchConfig(max_flips=200, top_k_layers=5),
         eval_samples=80,
         seed=13,
+        profile_seed=2025,
     )
-    results = []
-    for key in [key.strip() for key in FIG7_MODELS if key.strip()]:
-        results.append(compare_mechanisms_for_model(get_spec(key), deployment_profiles, config))
-    return results
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7_accuracy_degradation_curves(benchmark, deployment_profiles):
+def test_fig7_accuracy_degradation_curves(benchmark, experiment_runner):
     """Regenerate the Fig. 7 accuracy-degradation curves."""
-    results = benchmark.pedantic(_run_fig7, args=(deployment_profiles,), rounds=1, iterations=1)
+    spec = _fig7_spec()
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,), kwargs={"save_as": "fig7"},
+        rounds=1, iterations=1,
+    )
+    results = result.payload
 
     series = build_fig7_series(results)
-    write_result("fig7.json", series)
+    write_result("fig7_series.json", series)
     for name, curves in series.items():
         print(render_ascii_curve(curves["rowpress"], title=f"{name} under RowPress profile"))
 
-    for result in results:
-        rh_curve = result.rowhammer.representative_curve
-        rp_curve = result.rowpress.representative_curve
+    for comparison in results:
+        rh_curve = comparison.rowhammer.representative_curve
+        rp_curve = comparison.rowpress.representative_curve
         assert len(rh_curve) >= 2 and len(rp_curve) >= 2
         # Both attacks reduce accuracy relative to the clean model.
         assert rp_curve[-1] < rp_curve[0]

@@ -1,14 +1,17 @@
 """Table I: bit flips needed to degrade each DNN to random-guess accuracy.
 
-For every model of the roster the benchmark trains a surrogate victim,
-quantizes it to 8 bits, and runs the DRAM-profile-aware attack twice — once
+For every model of the roster the benchmark declares a
+:class:`repro.experiments.ComparisonSpec` — train a surrogate victim,
+quantize it to 8 bits, and run the DRAM-profile-aware attack twice, once
 restricted to the RowHammer profile and once to the RowPress profile —
 reporting the number of committed bit flips, the accuracy after the attack
 and the RowHammer/RowPress flip ratio (Takeaway 3: RowPress needs ~3.6x
 fewer flips on average, up to ~4x).
 
-Results are written to ``benchmarks/results/table1.txt`` (rendered table)
-and ``table1.json`` (raw rows, including the paper's reference numbers).
+The experiment result (spec + full per-repetition attack results) is
+persisted through the session :class:`ResultStore` as
+``benchmarks/results/table1.json``; the rendered table goes to
+``table1.txt``.
 """
 
 from __future__ import annotations
@@ -19,42 +22,33 @@ from benchmarks.conftest import bench_profile, table1_model_keys, write_result
 from repro.analysis.metrics import summarize_takeaways
 from repro.analysis.tables import render_table, table1_from_comparisons
 from repro.core.bfa import BitSearchConfig
-from repro.core.comparison import ComparisonConfig, compare_mechanisms_for_model
-from repro.models.registry import get_spec
+from repro.experiments import ComparisonSpec
+
+#: Seed of the deployment-chip profiling campaign (Section VI).
+PROFILE_SEED = 2025
 
 
-def _comparison_config() -> ComparisonConfig:
+def _comparison_spec() -> ComparisonSpec:
     profile = bench_profile()
-    if profile == "full":
-        return ComparisonConfig(
-            repetitions=3,
-            search=BitSearchConfig(max_flips=250, top_k_layers=5),
-            eval_samples=96,
-            seed=7,
-        )
-    return ComparisonConfig(
-        repetitions=1,
+    return ComparisonSpec(
+        model_keys=tuple(table1_model_keys()),
+        repetitions=3 if profile == "full" else 1,
         search=BitSearchConfig(max_flips=250, top_k_layers=5),
-        eval_samples=80,
+        eval_samples=96 if profile == "full" else 80,
         seed=7,
+        profile_seed=PROFILE_SEED,
     )
-
-
-def _run_table1(deployment_profiles):
-    config = _comparison_config()
-    comparisons = []
-    for key in table1_model_keys():
-        spec = get_spec(key)
-        comparisons.append(compare_mechanisms_for_model(spec, deployment_profiles, config))
-    return comparisons
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_profile_aware_attack(benchmark, deployment_profiles):
+def test_table1_profile_aware_attack(benchmark, experiment_runner):
     """Regenerate Table I on the surrogate roster."""
-    comparisons = benchmark.pedantic(
-        _run_table1, args=(deployment_profiles,), rounds=1, iterations=1
+    spec = _comparison_spec()
+    result = benchmark.pedantic(
+        experiment_runner.run, args=(spec,), kwargs={"save_as": "table1"},
+        rounds=1, iterations=1,
     )
+    comparisons = result.payload
 
     rows = table1_from_comparisons(comparisons)
     rendered = render_table(rows)
@@ -68,10 +62,6 @@ def test_table1_profile_aware_attack(benchmark, deployment_profiles):
     )
     print("\n" + report)
     write_result("table1.txt", report)
-    write_result("table1.json", {
-        "rows": [row.as_dict() for row in rows],
-        "takeaways": takeaways,
-    })
 
     # Shape checks mirroring the paper's claims:
     assert len(rows) == len(table1_model_keys())

@@ -1,60 +1,66 @@
 """Attack the M11 audio surrogate (the paper's speech-recognition workload).
 
 The paper's Table I includes one non-vision model: M11, a very deep 1-D CNN
-for raw waveforms trained on Google Speech Commands.  This example trains
-the M11 surrogate on the synthetic speech-command-like dataset, quantizes it
-to 8 bits, and attacks it with the unconstrained BFA baseline as well as
-with the RowHammer- and RowPress-restricted searches, printing the
-accuracy-vs-flips trajectory of each run (Fig. 7 style).
+for raw waveforms trained on Google Speech Commands.  This example declares
+two experiments against the M11 surrogate and runs them through a single
+:class:`ExperimentRunner`, whose shared :class:`VictimCache` trains the
+surrogate exactly once:
+
+* a :class:`ComparisonSpec` running the RowHammer- and RowPress-restricted
+  profile-aware searches (Algorithm 3), and
+* a :class:`ProfileDensitySpec` with no densities, which contributes the
+  unconstrained BFA baseline (Rakin et al.: every weight bit is a target),
+
+printing the accuracy-vs-flips trajectory of each run (Fig. 7 style).
 
 Run with:  python examples/attack_speech_model.py
 """
 
 from repro.analysis.figures import render_ascii_curve
-from repro.core.bfa import BitFlipAttack, BitSearchConfig, CandidateSet
-from repro.core.comparison import build_deployment_profiles, prepare_victim
-from repro.core.objective import AttackObjective
-from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
+from repro.core.bfa import BitSearchConfig
+from repro.experiments import ComparisonSpec, ExperimentRunner, ProfileDensitySpec
 from repro.models.registry import get_spec
-from repro.nn.quantization import quantize_model
 
 
 def main() -> None:
-    spec = get_spec("m11")
-    print(f"Training the {spec.display_name} surrogate "
-          f"({spec.paper_dataset} stand-in, {spec.training_epochs} epochs)...")
-    model, dataset, clean_state = prepare_victim(spec, seed=3)
+    model_spec = get_spec("m11")
+    print(f"Training the {model_spec.display_name} surrogate "
+          f"({model_spec.paper_dataset} stand-in, {model_spec.training_epochs} epochs)...")
 
-    profiles = build_deployment_profiles(seed=3)
     search = BitSearchConfig(max_flips=100, top_k_layers=5)
+    runner = ExperimentRunner()
 
-    def fresh_objective():
-        return AttackObjective.from_dataset(dataset, attack_batch_size=32, eval_samples=80, seed=17)
+    baseline_spec = ProfileDensitySpec(
+        model_key="m11",
+        densities=(),
+        include_unconstrained=True,
+        search=search,
+        eval_samples=80,
+        seed=3,
+        objective_seed=17,
+    )
+    comparison_spec = ComparisonSpec(
+        model_keys=("m11",),
+        repetitions=1,
+        search=search,
+        eval_samples=80,
+        seed=3,
+        profile_seed=3,
+    )
 
-    runs = {}
+    baseline = runner.run(baseline_spec).payload.unconstrained
+    comparison = runner.run(comparison_spec).payload[0]
+    print("victim cache:", runner.context.victims.stats())
 
-    # Unconstrained BFA baseline (Rakin et al.): every weight bit is a target.
-    model.load_state_dict(clean_state)
-    quantize_model(model)
-    baseline = BitFlipAttack(
-        model, fresh_objective(), candidates=CandidateSet.all_bits(model),
-        config=search, model_name=spec.display_name, mechanism="unconstrained",
-    ).run()
-    runs["unconstrained BFA"] = baseline
+    runs = {
+        "unconstrained BFA": baseline,
+        "rowhammer profile": comparison.rowhammer.results[0],
+        "rowpress profile": comparison.rowpress.results[0],
+    }
 
-    # Profile-aware attacks (Algorithm 3) under each DRAM profile.
-    for mechanism in ("rowhammer", "rowpress"):
-        model.load_state_dict(clean_state)
-        infos = quantize_model(model)
-        attack = DramProfileAwareAttack(
-            model, fresh_objective(), profiles.profile_for(mechanism),
-            config=ProfileAwareConfig(search=search),
-            tensor_infos=infos, model_name=spec.display_name,
-        )
-        runs[f"{mechanism} profile"] = attack.run()
-
-    print(f"\nclean accuracy: {runs['unconstrained BFA'].accuracy_before:.2f}% "
-          f"(random guess {dataset.random_guess_accuracy:.1f}%)")
+    dataset_random_guess = comparison.random_guess_accuracy
+    print(f"\nclean accuracy: {baseline.accuracy_before:.2f}% "
+          f"(random guess {dataset_random_guess:.1f}%)")
     for name, result in runs.items():
         status = "reached random-guess level" if result.converged else "budget exhausted"
         print(f"  {name:<20} {result.num_flips:>4} flips -> {result.accuracy_after:6.2f}%  ({status}; "

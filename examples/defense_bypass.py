@@ -1,47 +1,33 @@
 """Section III motivation: activation-counting defenses cannot see RowPress.
 
-The example attaches each mitigation mechanism (TRR, Graphene, CBT, PARA,
-Hydra) to the memory controller of a simulated chip, replays an identical
-RowHammer and RowPress program against it, and prints how many bit flips
-survive and how many Nearby-Row-Refresh operations each defense issued.
+The example declares a :class:`DefenseMatrixSpec` — every mitigation
+mechanism (TRR, Graphene, CBT, PARA, Hydra) attached in turn to the memory
+controller of a simulated chip, with an identical RowHammer and RowPress
+program replayed against each — runs it through :class:`ExperimentRunner`,
+and prints how many bit flips survive and how many Nearby-Row-Refresh
+operations each defense issued.
 
 Run with:  python examples/defense_bypass.py
 """
 
-from repro.defenses import (
-    CounterBasedTreeDefense,
-    GrapheneDefense,
-    HydraDefense,
-    ParaDefense,
-    TargetRowRefreshDefense,
-)
-from repro.defenses.evaluation import evaluate_defense_matrix
-from repro.dram.chip import DramChip
-from repro.dram.geometry import DramGeometry
-from repro.dram.vulnerability import VulnerabilityParameters
-from repro.faults.rowhammer import RowHammerConfig
-from repro.faults.rowpress import RowPressConfig
+from repro.experiments import DefenseConfig, DefenseMatrixSpec, ExperimentRunner
 
 
 def main() -> None:
-    chip = DramChip(
-        DramGeometry(num_banks=2, rows_per_bank=32, cols_per_row=1024),
-        vulnerability_parameters=VulnerabilityParameters(rh_density=0.05, rp_density=0.2),
-        seed=21,
+    spec = DefenseMatrixSpec(
+        defenses=(
+            DefenseConfig("trr", label="TRR", params={"mac_threshold": 4096}),
+            DefenseConfig("graphene", label="Graphene", params={"mac_threshold": 4096}),
+            DefenseConfig("cbt", label="CBT", params={"mac_threshold": 4096, "num_rows": 32}),
+            DefenseConfig("para", label="PARA", params={"refresh_probability": 0.001, "seed": 0}),
+            DefenseConfig(
+                "hydra",
+                label="Hydra",
+                params={"mac_threshold": 2048, "group_size": 8, "group_threshold": 512},
+            ),
+        ),
     )
-    defenses = {
-        "TRR": TargetRowRefreshDefense(mac_threshold=4096),
-        "Graphene": GrapheneDefense(mac_threshold=4096),
-        "CBT": CounterBasedTreeDefense(mac_threshold=4096, num_rows=32),
-        "PARA": ParaDefense(refresh_probability=0.001, seed=0),
-        "Hydra": HydraDefense(mac_threshold=2048, group_size=8, group_threshold=512),
-    }
-    results = evaluate_defense_matrix(
-        chip,
-        defenses,
-        rowhammer_config=RowHammerConfig(bank=0, victim_row=10, hammer_count=600_000),
-        rowpress_config=RowPressConfig(bank=0, pressed_row=20, open_cycles=80_000_000),
-    )
+    results = ExperimentRunner().run(spec).payload
 
     header = f"{'defense':<10} {'mechanism':<10} {'flips (defended/undefended)':<30} {'NRRs':<8} {'mitigated'}"
     print(header)

@@ -1,12 +1,15 @@
 """DRAM characterisation: Fig. 6 flip curves and Fig. 4 profile statistics.
 
-This example exercises the DRAM substrate directly, without any DNN:
+This example exercises the DRAM substrate directly, without any DNN, as two
+declarative experiments executed by one :class:`ExperimentRunner`:
 
-* sweep the RowHammer hammer count and the RowPress open-window duration on
-  a simulated DDR4 chip and print the cumulative flip counts (Fig. 6),
-* run the exhaustive profiling campaign with both data-pattern polarities
-  and print the vulnerable-cell statistics (Fig. 4), including the
-  directionality split and the RowHammer/RowPress overlap.
+* :class:`FlipSweepSpec` — sweep the RowHammer hammer count and the
+  RowPress open-window duration on a simulated DDR4 chip and print the
+  cumulative flip counts (Fig. 6),
+* :class:`ChipProfileSpec` — run the exhaustive profiling campaign with
+  both data-pattern polarities and print the vulnerable-cell statistics
+  (Fig. 4), including the directionality split and the
+  RowHammer/RowPress overlap.
 
 Run with:  python examples/dram_profiling.py
 """
@@ -15,35 +18,42 @@ import numpy as np
 
 from repro.analysis.figures import render_ascii_curve
 from repro.dram.chip import DramChip
-from repro.dram.geometry import DramGeometry
-from repro.faults.profiler import ChipProfiler, ProfilingConfig
-from repro.faults.sweep import equal_time_comparison, rowhammer_flip_curve, rowpress_flip_curve
+from repro.experiments import ChipProfileSpec, ExperimentRunner, FlipSweepSpec
 
 
 def main() -> None:
-    chip = DramChip(DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=1024), seed=3)
-    print("Simulated device:", chip.describe())
+    runner = ExperimentRunner()
+
+    sweep_spec = FlipSweepSpec(
+        chip_seed=3,
+        hammer_counts=tuple(int(h) for h in np.linspace(1e5, 9e5, 8)),
+        open_cycles=tuple(int(c) for c in np.linspace(1e7, 1e8, 8)),
+        max_rows_per_bank=16,
+    )
+    print("Simulated device:", DramChip(sweep_spec.geometry, seed=sweep_spec.chip_seed).describe())
 
     print("\n== Fig. 6: bit flips vs attack budget ==")
-    hammer_counts = np.linspace(1e5, 9e5, 8).astype(int)
-    open_cycles = np.linspace(1e7, 1e8, 8).astype(int)
-    rh_curve = rowhammer_flip_curve(chip, hammer_counts, max_rows_per_bank=16)
-    rp_curve = rowpress_flip_curve(chip, open_cycles, max_rows_per_bank=16)
+    sweep = runner.run(sweep_spec).payload
+    rh_curve, rp_curve = sweep.rowhammer, sweep.rowpress
     print("hammer counts:", rh_curve.budgets.astype(int).tolist())
     print("RowHammer flips:", rh_curve.flips.tolist())
     print("open-window cycles:", rp_curve.budgets.astype(int).tolist())
     print("RowPress flips:", rp_curve.flips.tolist())
-    comparison = equal_time_comparison(rh_curve, rp_curve)
+    comparison = sweep.equal_time()
     print(f"equal-time comparison ({comparison['comparison_time_ms']:.1f} ms): "
           f"RowPress produces {comparison['rowpress_to_rowhammer_ratio']:.1f}x more flips "
           "(Takeaway 1; the paper reports up to ~20x)")
     print(render_ascii_curve(rp_curve.flips, title="RowPress cumulative flips vs cycles"))
 
     print("\n== Fig. 4: vulnerable-cell profiles ==")
-    profiler = ChipProfiler(
-        chip, ProfilingConfig(hammer_count=900_000, open_cycles=100_000_000, row_stride=2)
+    profile_spec = ChipProfileSpec(
+        geometry=sweep_spec.geometry,
+        chip_seed=3,
+        hammer_count=900_000,
+        open_cycles=100_000_000,
+        row_stride=2,
     )
-    pair = profiler.profile()
+    pair = runner.run(profile_spec).payload.pair
     stats = pair.statistics()
     print(f"RowHammer-vulnerable cells: {int(stats['rh_cells'])} "
           f"(density {stats['rh_density']:.2e}), directions {pair.rowhammer.direction_counts()}")

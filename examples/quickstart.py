@@ -1,49 +1,53 @@
 """Quickstart: profile a chip, train a victim, run the profile-aware attack.
 
-This walks the full pipeline of the paper on the smallest practical scale:
+This walks the full pipeline of the paper on the smallest practical scale,
+driven through the unified :mod:`repro.experiments` API:
 
 1. build the RowHammer / RowPress vulnerable-cell profiles of the deployment
    chip (Section VI's profiling stage, here derived from the statistical
    cell model),
-2. train an 8-bit quantized ResNet-20 surrogate victim,
-3. run the DRAM-profile-aware bit-flip attack (Algorithm 3) under each
-   profile and compare how many flips each needs to push the model to the
-   random-guess level (one row of Table I).
+2. declare a one-model comparison experiment (:class:`ComparisonSpec`):
+   train an 8-bit quantized ResNet-20 surrogate victim and run the
+   DRAM-profile-aware bit-flip attack (Algorithm 3) under each profile,
+3. execute it with :class:`ExperimentRunner` and compare how many flips each
+   mechanism needs to push the model to the random-guess level (one row of
+   Table I).
 
 Run with:  python examples/quickstart.py
 """
 
 from repro.core.bfa import BitSearchConfig
-from repro.core.comparison import (
-    ComparisonConfig,
-    build_deployment_profiles,
-    compare_mechanisms_for_model,
-)
+from repro.experiments import ComparisonSpec, ExperimentRunner
 from repro.models.registry import get_spec
 
 
 def main() -> None:
+    spec = ComparisonSpec(
+        model_keys=("resnet20",),
+        repetitions=1,
+        search=BitSearchConfig(max_flips=120, top_k_layers=5),
+        eval_samples=80,
+        seed=1,
+        profile_seed=0,
+    )
+    runner = ExperimentRunner()
+
     print("Step 1: profiling the deployment chip (RowHammer vs RowPress)...")
-    profiles = build_deployment_profiles(seed=0)
+    # Memoised in the runner's context, so the attack below reuses this pair.
+    profiles = spec.profiles(runner.context)
     stats = profiles.statistics()
     print(
         f"  RowHammer-vulnerable cells: {int(stats['rh_cells'])}\n"
-        f"  RowPress-vulnerable cells:  {int(stats['rp_cells'])}"
+        f"  RowPress-vulnerable cells:  {int(stats['rp_cells'])}\n"
         f"  ({stats['rp_to_rh_ratio']:.1f}x denser)\n"
         f"  overlap: {100 * stats['overlap_fraction_of_union']:.3f}% of the union"
     )
 
     print("\nStep 2+3: training the ResNet-20 surrogate and attacking it...")
-    spec = get_spec("resnet20")
-    config = ComparisonConfig(
-        repetitions=1,
-        search=BitSearchConfig(max_flips=120, top_k_layers=5),
-        eval_samples=80,
-        seed=1,
-    )
-    result = compare_mechanisms_for_model(spec, profiles, config)
+    result = runner.run(spec).payload[0]
 
     row = result.as_row()
+    model_spec = get_spec("resnet20")
     print(f"\n  clean accuracy:              {row['clean_accuracy']:.2f}%")
     print(f"  random-guess level:          {row['random_guess_accuracy']:.2f}%")
     print(f"  RowHammer profile:  {row['rowhammer_bit_flips']:.0f} flips "
@@ -51,7 +55,7 @@ def main() -> None:
     print(f"  RowPress profile:   {row['rowpress_bit_flips']:.0f} flips "
           f"-> {row['rowpress_accuracy_after']:.2f}%")
     print(f"  RowHammer/RowPress flip ratio: {row['flip_ratio']:.2f}x "
-          f"(paper reports ~{spec.paper.flip_ratio:.1f}x for the full-scale model)")
+          f"(paper reports ~{model_spec.paper.flip_ratio:.1f}x for the full-scale model)")
 
 
 if __name__ == "__main__":

@@ -15,23 +15,100 @@ The package is organised as the paper's system stack:
 * :mod:`repro.core` — the paper's contribution: the DRAM-profile-aware
   bit-flip attack (Algorithm 3) and the RowHammer-vs-RowPress comparison
   harness (Table I, Fig. 7);
+* :mod:`repro.experiments` — the unified experiment API: declarative
+  JSON-serialisable specs, a runner with serial / process-pool backends,
+  a shared victim cache, a persistent result store and the
+  ``python -m repro`` CLI;
 * :mod:`repro.analysis` — metrics, table builders and report rendering.
 
 Quick start::
 
-    from repro.core import prepare_victim, compare_mechanisms_for_model
-    from repro.core.comparison import build_deployment_profiles, ComparisonConfig
-    from repro.models import get_spec
+    from repro import ComparisonSpec, ExperimentRunner
 
-    profiles = build_deployment_profiles(seed=0)
-    result = compare_mechanisms_for_model(
-        get_spec("resnet20"), profiles, ComparisonConfig(repetitions=1)
-    )
-    print(result.as_row())
+    runner = ExperimentRunner()
+    result = runner.run(ComparisonSpec(model_keys=("resnet20",), repetitions=1))
+    for comparison in result.payload:
+        print(comparison.as_row())
+
+or, from the shell::
+
+    python -m repro run comparison --models resnet20 --report
 """
 
-__version__ = "1.0.0"
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "__version__",
-]
+__version__ = "1.1.0"
+
+#: Lazily resolved public names -> providing module.  Keeping the imports
+#: lazy means ``import repro`` stays cheap and avoids importing numpy-heavy
+#: subsystems until they are actually used.
+_LAZY_EXPORTS = {
+    # repro.core comparison harness
+    "prepare_victim": "repro.core.comparison",
+    "compare_mechanisms_for_model": "repro.core.comparison",
+    "ComparisonConfig": "repro.core.comparison",
+    "ModelComparisonResult": "repro.core.comparison",
+    "build_deployment_profiles": "repro.core.comparison",
+    # model roster
+    "get_spec": "repro.models.registry",
+    "TABLE1_ROSTER": "repro.models.registry",
+    # unified experiments API
+    "ExperimentSpec": "repro.experiments",
+    "ComparisonSpec": "repro.experiments",
+    "DefenseMatrixSpec": "repro.experiments",
+    "FlipSweepSpec": "repro.experiments",
+    "ChipProfileSpec": "repro.experiments",
+    "ProfileDensitySpec": "repro.experiments",
+    "ExperimentRunner": "repro.experiments",
+    "ExperimentResult": "repro.experiments",
+    "SerialBackend": "repro.experiments",
+    "ProcessPoolBackend": "repro.experiments",
+    "ResultStore": "repro.experiments",
+    "VictimCache": "repro.experiments",
+    "spec_from_dict": "repro.experiments",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy re-exports of the documented public API."""
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis-only imports
+    from repro.core.comparison import (  # noqa: F401
+        ComparisonConfig,
+        ModelComparisonResult,
+        build_deployment_profiles,
+        compare_mechanisms_for_model,
+        prepare_victim,
+    )
+    from repro.experiments import (  # noqa: F401
+        ChipProfileSpec,
+        ComparisonSpec,
+        DefenseMatrixSpec,
+        ExperimentResult,
+        ExperimentRunner,
+        ExperimentSpec,
+        FlipSweepSpec,
+        ProcessPoolBackend,
+        ProfileDensitySpec,
+        ResultStore,
+        SerialBackend,
+        VictimCache,
+        spec_from_dict,
+    )
+    from repro.models.registry import TABLE1_ROSTER, get_spec  # noqa: F401

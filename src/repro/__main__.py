@@ -1,0 +1,18 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.experiments.cli`)."""
+
+import os
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        # Flush explicitly so a downstream pipe closing early (e.g.
+        # ``python -m repro report x | head``) surfaces here, not in the
+        # interpreter's shutdown traceback.
+        sys.stdout.flush()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.metrics import summarize_takeaways
-from repro.analysis.tables import Table1Row, table1_from_comparisons
+from repro.analysis.tables import Table1Row, format_ratio, table1_from_comparisons
 from repro.core.comparison import ModelComparisonResult
 from repro.faults.sweep import FlipCurve
 
@@ -40,7 +40,7 @@ def comparisons_to_markdown(
             f"| {row.clean_accuracy:.2f} | {row.random_guess_accuracy:.2f} "
             f"| {row.rowhammer_accuracy_after:.2f} | {row.rowhammer_bit_flips:.1f} "
             f"| {row.rowpress_accuracy_after:.2f} | {row.rowpress_bit_flips:.1f} "
-            f"| {row.flip_ratio:.2f} "
+            f"| {format_ratio(row.flip_ratio)} "
             f"| {row.paper_rowhammer_bit_flips if row.paper_rowhammer_bit_flips is not None else '-'} "
             f"| {row.paper_rowpress_bit_flips if row.paper_rowpress_bit_flips is not None else '-'} |"
         )

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.comparison import ModelComparisonResult
 from repro.models.registry import MODEL_REGISTRY, ModelSpec
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Render a flip ratio, printing ``-`` for the undefined (nan) case."""
+    if math.isnan(value):
+        return "-"
+    return f"{value:.{digits}f}"
 
 
 @dataclass(frozen=True)
@@ -105,7 +113,7 @@ def render_table(rows: Sequence[Table1Row], include_paper: bool = True) -> str:
             f"{row.rowhammer_bit_flips:.1f}",
             f"{row.rowpress_accuracy_after:.2f}",
             f"{row.rowpress_bit_flips:.1f}",
-            f"{row.flip_ratio:.2f}",
+            format_ratio(row.flip_ratio),
         ]
         if include_paper:
             cells += [

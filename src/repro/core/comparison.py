@@ -18,7 +18,10 @@ initialisation" protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.cache import VictimCache
 
 import numpy as np
 
@@ -140,11 +143,17 @@ class ModelComparisonResult:
 
     @property
     def flip_ratio(self) -> float:
-        """RowHammer flips / RowPress flips (Takeaway-3 per-model ratio)."""
+        """RowHammer flips / RowPress flips (Takeaway-3 per-model ratio).
+
+        ``nan`` when neither mechanism needed any flips (the ratio is
+        undefined there — report writers render it as ``-``); ``inf`` when
+        only RowPress needed none.
+        """
+        rh = self.rowhammer.mean_flips
         rp = self.rowpress.mean_flips
         if not rp:
-            return float("inf")
-        return self.rowhammer.mean_flips / rp
+            return float("nan") if not rh else float("inf")
+        return rh / rp
 
     def as_row(self) -> Dict[str, object]:
         """Dictionary row matching Table I's columns."""
@@ -187,7 +196,18 @@ def prepare_victim(
     return model, dataset, model.state_dict()
 
 
-def _run_single_attack(
+def measure_clean_accuracy(
+    model: Module,
+    dataset: Dataset,
+    clean_state: Dict[str, np.ndarray],
+) -> float:
+    """Post-quantization accuracy of the clean (un-attacked) victim."""
+    model.load_state_dict(clean_state)
+    quantize_model(model)
+    return evaluate_on_dataset(model, dataset)
+
+
+def run_single_attack(
     model: Module,
     dataset: Dataset,
     clean_state: Dict[str, np.ndarray],
@@ -196,6 +216,13 @@ def _run_single_attack(
     repetition_seed: int,
     model_name: str,
 ) -> AttackResult:
+    """One seeded profile-aware attack repetition from a clean snapshot.
+
+    This is the work unit shared by :func:`compare_mechanisms_for_model`
+    and the :mod:`repro.experiments` runner: given the same inputs it
+    produces the same :class:`AttackResult` regardless of which process
+    executes it.
+    """
     model.load_state_dict(clean_state)
     tensor_infos = quantize_model(model)
     objective = AttackObjective.from_dataset(
@@ -221,16 +248,30 @@ def compare_mechanisms_for_model(
     profiles: ProfilePair,
     config: Optional[ComparisonConfig] = None,
     victim: Optional[Tuple[Module, Dataset, Dict[str, np.ndarray]]] = None,
+    victim_cache: Optional["VictimCache"] = None,
 ) -> ModelComparisonResult:
-    """Run the RowHammer-profile and RowPress-profile attacks on one model."""
+    """Run the RowHammer-profile and RowPress-profile attacks on one model.
+
+    Maintained for callers that hold arbitrary in-memory ``profiles``;
+    declarative experiments should go through
+    :class:`repro.experiments.ComparisonSpec` and
+    :class:`repro.experiments.ExperimentRunner` instead, which add victim
+    caching, parallel execution and persistent results on top of the same
+    per-repetition work units.  Passing a
+    :class:`~repro.experiments.cache.VictimCache` avoids retraining the
+    surrogate across calls.
+    """
     config = config or ComparisonConfig()
     if victim is None:
-        victim = prepare_victim(spec, seed=config.seed, training_epochs=config.training_epochs)
+        if victim_cache is not None:
+            victim = victim_cache.get_or_prepare(
+                spec, seed=config.seed, training_epochs=config.training_epochs
+            )
+        else:
+            victim = prepare_victim(spec, seed=config.seed, training_epochs=config.training_epochs)
     model, dataset, clean_state = victim
 
-    model.load_state_dict(clean_state)
-    quantize_model(model)
-    clean_accuracy = evaluate_on_dataset(model, dataset)
+    clean_accuracy = measure_clean_accuracy(model, dataset, clean_state)
 
     outcomes: Dict[str, MechanismOutcome] = {
         "rowhammer": MechanismOutcome("rowhammer"),
@@ -240,7 +281,7 @@ def compare_mechanisms_for_model(
     for mechanism in ("rowhammer", "rowpress"):
         profile = profiles.profile_for(mechanism)
         for repetition_seed in repetition_seeds:
-            result = _run_single_attack(
+            result = run_single_attack(
                 model,
                 dataset,
                 clean_state,
@@ -264,6 +305,13 @@ def compare_mechanisms_for_model(
 
 
 def average_flip_ratio(results: List[ModelComparisonResult]) -> float:
-    """Mean RowHammer/RowPress flip ratio over a set of models (Takeaway 3)."""
+    """Mean RowHammer/RowPress flip ratio over a set of models (Takeaway 3).
+
+    Models whose ratio is undefined (``nan``) or infinite are skipped.
+    """
     ratios = [r.flip_ratio for r in results if np.isfinite(r.flip_ratio)]
     return float(np.mean(ratios)) if ratios else float("nan")
+
+
+#: Backwards-compatible alias for the pre-``repro.experiments`` private name.
+_run_single_attack = run_single_attack

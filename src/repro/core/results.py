@@ -26,6 +26,24 @@ class AttackEvent:
         """Signed change of the quantized integer weight."""
         return self.int_after - self.int_before
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "iteration": self.iteration,
+            "tensor_name": self.tensor_name,
+            "weight_index": self.weight_index,
+            "bit_position": self.bit_position,
+            "int_before": self.int_before,
+            "int_after": self.int_after,
+            "loss_after": self.loss_after,
+            "accuracy_after": self.accuracy_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(**payload)
+
 
 @dataclass
 class AttackResult:
@@ -75,9 +93,14 @@ class AttackResult:
             histogram[event.bit_position] = histogram.get(event.bit_position, 0) + 1
         return histogram
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable summary (events are reduced to counts)."""
-        return {
+    def to_dict(self, include_events: bool = False) -> dict:
+        """JSON-serialisable summary (events are reduced to counts).
+
+        With ``include_events=True`` the full event log is embedded so the
+        result round-trips losslessly through :meth:`from_dict` — the
+        representation :class:`repro.experiments.store.ResultStore` uses.
+        """
+        payload = {
             "model_name": self.model_name,
             "mechanism": self.mechanism,
             "accuracy_before": self.accuracy_before,
@@ -91,3 +114,23 @@ class AttackResult:
             "flips_per_tensor": self.flipped_bit_summary(),
             "bit_position_histogram": self.bit_position_histogram(),
         }
+        if include_events:
+            payload["events"] = [event.to_dict() for event in self.events]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackResult":
+        """Rebuild a result from :meth:`to_dict` output (derived keys ignored)."""
+        return cls(
+            model_name=payload["model_name"],
+            mechanism=payload["mechanism"],
+            accuracy_before=payload["accuracy_before"],
+            accuracy_after=payload["accuracy_after"],
+            target_accuracy=payload["target_accuracy"],
+            num_flips=payload["num_flips"],
+            converged=payload["converged"],
+            events=[AttackEvent.from_dict(event) for event in payload.get("events", [])],
+            accuracy_curve=list(payload.get("accuracy_curve", [])),
+            loss_curve=list(payload.get("loss_curve", [])),
+            candidate_bits=payload.get("candidate_bits", 0),
+        )

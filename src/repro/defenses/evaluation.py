@@ -38,9 +38,15 @@ class DefenseEvaluationResult:
 
     @property
     def mitigation_fraction(self) -> float:
-        """Fraction of would-be flips the defense prevented."""
+        """Fraction of would-be flips the defense prevented.
+
+        ``nan`` when the undefended run produced no flips: with nothing to
+        mitigate the fraction is undefined, and aggregators / report
+        writers skip it (rendering ``-``) rather than counting a spurious
+        0.0 against the defense.
+        """
         if self.flips_without_defense == 0:
-            return 0.0
+            return float("nan")
         prevented = self.flips_without_defense - self.flips_with_defense
         return max(0.0, prevented / self.flips_without_defense)
 
@@ -56,6 +62,18 @@ class DefenseEvaluationResult:
             "mitigated": self.mitigated,
             "mitigation_fraction": self.mitigation_fraction,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DefenseEvaluationResult":
+        """Rebuild a result from :meth:`as_dict` output (derived keys ignored)."""
+        return cls(
+            defense_name=str(payload["defense"]),
+            mechanism=str(payload["mechanism"]),
+            flips_without_defense=int(payload["flips_without_defense"]),
+            flips_with_defense=int(payload["flips_with_defense"]),
+            nrr_issued=int(payload["nrr_issued"]),
+            triggers=int(payload["triggers"]),
+        )
 
 
 def _run_rowhammer(chip: DramChip, defense: Optional[DefenseMechanism], config: RowHammerConfig):

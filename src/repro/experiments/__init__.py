@@ -1,0 +1,88 @@
+"""Unified experiment API: declarative specs, cached victims, one runner.
+
+This package is the single front door for every experiment the
+reproduction defines:
+
+* :mod:`~repro.experiments.specs` — JSON-serialisable
+  :class:`ExperimentSpec` variants describing each paper artefact
+  (Table I / Fig. 7 comparisons, the defense-bypass matrix, Fig. 6
+  budget sweeps, Fig. 4 profiling, the profile-density ablation);
+* :mod:`~repro.experiments.runner` — :class:`ExperimentRunner` with
+  pluggable serial / process-pool backends that produce identical,
+  seed-determined results;
+* :mod:`~repro.experiments.cache` — :class:`VictimCache`, training each
+  surrogate victim once and sharing clean-state snapshots across
+  experiments;
+* :mod:`~repro.experiments.store` — :class:`ResultStore`, persisting every
+  result type as schema-versioned JSON envelopes;
+* :mod:`~repro.experiments.cli` — the ``python -m repro`` command line.
+
+Quick start::
+
+    from repro.experiments import ComparisonSpec, ExperimentRunner, ResultStore
+
+    runner = ExperimentRunner(store=ResultStore("benchmarks/results"))
+    result = runner.run(ComparisonSpec(model_keys=("resnet20",), repetitions=1))
+    for comparison in result.payload:
+        print(comparison.as_row())
+"""
+
+from repro.experiments.cache import ExperimentContext, VictimCache, VictimKey
+from repro.experiments.runner import (
+    BACKENDS,
+    ExecutionBackend,
+    ExperimentResult,
+    ExperimentRunner,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.experiments.specs import (
+    MECHANISMS,
+    SPEC_KINDS,
+    ChipProfileOutcome,
+    ChipProfileSpec,
+    ComparisonSpec,
+    DefenseConfig,
+    DefenseMatrixSpec,
+    ExperimentSpec,
+    FlipSweepOutcome,
+    FlipSweepSpec,
+    ProfileDensityOutcome,
+    ProfileDensitySpec,
+    default_defense_roster,
+    register_spec,
+    spec_from_dict,
+)
+from repro.experiments.store import SCHEMA_VERSION, ResultStore, register_codec
+
+__all__ = [
+    "BACKENDS",
+    "MECHANISMS",
+    "SCHEMA_VERSION",
+    "SPEC_KINDS",
+    "ChipProfileOutcome",
+    "ChipProfileSpec",
+    "ComparisonSpec",
+    "DefenseConfig",
+    "DefenseMatrixSpec",
+    "ExecutionBackend",
+    "ExperimentContext",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "FlipSweepOutcome",
+    "FlipSweepSpec",
+    "ProcessPoolBackend",
+    "ProfileDensityOutcome",
+    "ProfileDensitySpec",
+    "ResultStore",
+    "SerialBackend",
+    "VictimCache",
+    "VictimKey",
+    "default_defense_roster",
+    "make_backend",
+    "register_codec",
+    "register_spec",
+    "spec_from_dict",
+]

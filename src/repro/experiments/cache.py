@@ -1,0 +1,136 @@
+"""Shared victim cache: train each surrogate once, reuse it everywhere.
+
+Training a surrogate victim is by far the most expensive step of the DNN
+experiments, and before the unified experiments API every driver paid it
+again: ``prepare_victim`` retrained the same (model, seed) combination per
+call.  :class:`VictimCache` memoises the trained model, its dataset and the
+clean-state snapshot keyed by everything that influences training, so that
+
+* the repetitions of one comparison run,
+* the mechanisms of one comparison run, and
+* *different experiments* in the same process (Table I, Fig. 7, ablations)
+
+all share a single training run.  Attack code must keep the existing
+contract of restoring the clean state (``model.load_state_dict(clean_state)``)
+before mutating weights; :meth:`VictimCache.checkout` does the restore for
+callers that want it done for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.registry import ModelSpec, get_spec
+from repro.nn.data import Dataset
+from repro.nn.module import Module
+
+#: ``(model, dataset, clean_state)`` — the tuple ``prepare_victim`` returns.
+VictimTriple = Tuple[Module, Dataset, Dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class VictimKey:
+    """Everything that determines the outcome of victim training."""
+
+    model_key: str
+    seed: int
+    training_epochs: Optional[int] = None
+
+
+class VictimCache:
+    """Process-local cache of trained surrogate victims.
+
+    The cache is deliberately *not* shared across processes: parallel
+    execution backends instantiate one cache per worker, which keeps the
+    semantics identical to serial execution (training is deterministic in
+    the key) while still amortising training inside each worker.
+    """
+
+    def __init__(self) -> None:
+        self._victims: Dict[VictimKey, VictimTriple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._victims)
+
+    def __contains__(self, key: VictimKey) -> bool:
+        return key in self._victims
+
+    def get_or_prepare(
+        self,
+        spec: ModelSpec,
+        seed: int = 0,
+        training_epochs: Optional[int] = None,
+    ) -> VictimTriple:
+        """Return the trained victim for ``spec``, training it on first use."""
+        key = VictimKey(spec.key, seed, training_epochs)
+        cached = self._victims.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        from repro.core.comparison import prepare_victim
+
+        victim = prepare_victim(spec, seed=seed, training_epochs=training_epochs)
+        self._victims[key] = victim
+        return victim
+
+    def get_or_prepare_by_key(
+        self,
+        model_key: str,
+        seed: int = 0,
+        training_epochs: Optional[int] = None,
+    ) -> VictimTriple:
+        """Like :meth:`get_or_prepare`, addressed by registry key."""
+        return self.get_or_prepare(get_spec(model_key), seed=seed, training_epochs=training_epochs)
+
+    def checkout(
+        self,
+        model_key: str,
+        seed: int = 0,
+        training_epochs: Optional[int] = None,
+    ) -> VictimTriple:
+        """Return the victim with its clean state freshly restored."""
+        model, dataset, clean_state = self.get_or_prepare_by_key(
+            model_key, seed=seed, training_epochs=training_epochs
+        )
+        model.load_state_dict(clean_state)
+        return model, dataset, clean_state
+
+    def clear(self) -> None:
+        """Drop every cached victim (training will rerun on next access)."""
+        self._victims.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (useful for cache-efficacy assertions)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._victims)}
+
+
+class ExperimentContext:
+    """Per-process execution state shared across experiments.
+
+    Holds the :class:`VictimCache` plus a generic memo table for other
+    expensive deterministic artefacts (e.g. the deployment-chip profile
+    pair).  The serial backend keeps one context for the runner's whole
+    lifetime, so artefacts are shared *across* experiments; each process
+    -pool worker lazily builds its own.
+    """
+
+    def __init__(self, victim_cache: Optional[VictimCache] = None) -> None:
+        self.victims = victim_cache or VictimCache()
+        self._memo: Dict[object, object] = {}
+
+    def memo(self, key, builder):
+        """Return ``builder()`` memoised under the hashable ``key``."""
+        if key not in self._memo:
+            self._memo[key] = builder()
+        return self._memo[key]
+
+    def clear(self) -> None:
+        """Drop all cached state (victims included)."""
+        self.victims.clear()
+        self._memo.clear()

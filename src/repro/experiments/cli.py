@@ -1,0 +1,231 @@
+"""``python -m repro`` — run, list and report experiments from the shell.
+
+Subcommands
+-----------
+``run KIND``
+    Build a spec (defaults mirror the benchmark ``fast`` profile, tweakable
+    via flags or ``--spec file.json``), execute it on the chosen backend
+    and persist the result into the store.
+``list``
+    Show the registered experiment kinds and the results already stored.
+``report NAME``
+    Load a stored result and render it (markdown via
+    :mod:`repro.analysis.reporting` for comparisons, plain text otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.runner import ExperimentResult, ExperimentRunner, make_backend
+from repro.experiments.specs import (
+    SPEC_KINDS,
+    ComparisonSpec,
+    ExperimentSpec,
+    ProfileDensitySpec,
+    spec_from_dict,
+)
+from repro.experiments.store import ResultStore
+
+DEFAULT_STORE = "benchmarks/results"
+
+
+def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
+    """Instantiate a spec of ``kind`` with CLI overrides applied."""
+    if kind == "comparison":
+        from repro.core.bfa import BitSearchConfig
+
+        return ComparisonSpec(
+            model_keys=tuple(args.models.split(",")) if args.models else ("resnet20",),
+            repetitions=args.repetitions,
+            search=BitSearchConfig(max_flips=args.max_flips, top_k_layers=5),
+            eval_samples=80,
+            seed=args.seed,
+            profile_seed=args.seed,
+        )
+    try:
+        spec_cls = SPEC_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(SPEC_KINDS))
+        raise SystemExit(f"unknown experiment kind {kind!r}; known kinds: {known}")
+    ignored = [
+        flag
+        for flag, used in (
+            ("--models", bool(args.models)),
+            ("--repetitions", args.repetitions != 1),
+            ("--max-flips", args.max_flips != 150 and kind != "profile_density"),
+        )
+        if used
+    ]
+    if ignored:
+        print(
+            f"warning: {'/'.join(ignored)} do not apply to {kind!r}; ignored",
+            file=sys.stderr,
+        )
+    # Route the generic --seed flag to the seed field each kind exposes.
+    spec = spec_cls()
+    if args.seed != 0:
+        if kind == "profile_density":
+            spec = ProfileDensitySpec(seed=args.seed, profile_seed=args.seed,
+                                      objective_seed=args.seed)
+        else:  # chip-based experiments: defense_matrix / flip_sweep / chip_profile
+            spec = spec_cls(chip_seed=args.seed)
+    if kind == "profile_density" and args.max_flips != 150:
+        from repro.core.bfa import BitSearchConfig
+
+        spec = ProfileDensitySpec(
+            seed=spec.seed, profile_seed=spec.profile_seed, objective_seed=spec.objective_seed,
+            search=BitSearchConfig(max_flips=args.max_flips, top_k_layers=5),
+        )
+    return spec
+
+
+def _load_spec_file(path: str) -> ExperimentSpec:
+    payload = json.loads(Path(path).read_text())
+    return spec_from_dict(payload)
+
+
+def _render_report(name: str, result: ExperimentResult) -> str:
+    """Human-readable rendering of a stored result, per experiment kind."""
+    kind = result.kind
+    if kind == "comparison":
+        from repro.analysis.reporting import comparisons_to_markdown
+
+        return comparisons_to_markdown(result.payload, title=f"{name} (comparison)")
+    if kind == "defense_matrix":
+        lines = [f"defense bypass matrix — {name}", ""]
+        header = f"{'defense':<12} {'mechanism':<10} {'flips (def/undef)':<20} {'NRRs':<6} mitigated"
+        lines += [header, "-" * len(header)]
+        for defense_name, row in result.payload.items():
+            for mechanism, outcome in row.items():
+                flips = f"{outcome.flips_with_defense}/{outcome.flips_without_defense}"
+                lines.append(
+                    f"{defense_name:<12} {mechanism:<10} {flips:<20} "
+                    f"{outcome.nrr_issued:<6} {'yes' if outcome.mitigated else 'NO'}"
+                )
+        return "\n".join(lines) + "\n"
+    if kind == "flip_sweep":
+        from repro.analysis.figures import render_ascii_curve
+
+        outcome = result.payload
+        comparison = outcome.equal_time()
+        lines = [f"flip sweep — {name}", ""]
+        lines += [f"  {key}: {value:.4g}" for key, value in comparison.items()]
+        lines.append(render_ascii_curve(outcome.rowpress.flips, title="RowPress flips vs budget"))
+        return "\n".join(lines) + "\n"
+    if kind == "chip_profile":
+        stats = result.payload.pair.statistics()
+        lines = [f"chip profile — {name}", ""]
+        lines += [f"  {key}: {value:.6g}" for key, value in stats.items()]
+        lines.append(f"  ideal_rowhammer_cells: {result.payload.ideal_rowhammer_cells}")
+        lines.append(f"  ideal_rowpress_cells: {result.payload.ideal_rowpress_cells}")
+        return "\n".join(lines) + "\n"
+    if kind == "profile_density":
+        lines = [f"profile-density ablation — {name}", ""]
+        for label, row in result.payload.as_table().items():
+            lines.append(
+                f"  {label:<14} flips={row['num_flips']:<5} converged={row['converged']} "
+                f"accuracy_after={row['accuracy_after']:.2f} candidates={row['candidate_bits']}"
+            )
+        return "\n".join(lines) + "\n"
+    return json.dumps({"kind": kind, "spec": result.spec.to_dict()}, indent=2)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment front door for the RowPress reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an experiment and store its result")
+    run.add_argument("kind", nargs="?", default=None, help="experiment kind (see `list`)")
+    run.add_argument("--spec", help="JSON spec file overriding the default spec")
+    run.add_argument("--backend", default="serial", choices=("serial", "process"))
+    run.add_argument("--workers", type=int, default=None, help="process-pool size")
+    run.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
+    run.add_argument("--save-as", default=None, help="store entry name (default: kind)")
+    run.add_argument("--models", default=None, help="comma-separated model keys (comparison)")
+    run.add_argument("--repetitions", type=int, default=1)
+    run.add_argument("--max-flips", type=int, default=150)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--report", action="store_true", help="print the rendered report too")
+
+    lst = sub.add_parser("list", help="list experiment kinds and stored results")
+    lst.add_argument("--store", default=DEFAULT_STORE)
+
+    report = sub.add_parser("report", help="render a stored result")
+    report.add_argument("name", help="store entry name (see `list`)")
+    report.add_argument("--store", default=DEFAULT_STORE)
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.spec:
+        try:
+            spec = _load_spec_file(args.spec)
+        except (OSError, json.JSONDecodeError, ValueError, TypeError) as error:
+            print(f"error: cannot load spec file {args.spec!r}: {error}", file=sys.stderr)
+            return 2
+    elif args.kind:
+        spec = build_default_spec(args.kind, args)
+    else:
+        print("error: provide an experiment kind or --spec file", file=sys.stderr)
+        return 2
+    name = args.save_as or spec.kind
+    store = ResultStore(args.store)
+    runner = ExperimentRunner(
+        backend=make_backend(args.backend, max_workers=args.workers), store=store
+    )
+    print(f"running {spec.kind!r} on the {args.backend} backend "
+          f"({len(spec.work_units())} work units)...")
+    result = runner.run(spec, save_as=name)
+    print(f"stored result {name!r} at {store.path_for(name)}")
+    if args.report:
+        print()
+        print(_render_report(name, result))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("experiment kinds:")
+    for kind in sorted(SPEC_KINDS):
+        print(f"  {kind:<18} {SPEC_KINDS[kind].title}")
+    store = ResultStore(args.store)
+    names = store.names()
+    print(f"\nstored results in {store.directory}:")
+    if names:
+        for name in names:
+            print(f"  {name}")
+    else:
+        print("  (none)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.name not in store:
+        print(f"error: no stored result named {args.name!r} in {store.directory}", file=sys.stderr)
+        return 1
+    try:
+        result = store.load(args.name)
+    except ValueError as error:
+        # e.g. a non-envelope JSON file (legacy output) sharing the directory
+        print(f"error: cannot load {args.name!r}: {error}", file=sys.stderr)
+        return 1
+    print(_render_report(args.name, result))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "list":
+        return cmd_list(args)
+    return cmd_report(args)

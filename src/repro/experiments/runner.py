@@ -1,0 +1,161 @@
+"""Experiment execution: pluggable serial / process-pool backends.
+
+The runner is intentionally small: a spec already knows how to decompose
+itself into independent work units and how to combine the unit outputs
+(:mod:`repro.experiments.specs`), so a backend only decides *where* the
+units run.
+
+Determinism contract: every unit derives its randomness from the spec's
+explicit seeds, never from process-global state, so
+:class:`ProcessPoolBackend` is required to produce results identical to
+:class:`SerialBackend` for the same spec.  The test suite asserts this
+bit-for-bit on the attack results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.cache import ExperimentContext, VictimCache
+from repro.experiments.specs import ExperimentSpec, spec_from_dict
+
+#: Worker-process context, created lazily on first unit (shared by every
+#: unit the worker executes, so victims are trained once per worker).
+_WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _execute_unit(spec_payload: Mapping[str, Any], unit: Mapping[str, Any]) -> Any:
+    """Top-level (picklable) entry point for process-pool workers."""
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = ExperimentContext()
+    spec = spec_from_dict(spec_payload)
+    return spec.run_unit(unit, _WORKER_CONTEXT)
+
+
+class ExecutionBackend:
+    """Strategy deciding where a spec's work units execute."""
+
+    name: str = "base"
+
+    def run_units(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[Mapping[str, Any]],
+        context: ExperimentContext,
+    ) -> List[Any]:
+        """Execute every unit, returning outputs in unit order."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution sharing the runner's long-lived context."""
+
+    name = "serial"
+
+    def run_units(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[Mapping[str, Any]],
+        context: ExperimentContext,
+    ) -> List[Any]:
+        return [spec.run_unit(unit, context) for unit in units]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan units out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    The spec travels to workers as its JSON payload (so anything a worker
+    needs must be declared in the spec — which is exactly the declarative
+    contract).  Outputs are collected in submission order, making the
+    combined result independent of worker scheduling.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def run_units(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[Mapping[str, Any]],
+        context: ExperimentContext,
+    ) -> List[Any]:
+        if not units:
+            return []
+        payload = spec.to_dict()
+        workers = self.max_workers or min(len(units), 4)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_unit, payload, unit) for unit in units]
+            return [future.result() for future in futures]
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend by name (``serial`` or ``process``)."""
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r}; known backends: {known}") from exc
+    if backend_cls is ProcessPoolBackend:
+        return ProcessPoolBackend(max_workers=max_workers)
+    return backend_cls()
+
+
+@dataclass
+class ExperimentResult:
+    """A spec together with the payload its execution produced."""
+
+    spec: ExperimentSpec
+    payload: Any
+
+    @property
+    def kind(self) -> str:
+        """The experiment kind that produced this result."""
+        return self.spec.kind
+
+
+class ExperimentRunner:
+    """Single entry point that executes any :class:`ExperimentSpec`.
+
+    The runner owns a long-lived :class:`ExperimentContext`, so victims
+    trained for one experiment are reused by the next (Table I, Fig. 7 and
+    the ablation all share surrogates when run through one runner).  An
+    optional :class:`~repro.experiments.store.ResultStore` persists results
+    as they are produced.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        store=None,
+        victim_cache: Optional[VictimCache] = None,
+    ):
+        self.backend = backend or SerialBackend()
+        self.context = ExperimentContext(victim_cache)
+        self.store = store
+
+    def run(self, spec: ExperimentSpec, save_as: Optional[str] = None) -> ExperimentResult:
+        """Execute ``spec`` and (optionally) persist the result."""
+        units = spec.work_units()
+        outputs = self.backend.run_units(spec, units, self.context)
+        payload = spec.combine(units, outputs)
+        result = ExperimentResult(spec=spec, payload=payload)
+        if self.store is not None and save_as:
+            self.store.save(save_as, result)
+        return result
+
+    def run_many(
+        self, specs: Mapping[str, ExperimentSpec]
+    ) -> Dict[str, ExperimentResult]:
+        """Run several named experiments, persisting each under its name."""
+        return {name: self.run(spec, save_as=name) for name, spec in specs.items()}

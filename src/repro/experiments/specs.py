@@ -1,0 +1,793 @@
+"""Declarative experiment specifications — the single front door.
+
+Every headline artefact of the reproduction (Table I / Fig. 7 comparisons,
+the defense-bypass matrix, the Fig. 6 budget sweeps, the Fig. 4 profiling
+campaign and the profile-density ablation) is described by one of the
+:class:`ExperimentSpec` dataclasses below.  A spec is
+
+* **declarative** — plain data, JSON round-trippable via
+  :meth:`ExperimentSpec.to_dict` / :func:`spec_from_dict`, with every seed
+  explicit so a spec fully determines its results;
+* **decomposable** — :meth:`ExperimentSpec.work_units` splits the
+  experiment into independent, JSON-serialisable work units that
+  :class:`~repro.experiments.runner.ExperimentRunner` can execute serially
+  or fan out over a process pool.  Each unit derives its randomness from
+  the spec's seeds alone, so the two backends produce identical results;
+* **combinable** — :meth:`ExperimentSpec.combine` assembles the unit
+  outputs back into the same result objects the legacy bespoke loops
+  produced (:class:`~repro.core.comparison.ModelComparisonResult`,
+  :class:`~repro.defenses.evaluation.DefenseEvaluationResult`,
+  :class:`~repro.faults.sweep.FlipCurve`, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.core.bfa import BitFlipAttack, BitSearchConfig, CandidateSet
+from repro.core.comparison import (
+    DEFAULT_ROWHAMMER_PROFILE_BUDGET,
+    DEFAULT_ROWPRESS_PROFILE_BUDGET,
+    ComparisonConfig,
+    MechanismOutcome,
+    ModelComparisonResult,
+    build_deployment_profiles,
+    measure_clean_accuracy,
+    run_single_attack,
+)
+from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY
+from repro.core.objective import AttackObjective
+from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
+from repro.core.results import AttackResult
+from repro.defenses import build_defense
+from repro.defenses.evaluation import DefenseEvaluationResult, evaluate_defense
+from repro.dram.chip import DramChip
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import CellVulnerabilityModel, VulnerabilityParameters
+from repro.faults.patterns import DataPattern
+from repro.faults.profiler import ChipProfiler, ProfilingConfig
+from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.rowhammer import RowHammerConfig
+from repro.faults.rowpress import RowPressConfig
+from repro.faults.sweep import (
+    FlipCurve,
+    equal_time_comparison,
+    rowhammer_flip_curve,
+    rowpress_flip_curve,
+)
+from repro.models.registry import get_spec
+from repro.nn.quantization import quantize_model
+from repro.utils.rng import mix_seed, spawn_seeds
+
+MECHANISMS: Tuple[str, str] = ("rowhammer", "rowpress")
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers for the nested configuration dataclasses
+# ----------------------------------------------------------------------
+def _encode_search(config: BitSearchConfig) -> Dict[str, Any]:
+    return {
+        "max_flips": config.max_flips,
+        "top_k_layers": config.top_k_layers,
+        "eval_batch_size": config.eval_batch_size,
+        "resample_attack_batch": config.resample_attack_batch,
+    }
+
+
+def _decode_search(payload: Mapping[str, Any]) -> BitSearchConfig:
+    return BitSearchConfig(**dict(payload))
+
+
+def _encode_geometry(geometry: DramGeometry) -> Dict[str, int]:
+    return {
+        "num_banks": geometry.num_banks,
+        "rows_per_bank": geometry.rows_per_bank,
+        "cols_per_row": geometry.cols_per_row,
+    }
+
+
+def _decode_geometry(payload: Mapping[str, Any]) -> DramGeometry:
+    return DramGeometry(**{key: int(value) for key, value in payload.items()})
+
+
+def _encode_rowhammer(config: RowHammerConfig) -> Dict[str, Any]:
+    return {
+        "bank": config.bank,
+        "victim_row": config.victim_row,
+        "hammer_count": config.hammer_count,
+        "pattern": config.pattern.value,
+        "aggressor_distance": config.aggressor_distance,
+    }
+
+
+def _decode_rowhammer(payload: Mapping[str, Any]) -> RowHammerConfig:
+    params = dict(payload)
+    params["pattern"] = DataPattern(params.get("pattern", DataPattern.VICTIM_ZEROS.value))
+    return RowHammerConfig(**params)
+
+
+def _encode_rowpress(config: RowPressConfig) -> Dict[str, Any]:
+    return {
+        "bank": config.bank,
+        "pressed_row": config.pressed_row,
+        "open_cycles": config.open_cycles,
+        "repetitions": config.repetitions,
+        "pattern": config.pattern.value,
+    }
+
+
+def _decode_rowpress(payload: Mapping[str, Any]) -> RowPressConfig:
+    params = dict(payload)
+    params["pattern"] = DataPattern(params.get("pattern", DataPattern.VICTIM_ZEROS.value))
+    return RowPressConfig(**params)
+
+
+# ----------------------------------------------------------------------
+# Base class and registry
+# ----------------------------------------------------------------------
+class ExperimentSpec:
+    """Interface shared by every experiment description.
+
+    Subclasses are frozen dataclasses; ``kind`` identifies the experiment
+    type in serialised payloads and on the ``python -m repro`` CLI.
+    """
+
+    kind: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable description; inverse of :func:`spec_from_dict`."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        raise NotImplementedError
+
+    # -- execution protocol --------------------------------------------
+    def work_units(self) -> List[Dict[str, Any]]:
+        """Independent, JSON-serialisable unit descriptors."""
+        raise NotImplementedError
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> Any:
+        """Execute one unit; must be deterministic in (spec, unit)."""
+        raise NotImplementedError
+
+    def combine(self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]) -> Any:
+        """Assemble unit outputs (in unit order) into the result payload."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable summary for the CLI."""
+        return f"{self.kind}: {self.title or type(self).__doc__ or ''}".strip()
+
+
+SPEC_KINDS: Dict[str, Type[ExperimentSpec]] = {}
+
+
+def register_spec(cls: Type[ExperimentSpec]) -> Type[ExperimentSpec]:
+    """Class decorator adding a spec type to the ``kind`` registry."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must define a non-empty kind")
+    SPEC_KINDS[cls.kind] = cls
+    return cls
+
+
+def spec_from_dict(payload: Mapping[str, Any]) -> ExperimentSpec:
+    """Dispatch :meth:`ExperimentSpec.from_dict` on the payload's ``kind``."""
+    try:
+        kind = payload["kind"]
+    except KeyError as exc:
+        raise ValueError("spec payload is missing the 'kind' discriminator") from exc
+    try:
+        cls = SPEC_KINDS[kind]
+    except KeyError as exc:
+        known = ", ".join(sorted(SPEC_KINDS))
+        raise ValueError(f"unknown experiment kind {kind!r}; known kinds: {known}") from exc
+    return cls.from_dict(payload)
+
+
+def _freeze(values: Optional[Sequence]) -> Optional[tuple]:
+    return None if values is None else tuple(values)
+
+
+# ----------------------------------------------------------------------
+# Comparison experiments (Table I / Fig. 7)
+# ----------------------------------------------------------------------
+@register_spec
+@dataclass(frozen=True)
+class ComparisonSpec(ExperimentSpec):
+    """RowHammer-profile vs RowPress-profile attack on a model roster."""
+
+    kind: ClassVar[str] = "comparison"
+    title: ClassVar[str] = "Table I / Fig. 7 profile-aware attack comparison"
+
+    model_keys: Tuple[str, ...] = ("resnet20",)
+    repetitions: int = 3
+    attack_batch_size: int = 32
+    eval_samples: int = 64
+    tolerance: float = 2.0
+    search: BitSearchConfig = BitSearchConfig()
+    training_epochs: Optional[int] = None
+    seed: int = 0
+    profile_seed: int = 0
+    rowhammer_budget: float = DEFAULT_ROWHAMMER_PROFILE_BUDGET
+    rowpress_budget: float = DEFAULT_ROWPRESS_PROFILE_BUDGET
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model_keys", tuple(self.model_keys))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "model_keys": list(self.model_keys),
+            "repetitions": self.repetitions,
+            "attack_batch_size": self.attack_batch_size,
+            "eval_samples": self.eval_samples,
+            "tolerance": self.tolerance,
+            "search": _encode_search(self.search),
+            "training_epochs": self.training_epochs,
+            "seed": self.seed,
+            "profile_seed": self.profile_seed,
+            "rowhammer_budget": self.rowhammer_budget,
+            "rowpress_budget": self.rowpress_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ComparisonSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["model_keys"] = tuple(params.get("model_keys", ()))
+        params["search"] = _decode_search(params.get("search", {}))
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def comparison_config(self) -> ComparisonConfig:
+        """The equivalent legacy :class:`ComparisonConfig`."""
+        return ComparisonConfig(
+            repetitions=self.repetitions,
+            attack_batch_size=self.attack_batch_size,
+            eval_samples=self.eval_samples,
+            tolerance=self.tolerance,
+            search=self.search,
+            training_epochs=self.training_epochs,
+            seed=self.seed,
+        )
+
+    def profiles(self, context) -> ProfilePair:
+        """Deployment-chip profiles, memoised per process."""
+        key = ("deployment_profiles", self.profile_seed, self.rowhammer_budget, self.rowpress_budget)
+        return context.memo(
+            key,
+            lambda: build_deployment_profiles(
+                seed=self.profile_seed,
+                rowhammer_budget=self.rowhammer_budget,
+                rowpress_budget=self.rowpress_budget,
+            ),
+        )
+
+    def work_units(self) -> List[Dict[str, Any]]:
+        units: List[Dict[str, Any]] = []
+        for model_key in self.model_keys:
+            units.append({"task": "clean", "model_key": model_key})
+            for mechanism in MECHANISMS:
+                for repetition in range(self.repetitions):
+                    units.append(
+                        {
+                            "task": "attack",
+                            "model_key": model_key,
+                            "mechanism": mechanism,
+                            "repetition": repetition,
+                        }
+                    )
+        return units
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> Any:
+        model_key = unit["model_key"]
+        model_spec = get_spec(model_key)
+        model, dataset, clean_state = context.victims.get_or_prepare(
+            model_spec, seed=self.seed, training_epochs=self.training_epochs
+        )
+        if unit["task"] == "clean":
+            return {
+                "clean_accuracy": measure_clean_accuracy(model, dataset, clean_state),
+                "num_parameters": model.num_parameters(),
+                "random_guess_accuracy": dataset.random_guess_accuracy,
+                "display_name": model_spec.display_name,
+                "dataset_name": model_spec.paper_dataset,
+            }
+        profiles = self.profiles(context)
+        repetition_seeds = spawn_seeds(
+            mix_seed(self.seed, model_key, "attack"), self.repetitions
+        )
+        return run_single_attack(
+            model,
+            dataset,
+            clean_state,
+            profiles.profile_for(unit["mechanism"]),
+            self.comparison_config(),
+            repetition_seed=repetition_seeds[unit["repetition"]],
+            model_name=model_spec.display_name,
+        )
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> List[ModelComparisonResult]:
+        clean: Dict[str, Dict[str, Any]] = {}
+        outcomes: Dict[str, Dict[str, MechanismOutcome]] = {
+            key: {m: MechanismOutcome(m) for m in MECHANISMS} for key in self.model_keys
+        }
+        for unit, output in zip(units, outputs):
+            if unit["task"] == "clean":
+                clean[unit["model_key"]] = output
+            else:
+                outcomes[unit["model_key"]][unit["mechanism"]].results.append(output)
+        results: List[ModelComparisonResult] = []
+        for model_key in self.model_keys:
+            info = clean[model_key]
+            results.append(
+                ModelComparisonResult(
+                    model_key=model_key,
+                    display_name=info["display_name"],
+                    dataset_name=info["dataset_name"],
+                    num_parameters=info["num_parameters"],
+                    clean_accuracy=info["clean_accuracy"],
+                    random_guess_accuracy=info["random_guess_accuracy"],
+                    rowhammer=outcomes[model_key]["rowhammer"],
+                    rowpress=outcomes[model_key]["rowpress"],
+                )
+            )
+        return results
+
+
+# ----------------------------------------------------------------------
+# Defense-bypass matrix (Section III)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Declarative description of one mitigation mechanism instance."""
+
+    defense_kind: str
+    label: Optional[str] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Key the defense's results are reported under."""
+        return self.label or self.defense_kind
+
+    def build(self):
+        """Instantiate the defense via the registry."""
+        return build_defense(self.defense_kind, **dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"defense_kind": self.defense_kind, "label": self.label, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DefenseConfig":
+        return cls(
+            defense_kind=payload["defense_kind"],
+            label=payload.get("label"),
+            params=dict(payload.get("params", {})),
+        )
+
+
+def default_defense_roster() -> Tuple[DefenseConfig, ...]:
+    """The five counter-based mechanisms evaluated in the paper."""
+    return (
+        DefenseConfig("trr", params={"mac_threshold": 4096}),
+        DefenseConfig("graphene", params={"mac_threshold": 4096}),
+        DefenseConfig("cbt", params={"mac_threshold": 4096, "num_rows": 32}),
+        DefenseConfig("para", params={"refresh_probability": 0.001, "seed": 0}),
+        DefenseConfig(
+            "hydra",
+            params={"mac_threshold": 2048, "group_size": 8, "group_threshold": 512},
+        ),
+    )
+
+
+@register_spec
+@dataclass(frozen=True)
+class DefenseMatrixSpec(ExperimentSpec):
+    """Every defense against both mechanisms on one simulated chip."""
+
+    kind: ClassVar[str] = "defense_matrix"
+    title: ClassVar[str] = "Section III defense-bypass matrix"
+
+    geometry: DramGeometry = DramGeometry(num_banks=2, rows_per_bank=32, cols_per_row=1024)
+    rh_density: float = 0.05
+    rp_density: float = 0.2
+    chip_seed: int = 21
+    defenses: Tuple[DefenseConfig, ...] = field(default_factory=default_defense_roster)
+    rowhammer: RowHammerConfig = RowHammerConfig(bank=0, victim_row=10, hammer_count=600_000)
+    rowpress: RowPressConfig = RowPressConfig(bank=0, pressed_row=20, open_cycles=80_000_000)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "defenses", tuple(self.defenses))
+        names = [defense.name for defense in self.defenses]
+        if len(set(names)) != len(names):
+            # combine() keys the matrix by name; collisions would silently
+            # drop results, so make them impossible (give labels instead).
+            raise ValueError(f"duplicate defense names in spec: {sorted(names)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "geometry": _encode_geometry(self.geometry),
+            "rh_density": self.rh_density,
+            "rp_density": self.rp_density,
+            "chip_seed": self.chip_seed,
+            "defenses": [defense.to_dict() for defense in self.defenses],
+            "rowhammer": _encode_rowhammer(self.rowhammer),
+            "rowpress": _encode_rowpress(self.rowpress),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DefenseMatrixSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["geometry"] = _decode_geometry(params["geometry"])
+        params["defenses"] = tuple(
+            DefenseConfig.from_dict(entry) for entry in params.get("defenses", ())
+        )
+        params["rowhammer"] = _decode_rowhammer(params["rowhammer"])
+        params["rowpress"] = _decode_rowpress(params["rowpress"])
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def build_chip(self) -> DramChip:
+        """A fresh chip with the spec's seeded vulnerable-cell population."""
+        return DramChip(
+            self.geometry,
+            vulnerability_parameters=VulnerabilityParameters(
+                rh_density=self.rh_density, rp_density=self.rp_density
+            ),
+            seed=self.chip_seed,
+        )
+
+    def work_units(self) -> List[Dict[str, Any]]:
+        return [
+            {"defense_index": index, "mechanism": mechanism}
+            for index in range(len(self.defenses))
+            for mechanism in MECHANISMS
+        ]
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> DefenseEvaluationResult:
+        defense = self.defenses[unit["defense_index"]].build()
+        return evaluate_defense(
+            self.build_chip(),
+            defense,
+            unit["mechanism"],
+            rowhammer_config=self.rowhammer,
+            rowpress_config=self.rowpress,
+        )
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> Dict[str, Dict[str, DefenseEvaluationResult]]:
+        matrix: Dict[str, Dict[str, DefenseEvaluationResult]] = {
+            defense.name: {} for defense in self.defenses
+        }
+        for unit, output in zip(units, outputs):
+            name = self.defenses[unit["defense_index"]].name
+            matrix[name][unit["mechanism"]] = output
+        return matrix
+
+
+# ----------------------------------------------------------------------
+# Budget sweeps (Fig. 6)
+# ----------------------------------------------------------------------
+@dataclass
+class FlipSweepOutcome:
+    """The two Fig.-6 curves plus the Takeaway-1 equal-time comparison."""
+
+    rowhammer: FlipCurve
+    rowpress: FlipCurve
+
+    def equal_time(self) -> Dict[str, float]:
+        """Flips produced by each mechanism within equal wall-clock time."""
+        return equal_time_comparison(self.rowhammer, self.rowpress)
+
+
+@register_spec
+@dataclass(frozen=True)
+class FlipSweepSpec(ExperimentSpec):
+    """Cumulative flip counts as the attack budget grows (Fig. 6)."""
+
+    kind: ClassVar[str] = "flip_sweep"
+    title: ClassVar[str] = "Fig. 6 flips-vs-budget sweep"
+
+    geometry: DramGeometry = DramGeometry(num_banks=2, rows_per_bank=64, cols_per_row=1024)
+    chip_seed: int = 3
+    hammer_counts: Tuple[int, ...] = tuple(
+        int(value) for value in np.linspace(1e5, 9e5, 8)
+    )
+    open_cycles: Tuple[int, ...] = tuple(int(value) for value in np.linspace(1e7, 1e8, 8))
+    max_rows_per_bank: Optional[int] = 16
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hammer_counts", tuple(int(h) for h in self.hammer_counts))
+        object.__setattr__(self, "open_cycles", tuple(int(c) for c in self.open_cycles))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "geometry": _encode_geometry(self.geometry),
+            "chip_seed": self.chip_seed,
+            "hammer_counts": list(self.hammer_counts),
+            "open_cycles": list(self.open_cycles),
+            "max_rows_per_bank": self.max_rows_per_bank,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FlipSweepSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["geometry"] = _decode_geometry(params["geometry"])
+        params["hammer_counts"] = tuple(params.get("hammer_counts", ()))
+        params["open_cycles"] = tuple(params.get("open_cycles", ()))
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def build_chip(self) -> DramChip:
+        """A fresh chip with the default vulnerability populations."""
+        return DramChip(self.geometry, seed=self.chip_seed)
+
+    def work_units(self) -> List[Dict[str, Any]]:
+        return [{"mechanism": mechanism} for mechanism in MECHANISMS]
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> FlipCurve:
+        chip = self.build_chip()
+        if unit["mechanism"] == "rowhammer":
+            return rowhammer_flip_curve(
+                chip, self.hammer_counts, max_rows_per_bank=self.max_rows_per_bank
+            )
+        return rowpress_flip_curve(
+            chip, self.open_cycles, max_rows_per_bank=self.max_rows_per_bank
+        )
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> FlipSweepOutcome:
+        curves = {unit["mechanism"]: output for unit, output in zip(units, outputs)}
+        return FlipSweepOutcome(rowhammer=curves["rowhammer"], rowpress=curves["rowpress"])
+
+
+# ----------------------------------------------------------------------
+# Chip profiling campaign (Fig. 4)
+# ----------------------------------------------------------------------
+@dataclass
+class ChipProfileOutcome:
+    """Measured profile pair plus the idealised model-derived cell counts."""
+
+    pair: ProfilePair
+    ideal_rowhammer_cells: int
+    ideal_rowpress_cells: int
+
+
+@register_spec
+@dataclass(frozen=True)
+class ChipProfileSpec(ExperimentSpec):
+    """Exhaustive vulnerable-cell profiling of a simulated chip (Fig. 4)."""
+
+    kind: ClassVar[str] = "chip_profile"
+    title: ClassVar[str] = "Fig. 4 vulnerable-cell profiling campaign"
+
+    geometry: DramGeometry = DramGeometry(num_banks=2, rows_per_bank=48, cols_per_row=1024)
+    chip_seed: int = 9
+    hammer_count: int = 900_000
+    open_cycles: int = 100_000_000
+    row_stride: int = 2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "geometry": _encode_geometry(self.geometry),
+            "chip_seed": self.chip_seed,
+            "hammer_count": self.hammer_count,
+            "open_cycles": self.open_cycles,
+            "row_stride": self.row_stride,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChipProfileSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["geometry"] = _decode_geometry(params["geometry"])
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def work_units(self) -> List[Dict[str, Any]]:
+        # Banks are physically independent, so the campaign parallelises
+        # over (mechanism, bank) without changing the observed flips.
+        return [
+            {"mechanism": mechanism, "bank": bank}
+            for mechanism in MECHANISMS
+            for bank in range(self.geometry.num_banks)
+        ]
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> BitFlipProfile:
+        chip = DramChip(self.geometry, seed=self.chip_seed)
+        profiler = ChipProfiler(
+            chip,
+            ProfilingConfig(
+                hammer_count=self.hammer_count,
+                open_cycles=self.open_cycles,
+                banks=[unit["bank"]],
+                row_stride=self.row_stride,
+            ),
+        )
+        if unit["mechanism"] == "rowhammer":
+            return profiler.profile_rowhammer()
+        return profiler.profile_rowpress()
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> ChipProfileOutcome:
+        merged: Dict[str, BitFlipProfile] = {}
+        for mechanism, budget in (
+            ("rowhammer", self.hammer_count),
+            ("rowpress", self.open_cycles),
+        ):
+            parts = [
+                output
+                for unit, output in zip(units, outputs)
+                if unit["mechanism"] == mechanism
+            ]
+            merged[mechanism] = BitFlipProfile(
+                mechanism=mechanism,
+                flat_indices=np.concatenate([part.flat_indices for part in parts]),
+                directions=np.concatenate([part.directions for part in parts]),
+                capacity_bits=self.geometry.total_cells,
+                budget=budget,
+            )
+        vulnerability = CellVulnerabilityModel(self.geometry, None, seed=self.chip_seed)
+        ideal_rh = BitFlipProfile.from_vulnerability_model(
+            vulnerability, "rowhammer", budget=self.hammer_count
+        )
+        ideal_rp = BitFlipProfile.from_vulnerability_model(
+            vulnerability, "rowpress", budget=self.open_cycles
+        )
+        return ChipProfileOutcome(
+            pair=ProfilePair(rowhammer=merged["rowhammer"], rowpress=merged["rowpress"]),
+            ideal_rowhammer_cells=len(ideal_rh),
+            ideal_rowpress_cells=len(ideal_rp),
+        )
+
+
+# ----------------------------------------------------------------------
+# Profile-density ablation
+# ----------------------------------------------------------------------
+@dataclass
+class ProfileDensityOutcome:
+    """Attack results per synthetic profile density, plus the BFA baseline."""
+
+    density_results: Tuple[Tuple[float, AttackResult], ...]
+    unconstrained: Optional[AttackResult] = None
+
+    def as_table(self) -> Dict[str, Dict[str, Any]]:
+        """Flat summary keyed like the legacy ablation benchmark output."""
+        table: Dict[str, Dict[str, Any]] = {}
+        entries = [(f"{density:g}", result) for density, result in self.density_results]
+        if self.unconstrained is not None:
+            entries.append(("unconstrained", self.unconstrained))
+        for label, result in entries:
+            table[label] = {
+                "num_flips": result.num_flips,
+                "converged": result.converged,
+                "candidate_bits": result.candidate_bits,
+                "accuracy_after": result.accuracy_after,
+            }
+        return table
+
+
+@register_spec
+@dataclass(frozen=True)
+class ProfileDensitySpec(ExperimentSpec):
+    """Sweep synthetic profile densities for one victim (DESIGN ablation)."""
+
+    kind: ClassVar[str] = "profile_density"
+    title: ClassVar[str] = "Profile-density ablation vs unconstrained BFA"
+
+    model_key: str = "resnet20"
+    densities: Tuple[float, ...] = (0.005, 0.02, 0.08)
+    include_unconstrained: bool = True
+    search: BitSearchConfig = BitSearchConfig(max_flips=150, top_k_layers=5)
+    attack_batch_size: int = 32
+    eval_samples: int = 80
+    one_to_zero_probability: float = 0.5
+    seed: int = 3
+    profile_seed: int = 17
+    objective_seed: int = 23
+    training_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "densities", tuple(float(d) for d in self.densities))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "model_key": self.model_key,
+            "densities": list(self.densities),
+            "include_unconstrained": self.include_unconstrained,
+            "search": _encode_search(self.search),
+            "attack_batch_size": self.attack_batch_size,
+            "eval_samples": self.eval_samples,
+            "one_to_zero_probability": self.one_to_zero_probability,
+            "seed": self.seed,
+            "profile_seed": self.profile_seed,
+            "objective_seed": self.objective_seed,
+            "training_epochs": self.training_epochs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ProfileDensitySpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["densities"] = tuple(params.get("densities", ()))
+        params["search"] = _decode_search(params.get("search", {}))
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def work_units(self) -> List[Dict[str, Any]]:
+        units: List[Dict[str, Any]] = [
+            {"task": "density", "density": density} for density in self.densities
+        ]
+        if self.include_unconstrained:
+            units.append({"task": "unconstrained"})
+        return units
+
+    def _objective(self, dataset) -> AttackObjective:
+        return AttackObjective.from_dataset(
+            dataset,
+            attack_batch_size=self.attack_batch_size,
+            eval_samples=self.eval_samples,
+            seed=self.objective_seed,
+        )
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> AttackResult:
+        model_spec = get_spec(self.model_key)
+        model, dataset, clean_state = context.victims.get_or_prepare(
+            model_spec, seed=self.seed, training_epochs=self.training_epochs
+        )
+        model.load_state_dict(clean_state)
+        tensor_infos = quantize_model(model)
+        if unit["task"] == "unconstrained":
+            return BitFlipAttack(
+                model,
+                self._objective(dataset),
+                candidates=CandidateSet.all_bits(model),
+                config=self.search,
+                model_name=model_spec.display_name,
+                mechanism="unconstrained",
+            ).run()
+        density = float(unit["density"])
+        profile = BitFlipProfile.synthetic(
+            mechanism=f"synthetic-{density:g}",
+            capacity_bits=DNN_DEPLOYMENT_GEOMETRY.total_cells,
+            density=density,
+            one_to_zero_probability=self.one_to_zero_probability,
+            seed=self.profile_seed,
+        )
+        attack = DramProfileAwareAttack(
+            model,
+            self._objective(dataset),
+            profile,
+            config=ProfileAwareConfig(search=self.search),
+            tensor_infos=tensor_infos,
+            model_name=model_spec.display_name,
+        )
+        return attack.run()
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> ProfileDensityOutcome:
+        density_results: List[Tuple[float, AttackResult]] = []
+        unconstrained: Optional[AttackResult] = None
+        for unit, output in zip(units, outputs):
+            if unit["task"] == "unconstrained":
+                unconstrained = output
+            else:
+                density_results.append((float(unit["density"]), output))
+        return ProfileDensityOutcome(
+            density_results=tuple(density_results), unconstrained=unconstrained
+        )

@@ -1,0 +1,276 @@
+"""Persistent, schema-versioned experiment results.
+
+Every result the runner produces can be written to — and losslessly read
+back from — the ``benchmarks/results/*.json`` format the repository's
+benchmarks have always used.  Each file is an *envelope*::
+
+    {
+      "schema_version": 1,
+      "kind": "<experiment kind>",
+      "spec": { ...spec_from_dict payload... },
+      "payload": { ...kind-specific encoding... }
+    }
+
+so a stored result carries the full declarative description of the
+experiment that produced it.  :meth:`ResultStore.load` rebuilds the same
+in-memory result objects (:class:`ModelComparisonResult`,
+:class:`DefenseEvaluationResult`, :class:`FlipCurve`, ...) the live run
+returned.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+from repro.core.comparison import MechanismOutcome, ModelComparisonResult
+from repro.core.results import AttackResult
+from repro.defenses.evaluation import DefenseEvaluationResult
+from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.sweep import FlipCurve
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.specs import (
+    ChipProfileOutcome,
+    FlipSweepOutcome,
+    ProfileDensityOutcome,
+    spec_from_dict,
+)
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    Derived quantities like ``mitigation_fraction`` can legitimately be
+    ``nan``; bare ``NaN`` tokens are not valid strict JSON and would make
+    stored envelopes unreadable for non-Python consumers.  The decoded
+    result objects recompute derived values from their raw fields, so the
+    substitution is lossless for round-trips.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonify(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(entry) for entry in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+# ----------------------------------------------------------------------
+# Per-kind payload codecs
+# ----------------------------------------------------------------------
+def _encode_outcome(outcome: MechanismOutcome) -> Dict[str, Any]:
+    return {
+        "mechanism": outcome.mechanism,
+        "results": [result.to_dict(include_events=True) for result in outcome.results],
+    }
+
+
+def _decode_outcome(payload: Dict[str, Any]) -> MechanismOutcome:
+    outcome = MechanismOutcome(payload["mechanism"])
+    outcome.results = [AttackResult.from_dict(entry) for entry in payload["results"]]
+    return outcome
+
+
+def _encode_comparison(comparisons: List[ModelComparisonResult]) -> Dict[str, Any]:
+    return {
+        "comparisons": [
+            {
+                "model_key": result.model_key,
+                "display_name": result.display_name,
+                "dataset_name": result.dataset_name,
+                "num_parameters": result.num_parameters,
+                "clean_accuracy": result.clean_accuracy,
+                "random_guess_accuracy": result.random_guess_accuracy,
+                "rowhammer": _encode_outcome(result.rowhammer),
+                "rowpress": _encode_outcome(result.rowpress),
+            }
+            for result in comparisons
+        ]
+    }
+
+
+def _decode_comparison(payload: Dict[str, Any]) -> List[ModelComparisonResult]:
+    return [
+        ModelComparisonResult(
+            model_key=entry["model_key"],
+            display_name=entry["display_name"],
+            dataset_name=entry["dataset_name"],
+            num_parameters=entry["num_parameters"],
+            clean_accuracy=entry["clean_accuracy"],
+            random_guess_accuracy=entry["random_guess_accuracy"],
+            rowhammer=_decode_outcome(entry["rowhammer"]),
+            rowpress=_decode_outcome(entry["rowpress"]),
+        )
+        for entry in payload["comparisons"]
+    ]
+
+
+def _encode_defense_matrix(matrix: Dict[str, Dict[str, DefenseEvaluationResult]]) -> Dict[str, Any]:
+    return {
+        "matrix": {
+            name: {mechanism: result.as_dict() for mechanism, result in row.items()}
+            for name, row in matrix.items()
+        }
+    }
+
+
+def _decode_defense_matrix(payload: Dict[str, Any]) -> Dict[str, Dict[str, DefenseEvaluationResult]]:
+    return {
+        name: {
+            mechanism: DefenseEvaluationResult.from_dict(entry)
+            for mechanism, entry in row.items()
+        }
+        for name, row in payload["matrix"].items()
+    }
+
+
+def _encode_flip_sweep(outcome: FlipSweepOutcome) -> Dict[str, Any]:
+    return {
+        "rowhammer": outcome.rowhammer.to_dict(),
+        "rowpress": outcome.rowpress.to_dict(),
+        "equal_time": outcome.equal_time(),
+    }
+
+
+def _decode_flip_sweep(payload: Dict[str, Any]) -> FlipSweepOutcome:
+    return FlipSweepOutcome(
+        rowhammer=FlipCurve.from_dict(payload["rowhammer"]),
+        rowpress=FlipCurve.from_dict(payload["rowpress"]),
+    )
+
+
+def _encode_chip_profile(outcome: ChipProfileOutcome) -> Dict[str, Any]:
+    return {
+        "rowhammer": outcome.pair.rowhammer.to_dict(),
+        "rowpress": outcome.pair.rowpress.to_dict(),
+        "statistics": outcome.pair.statistics(),
+        "ideal_rowhammer_cells": outcome.ideal_rowhammer_cells,
+        "ideal_rowpress_cells": outcome.ideal_rowpress_cells,
+    }
+
+
+def _decode_chip_profile(payload: Dict[str, Any]) -> ChipProfileOutcome:
+    return ChipProfileOutcome(
+        pair=ProfilePair(
+            rowhammer=BitFlipProfile.from_dict(payload["rowhammer"]),
+            rowpress=BitFlipProfile.from_dict(payload["rowpress"]),
+        ),
+        ideal_rowhammer_cells=int(payload["ideal_rowhammer_cells"]),
+        ideal_rowpress_cells=int(payload["ideal_rowpress_cells"]),
+    )
+
+
+def _encode_profile_density(outcome: ProfileDensityOutcome) -> Dict[str, Any]:
+    return {
+        "density_results": [
+            [density, result.to_dict(include_events=True)]
+            for density, result in outcome.density_results
+        ],
+        "unconstrained": (
+            outcome.unconstrained.to_dict(include_events=True)
+            if outcome.unconstrained is not None
+            else None
+        ),
+    }
+
+
+def _decode_profile_density(payload: Dict[str, Any]) -> ProfileDensityOutcome:
+    return ProfileDensityOutcome(
+        density_results=tuple(
+            (float(density), AttackResult.from_dict(entry))
+            for density, entry in payload["density_results"]
+        ),
+        unconstrained=(
+            AttackResult.from_dict(payload["unconstrained"])
+            if payload.get("unconstrained") is not None
+            else None
+        ),
+    )
+
+
+_CODECS: Dict[str, tuple] = {
+    "comparison": (_encode_comparison, _decode_comparison),
+    "defense_matrix": (_encode_defense_matrix, _decode_defense_matrix),
+    "flip_sweep": (_encode_flip_sweep, _decode_flip_sweep),
+    "chip_profile": (_encode_chip_profile, _decode_chip_profile),
+    "profile_density": (_encode_profile_density, _decode_profile_density),
+}
+
+
+def register_codec(
+    kind: str,
+    encode: Callable[[Any], Dict[str, Any]],
+    decode: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Register (or replace) the payload codec for an experiment kind."""
+    _CODECS[kind] = (encode, decode)
+
+
+class ResultStore:
+    """Directory of schema-versioned experiment-result JSON files."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+
+    def path_for(self, name: str) -> Path:
+        """Filesystem path a result of this name is stored at."""
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``name``, returning the written path."""
+        try:
+            encode, _ = _CODECS[result.kind]
+        except KeyError as exc:
+            raise ValueError(f"no result codec registered for kind {result.kind!r}") from exc
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": result.kind,
+            "spec": result.spec.to_dict(),
+            "payload": _jsonify(encode(result.payload)),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name)
+        path.write_text(json.dumps(envelope, indent=2, default=float, allow_nan=False))
+        return path
+
+    def load(self, name: str) -> ExperimentResult:
+        """Reconstruct the result previously saved under ``name``."""
+        path = self.path_for(name)
+        envelope = json.loads(path.read_text())
+        version = envelope.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has schema version {version!r}; this build reads {SCHEMA_VERSION}"
+            )
+        kind = envelope["kind"]
+        try:
+            _, decode = _CODECS[kind]
+        except KeyError as exc:
+            raise ValueError(f"no result codec registered for kind {kind!r}") from exc
+        return ExperimentResult(
+            spec=spec_from_dict(envelope["spec"]),
+            payload=decode(envelope["payload"]),
+        )
+
+    def names(self) -> List[str]:
+        """Names of every loadable result in the store (sorted)."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(envelope, dict) and envelope.get("schema_version") == SCHEMA_VERSION:
+                found.append(path.stem)
+        return found
+
+    def __contains__(self, name: str) -> bool:
+        return self.path_for(name).is_file()

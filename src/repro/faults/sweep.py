@@ -81,6 +81,16 @@ class FlipCurve:
             "rows_tested": self.rows_tested,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlipCurve":
+        """Rebuild a curve from :meth:`to_dict` output."""
+        return cls(
+            mechanism=payload["mechanism"],
+            budgets=np.asarray(payload["budgets"], dtype=np.float64),
+            flips=np.asarray(payload["flips"], dtype=np.int64),
+            rows_tested=int(payload.get("rows_tested", 0)),
+        )
+
 
 def _victim_rows(chip: DramChip, max_rows: Optional[int]) -> List[int]:
     # Victim rows are spaced at least 3 apart so that one iteration's victim

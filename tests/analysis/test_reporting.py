@@ -53,6 +53,20 @@ class TestMarkdown:
         text = comparisons_to_markdown(comparisons())
         assert "| 36 | 8 |" in text  # paper reference flips for ResNet-20
 
+    def test_undefined_flip_ratio_rendered_as_dash(self):
+        rows = [
+            ModelComparisonResult(
+                model_key="resnet20", display_name="ResNet-20", dataset_name="CIFAR-10",
+                num_parameters=68786, clean_accuracy=92.0, random_guess_accuracy=10.0,
+                rowhammer=outcome("rowhammer", 0), rowpress=outcome("rowpress", 0),
+            )
+        ]
+        assert np.isnan(rows[0].flip_ratio)
+        markdown = comparisons_to_markdown(rows)
+        row_line = next(line for line in markdown.splitlines() if "ResNet-20" in line)
+        assert "| - |" in row_line
+        assert "nan" not in row_line
+
 
 class TestCsv:
     def test_round_trips_through_csv_reader(self):

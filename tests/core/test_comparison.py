@@ -55,6 +55,33 @@ class TestAggregation:
         assert row["rowhammer_bit_flips"] == 30
         assert row["flip_ratio"] == 3.0
 
+    def test_flip_ratio_nan_when_neither_mechanism_flips(self):
+        result = ModelComparisonResult(
+            "a", "A", "d", 1, 90, 10,
+            make_outcome("rowhammer", [0]), make_outcome("rowpress", [0]),
+        )
+        assert np.isnan(result.flip_ratio)
+        # and the rendered row keeps the nan (report writers print '-')
+        assert np.isnan(result.as_row()["flip_ratio"])
+
+    def test_flip_ratio_inf_when_only_rowpress_needs_none(self):
+        result = ModelComparisonResult(
+            "a", "A", "d", 1, 90, 10,
+            make_outcome("rowhammer", [5]), make_outcome("rowpress", [0]),
+        )
+        assert np.isinf(result.flip_ratio)
+
+    def test_average_flip_ratio_skips_undefined_ratios(self):
+        results = [
+            ModelComparisonResult("a", "A", "d", 1, 90, 10,
+                                  make_outcome("rowhammer", [30]), make_outcome("rowpress", [10])),
+            ModelComparisonResult("b", "B", "d", 1, 90, 10,
+                                  make_outcome("rowhammer", [0]), make_outcome("rowpress", [0])),
+            ModelComparisonResult("c", "C", "d", 1, 90, 10,
+                                  make_outcome("rowhammer", [5]), make_outcome("rowpress", [0])),
+        ]
+        assert average_flip_ratio(results) == pytest.approx(3.0)
+
     def test_average_flip_ratio(self):
         results = [
             ModelComparisonResult("a", "A", "d", 1, 90, 10,

@@ -57,6 +57,19 @@ class TestEvaluateDefense:
             assert rowhammer.mitigation_fraction >= 0.9
             assert rowpress.mitigation_fraction == 0.0
 
+    def test_mitigation_fraction_nan_when_nothing_to_mitigate(self):
+        import math
+
+        from repro.defenses.evaluation import DefenseEvaluationResult
+
+        result = DefenseEvaluationResult(
+            defense_name="TRR", mechanism="rowhammer",
+            flips_without_defense=0, flips_with_defense=0, nrr_issued=0, triggers=0,
+        )
+        assert math.isnan(result.mitigation_fraction)
+        assert not result.mitigated
+        assert math.isnan(result.as_dict()["mitigation_fraction"])
+
     def test_unknown_mechanism_rejected(self, chip):
         with pytest.raises(ValueError):
             evaluate_defense(chip, GrapheneDefense(), "rowsmash")

@@ -1,0 +1,100 @@
+"""VictimCache hit/miss semantics (training counted via monkeypatching)."""
+
+import numpy as np
+import pytest
+
+import repro.core.comparison as comparison
+from repro.experiments import ExperimentContext, VictimCache, VictimKey
+from repro.models.registry import get_spec
+
+
+@pytest.fixture
+def counting_prepare(monkeypatch):
+    """Replace surrogate training with a cheap counted stand-in."""
+    calls = []
+
+    def fake_prepare(spec, seed=0, training_epochs=None):
+        calls.append((spec.key, seed, training_epochs))
+        model = object()
+        dataset = object()
+        state = {"w": np.zeros(1)}
+        return model, dataset, state
+
+    monkeypatch.setattr(comparison, "prepare_victim", fake_prepare)
+    return calls
+
+
+class TestVictimCache:
+    def test_miss_trains_then_hits(self, counting_prepare):
+        cache = VictimCache()
+        spec = get_spec("resnet20")
+        first = cache.get_or_prepare(spec, seed=1)
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        second = cache.get_or_prepare(spec, seed=1)
+        assert second is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert counting_prepare == [("resnet20", 1, None)]
+
+    def test_key_includes_seed_and_epochs(self, counting_prepare):
+        cache = VictimCache()
+        spec = get_spec("resnet20")
+        cache.get_or_prepare(spec, seed=1)
+        cache.get_or_prepare(spec, seed=2)
+        cache.get_or_prepare(spec, seed=1, training_epochs=3)
+        assert len(counting_prepare) == 3
+        assert cache.stats()["entries"] == 3
+        assert VictimKey("resnet20", 1, None) in cache
+        assert VictimKey("resnet20", 3, None) not in cache
+
+    def test_key_includes_model(self, counting_prepare):
+        cache = VictimCache()
+        cache.get_or_prepare_by_key("resnet20", seed=1)
+        cache.get_or_prepare_by_key("m11", seed=1)
+        assert [call[0] for call in counting_prepare] == ["resnet20", "m11"]
+
+    def test_clear_forces_retraining(self, counting_prepare):
+        cache = VictimCache()
+        cache.get_or_prepare_by_key("resnet20")
+        cache.clear()
+        cache.get_or_prepare_by_key("resnet20")
+        assert len(counting_prepare) == 2
+
+    def test_shared_across_experiments_via_context(self, counting_prepare):
+        context = ExperimentContext()
+        context.victims.get_or_prepare_by_key("resnet20", seed=5)
+        # a second "experiment" using the same context reuses the victim
+        context.victims.get_or_prepare_by_key("resnet20", seed=5)
+        assert len(counting_prepare) == 1
+
+
+class TestCheckout:
+    def test_checkout_restores_clean_state(self):
+        restored = []
+
+        class FakeModel:
+            def load_state_dict(self, state):
+                restored.append(state)
+
+        cache = VictimCache()
+        key = VictimKey("resnet20", 0, None)
+        clean = {"w": np.ones(2)}
+        cache._victims[key] = (FakeModel(), object(), clean)
+        model, _, state = cache.checkout("resnet20", seed=0)
+        assert restored == [clean]
+        assert state is clean
+
+
+class TestContextMemo:
+    def test_memo_builds_once(self):
+        context = ExperimentContext()
+        built = []
+        for _ in range(3):
+            value = context.memo("key", lambda: built.append(1) or "artefact")
+        assert value == "artefact"
+        assert built == [1]
+
+    def test_clear_drops_memo(self):
+        context = ExperimentContext()
+        context.memo("key", lambda: "first")
+        context.clear()
+        assert context.memo("key", lambda: "second") == "second"

@@ -1,0 +1,87 @@
+"""The ``python -m repro`` command line: list / run / report."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_lists_kinds_and_results(self, tmp_path, capsys):
+        assert main(["list", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for kind in ("comparison", "defense_matrix", "flip_sweep", "chip_profile", "profile_density"):
+            assert kind in out
+        assert "(none)" in out
+
+
+class TestRunAndReport:
+    def test_run_stores_and_report_renders(self, tmp_path, capsys):
+        # flip_sweep via a spec file (small geometry keeps this fast)
+        spec_payload = {
+            "kind": "flip_sweep",
+            "geometry": {"num_banks": 1, "rows_per_bank": 24, "cols_per_row": 128},
+            "chip_seed": 3,
+            "hammer_counts": [50000, 100000],
+            "open_cycles": [5000000],
+            "max_rows_per_bank": 4,
+        }
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec_payload))
+
+        store_dir = tmp_path / "results"
+        assert main([
+            "run", "--spec", str(spec_file), "--store", str(store_dir), "--save-as", "sweep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stored result 'sweep'" in out
+        assert (store_dir / "sweep.json").is_file()
+
+        assert main(["list", "--store", str(store_dir)]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+        assert main(["report", "sweep", "--store", str(store_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "flip sweep" in report
+        assert "rowpress_to_rowhammer_ratio" in report
+
+    def test_report_missing_result_fails(self, tmp_path, capsys):
+        assert main(["report", "ghost", "--store", str(tmp_path)]) == 1
+        assert "no stored result" in capsys.readouterr().err
+
+    def test_report_non_envelope_json_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "legacy.json").write_text(json.dumps({"rows": []}))
+        assert main(["report", "legacy", "--store", str(tmp_path)]) == 1
+        assert "cannot load 'legacy'" in capsys.readouterr().err
+
+    def test_run_without_kind_or_spec_fails(self, tmp_path, capsys):
+        assert main(["run", "--store", str(tmp_path)]) == 2
+        assert "provide an experiment kind" in capsys.readouterr().err
+
+
+class TestPackageSurface:
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        for name in (
+            "prepare_victim",
+            "compare_mechanisms_for_model",
+            "ComparisonConfig",
+            "get_spec",
+            "ComparisonSpec",
+            "ExperimentRunner",
+            "ResultStore",
+            "VictimCache",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401 - importable means `python -m repro` resolves

@@ -1,0 +1,98 @@
+"""Runner backends: serial/parallel equivalence and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfa import BitSearchConfig
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    ComparisonSpec,
+    DefenseMatrixSpec,
+    ExperimentRunner,
+    FlipSweepSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+
+SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=32, cols_per_row=256)
+
+
+def _tiny_comparison_spec() -> ComparisonSpec:
+    return ComparisonSpec(
+        model_keys=("resnet20",),
+        repetitions=2,
+        eval_samples=32,
+        search=BitSearchConfig(max_flips=8, top_k_layers=2, eval_batch_size=32),
+        training_epochs=1,
+        seed=123,
+        profile_seed=123,
+    )
+
+
+class TestBackendFactory:
+    def test_make_backend(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        backend = make_backend("process", max_workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+
+class TestSerialRunner:
+    def test_defense_matrix_payload_shape(self):
+        spec = DefenseMatrixSpec(geometry=SMALL_GEOMETRY)
+        result = ExperimentRunner().run(spec)
+        assert result.kind == "defense_matrix"
+        assert set(result.payload) == {config.name for config in spec.defenses}
+        for row in result.payload.values():
+            assert set(row) == {"rowhammer", "rowpress"}
+
+    def test_seeded_rerun_is_identical(self):
+        spec = FlipSweepSpec(
+            geometry=SMALL_GEOMETRY,
+            hammer_counts=(50_000, 200_000),
+            open_cycles=(5_000_000, 20_000_000),
+            max_rows_per_bank=4,
+        )
+        runner = ExperimentRunner()
+        first = runner.run(spec).payload
+        second = runner.run(spec).payload
+        assert np.array_equal(first.rowhammer.flips, second.rowhammer.flips)
+        assert np.array_equal(first.rowpress.flips, second.rowpress.flips)
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    def test_parallel_equals_serial_for_flip_sweep(self):
+        spec = FlipSweepSpec(
+            geometry=SMALL_GEOMETRY,
+            hammer_counts=(50_000, 200_000),
+            open_cycles=(5_000_000, 20_000_000),
+            max_rows_per_bank=4,
+        )
+        serial = ExperimentRunner(backend=SerialBackend()).run(spec).payload
+        parallel = ExperimentRunner(backend=ProcessPoolBackend(max_workers=2)).run(spec).payload
+        assert np.array_equal(serial.rowhammer.flips, parallel.rowhammer.flips)
+        assert np.array_equal(serial.rowpress.flips, parallel.rowpress.flips)
+
+    def test_parallel_equals_serial_for_attack_results(self):
+        """The headline contract: same seeds => identical AttackResults."""
+        spec = _tiny_comparison_spec()
+        serial_runner = ExperimentRunner(backend=SerialBackend())
+        serial = serial_runner.run(spec).payload
+        parallel = ExperimentRunner(backend=ProcessPoolBackend(max_workers=2)).run(spec).payload
+
+        assert len(serial) == len(parallel) == 1
+        a, b = serial[0], parallel[0]
+        assert a.clean_accuracy == b.clean_accuracy
+        # AttackResult equality is field-wise: curves, events, flip counts.
+        assert a.rowhammer.results == b.rowhammer.results
+        assert a.rowpress.results == b.rowpress.results
+        assert a == b
+        # The serial context trained the victim exactly once for all units.
+        assert serial_runner.context.victims.stats()["misses"] == 1
+        assert serial_runner.context.victims.stats()["hits"] >= 4

@@ -1,0 +1,120 @@
+"""Spec serialisation: every experiment kind round-trips through JSON."""
+
+import json
+
+import pytest
+
+from repro.core.bfa import BitSearchConfig
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    SPEC_KINDS,
+    ChipProfileSpec,
+    ComparisonSpec,
+    DefenseConfig,
+    DefenseMatrixSpec,
+    FlipSweepSpec,
+    ProfileDensitySpec,
+    spec_from_dict,
+)
+from repro.faults.rowhammer import RowHammerConfig
+from repro.faults.rowpress import RowPressConfig
+
+
+def _round_trip(spec):
+    """Serialise to a JSON string and reconstruct — must be lossless."""
+    payload = json.loads(json.dumps(spec.to_dict()))
+    return spec_from_dict(payload)
+
+
+ALL_DEFAULT_SPECS = [
+    ComparisonSpec(),
+    DefenseMatrixSpec(),
+    FlipSweepSpec(),
+    ChipProfileSpec(),
+    ProfileDensitySpec(),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_DEFAULT_SPECS, ids=lambda s: s.kind)
+    def test_default_specs_round_trip(self, spec):
+        assert _round_trip(spec) == spec
+
+    def test_customised_comparison_round_trips(self):
+        spec = ComparisonSpec(
+            model_keys=("resnet20", "m11"),
+            repetitions=2,
+            eval_samples=48,
+            tolerance=1.5,
+            search=BitSearchConfig(max_flips=20, top_k_layers=2, eval_batch_size=16),
+            training_epochs=1,
+            seed=99,
+            profile_seed=5,
+            rowhammer_budget=1e5,
+            rowpress_budget=1e7,
+        )
+        back = _round_trip(spec)
+        assert back == spec
+        assert back.search.max_flips == 20
+        assert back.model_keys == ("resnet20", "m11")
+
+    def test_customised_defense_matrix_round_trips(self):
+        spec = DefenseMatrixSpec(
+            geometry=DramGeometry(num_banks=1, rows_per_bank=16, cols_per_row=128),
+            rh_density=0.1,
+            rp_density=0.3,
+            chip_seed=4,
+            defenses=(DefenseConfig("graphene", label="G", params={"mac_threshold": 512}),),
+            rowhammer=RowHammerConfig(bank=0, victim_row=4, hammer_count=1000),
+            rowpress=RowPressConfig(bank=0, pressed_row=8, open_cycles=5_000_000),
+        )
+        back = _round_trip(spec)
+        assert back == spec
+        assert back.defenses[0].name == "G"
+        assert back.rowhammer.pattern is spec.rowhammer.pattern
+
+    def test_customised_sweep_and_ablation_round_trip(self):
+        sweep = FlipSweepSpec(hammer_counts=(1000, 2000), open_cycles=(10_000,), chip_seed=1)
+        assert _round_trip(sweep) == sweep
+        ablation = ProfileDensitySpec(densities=(0.1,), include_unconstrained=False, seed=2)
+        assert _round_trip(ablation) == ablation
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        assert set(SPEC_KINDS) >= {
+            "comparison",
+            "defense_matrix",
+            "flip_sweep",
+            "chip_profile",
+            "profile_density",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            spec_from_dict({"kind": "nonsense"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="missing the 'kind'"):
+            spec_from_dict({})
+
+
+class TestWorkUnits:
+    def test_comparison_units_cover_roster(self):
+        spec = ComparisonSpec(model_keys=("a", "b"), repetitions=2)
+        units = spec.work_units()
+        # per model: one clean unit + 2 mechanisms x 2 repetitions
+        assert len(units) == 2 * (1 + 4)
+        assert all(json.dumps(unit) for unit in units)
+
+    def test_defense_matrix_units(self):
+        spec = DefenseMatrixSpec()
+        assert len(spec.work_units()) == len(spec.defenses) * 2
+
+    def test_chip_profile_units_per_bank(self):
+        spec = ChipProfileSpec(geometry=DramGeometry(num_banks=3, rows_per_bank=16, cols_per_row=64))
+        assert len(spec.work_units()) == 6
+
+    def test_profile_density_units(self):
+        spec = ProfileDensitySpec(densities=(0.1, 0.2), include_unconstrained=False)
+        assert len(spec.work_units()) == 2

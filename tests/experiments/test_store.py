@@ -1,0 +1,173 @@
+"""ResultStore: every persisted result type reloads losslessly."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import MechanismOutcome, ModelComparisonResult
+from repro.core.results import AttackEvent, AttackResult
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    SCHEMA_VERSION,
+    ChipProfileSpec,
+    ComparisonSpec,
+    DefenseMatrixSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    FlipSweepSpec,
+    ProfileDensityOutcome,
+    ProfileDensitySpec,
+    ResultStore,
+)
+
+SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
+
+
+def _attack_result(flips=2, mechanism="rowpress") -> AttackResult:
+    events = [
+        AttackEvent(
+            iteration=index,
+            tensor_name="layer.weight",
+            weight_index=3 * index,
+            bit_position=7,
+            int_before=5,
+            int_after=-123,
+            loss_after=1.5 + index,
+            accuracy_after=50.0 - index,
+        )
+        for index in range(flips)
+    ]
+    return AttackResult(
+        model_name="ResNet-20",
+        mechanism=mechanism,
+        accuracy_before=88.5,
+        accuracy_after=50.0 - (flips - 1),
+        target_accuracy=12.0,
+        num_flips=flips,
+        converged=False,
+        events=events,
+        accuracy_curve=[88.5] + [50.0 - index for index in range(flips)],
+        loss_curve=[0.5] * (flips + 1),
+        candidate_bits=1234,
+    )
+
+
+def _comparison_payload():
+    rowhammer = MechanismOutcome("rowhammer")
+    rowhammer.results = [_attack_result(3, "rowhammer")]
+    rowpress = MechanismOutcome("rowpress")
+    rowpress.results = [_attack_result(2, "rowpress")]
+    return [
+        ModelComparisonResult(
+            model_key="resnet20",
+            display_name="ResNet-20",
+            dataset_name="CIFAR-10",
+            num_parameters=271_098,
+            clean_accuracy=88.5,
+            random_guess_accuracy=10.0,
+            rowhammer=rowhammer,
+            rowpress=rowpress,
+        )
+    ]
+
+
+class TestEnvelope:
+    def test_envelope_shape_and_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = ExperimentResult(spec=ComparisonSpec(), payload=_comparison_payload())
+        path = store.save("table1", result)
+        envelope = json.loads(path.read_text())
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["kind"] == "comparison"
+        assert envelope["spec"]["kind"] == "comparison"
+        assert store.names() == ["table1"]
+        assert "table1" in store
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", ExperimentResult(spec=ComparisonSpec(), payload=_comparison_payload()))
+        payload = json.loads(store.path_for("x").read_text())
+        payload["schema_version"] = 999
+        store.path_for("x").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            store.load("x")
+
+    def test_foreign_json_ignored_by_names(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "legacy.json").write_text(json.dumps({"rows": []}))
+        store.save("real", ExperimentResult(spec=ComparisonSpec(), payload=_comparison_payload()))
+        assert store.names() == ["real"]
+
+
+class TestRoundTripsSynthetic:
+    """Codec round-trips on hand-built payloads (no training needed)."""
+
+    def test_comparison_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = ComparisonSpec(model_keys=("resnet20",), repetitions=1)
+        payload = _comparison_payload()
+        store.save("cmp", ExperimentResult(spec=spec, payload=payload))
+        loaded = store.load("cmp")
+        assert loaded.spec == spec
+        assert loaded.payload == payload  # full AttackResult equality, events included
+
+    def test_profile_density_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = ProfileDensitySpec(densities=(0.1, 0.2))
+        payload = ProfileDensityOutcome(
+            density_results=((0.1, _attack_result(2)), (0.2, _attack_result(1))),
+            unconstrained=_attack_result(4, "unconstrained"),
+        )
+        store.save("ablation", ExperimentResult(spec=spec, payload=payload))
+        loaded = store.load("ablation")
+        assert loaded.spec == spec
+        assert loaded.payload == payload
+        assert loaded.payload.as_table()["unconstrained"]["num_flips"] == 4
+
+
+class TestRoundTripsLive:
+    """End-to-end: run small experiments, persist, reload, compare."""
+
+    def test_defense_matrix_round_trip(self, tmp_path):
+        spec = DefenseMatrixSpec(geometry=SMALL_GEOMETRY)
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(store=store)
+        result = runner.run(spec, save_as="defense")
+        loaded = store.load("defense")
+        assert loaded.spec == spec
+        assert loaded.payload == result.payload  # dataclass equality per cell
+
+    def test_flip_sweep_round_trip(self, tmp_path):
+        spec = FlipSweepSpec(
+            geometry=SMALL_GEOMETRY,
+            hammer_counts=(50_000, 100_000),
+            open_cycles=(5_000_000,),
+            max_rows_per_bank=4,
+        )
+        store = ResultStore(tmp_path)
+        result = ExperimentRunner(store=store).run(spec, save_as="sweep")
+        loaded = store.load("sweep")
+        assert loaded.spec == spec
+        for mechanism in ("rowhammer", "rowpress"):
+            live, back = getattr(result.payload, mechanism), getattr(loaded.payload, mechanism)
+            assert np.array_equal(live.budgets, back.budgets)
+            assert np.array_equal(live.flips, back.flips)
+            assert live.rows_tested == back.rows_tested
+        assert loaded.payload.equal_time() == result.payload.equal_time()
+
+    def test_chip_profile_round_trip(self, tmp_path):
+        spec = ChipProfileSpec(
+            geometry=SMALL_GEOMETRY, hammer_count=600_000, open_cycles=60_000_000, row_stride=3
+        )
+        store = ResultStore(tmp_path)
+        result = ExperimentRunner(store=store).run(spec, save_as="profile")
+        loaded = store.load("profile")
+        assert loaded.spec == spec
+        for mechanism in ("rowhammer", "rowpress"):
+            live = getattr(result.payload.pair, mechanism)
+            back = getattr(loaded.payload.pair, mechanism)
+            assert np.array_equal(live.flat_indices, back.flat_indices)
+            assert np.array_equal(live.directions, back.directions)
+            assert live.capacity_bits == back.capacity_bits
+        assert loaded.payload.ideal_rowpress_cells == result.payload.ideal_rowpress_cells
