@@ -1,0 +1,68 @@
+"""CI regression gate for the tracked perf microbenchmarks.
+
+Compares a freshly measured ``BENCH_perf.json`` against the committed
+baseline and fails when any case's *speedup* (reference / vectorized, both
+measured on the same machine in the same run) regressed by more than the
+allowed factor.  Comparing speedups rather than absolute times keeps the
+gate meaningful on CI runners of arbitrary speed.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py --baseline BENCH_perf.json \
+        --fresh BENCH_perf.fresh.json [--max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when fresh speedup < baseline speedup / this factor")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        print(
+            f"schema mismatch: baseline v{baseline.get('schema_version')} vs "
+            f"fresh v{fresh.get('schema_version')}; refusing to compare"
+        )
+        return 2
+
+    failures = []
+    for name, committed in sorted(baseline["cases"].items()):
+        measured = fresh["cases"].get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        floor = committed["speedup"] / args.max_regression
+        status = "ok" if measured["speedup"] >= floor else "REGRESSED"
+        print(
+            f"{name:24s} baseline {committed['speedup']:8.2f}x  "
+            f"fresh {measured['speedup']:8.2f}x  floor {floor:8.2f}x  {status}"
+        )
+        if measured["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {measured['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {committed['speedup']:.2f}x / "
+                f"{args.max_regression:g})"
+            )
+    if failures:
+        print("\nperf regression detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall perf cases within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Microbenchmark workloads: vectorized hot engines vs their loop references.
+
+Each case builds one shared workload and exposes a ``reference`` and a
+``vectorized`` callable that perform the *same* computation through the two
+retained engine implementations.  The golden-equivalence tests under
+``tests/`` prove the engines produce bit-identical outputs; this module only
+measures them.
+
+The four cases mirror the perf-critical layers:
+
+* ``bit_search_iteration`` — the intra-layer proposal stage of the
+  progressive bit search over every quantized tensor (core + nn layers).
+* ``bank_profile`` — a whole-chip RowHammer + RowPress profiling campaign
+  (faults + dram layers).
+* ``flip_sweep`` — the Fig. 6 cumulative flip-curve sweeps (faults layer).
+* ``end_to_end_attack`` — a small full bit-flip attack including model
+  evaluation (dominated by engine-independent forward/backward work, so its
+  speedup is a lower bound on the proposer's contribution).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.bfa import BitFlipAttack, BitSearchConfig
+from repro.core.objective import AttackObjective
+from repro.dram.chip import DramChip
+from repro.dram.geometry import DramGeometry
+from repro.dram.vulnerability import VulnerabilityParameters
+from repro.faults.profiler import ChipProfiler, ProfilingConfig
+from repro.faults.sweep import rowhammer_flip_curve, rowpress_flip_curve
+from repro.models.resnet_cifar import ResNetCifar
+from repro.nn.data import make_cifar_like
+from repro.nn.quantization import quantize_model
+from repro.nn.training import train
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One microbenchmark: two engines computing the same workload."""
+
+    name: str
+    description: str
+    reference: Callable[[], object]
+    vectorized: Callable[[], object]
+
+
+def _surrogate(seed: int = 0, epochs: int = 2):
+    dataset = make_cifar_like(
+        num_classes=4, image_size=8, train_per_class=24, test_per_class=12,
+        seed=5, noise_std=1.0, basis_dim=3,
+    )
+    model = ResNetCifar(
+        depth=8, num_classes=dataset.num_classes, base_width=8,
+        rng=np.random.default_rng(seed),
+    )
+    train(model, dataset, epochs=epochs, batch_size=16, lr=3e-3, seed=1)
+    return model, model.state_dict(), dataset
+
+
+def _objective(dataset, seed: int = 2) -> AttackObjective:
+    return AttackObjective.from_dataset(
+        dataset, attack_batch_size=16, eval_samples=24, seed=seed,
+        tolerance=1.0, relative_factor=1.05,
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 1: intra-layer bit-search iteration
+# ----------------------------------------------------------------------
+def _make_bit_search_case(iterations: int) -> PerfCase:
+    model, clean_state, dataset = _surrogate()
+    model.load_state_dict(clean_state)
+    quantize_model(model)
+    objective = _objective(dataset)
+    objective.attack_loss_and_gradients(model)
+
+    def propose_all(engine: str):
+        attack = BitFlipAttack(model, objective, engine=engine)
+        tensor_names = attack.candidates.tensors()
+        proposals = []
+        for _ in range(iterations):
+            proposals = [attack._propose_for_tensor(name) for name in tensor_names]
+        return proposals
+
+    return PerfCase(
+        name="bit_search_iteration",
+        description=(
+            f"{iterations} intra-layer proposal passes over every quantized "
+            "tensor of the tiny surrogate"
+        ),
+        reference=lambda: propose_all("reference"),
+        vectorized=lambda: propose_all("vectorized"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 2: whole-chip profiling campaign
+# ----------------------------------------------------------------------
+def _make_bank_profile_case(rows_per_bank: int) -> PerfCase:
+    geometry = DramGeometry(num_banks=2, rows_per_bank=rows_per_bank, cols_per_row=1024)
+    config = ProfilingConfig(hammer_count=600_000, open_cycles=60_000_000)
+
+    def profile(engine: str):
+        chip = DramChip(geometry, seed=0, engine=engine)
+        return ChipProfiler(chip, config, engine=engine).profile()
+
+    return PerfCase(
+        name="bank_profile",
+        description=(
+            f"RowHammer + RowPress profiling of {geometry.num_banks} banks x "
+            f"{rows_per_bank} rows x {geometry.cols_per_row} cols, both polarities"
+        ),
+        reference=lambda: profile("reference"),
+        vectorized=lambda: profile("vectorized"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 3: Fig. 6 budget sweeps
+# ----------------------------------------------------------------------
+def _make_flip_sweep_case(max_rows_per_bank: int) -> PerfCase:
+    geometry = DramGeometry(num_banks=2, rows_per_bank=128, cols_per_row=1024)
+    params = VulnerabilityParameters()
+    hammer_counts = [100_000, 300_000, 600_000, 885_000]
+    open_cycles = [10_000_000, 30_000_000, 60_000_000, 100_000_000]
+
+    def sweep(engine: str):
+        chip = DramChip(geometry, vulnerability_parameters=params, seed=0, engine=engine)
+        rh = rowhammer_flip_curve(
+            chip, hammer_counts, max_rows_per_bank=max_rows_per_bank, engine=engine
+        )
+        rp = rowpress_flip_curve(
+            chip, open_cycles, max_rows_per_bank=max_rows_per_bank, engine=engine
+        )
+        return rh, rp
+
+    return PerfCase(
+        name="flip_sweep",
+        description=(
+            f"RowHammer + RowPress cumulative flip curves, {len(hammer_counts)} "
+            f"budget steps, up to {max_rows_per_bank} rows per bank"
+        ),
+        reference=lambda: sweep("reference"),
+        vectorized=lambda: sweep("vectorized"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 4: end-to-end small attack
+# ----------------------------------------------------------------------
+def _make_end_to_end_case(max_flips: int) -> PerfCase:
+    model, clean_state, dataset = _surrogate()
+
+    def attack(engine: str):
+        model.load_state_dict(clean_state)
+        quantize_model(model)
+        run = BitFlipAttack(
+            model, _objective(dataset),
+            config=BitSearchConfig(max_flips=max_flips, top_k_layers=3),
+            engine=engine,
+        )
+        return run.run()
+
+    return PerfCase(
+        name="end_to_end_attack",
+        description=(
+            f"full progressive bit search ({max_flips} flips max) on the tiny "
+            "surrogate, evaluation included"
+        ),
+        reference=lambda: attack("reference"),
+        vectorized=lambda: attack("vectorized"),
+    )
+
+
+def build_cases(profile: str = "quick") -> List[PerfCase]:
+    """The four tracked microbenchmarks at the requested workload size."""
+    if profile == "quick":
+        sizes: Dict[str, int] = {
+            "iterations": 30, "rows_per_bank": 96, "max_rows": 16, "max_flips": 4,
+        }
+    elif profile == "full":
+        sizes = {
+            "iterations": 100, "rows_per_bank": 128, "max_rows": 32, "max_flips": 8,
+        }
+    else:
+        raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
+    return [
+        _make_bit_search_case(sizes["iterations"]),
+        _make_bank_profile_case(sizes["rows_per_bank"]),
+        _make_flip_sweep_case(sizes["max_rows"]),
+        _make_end_to_end_case(sizes["max_flips"]),
+    ]

@@ -1,0 +1,78 @@
+"""Run the tracked perf microbenchmarks and write ``BENCH_perf.json``.
+
+Usage::
+
+    python benchmarks/perf/run_perf.py                 # quick profile, repo-root output
+    python benchmarks/perf/run_perf.py --profile full
+    python benchmarks/perf/run_perf.py --output /tmp/bench.json --repeats 5
+
+Each case measures the loop-reference and the vectorized engine on the same
+workload (best wall-clock of ``--repeats`` runs) and records the speedup.
+The output is schema-versioned so future PRs can extend it without breaking
+the CI regression gate (``check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from perf_cases import REPO_ROOT, PerfCase, build_cases
+
+SCHEMA_VERSION = 1
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(case: PerfCase, repeats: int) -> dict:
+    reference_seconds = _best_seconds(case.reference, repeats)
+    vectorized_seconds = _best_seconds(case.vectorized, repeats)
+    return {
+        "description": case.description,
+        "reference_seconds": reference_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": reference_seconds / vectorized_seconds,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=("quick", "full"), default="quick")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per engine; the best wall-clock is kept")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_perf.json")
+    args = parser.parse_args()
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/perf/run_perf.py",
+        "profile": args.profile,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "cases": {},
+    }
+    for case in build_cases(args.profile):
+        print(f"[{case.name}] {case.description}")
+        result = measure(case, args.repeats)
+        payload["cases"][case.name] = result
+        print(
+            f"  reference  {result['reference_seconds'] * 1e3:9.1f} ms\n"
+            f"  vectorized {result['vectorized_seconds'] * 1e3:9.1f} ms\n"
+            f"  speedup    {result['speedup']:9.2f}x"
+        )
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

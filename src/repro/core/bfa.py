@@ -33,11 +33,16 @@ import numpy as np
 from repro.core.mapping import TensorCandidates
 from repro.core.objective import AttackObjective
 from repro.core.results import AttackEvent, AttackResult
-from repro.nn.bitops import bit_flip_deltas_vector, from_twos_complement, to_twos_complement
+from repro.nn.bitops import (
+    bit_flip_delta_table,
+    bit_flip_deltas_vector,
+    from_twos_complement,
+    to_twos_complement,
+)
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.quantization import quantized_parameters
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_engine, check_positive
 
 
 @dataclass(frozen=True)
@@ -138,7 +143,21 @@ class _Proposal:
 
 
 class BitFlipAttack:
-    """Progressive bit search over a quantized model."""
+    """Progressive bit search over a quantized model.
+
+    ``engine`` selects the intra-layer proposer implementation:
+
+    * ``"vectorized"`` (default) — scores all (weight, bit) pairs of a
+      tensor with one broadcasted ``grad * delta * scale`` over a cached
+      ``(num_bits, size)`` flip-delta table and a single flat argmax.  The
+      table depends only on the stored bit patterns, so it survives across
+      attack iterations and only the one column of a flipped weight is ever
+      recomputed.
+    * ``"reference"`` — the original per-bit Python loop, retained for the
+      golden-equivalence tests and the perf benchmarks.  Both engines
+      produce bit-identical proposals (same tie-breaking, same IEEE float
+      operations).
+    """
 
     def __init__(
         self,
@@ -148,12 +167,15 @@ class BitFlipAttack:
         config: Optional[BitSearchConfig] = None,
         model_name: str = "model",
         mechanism: str = "unconstrained",
+        engine: str = "vectorized",
     ):
+        check_engine(engine)
         self.model = model
         self.objective = objective
         self.config = config or BitSearchConfig()
         self.model_name = model_name
         self.mechanism = mechanism
+        self.engine = engine
         self.parameters = quantized_parameters(model)
         if not self.parameters:
             raise ValueError("model must be quantized before attacking (call quantize_model)")
@@ -161,6 +183,30 @@ class BitFlipAttack:
         unknown = [name for name in self.candidates.candidates if name not in self.parameters]
         if unknown:
             raise KeyError(f"candidate set references unknown tensors: {unknown}")
+        #: Per-tensor (num_bits, size) flip-delta tables for the vectorized
+        #: proposer, keyed by tensor name.  Invalidation contract: every
+        #: int_repr mutation goes through _apply/_revert, which refresh
+        #: exactly the flipped weight's column.
+        self._delta_tables: Dict[str, np.ndarray] = {}
+
+    def _delta_table(self, tensor_name: str, parameter: Parameter) -> np.ndarray:
+        table = self._delta_tables.get(tensor_name)
+        if table is None:
+            table = bit_flip_delta_table(
+                parameter.int_repr.ravel(), parameter.num_bits, validate=False
+            )
+            self._delta_tables[tensor_name] = table
+        return table
+
+    def _refresh_delta_column(self, tensor_name: str, weight_index: int) -> None:
+        table = self._delta_tables.get(tensor_name)
+        if table is None:
+            return
+        parameter = self.parameters[tensor_name]
+        value = parameter.int_repr.flat[weight_index]
+        table[:, weight_index] = bit_flip_delta_table(
+            np.asarray([value]), parameter.num_bits, validate=False
+        )[:, 0]
 
     # ------------------------------------------------------------------
     # Intra-layer stage
@@ -174,10 +220,40 @@ class BitFlipAttack:
         scale = parameter.scale
 
         if restriction is None:
+            if self.engine == "reference":
+                return self._propose_unconstrained_reference(
+                    tensor_name, parameter, grad, ints, num_bits, scale
+                )
             return self._propose_unconstrained(tensor_name, parameter, grad, ints, num_bits, scale)
         return self._propose_restricted(tensor_name, parameter, restriction, grad, ints, num_bits, scale)
 
     def _propose_unconstrained(
+        self,
+        tensor_name: str,
+        parameter: Parameter,
+        grad: np.ndarray,
+        ints: np.ndarray,
+        num_bits: int,
+        scale: float,
+    ) -> Optional[_Proposal]:
+        deltas = self._delta_table(tensor_name, parameter)
+        # Elementwise (grad[i] * delta) * scale — the exact float operations
+        # of the loop reference, just broadcast over all bits at once.  The
+        # (num_bits, size) layout makes the flat argmax resolve ties by
+        # lowest bit first, then lowest weight index, like the reference.
+        gains = grad[None, :] * deltas * scale
+        flat = int(np.argmax(gains))
+        bit, index = divmod(flat, ints.size)
+        return _Proposal(
+            tensor_name=tensor_name,
+            weight_index=index,
+            bit_position=bit,
+            int_before=int(ints[index]),
+            int_after=int(ints[index] + deltas[bit, index]),
+            estimated_gain=float(gains[bit, index]),
+        )
+
+    def _propose_unconstrained_reference(
         self,
         tensor_name: str,
         parameter: Parameter,
@@ -220,7 +296,7 @@ class BitFlipAttack:
         directions = restriction.directions
 
         current_ints = ints[weight_indices]
-        patterns = to_twos_complement(current_ints, num_bits)
+        patterns = to_twos_complement(current_ints, num_bits, validate=False)
         current_bits = (patterns >> bit_positions) & 1
         # A profiled cell flips 1 -> 0 (direction 1) only if the stored bit is
         # currently 1, and 0 -> 1 (direction 0) only if it is currently 0.
@@ -229,7 +305,7 @@ class BitFlipAttack:
             return None
 
         flipped_patterns = patterns ^ (np.int64(1) << bit_positions)
-        new_ints = from_twos_complement(flipped_patterns, num_bits)
+        new_ints = from_twos_complement(flipped_patterns, num_bits, validate=False)
         deltas = new_ints - current_ints
         gains = grad[weight_indices] * deltas * scale
         gains = np.where(feasible, gains, -np.inf)
@@ -250,11 +326,13 @@ class BitFlipAttack:
         parameter = self.parameters[proposal.tensor_name]
         parameter.int_repr.flat[proposal.weight_index] = proposal.int_after
         parameter.sync_from_int()
+        self._refresh_delta_column(proposal.tensor_name, proposal.weight_index)
 
     def _revert(self, proposal: _Proposal) -> None:
         parameter = self.parameters[proposal.tensor_name]
         parameter.int_repr.flat[proposal.weight_index] = proposal.int_before
         parameter.sync_from_int()
+        self._refresh_delta_column(proposal.tensor_name, proposal.weight_index)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -268,6 +346,9 @@ class BitFlipAttack:
         loss_curve: List[float] = []
         events: List[AttackEvent] = []
         converged = objective.is_satisfied(accuracy_before)
+        # The candidate set never changes during a run; building the tensor
+        # list once keeps the per-iteration cost at proposing + evaluating.
+        tensor_names = self.candidates.tensors()
 
         while not converged and len(events) < config.max_flips:
             if config.resample_attack_batch and len(events) > 0:
@@ -276,7 +357,7 @@ class BitFlipAttack:
             loss_curve.append(loss_value)
 
             proposals: List[_Proposal] = []
-            for tensor_name in self.candidates.tensors():
+            for tensor_name in tensor_names:
                 proposal = self._propose_for_tensor(tensor_name)
                 if proposal is not None and np.isfinite(proposal.estimated_gain):
                     proposals.append(proposal)

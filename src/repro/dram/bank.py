@@ -25,15 +25,37 @@ import numpy as np
 from repro.dram.cells import CellFlip
 from repro.dram.geometry import DramGeometry
 from repro.dram.vulnerability import BankVulnerabilityMap, FlipDirection
+from repro.utils.validation import check_engine
 
 
 class DramBank:
-    """One bank of the simulated chip."""
+    """One bank of the simulated chip.
 
-    def __init__(self, index: int, geometry: DramGeometry, vulnerability: BankVulnerabilityMap):
+    ``engine`` selects the flip-evaluation implementation:
+
+    * ``"vectorized"`` (default) — derives the flips of an entire victim-row
+      set with one boolean-masked compare over the vulnerability threshold
+      arrays; :class:`~repro.dram.cells.CellFlip` objects are materialized
+      only at the API boundary.
+    * ``"reference"`` — the original per-victim-row Python loop, retained
+      for the golden-equivalence tests and perf benchmarks.  Both engines
+      produce identical flips in identical order for :meth:`hammer` and
+      :meth:`press`; :meth:`press_many` additionally orders its result by
+      victim row.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        geometry: DramGeometry,
+        vulnerability: BankVulnerabilityMap,
+        engine: str = "vectorized",
+    ):
+        check_engine(engine)
         self.index = index
         self.geometry = geometry
         self.vulnerability = vulnerability
+        self.engine = engine
         self.data = np.zeros((geometry.rows_per_bank, geometry.cols_per_row), dtype=np.uint8)
         self.hammer_accumulator = np.zeros(geometry.rows_per_bank, dtype=np.float64)
         self.press_accumulator = np.zeros(geometry.rows_per_bank, dtype=np.float64)
@@ -101,17 +123,22 @@ class DramBank:
         """
         if hammer_count < 0:
             raise ValueError(f"hammer_count must be >= 0, got {hammer_count}")
-        flips: List[CellFlip] = []
         aggressors = set()
         for row in aggressor_rows:
             self.geometry.validate_row(row)
             aggressors.add(row)
             self.activation_counts[row] += hammer_count
         victims = self._victim_rows(aggressors)
-        for victim in victims:
-            self.hammer_accumulator[victim] += hammer_count
-            flips.extend(self._evaluate_row_flips(victim, aggressors, mechanism="rowhammer"))
-        return flips
+        if self.engine == "reference":
+            flips: List[CellFlip] = []
+            for victim in victims:
+                self.hammer_accumulator[victim] += hammer_count
+                flips.extend(self._evaluate_row_flips(victim, aggressors, mechanism="rowhammer"))
+            return flips
+        victim_arr = np.asarray(victims, dtype=np.int64)
+        if victim_arr.size:
+            self.hammer_accumulator[victim_arr] += hammer_count
+        return self._evaluate_bank_flips(victim_arr, aggressors, mechanism="rowhammer")
 
     def press(self, pressed_row: int, open_cycles: int) -> List[CellFlip]:
         """Keep ``pressed_row`` open for ``open_cycles`` and disturb neighbours.
@@ -125,13 +152,61 @@ class DramBank:
             raise ValueError(f"open_cycles must be >= 0, got {open_cycles}")
         self.geometry.validate_row(pressed_row)
         self.activation_counts[pressed_row] += 1
-        flips: List[CellFlip] = []
-        for victim in self.geometry.neighbours(pressed_row):
-            self.press_accumulator[victim] += open_cycles
-            flips.extend(
-                self._evaluate_row_flips(victim, {pressed_row}, mechanism="rowpress")
-            )
-        return flips
+        victims = self.geometry.neighbours(pressed_row)
+        if self.engine == "reference":
+            flips: List[CellFlip] = []
+            for victim in victims:
+                self.press_accumulator[victim] += open_cycles
+                flips.extend(
+                    self._evaluate_row_flips(victim, {pressed_row}, mechanism="rowpress")
+                )
+            return flips
+        victim_arr = np.asarray(victims, dtype=np.int64)
+        if victim_arr.size:
+            self.press_accumulator[victim_arr] += open_cycles
+        return self._evaluate_bank_flips(victim_arr, {pressed_row}, mechanism="rowpress")
+
+    def press_many(self, pressed_rows: Sequence[int], open_cycles: int) -> List[CellFlip]:
+        """Press a whole set of rows for ``open_cycles`` each.
+
+        Equivalent to calling :meth:`press` once per row (up to the order of
+        the returned list, which follows victim rows ascending).  Pressed
+        rows must be at least three rows apart — rows closer than that share
+        victim rows or press each other, and the batched evaluation would
+        silently diverge from the sequential physics; the spacing is
+        enforced.  The budget sweeps' row layout satisfies it by
+        construction.  The disturbance accumulation and the flip evaluation
+        for all victim rows happen in single array operations.
+        """
+        if open_cycles < 0:
+            raise ValueError(f"open_cycles must be >= 0, got {open_cycles}")
+        pressed = []
+        for row in pressed_rows:
+            self.geometry.validate_row(row)
+            pressed.append(row)
+        if not pressed:
+            return []
+        ordered = sorted(pressed)
+        for lower, upper in zip(ordered, ordered[1:]):
+            if upper - lower < 3:
+                raise ValueError(
+                    f"pressed rows {lower} and {upper} are closer than 3 rows; "
+                    "batched pressing requires non-interacting pressed rows"
+                )
+        if self.engine == "reference":
+            flips: List[CellFlip] = []
+            for row in pressed:
+                flips.extend(self.press(row, open_cycles))
+            return flips
+        self.activation_counts[np.asarray(pressed, dtype=np.int64)] += 1
+        neighbour_lists = [self.geometry.neighbours(row) for row in pressed]
+        all_neighbours = np.asarray(
+            [victim for neighbours in neighbour_lists for victim in neighbours], dtype=np.int64
+        )
+        # np.add.at keeps multiplicity for victims shared between pressed rows.
+        np.add.at(self.press_accumulator, all_neighbours, open_cycles)
+        victim_arr = np.unique(all_neighbours)
+        return self._evaluate_bank_flips(victim_arr, set(pressed), mechanism="rowpress")
 
     # ------------------------------------------------------------------
     # Internals
@@ -154,20 +229,16 @@ class DramBank:
         if not adjacent:
             return []
         vuln = self.vulnerability
+        _, all_cols, all_thresholds, all_directions = vuln.arrays_for(mechanism)
         if mechanism == "rowhammer":
             cell_indices = vuln.rh_cells_in_row(victim)
-            cols = vuln.rh_cols[cell_indices]
-            thresholds = vuln.rh_thresholds[cell_indices]
-            directions = vuln.rh_directions[cell_indices]
             accumulated = self.hammer_accumulator[victim]
-        elif mechanism == "rowpress":
-            cell_indices = vuln.rp_cells_in_row(victim)
-            cols = vuln.rp_cols[cell_indices]
-            thresholds = vuln.rp_thresholds[cell_indices]
-            directions = vuln.rp_directions[cell_indices]
-            accumulated = self.press_accumulator[victim]
         else:
-            raise ValueError(f"unknown mechanism {mechanism!r}")
+            cell_indices = vuln.rp_cells_in_row(victim)
+            accumulated = self.press_accumulator[victim]
+        cols = all_cols[cell_indices]
+        thresholds = all_thresholds[cell_indices]
+        directions = all_directions[cell_indices]
 
         if cols.size == 0:
             return []
@@ -203,15 +274,70 @@ class DramBank:
             )
         return flips
 
+    def _evaluate_bank_flips(
+        self, victims: np.ndarray, aggressors: Iterable[int], mechanism: str
+    ) -> List[CellFlip]:
+        """Derive the flips of an entire victim-row set in one masked compare.
+
+        ``victims`` must be sorted ascending; the emitted flips are then
+        ordered exactly like the reference per-row loop (victim rows
+        ascending, cells in vulnerability-array order within a row).
+        """
+        vuln = self.vulnerability
+        all_rows, all_cols, all_thresholds, all_directions = vuln.arrays_for(mechanism)
+        cell_indices = vuln.cells_in_rows(mechanism, victims)
+        accumulator = (
+            self.hammer_accumulator if mechanism == "rowhammer" else self.press_accumulator
+        )
+
+        if cell_indices.size == 0:
+            return []
+        rows = all_rows[cell_indices]
+        cols = all_cols[cell_indices]
+
+        over_threshold = all_thresholds[cell_indices] <= accumulator[rows]
+        if not over_threshold.any():
+            return []
+
+        is_aggressor = np.zeros(self.geometry.rows_per_bank, dtype=bool)
+        is_aggressor[list(aggressors)] = True
+        victim_bits = self.data[rows, cols]
+        differs = np.zeros(rows.size, dtype=bool)
+        for offset in (-1, 1):
+            neighbour = rows + offset
+            valid = (neighbour >= 0) & (neighbour < self.geometry.rows_per_bank)
+            neighbour_safe = np.where(valid, neighbour, 0)
+            adjacent = valid & is_aggressor[neighbour_safe]
+            differs |= adjacent & (self.data[neighbour_safe, cols] != victim_bits)
+        directions = all_directions[cell_indices]
+        # direction == 1 encodes ONE_TO_ZERO (cell must currently hold 1).
+        direction_ok = np.where(directions == 1, victim_bits == 1, victim_bits == 0)
+
+        flip_mask = over_threshold & differs & direction_ok
+        positions = np.nonzero(flip_mask)[0]
+        if positions.size == 0:
+            return []
+        flip_rows = rows[positions]
+        flip_cols = cols[positions]
+        before = self.data[flip_rows, flip_cols]
+        after = 1 - before
+        self.data[flip_rows, flip_cols] = after
+        bank = self.index
+        return [
+            CellFlip(
+                bank=bank,
+                row=int(row),
+                col=int(col),
+                before=int(b),
+                after=int(a),
+                mechanism=mechanism,
+            )
+            for row, col, b, a in zip(flip_rows, flip_cols, before, after)
+        ]
+
     def vulnerable_cell_direction(self, mechanism: str, row: int, col: int) -> Optional[FlipDirection]:
         """Return the preferred flip direction of a vulnerable cell, if any."""
-        vuln = self.vulnerability
-        if mechanism == "rowhammer":
-            rows, cols, directions = vuln.rh_rows, vuln.rh_cols, vuln.rh_directions
-        elif mechanism == "rowpress":
-            rows, cols, directions = vuln.rp_rows, vuln.rp_cols, vuln.rp_directions
-        else:
-            raise ValueError(f"unknown mechanism {mechanism!r}")
+        rows, cols, _, directions = self.vulnerability.arrays_for(mechanism)
         matches = np.nonzero((rows == row) & (cols == col))[0]
         if matches.size == 0:
             return None

@@ -19,6 +19,7 @@ from repro.dram.cells import CellFlip
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTimings
 from repro.dram.vulnerability import CellVulnerabilityModel, VulnerabilityParameters
+from repro.utils.validation import check_engine
 
 
 @dataclass(frozen=True)
@@ -42,11 +43,16 @@ class DramChip:
         vulnerability_parameters: Optional[VulnerabilityParameters] = None,
         seed: int = 0,
         info: Optional[ChipInfo] = None,
+        engine: str = "vectorized",
     ):
         self.geometry = geometry or DramGeometry()
         self.timings = timings or DramTimings()
         self.seed = seed
         self.info = info or ChipInfo()
+        #: Flip-engine implementation handed to every bank ("vectorized" or
+        #: the loop "reference" kept for golden-equivalence testing).
+        check_engine(engine)
+        self.engine = engine
         self.vulnerability_model = CellVulnerabilityModel(
             self.geometry, vulnerability_parameters, seed=seed
         )
@@ -64,6 +70,7 @@ class DramChip:
                 index=index,
                 geometry=self.geometry,
                 vulnerability=self.vulnerability_model.bank_map(index),
+                engine=self.engine,
             )
         return self._banks[index]
 
@@ -116,6 +123,10 @@ class DramChip:
     def press(self, bank: int, row: int, open_cycles: int) -> List[CellFlip]:
         """Apply a RowPress disturbance around an open row."""
         return self.bank(bank).press(row, open_cycles)
+
+    def press_many(self, bank: int, rows, open_cycles: int) -> List[CellFlip]:
+        """Apply a RowPress disturbance around a whole set of open rows."""
+        return self.bank(bank).press_many(rows, open_cycles)
 
     def refresh_row(self, bank: int, row: int) -> None:
         """Refresh a single row (used for NRR)."""

@@ -201,6 +201,49 @@ class MemoryController:
         self.stats.total_flips += len(flips)
         return flips
 
+    def press_rows(self, bank: int, rows: Sequence[int], open_cycles: int) -> List[CellFlip]:
+        """Open every row of ``rows`` for ``open_cycles`` and precharge.
+
+        The batched equivalent of calling :meth:`press_row` per row: same
+        activation/precharge counts, same defense notifications, same total
+        cycle cost — but the fault evaluation for all victim rows of the
+        whole set happens in one masked compare over the bank's
+        vulnerability arrays.  Flips are identical to the sequential calls;
+        only the order of the returned list differs.  The bank enforces that
+        pressed rows are at least three rows apart (the budget sweeps'
+        layout), which is what makes the batching exact.
+
+        With defenses attached the call falls back to sequential pressing:
+        a defense's NRR can heal a row between two presses, and the batched
+        evaluation cannot interleave that healing.
+        """
+        check_non_negative("open_cycles", open_cycles)
+        rows = list(rows)
+        if not rows:
+            return []
+        if self.defenses:
+            flips: List[CellFlip] = []
+            for row in rows:
+                flips.extend(self.press_row(bank, row, open_cycles))
+            return flips
+        max_window = self.chip.timings.max_open_window_cycles()
+        if open_cycles > max_window:
+            raise ValueError(
+                f"open window of {open_cycles} cycles exceeds the refresh window "
+                f"({max_window} cycles); RowPress cannot hold a row open longer "
+                "than tREFW"
+            )
+        self.stats.activations += len(rows)
+        for row in rows:
+            self._record(DramCommand(CommandType.ACT, bank=bank, row=row, cycle=self.current_cycle))
+            self._notify_activation(bank, row, 1)
+        flips = self.chip.press_many(bank, rows, open_cycles)
+        self._advance(open_cycles * len(rows))
+        for row in rows:
+            self.precharge(bank, row, open_cycles=open_cycles)
+        self.stats.total_flips += len(flips)
+        return flips
+
     def press_row_repeated(
         self, bank: int, row: int, open_cycles: int, repetitions: int
     ) -> List[CellFlip]:

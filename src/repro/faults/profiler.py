@@ -11,14 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.dram.cells import CellFlip
 from repro.dram.chip import DramChip
 from repro.dram.controller import MemoryController
-from repro.faults.patterns import DataPattern, profiling_patterns
+from repro.faults.patterns import DataPattern, make_pattern, profiling_patterns
 from repro.faults.profiles import BitFlipProfile, ProfilePair
 from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig
 from repro.faults.rowpress import RowPressAttack, RowPressConfig
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_engine, check_positive
 
 
 @dataclass(frozen=True)
@@ -52,11 +54,32 @@ class ProfilingConfig:
 
 
 class ChipProfiler:
-    """Runs the profiling campaign of Section VI on a simulated chip."""
+    """Runs the profiling campaign of Section VI on a simulated chip.
 
-    def __init__(self, chip: DramChip, config: Optional[ProfilingConfig] = None):
+    ``engine`` selects the sweep implementation:
+
+    * ``"vectorized"`` (default) — derives each bank's flips for the whole
+      row sweep with boolean-mask operations directly over the bank's
+      vulnerability threshold arrays.  Exactness rests on a property of the
+      per-row campaign: every run rewrites (and thereby refreshes) all rows
+      it touches before disturbing them, so each observed row's flips depend
+      only on the run's own budget and data pattern — never on residue from
+      earlier runs.  The golden-equivalence tests assert flip-for-flip
+      agreement with the reference.
+    * ``"reference"`` — the original per-row attack loop through the memory
+      controller, retained for golden tests and perf benchmarks.
+    """
+
+    def __init__(
+        self,
+        chip: DramChip,
+        config: Optional[ProfilingConfig] = None,
+        engine: str = "vectorized",
+    ):
+        check_engine(engine)
         self.chip = chip
         self.config = config or ProfilingConfig()
+        self.engine = engine
 
     def _banks(self) -> List[int]:
         if self.config.banks is not None:
@@ -90,6 +113,106 @@ class ChipProfiler:
 
     # ------------------------------------------------------------------
     def _run_mechanism(self, mechanism: str) -> List[CellFlip]:
+        if self.engine == "vectorized":
+            return self._run_mechanism_vectorized(mechanism)
+        return self._run_mechanism_reference(mechanism)
+
+    def _run_mechanism_vectorized(self, mechanism: str) -> List[CellFlip]:
+        """Whole-bank masked sweep equivalent to the per-row attack loop.
+
+        Every per-row run writes fresh data into the observed rows (which
+        also refreshes their disturbance accumulators), so a profiled cell
+        flips iff its threshold is within the run budget, its stored pattern
+        bit differs from the adjacent aggressor pattern bit (always true for
+        the profiling patterns) and its preferred direction matches the
+        stored bit.  That predicate is evaluated for every vulnerable cell
+        of a bank at once; CellFlip records are materialized only here, at
+        the API boundary, in the reference emission order.
+        """
+        geometry = self.chip.geometry
+        config = self.config
+        stride = config.row_stride
+        last_interior = geometry.rows_per_bank - 2
+        budget = config.hammer_count if mechanism == "rowhammer" else config.open_cycles
+
+        flips: List[CellFlip] = []
+        for pattern in config.patterns:
+            victim_bits, aggressor_bits = make_pattern(pattern, geometry.cols_per_row)
+            for bank in self._banks():
+                bank_map = self.chip.vulnerability_model.bank_map(bank)
+                rows, cols, thresholds, directions = bank_map.arrays_for(mechanism)
+                if rows.size == 0:
+                    continue
+                stored = victim_bits[cols] if mechanism == "rowhammer" else aggressor_bits[cols]
+                facing = aggressor_bits[cols] if mechanism == "rowhammer" else victim_bits[cols]
+                feasible = (
+                    (thresholds <= budget)
+                    & (stored != facing)
+                    & np.where(directions == 1, stored == 1, stored == 0)
+                )
+                if mechanism == "rowhammer":
+                    # Observed exactly once: in the run whose victim row it is.
+                    observed = (
+                        feasible
+                        & (rows >= 1)
+                        & (rows <= last_interior)
+                        & ((rows - 1) % stride == 0)
+                    )
+                    indices = np.nonzero(observed)[0]
+                    order = np.lexsort((cols[indices], rows[indices]))
+                    flips.extend(
+                        self._materialize(
+                            bank, rows, cols, stored, indices[order], mechanism
+                        )
+                    )
+                else:
+                    # A cell in row k is observed (freshly written, disturbed
+                    # and read back) once per pressed row adjacent to k, so
+                    # interior rows between two pressed rows appear twice.
+                    indices = np.nonzero(feasible)[0]
+                    if indices.size == 0:
+                        continue
+                    feasible_rows = rows[indices]
+                    order = np.lexsort((cols[indices], feasible_rows))
+                    indices = indices[order]
+                    feasible_rows = feasible_rows[order]
+                    starts = np.searchsorted(feasible_rows, np.arange(geometry.rows_per_bank))
+                    ends = np.searchsorted(
+                        feasible_rows, np.arange(geometry.rows_per_bank), side="right"
+                    )
+                    for pressed in self._victim_rows():
+                        for observed_row in (pressed - 1, pressed + 1):
+                            if not 0 <= observed_row < geometry.rows_per_bank:
+                                continue
+                            span = indices[starts[observed_row] : ends[observed_row]]
+                            if span.size:
+                                flips.extend(
+                                    self._materialize(bank, rows, cols, stored, span, mechanism)
+                                )
+        return flips
+
+    @staticmethod
+    def _materialize(
+        bank: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        stored: np.ndarray,
+        indices: np.ndarray,
+        mechanism: str,
+    ) -> List[CellFlip]:
+        return [
+            CellFlip(
+                bank=bank,
+                row=int(rows[i]),
+                col=int(cols[i]),
+                before=int(stored[i]),
+                after=1 - int(stored[i]),
+                mechanism=mechanism,
+            )
+            for i in indices
+        ]
+
+    def _run_mechanism_reference(self, mechanism: str) -> List[CellFlip]:
         flips: List[CellFlip] = []
         for pattern in self.config.patterns:
             self.chip.reset()

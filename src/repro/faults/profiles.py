@@ -307,7 +307,7 @@ class ProfilePair:
             "rh_density": self.rowhammer.density,
             "rp_density": self.rowpress.density,
             "rp_to_rh_ratio": (
-                len(self.rowpress) / len(self.rowhammer) if len(self.rowhammer) else float("inf")
+                len(self.rowpress) / len(self.rowhammer) if len(self.rowhammer) else float("nan")
             ),
             "overlap_cells": float(overlap),
             "overlap_fraction_of_union": overlap / union if union else 0.0,

@@ -22,7 +22,7 @@ from repro.utils.units import (
     hammer_counts_to_time_ms,
     rowpress_cycles_to_equivalent_hammer_counts,
 )
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_engine, check_positive
 
 
 @dataclass
@@ -110,8 +110,20 @@ def rowhammer_flip_curve(
     banks: Optional[Sequence[int]] = None,
     max_rows_per_bank: Optional[int] = 32,
     patterns: Optional[Sequence[DataPattern]] = None,
+    engine: str = "vectorized",
 ) -> FlipCurve:
-    """Cumulative RowHammer flips over the chip as hammer count grows."""
+    """Cumulative RowHammer flips over the chip as hammer count grows.
+
+    The default ``"vectorized"`` engine hammers the whole aggressor-row set
+    of a bank with one controller call per budget step, so the per-step
+    fault evaluation is a single masked compare over the bank's
+    vulnerability arrays.  The victim rows are spaced so that each keeps its
+    two written aggressor neighbours, which makes the union hammering
+    produce the same per-cell disturbance — and hence the same cumulative
+    flip counts — as the retained ``"reference"`` per-row loop (asserted by
+    the golden-equivalence tests).
+    """
+    check_engine(engine)
     budgets = sorted(set(int(h) for h in hammer_counts))
     if not budgets:
         raise ValueError("hammer_counts must not be empty")
@@ -120,6 +132,9 @@ def rowhammer_flip_curve(
     banks = list(banks) if banks is not None else list(range(chip.geometry.num_banks))
     patterns = list(patterns) if patterns is not None else list(profiling_patterns())
     rows = _victim_rows(chip, max_rows_per_bank)
+    aggressor_union = sorted(
+        {neighbour for row in rows for neighbour in chip.geometry.neighbours(row)}
+    )
 
     cumulative = np.zeros(len(budgets), dtype=np.int64)
     for pattern in patterns:
@@ -137,10 +152,14 @@ def rowhammer_flip_curve(
             delta = budget - previous
             previous = budget
             for bank in banks:
-                for row in rows:
-                    aggressors = list(chip.geometry.neighbours(row))
-                    flips = controller.hammer_rows(bank, aggressors, delta)
+                if engine == "vectorized":
+                    flips = controller.hammer_rows(bank, aggressor_union, delta)
                     flipped_so_far += len(flips)
+                else:
+                    for row in rows:
+                        aggressors = list(chip.geometry.neighbours(row))
+                        flips = controller.hammer_rows(bank, aggressors, delta)
+                        flipped_so_far += len(flips)
             cumulative[index] += flipped_so_far
     return FlipCurve(
         mechanism="rowhammer",
@@ -156,8 +175,16 @@ def rowpress_flip_curve(
     banks: Optional[Sequence[int]] = None,
     max_rows_per_bank: Optional[int] = 32,
     patterns: Optional[Sequence[DataPattern]] = None,
+    engine: str = "vectorized",
 ) -> FlipCurve:
-    """Cumulative RowPress flips over the chip as the open window grows."""
+    """Cumulative RowPress flips over the chip as the open window grows.
+
+    The default ``"vectorized"`` engine presses a bank's whole pressed-row
+    set per open window with one controller call (the pressed rows are
+    pairwise non-adjacent, so batching is exact); the ``"reference"``
+    per-row loop is retained for golden-equivalence testing.
+    """
+    check_engine(engine)
     budgets = sorted(set(int(c) for c in open_cycles))
     if not budgets:
         raise ValueError("open_cycles must not be empty")
@@ -184,13 +211,21 @@ def rowpress_flip_curve(
             delta = budget - previous
             previous = budget
             for bank in banks:
-                for row in rows:
+                if engine == "vectorized":
                     remaining = delta
                     while remaining > 0:
                         window = min(remaining, max_window)
-                        flips = controller.press_row(bank, row, window)
+                        flips = controller.press_rows(bank, rows, window)
                         flipped_so_far += len(flips)
                         remaining -= window
+                else:
+                    for row in rows:
+                        remaining = delta
+                        while remaining > 0:
+                            window = min(remaining, max_window)
+                            flips = controller.press_row(bank, row, window)
+                            flipped_so_far += len(flips)
+                            remaining -= window
             cumulative[index] += flipped_so_far
     return FlipCurve(
         mechanism="rowpress",

@@ -32,20 +32,28 @@ def int_range(num_bits: int) -> tuple:
     return (-(1 << (num_bits - 1)), (1 << (num_bits - 1)) - 1)
 
 
-def to_twos_complement(values: IntArray, num_bits: int) -> np.ndarray:
-    """Encode signed integers into their unsigned two's-complement pattern."""
-    _validate_num_bits(num_bits)
+def to_twos_complement(values: IntArray, num_bits: int, validate: bool = True) -> np.ndarray:
+    """Encode signed integers into their unsigned two's-complement pattern.
+
+    ``validate=False`` skips the O(n) min/max range scan; callers on hot
+    paths (the bit-search proposer, the fault engine) use it for values that
+    are in range by construction — e.g. quantized ``int_repr`` arrays, whose
+    bit patterns stay valid under arbitrary single-bit flips.
+    """
     values = np.asarray(values, dtype=np.int64)
-    low, high = int_range(num_bits)
-    if values.size and (values.min() < low or values.max() > high):
-        raise ValueError(f"values out of range for {num_bits}-bit two's complement")
+    if validate:
+        _validate_num_bits(num_bits)
+        low, high = int_range(num_bits)
+        if values.size and (values.min() < low or values.max() > high):
+            raise ValueError(f"values out of range for {num_bits}-bit two's complement")
     mask = (1 << num_bits) - 1
     return (values & mask).astype(np.int64)
 
 
-def from_twos_complement(patterns: IntArray, num_bits: int) -> np.ndarray:
+def from_twos_complement(patterns: IntArray, num_bits: int, validate: bool = True) -> np.ndarray:
     """Decode unsigned two's-complement patterns back into signed integers."""
-    _validate_num_bits(num_bits)
+    if validate:
+        _validate_num_bits(num_bits)
     patterns = np.asarray(patterns, dtype=np.int64)
     sign_bit = 1 << (num_bits - 1)
     return np.where(patterns & sign_bit, patterns - (1 << num_bits), patterns)
@@ -112,6 +120,34 @@ def bit_flip_deltas_vector(values: np.ndarray, bit: int, num_bits: int) -> np.nd
         # Sign bit: setting it subtracts 2**bit, clearing it adds 2**bit.
         return np.where(current_bits == 1, magnitude, -magnitude).astype(np.int64)
     return np.where(current_bits == 1, -magnitude, magnitude).astype(np.int64)
+
+
+def bit_flip_delta_table(
+    values: np.ndarray, num_bits: int, validate: bool = True
+) -> np.ndarray:
+    """Signed value change for flipping *every* bit of *every* value.
+
+    Returns a ``(num_bits, size)`` int64 table where entry ``[b, i]`` equals
+    ``bit_flip_delta(values[i], b, num_bits)``.  Row-major bit ordering means
+    a flat argmax over a gain table derived from it breaks ties exactly like
+    scanning bits in ascending order and taking the first per-bit argmax —
+    the tie-break order of the loop reference proposer.
+
+    The table only depends on the stored bit patterns, so after a single bit
+    flip only one column needs recomputing (see
+    :class:`repro.core.bfa.BitFlipAttack`'s delta-table cache).
+    """
+    if validate:
+        _validate_num_bits(num_bits)
+    values = np.asarray(values, dtype=np.int64).ravel()
+    patterns = to_twos_complement(values, num_bits, validate=validate)
+    bit_positions = np.arange(num_bits, dtype=np.int64)[:, None]
+    bits = (patterns[None, :] >> bit_positions) & 1
+    magnitudes = np.int64(1) << bit_positions
+    table = np.where(bits == 1, -magnitudes, magnitudes)
+    # Sign bit: setting it subtracts 2**bit, clearing it adds 2**bit.
+    table[num_bits - 1] = -table[num_bits - 1]
+    return table
 
 
 def hamming_distance(a: IntArray, b: IntArray, num_bits: int) -> int:

@@ -39,3 +39,13 @@ def check_index(name: str, value: int, size: int) -> None:
     """Raise ``IndexError`` unless ``0 <= value < size``."""
     if not 0 <= value < size:
         raise IndexError(f"{name} must be within [0, {size}), got {value!r}")
+
+
+def check_engine(engine: str) -> None:
+    """Raise ``ValueError`` unless ``engine`` names a known flip-engine.
+
+    The vectorized hot engines and their retained loop references share this
+    selector across the attack, bank, profiler and sweep layers.
+    """
+    if engine not in ("vectorized", "reference"):
+        raise ValueError(f"engine must be 'vectorized' or 'reference', got {engine!r}")
