@@ -14,6 +14,12 @@ Environment knobs:
   reduced budgets) or ``full`` (three repetitions, paper-style averaging).
 * ``REPRO_TABLE1_MODELS`` — comma-separated subset of model keys for the
   Table-I benchmark (default: the full eleven-model roster).
+* ``REPRO_TABLE1_OBJECTIVE`` — attack objective for the Table-I benchmark:
+  ``untargeted`` (default), ``targeted`` or ``stealthy_targeted``; the
+  targeted kinds read ``REPRO_TABLE1_SOURCE_CLASS`` /
+  ``REPRO_TABLE1_TARGET_CLASS`` (defaults 0 / 1).
+* ``REPRO_TABLE1_PRECISION`` — deployed victim precision for the Table-I
+  benchmark: ``float32`` (default), ``int8`` or ``int4``.
 * ``REPRO_BENCH_BACKEND`` — ``serial`` (default) or ``process`` to fan the
   experiment work units out over a process pool.
 * ``REPRO_BENCH_WORKERS`` — process-pool size for the ``process`` backend.
@@ -48,6 +54,27 @@ def table1_model_keys() -> list:
     if not requested:
         return [spec.key for spec in TABLE1_ROSTER]
     return [key.strip() for key in requested.split(",") if key.strip()]
+
+
+def table1_objective():
+    """The declarative attack objective the Table-I benchmark should run."""
+    from repro.core.objective import ObjectiveConfig
+
+    kind = os.environ.get("REPRO_TABLE1_OBJECTIVE", "untargeted").lower()
+    if kind == "untargeted":
+        return ObjectiveConfig()
+    return ObjectiveConfig(
+        kind,
+        params={
+            "source_class": int(os.environ.get("REPRO_TABLE1_SOURCE_CLASS", "0")),
+            "target_class": int(os.environ.get("REPRO_TABLE1_TARGET_CLASS", "1")),
+        },
+    )
+
+
+def table1_victim_precision() -> str:
+    """The deployed victim precision the Table-I benchmark should attack."""
+    return os.environ.get("REPRO_TABLE1_PRECISION", "float32").lower()
 
 
 def write_result(name: str, payload) -> Path:

@@ -16,9 +16,17 @@ persisted through the session :class:`ResultStore` as
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
-from benchmarks.conftest import bench_profile, table1_model_keys, write_result
+from benchmarks.conftest import (
+    bench_profile,
+    table1_model_keys,
+    table1_objective,
+    table1_victim_precision,
+    write_result,
+)
 from repro.analysis.metrics import summarize_takeaways
 from repro.analysis.tables import render_table, table1_from_comparisons
 from repro.core.bfa import BitSearchConfig
@@ -30,13 +38,23 @@ PROFILE_SEED = 2025
 
 def _comparison_spec() -> ComparisonSpec:
     profile = bench_profile()
+    objective = table1_objective()
+    # Targeted reruns evaluate on the full test set (eval_samples beyond the
+    # test-set size selects all of it) so the source class is always
+    # represented and the ASR is never undefined.
+    if objective.objective_kind == "untargeted":
+        eval_samples = 96 if profile == "full" else 80
+    else:
+        eval_samples = 1_000_000
     return ComparisonSpec(
         model_keys=tuple(table1_model_keys()),
         repetitions=3 if profile == "full" else 1,
         search=BitSearchConfig(max_flips=250, top_k_layers=5),
-        eval_samples=96 if profile == "full" else 80,
+        eval_samples=eval_samples,
         seed=7,
         profile_seed=PROFILE_SEED,
+        objective=objective,
+        victim_precision=table1_victim_precision(),
     )
 
 
@@ -65,10 +83,21 @@ def test_table1_profile_aware_attack(benchmark, experiment_runner):
 
     # Shape checks mirroring the paper's claims:
     assert len(rows) == len(table1_model_keys())
-    # Every model must be attackable under the RowPress profile.
-    for comparison in comparisons:
-        assert comparison.rowpress.mean_flips > 0
-        assert comparison.rowpress.mean_accuracy_after < comparison.clean_accuracy
-    # RowPress needs no more flips than RowHammer on average (Takeaway 3).
-    mean_ratio = takeaways.get("mean_flip_reduction", 0.0)
-    assert mean_ratio >= 1.0
+    # The accuracy-degradation claims only apply to the paper's untargeted
+    # objective; targeted reruns assert through their ASR columns instead.
+    if spec.objective.objective_kind == "untargeted":
+        # Every model must be attackable under the RowPress profile.
+        for comparison in comparisons:
+            assert comparison.rowpress.mean_flips > 0
+            assert comparison.rowpress.mean_accuracy_after < comparison.clean_accuracy
+        # RowPress needs no more flips than RowHammer on average (Takeaway 3).
+        mean_ratio = takeaways.get("mean_flip_reduction", 0.0)
+        assert mean_ratio >= 1.0
+    else:
+        # Targeted reruns: every attack must report a defined ASR (the spec
+        # above selects the full test set, so source-class samples exist).
+        for comparison in comparisons:
+            assert math.isfinite(comparison.rowhammer.mean_attack_success_rate)
+            assert math.isfinite(comparison.rowpress.mean_attack_success_rate)
+            for result in comparison.rowpress.results:
+                assert result.objective_kind == spec.objective.objective_kind

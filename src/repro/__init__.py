@@ -13,8 +13,9 @@ The package is organised as the paper's system stack:
   autodiff, 8-bit post-training quantization and bit-level weight access;
 * :mod:`repro.models` — the eleven-model surrogate roster of Table I;
 * :mod:`repro.core` — the paper's contribution: the DRAM-profile-aware
-  bit-flip attack (Algorithm 3) and the RowHammer-vs-RowPress comparison
-  harness (Table I, Fig. 7);
+  bit-flip attack (Algorithm 3), the pluggable attack objectives
+  (untargeted / targeted / stealthy-targeted) and the
+  RowHammer-vs-RowPress comparison harness (Table I, Fig. 7);
 * :mod:`repro.experiments` — the unified experiment API: declarative
   JSON-serialisable specs, a runner with serial / process-pool backends,
   a shared victim cache, a persistent result store and the
@@ -49,6 +50,13 @@ _LAZY_EXPORTS = {
     "ComparisonConfig": "repro.core.comparison",
     "ModelComparisonResult": "repro.core.comparison",
     "build_deployment_profiles": "repro.core.comparison",
+    # pluggable attack objectives
+    "AttackObjective": "repro.core.objective",
+    "ObjectiveConfig": "repro.core.objective",
+    "ObjectiveMetrics": "repro.core.objective",
+    "UntargetedDegradation": "repro.core.objective",
+    "TargetedMisclassification": "repro.core.objective",
+    "StealthyTargeted": "repro.core.objective",
     # model roster
     "get_spec": "repro.models.registry",
     "TABLE1_ROSTER": "repro.models.registry",
@@ -95,6 +103,14 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis-only imports
         build_deployment_profiles,
         compare_mechanisms_for_model,
         prepare_victim,
+    )
+    from repro.core.objective import (  # noqa: F401
+        AttackObjective,
+        ObjectiveConfig,
+        ObjectiveMetrics,
+        StealthyTargeted,
+        TargetedMisclassification,
+        UntargetedDegradation,
     )
     from repro.experiments import (  # noqa: F401
         ChipProfileSpec,

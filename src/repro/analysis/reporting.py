@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.metrics import summarize_takeaways
-from repro.analysis.tables import Table1Row, format_ratio, table1_from_comparisons
+from repro.analysis.tables import Table1Row, format_asr, format_ratio, table1_from_comparisons
 from repro.core.comparison import ModelComparisonResult
 from repro.faults.sweep import FlipCurve
 
@@ -30,9 +30,9 @@ def comparisons_to_markdown(
     header = (
         "| Dataset | Architecture | #Params | Acc before (%) | Random guess (%) | "
         "Acc after RH (%) | #Flips RH | Acc after RP (%) | #Flips RP | RH/RP ratio | "
-        "Paper #Flips RH | Paper #Flips RP |"
+        "ASR RH (%) | ASR RP (%) | Paper #Flips RH | Paper #Flips RP |"
     )
-    separator = "|" + "---|" * 12
+    separator = "|" + "---|" * 14
     lines = [f"## {title}", "", header, separator]
     for row in rows:
         lines.append(
@@ -41,6 +41,7 @@ def comparisons_to_markdown(
             f"| {row.rowhammer_accuracy_after:.2f} | {row.rowhammer_bit_flips:.1f} "
             f"| {row.rowpress_accuracy_after:.2f} | {row.rowpress_bit_flips:.1f} "
             f"| {format_ratio(row.flip_ratio)} "
+            f"| {format_asr(row.rowhammer_asr)} | {format_asr(row.rowpress_asr)} "
             f"| {row.paper_rowhammer_bit_flips if row.paper_rowhammer_bit_flips is not None else '-'} "
             f"| {row.paper_rowpress_bit_flips if row.paper_rowpress_bit_flips is not None else '-'} |"
         )

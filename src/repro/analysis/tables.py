@@ -17,6 +17,16 @@ def format_ratio(value: float, digits: int = 2) -> str:
     return f"{value:.{digits}f}"
 
 
+def format_asr(value: Optional[float], digits: int = 1) -> str:
+    """Render an attack-success-rate, printing ``-`` when not applicable.
+
+    ``None`` (untargeted run, no ASR notion) and ``nan`` (ASR undefined —
+    e.g. no source-class evaluation samples) both render as ``-``, matching
+    the flip-ratio convention.
+    """
+    return "-" if value is None else format_ratio(value, digits)
+
+
 @dataclass(frozen=True)
 class Table1Row:
     """One rendered row: measured surrogate numbers next to paper numbers."""
@@ -34,6 +44,9 @@ class Table1Row:
     paper_rowhammer_bit_flips: Optional[int] = None
     paper_rowpress_bit_flips: Optional[int] = None
     paper_flip_ratio: Optional[float] = None
+    #: Mean targeted attack-success-rates (%); ``nan`` for untargeted runs.
+    rowhammer_asr: float = float("nan")
+    rowpress_asr: float = float("nan")
 
     def as_dict(self) -> Dict[str, object]:
         """Dictionary view used by the benchmark output."""
@@ -48,6 +61,8 @@ class Table1Row:
             "rowpress_accuracy_after": self.rowpress_accuracy_after,
             "rowpress_bit_flips": self.rowpress_bit_flips,
             "flip_ratio": self.flip_ratio,
+            "rowhammer_asr": self.rowhammer_asr,
+            "rowpress_asr": self.rowpress_asr,
             "paper_rowhammer_bit_flips": self.paper_rowhammer_bit_flips,
             "paper_rowpress_bit_flips": self.paper_rowpress_bit_flips,
             "paper_flip_ratio": self.paper_flip_ratio,
@@ -72,6 +87,8 @@ def table1_from_comparisons(results: Sequence[ModelComparisonResult]) -> List[Ta
                 rowpress_accuracy_after=round(result.rowpress.mean_accuracy_after, 2),
                 rowpress_bit_flips=round(result.rowpress.mean_flips, 1),
                 flip_ratio=round(result.flip_ratio, 2),
+                rowhammer_asr=round(result.rowhammer.mean_attack_success_rate, 2),
+                rowpress_asr=round(result.rowpress.mean_attack_success_rate, 2),
                 paper_rowhammer_bit_flips=paper.rowhammer_bit_flips if paper else None,
                 paper_rowpress_bit_flips=paper.rowpress_bit_flips if paper else None,
                 paper_flip_ratio=round(paper.flip_ratio, 2) if paper else None,
@@ -97,6 +114,8 @@ def render_table(rows: Sequence[Table1Row], include_paper: bool = True) -> str:
         "Acc after RP (%)",
         "#Flips RP",
         "RH/RP ratio",
+        "ASR RH (%)",
+        "ASR RP (%)",
     ]
     if include_paper:
         headers += ["Paper #Flips RH", "Paper #Flips RP"]
@@ -114,6 +133,8 @@ def render_table(rows: Sequence[Table1Row], include_paper: bool = True) -> str:
             f"{row.rowpress_accuracy_after:.2f}",
             f"{row.rowpress_bit_flips:.1f}",
             format_ratio(row.flip_ratio),
+            format_asr(row.rowhammer_asr),
+            format_asr(row.rowpress_asr),
         ]
         if include_paper:
             cells += [

@@ -25,7 +25,16 @@ from repro.core.comparison import (
     prepare_victim,
 )
 from repro.core.mapping import WeightBitMapping, DNN_DEPLOYMENT_GEOMETRY
-from repro.core.objective import AttackObjective
+from repro.core.objective import (
+    OBJECTIVE_KINDS,
+    AttackObjective,
+    ObjectiveConfig,
+    ObjectiveMetrics,
+    StealthyTargeted,
+    TargetedMisclassification,
+    UntargetedDegradation,
+    register_objective,
+)
 from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
 from repro.core.results import AttackEvent, AttackResult
 
@@ -39,7 +48,14 @@ __all__ = [
     "prepare_victim",
     "WeightBitMapping",
     "DNN_DEPLOYMENT_GEOMETRY",
+    "OBJECTIVE_KINDS",
     "AttackObjective",
+    "ObjectiveConfig",
+    "ObjectiveMetrics",
+    "StealthyTargeted",
+    "TargetedMisclassification",
+    "UntargetedDegradation",
+    "register_objective",
     "DramProfileAwareAttack",
     "ProfileAwareConfig",
     "AttackEvent",

@@ -12,9 +12,11 @@ weight tensors:
   batch, restore the bit, and commit the flip that produced the largest
   loss.
 
-One bit is committed per iteration; the attack stops when the evaluation
-accuracy reaches the random-guess level (the objective of eqn. 1) or when
-the iteration/flip budget is exhausted.
+One bit is committed per iteration; the attack stops when the pluggable
+:class:`~repro.core.objective.AttackObjective` declares itself satisfied —
+the paper's untargeted objective stops at the random-guess accuracy level
+(eqn. 1), targeted objectives at their attack-success-rate threshold — or
+when the iteration/flip budget is exhausted.
 
 The same engine serves both the unconstrained baseline (every bit of every
 quantized tensor is a candidate) and the DRAM-profile-aware variant
@@ -338,14 +340,27 @@ class BitFlipAttack:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> AttackResult:
-        """Execute the attack until the objective is met or budgets run out."""
+        """Execute the attack until the objective is met or budgets run out.
+
+        The loop is objective-agnostic: it asks the objective for its loss
+        gradients (intra-layer ranking), realised losses (inter-layer
+        comparison) and :class:`~repro.core.objective.ObjectiveMetrics`
+        (convergence), so targeted and stealthy objectives run on the same
+        vectorized delta-table fast path as the paper's untargeted one.
+        """
         config = self.config
         objective = self.objective
-        accuracy_before = objective.evaluation_accuracy(self.model, config.eval_batch_size)
+        metrics = objective.evaluate(self.model, config.eval_batch_size)
+        accuracy_before = metrics.accuracy
         accuracy_curve = [accuracy_before]
+        # ASR is tracked only for objectives that define one (targeted
+        # kinds); ``None`` from the objective means "not applicable".
+        asr_curve: List[float] = (
+            [] if metrics.attack_success_rate is None else [metrics.attack_success_rate]
+        )
         loss_curve: List[float] = []
         events: List[AttackEvent] = []
-        converged = objective.is_satisfied(accuracy_before)
+        converged = objective.is_satisfied(metrics)
         # The candidate set never changes during a run; building the tensor
         # list once keeps the per-iteration cost at proposing + evaluating.
         tensor_names = self.candidates.tensors()
@@ -379,8 +394,10 @@ class BitFlipAttack:
 
             assert best_proposal is not None
             self._apply(best_proposal)
-            accuracy = objective.evaluation_accuracy(self.model, config.eval_batch_size)
-            accuracy_curve.append(accuracy)
+            metrics = objective.evaluate(self.model, config.eval_batch_size)
+            accuracy_curve.append(metrics.accuracy)
+            if metrics.attack_success_rate is not None:
+                asr_curve.append(metrics.attack_success_rate)
             events.append(
                 AttackEvent(
                     iteration=len(events),
@@ -390,10 +407,10 @@ class BitFlipAttack:
                     int_before=best_proposal.int_before,
                     int_after=best_proposal.int_after,
                     loss_after=best_loss,
-                    accuracy_after=accuracy,
+                    accuracy_after=metrics.accuracy,
                 )
             )
-            converged = objective.is_satisfied(accuracy)
+            converged = objective.is_satisfied(metrics)
 
         return AttackResult(
             model_name=self.model_name,
@@ -407,4 +424,7 @@ class BitFlipAttack:
             accuracy_curve=accuracy_curve,
             loss_curve=loss_curve,
             candidate_bits=self.candidates.total_candidates(self.model),
+            objective_kind=objective.kind or "untargeted",
+            attack_success_rate=asr_curve[-1] if asr_curve else None,
+            asr_curve=asr_curve,
         )

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core.bfa import BitSearchConfig
 from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY
-from repro.core.objective import AttackObjective
+from repro.core.objective import ObjectiveConfig
 from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
 from repro.core.results import AttackResult
 from repro.dram.geometry import DramGeometry
@@ -36,7 +36,7 @@ from repro.faults.profiles import BitFlipProfile, ProfilePair
 from repro.models.registry import ModelSpec
 from repro.nn.data import Dataset
 from repro.nn.module import Module
-from repro.nn.quantization import quantize_model
+from repro.nn.quantization import DEFAULT_NUM_BITS, precision_num_bits, quantize_model
 from repro.nn.training import evaluate_on_dataset, train
 from repro.utils.rng import mix_seed, spawn_seeds
 from repro.utils.validation import check_positive
@@ -80,7 +80,15 @@ def build_deployment_profiles(
 
 @dataclass(frozen=True)
 class ComparisonConfig:
-    """Configuration of a Table-I style comparison run."""
+    """Configuration of a Table-I style comparison run.
+
+    ``objective`` selects the attack goal each repetition pursues (the
+    paper's untargeted degradation by default; targeted / stealthy-targeted
+    via :class:`~repro.core.objective.ObjectiveConfig`), and
+    ``victim_precision`` the deployed weight precision the bit search
+    attacks (``float32`` keeps the historical 8-bit PTQ path; ``int8`` /
+    ``int4`` deploy explicitly quantized victims).
+    """
 
     repetitions: int = 3
     attack_batch_size: int = 32
@@ -89,11 +97,19 @@ class ComparisonConfig:
     search: BitSearchConfig = BitSearchConfig()
     training_epochs: Optional[int] = None
     seed: int = 0
+    objective: ObjectiveConfig = ObjectiveConfig()
+    victim_precision: str = "float32"
 
     def __post_init__(self) -> None:
         check_positive("repetitions", self.repetitions)
         check_positive("attack_batch_size", self.attack_batch_size)
         check_positive("eval_samples", self.eval_samples)
+        precision_num_bits(self.victim_precision)  # validate the name
+
+    @property
+    def num_bits(self) -> int:
+        """Quantization width of the deployed victim's weight tensors."""
+        return precision_num_bits(self.victim_precision)
 
 
 @dataclass
@@ -116,6 +132,21 @@ class MechanismOutcome:
         if not self.results:
             return float("nan")
         return float(np.mean([r.accuracy_after for r in self.results]))
+
+    @property
+    def mean_attack_success_rate(self) -> float:
+        """Average targeted attack-success-rate (%) over the repetitions.
+
+        ``nan`` when the objective defines no ASR (untargeted runs) or when
+        every repetition's ASR is undefined — report writers render it as
+        ``-``, matching the flip-ratio convention.
+        """
+        values = [
+            r.attack_success_rate
+            for r in self.results
+            if r.attack_success_rate is not None and not np.isnan(r.attack_success_rate)
+        ]
+        return float(np.mean(values)) if values else float("nan")
 
     @property
     def all_converged(self) -> bool:
@@ -168,6 +199,8 @@ class ModelComparisonResult:
             "rowpress_accuracy_after": round(self.rowpress.mean_accuracy_after, 2),
             "rowpress_bit_flips": round(self.rowpress.mean_flips, 1),
             "flip_ratio": round(self.flip_ratio, 2),
+            "rowhammer_asr": round(self.rowhammer.mean_attack_success_rate, 2),
+            "rowpress_asr": round(self.rowpress.mean_attack_success_rate, 2),
         }
 
 
@@ -200,10 +233,16 @@ def measure_clean_accuracy(
     model: Module,
     dataset: Dataset,
     clean_state: Dict[str, np.ndarray],
+    num_bits: int = DEFAULT_NUM_BITS,
 ) -> float:
-    """Post-quantization accuracy of the clean (un-attacked) victim."""
+    """Post-quantization accuracy of the clean (un-attacked) victim.
+
+    ``num_bits`` is the deployed precision (8 for the paper's standard PTQ
+    path, 4 for INT4 victims); the clean baseline is always measured on the
+    quantized deployment image the attack subsequently flips bits in.
+    """
     model.load_state_dict(clean_state)
-    quantize_model(model)
+    quantize_model(model, num_bits=num_bits)
     return evaluate_on_dataset(model, dataset)
 
 
@@ -224,8 +263,8 @@ def run_single_attack(
     executes it.
     """
     model.load_state_dict(clean_state)
-    tensor_infos = quantize_model(model)
-    objective = AttackObjective.from_dataset(
+    tensor_infos = quantize_model(model, num_bits=config.num_bits)
+    objective = config.objective.build(
         dataset,
         attack_batch_size=config.attack_batch_size,
         eval_samples=config.eval_samples,
@@ -271,7 +310,7 @@ def compare_mechanisms_for_model(
             victim = prepare_victim(spec, seed=config.seed, training_epochs=config.training_epochs)
     model, dataset, clean_state = victim
 
-    clean_accuracy = measure_clean_accuracy(model, dataset, clean_state)
+    clean_accuracy = measure_clean_accuracy(model, dataset, clean_state, num_bits=config.num_bits)
 
     outcomes: Dict[str, MechanismOutcome] = {
         "rowhammer": MechanismOutcome("rowhammer"),

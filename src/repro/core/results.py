@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+
+def _values_equal(a, b) -> bool:
+    """Field equality that treats two ``nan`` values as equal.
+
+    Targeted objectives legitimately produce ``nan`` metrics (undefined
+    ASR, no accuracy target), and the serial-vs-parallel determinism
+    contract compares whole results; plain ``==`` would make numerically
+    identical runs compare unequal.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_values_equal(x, y) for x, y in zip(a, b))
+    return a == b
 
 
 @dataclass(frozen=True)
@@ -61,6 +77,22 @@ class AttackResult:
     accuracy_curve: List[float] = field(default_factory=list)
     loss_curve: List[float] = field(default_factory=list)
     candidate_bits: int = 0
+    #: Registry kind of the objective that drove the attack.
+    objective_kind: str = "untargeted"
+    #: Final attack-success-rate (%) for targeted objectives.  ``None`` means
+    #: the objective has no ASR notion (untargeted); ``nan`` means the ASR is
+    #: undefined (no source-class evaluation samples) — rendered as ``-``.
+    attack_success_rate: Optional[float] = None
+    #: ASR after each committed flip (index 0 = pre-attack), when tracked.
+    asr_curve: List[float] = field(default_factory=list)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AttackResult):
+            return NotImplemented
+        return all(
+            _values_equal(getattr(self, spec.name), getattr(other, spec.name))
+            for spec in fields(self)
+        )
 
     @property
     def accuracy_drop(self) -> float:
@@ -111,6 +143,9 @@ class AttackResult:
             "accuracy_curve": list(self.accuracy_curve),
             "loss_curve": list(self.loss_curve),
             "candidate_bits": self.candidate_bits,
+            "objective_kind": self.objective_kind,
+            "attack_success_rate": self.attack_success_rate,
+            "asr_curve": list(self.asr_curve),
             "flips_per_tensor": self.flipped_bit_summary(),
             "bit_position_histogram": self.bit_position_histogram(),
         }
@@ -121,16 +156,34 @@ class AttackResult:
     @classmethod
     def from_dict(cls, payload: dict) -> "AttackResult":
         """Rebuild a result from :meth:`to_dict` output (derived keys ignored)."""
+        objective_kind = payload.get("objective_kind", "untargeted")
+        # Stored envelopes encode non-finite floats as null (strict JSON);
+        # for targeted objectives a null ASR means "undefined", i.e. nan.
+        asr = payload.get("attack_success_rate")
+        if asr is None and objective_kind != "untargeted":
+            asr = float("nan")
+        asr_curve = [
+            float("nan") if value is None else value
+            for value in payload.get("asr_curve", [])
+        ]
+        # Objectives without an accuracy target (targeted kinds) store a
+        # null target_accuracy; restore the live run's nan.
+        target_accuracy = payload["target_accuracy"]
+        if target_accuracy is None:
+            target_accuracy = float("nan")
         return cls(
             model_name=payload["model_name"],
             mechanism=payload["mechanism"],
             accuracy_before=payload["accuracy_before"],
             accuracy_after=payload["accuracy_after"],
-            target_accuracy=payload["target_accuracy"],
+            target_accuracy=target_accuracy,
             num_flips=payload["num_flips"],
             converged=payload["converged"],
             events=[AttackEvent.from_dict(event) for event in payload.get("events", [])],
             accuracy_curve=list(payload.get("accuracy_curve", [])),
             loss_curve=list(payload.get("loss_curve", [])),
             candidate_bits=payload.get("candidate_bits", 0),
+            objective_kind=objective_kind,
+            attack_success_rate=asr,
+            asr_curve=asr_curve,
         )

@@ -27,6 +27,7 @@ Quick start::
         print(comparison.as_row())
 """
 
+from repro.core.objective import ObjectiveConfig
 from repro.experiments.cache import ExperimentContext, VictimCache, VictimKey
 from repro.experiments.runner import (
     BACKENDS,
@@ -73,6 +74,7 @@ __all__ = [
     "ExperimentSpec",
     "FlipSweepOutcome",
     "FlipSweepSpec",
+    "ObjectiveConfig",
     "ProcessPoolBackend",
     "ProfileDensityOutcome",
     "ProfileDensitySpec",

@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.objective import OBJECTIVE_KINDS, ObjectiveConfig
 from repro.experiments.runner import ExperimentResult, ExperimentRunner, make_backend
 from repro.experiments.specs import (
     SPEC_KINDS,
@@ -30,8 +31,33 @@ from repro.experiments.specs import (
     spec_from_dict,
 )
 from repro.experiments.store import ResultStore
+from repro.nn.quantization import VICTIM_PRECISIONS
 
 DEFAULT_STORE = "benchmarks/results"
+
+
+def _objective_config(args: argparse.Namespace) -> ObjectiveConfig:
+    """Build the declarative objective selected by the CLI flags.
+
+    Any registered objective kind is reachable; ``--source-class`` /
+    ``--target-class`` fill the targeted kinds' required parameters and
+    ``--objective-param KEY=VALUE`` sets everything else (values are parsed
+    as JSON where possible, e.g. ``--objective-param stealth_weight=0.5``).
+    """
+    cls = OBJECTIVE_KINDS[args.objective]
+    params = {}
+    if {"source_class", "target_class"} <= cls.required_spec_params:
+        params["source_class"] = args.source_class
+        params["target_class"] = args.target_class
+    for item in args.objective_param:
+        key, separator, raw = item.partition("=")
+        if not separator:
+            raise ValueError(f"--objective-param expects KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return ObjectiveConfig(args.objective, params=params)
 
 
 def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
@@ -46,6 +72,8 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             eval_samples=80,
             seed=args.seed,
             profile_seed=args.seed,
+            objective=_objective_config(args),
+            victim_precision=args.victim_precision,
         )
     try:
         spec_cls = SPEC_KINDS[kind]
@@ -58,6 +86,9 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             ("--models", bool(args.models)),
             ("--repetitions", args.repetitions != 1),
             ("--max-flips", args.max_flips != 150 and kind != "profile_density"),
+            ("--objective", args.objective != "untargeted"),
+            ("--objective-param", bool(args.objective_param)),
+            ("--victim-precision", args.victim_precision != "float32"),
         )
         if used
     ]
@@ -153,6 +184,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repetitions", type=int, default=1)
     run.add_argument("--max-flips", type=int, default=150)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--objective",
+        default="untargeted",
+        choices=sorted(OBJECTIVE_KINDS),
+        help="attack objective for comparison specs",
+    )
+    run.add_argument(
+        "--source-class", type=int, default=0,
+        help="class to misclassify (targeted objectives)",
+    )
+    run.add_argument(
+        "--target-class", type=int, default=1,
+        help="class to misclassify the source as (targeted objectives)",
+    )
+    run.add_argument(
+        "--objective-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra objective parameter (repeatable), e.g. success_threshold=80",
+    )
+    run.add_argument(
+        "--victim-precision",
+        default="float32",
+        choices=sorted(VICTIM_PRECISIONS),
+        help="deployed weight precision of the victim (comparison specs)",
+    )
     run.add_argument("--report", action="store_true", help="print the rendered report too")
 
     lst = sub.add_parser("list", help="list experiment kinds and stored results")
@@ -172,7 +230,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"error: cannot load spec file {args.spec!r}: {error}", file=sys.stderr)
             return 2
     elif args.kind:
-        spec = build_default_spec(args.kind, args)
+        try:
+            spec = build_default_spec(args.kind, args)
+        except ValueError as error:
+            # e.g. a targeted objective whose source and target coincide
+            print(f"error: invalid spec: {error}", file=sys.stderr)
+            return 2
     else:
         print("error: provide an experiment kind or --spec file", file=sys.stderr)
         return 2

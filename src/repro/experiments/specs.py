@@ -39,7 +39,7 @@ from repro.core.comparison import (
     run_single_attack,
 )
 from repro.core.mapping import DNN_DEPLOYMENT_GEOMETRY
-from repro.core.objective import AttackObjective
+from repro.core.objective import AttackObjective, ObjectiveConfig
 from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
 from repro.core.results import AttackResult
 from repro.defenses import build_defense
@@ -59,7 +59,7 @@ from repro.faults.sweep import (
     rowpress_flip_curve,
 )
 from repro.models.registry import get_spec
-from repro.nn.quantization import quantize_model
+from repro.nn.quantization import precision_num_bits, quantize_model
 from repro.utils.rng import mix_seed, spawn_seeds
 
 MECHANISMS: Tuple[str, str] = ("rowhammer", "rowpress")
@@ -201,7 +201,16 @@ def _freeze(values: Optional[Sequence]) -> Optional[tuple]:
 @register_spec
 @dataclass(frozen=True)
 class ComparisonSpec(ExperimentSpec):
-    """RowHammer-profile vs RowPress-profile attack on a model roster."""
+    """RowHammer-profile vs RowPress-profile attack on a model roster.
+
+    ``objective`` selects the attack goal (the paper's untargeted
+    degradation by default; ``targeted`` / ``stealthy_targeted`` with their
+    ``source_class`` / ``target_class`` parameters open the targeted
+    scenario family) and ``victim_precision`` the deployed weight precision
+    (``float32`` keeps the historical 8-bit PTQ path, ``int8`` names it
+    explicitly, ``int4`` deploys a 4-bit quantized victim).  Both fields
+    round-trip through JSON and are validated at construction time.
+    """
 
     kind: ClassVar[str] = "comparison"
     title: ClassVar[str] = "Table I / Fig. 7 profile-aware attack comparison"
@@ -217,9 +226,12 @@ class ComparisonSpec(ExperimentSpec):
     profile_seed: int = 0
     rowhammer_budget: float = DEFAULT_ROWHAMMER_PROFILE_BUDGET
     rowpress_budget: float = DEFAULT_ROWPRESS_PROFILE_BUDGET
+    objective: ObjectiveConfig = ObjectiveConfig()
+    victim_precision: str = "float32"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model_keys", tuple(self.model_keys))
+        precision_num_bits(self.victim_precision)  # validate the name
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -235,6 +247,8 @@ class ComparisonSpec(ExperimentSpec):
             "profile_seed": self.profile_seed,
             "rowhammer_budget": self.rowhammer_budget,
             "rowpress_budget": self.rowpress_budget,
+            "objective": self.objective.to_dict(),
+            "victim_precision": self.victim_precision,
         }
 
     @classmethod
@@ -242,6 +256,10 @@ class ComparisonSpec(ExperimentSpec):
         params = {key: value for key, value in payload.items() if key != "kind"}
         params["model_keys"] = tuple(params.get("model_keys", ()))
         params["search"] = _decode_search(params.get("search", {}))
+        # Pre-objective-layer payloads carry neither field; default to the
+        # paper's untargeted float32 pipeline.
+        params["objective"] = ObjectiveConfig.from_dict(params.get("objective", {}))
+        params.setdefault("victim_precision", "float32")
         return cls(**params)
 
     # -- execution -----------------------------------------------------
@@ -255,6 +273,8 @@ class ComparisonSpec(ExperimentSpec):
             search=self.search,
             training_epochs=self.training_epochs,
             seed=self.seed,
+            objective=self.objective,
+            victim_precision=self.victim_precision,
         )
 
     def profiles(self, context) -> ProfilePair:
@@ -293,7 +313,10 @@ class ComparisonSpec(ExperimentSpec):
         )
         if unit["task"] == "clean":
             return {
-                "clean_accuracy": measure_clean_accuracy(model, dataset, clean_state),
+                "clean_accuracy": measure_clean_accuracy(
+                    model, dataset, clean_state,
+                    num_bits=precision_num_bits(self.victim_precision),
+                ),
                 "num_parameters": model.num_parameters(),
                 "random_guess_accuracy": dataset.random_guess_accuracy,
                 "display_name": model_spec.display_name,
@@ -364,10 +387,12 @@ class DefenseConfig:
         return build_defense(self.defense_kind, **dict(self.params))
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable description; inverse of :meth:`from_dict`."""
         return {"defense_kind": self.defense_kind, "label": self.label, "params": dict(self.params)}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DefenseConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
         return cls(
             defense_kind=payload["defense_kind"],
             label=payload.get("label"),

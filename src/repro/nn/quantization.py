@@ -28,6 +28,35 @@ from repro.nn.parameter import Parameter
 #: Bit width used throughout the paper.
 DEFAULT_NUM_BITS = 8
 
+#: Named victim deployment precisions accepted by the experiment layer.
+#:
+#: ``"float32"`` is the historical default: a float-trained victim whose
+#: DRAM image is produced by the paper's standard 8-bit PTQ at attack time
+#: (numerically identical to ``"int8"``, kept for spec backward
+#: compatibility).  ``"int8"`` names the same deployment explicitly, and
+#: ``"int4"`` deploys the victim at 4-bit precision — flip deltas, scales
+#: and the DRAM bit layout all follow the narrower two's-complement width.
+VICTIM_PRECISIONS: Dict[str, int] = {
+    "float32": DEFAULT_NUM_BITS,
+    "int8": 8,
+    "int4": 4,
+}
+
+
+def precision_num_bits(victim_precision: str) -> int:
+    """Quantization bit width implied by a named victim precision.
+
+    Raises ``ValueError`` for unknown names so invalid experiment specs
+    fail at validation time rather than mid-run.
+    """
+    try:
+        return VICTIM_PRECISIONS[victim_precision]
+    except KeyError as exc:
+        known = ", ".join(sorted(VICTIM_PRECISIONS))
+        raise ValueError(
+            f"unknown victim precision {victim_precision!r}; known precisions: {known}"
+        ) from exc
+
 
 @dataclass(frozen=True)
 class QuantizedTensorInfo:

@@ -15,13 +15,15 @@ from repro.core.results import AttackResult
 from repro.faults.sweep import FlipCurve
 
 
-def outcome(mechanism, flips):
+def outcome(mechanism, flips, asr=None):
     holder = MechanismOutcome(mechanism)
     holder.results.append(
         AttackResult(
             model_name="toy", mechanism=mechanism, accuracy_before=90.0,
             accuracy_after=10.0, target_accuracy=15.0, num_flips=flips, converged=True,
             accuracy_curve=[90.0] + [10.0] * flips,
+            objective_kind="untargeted" if asr is None else "targeted",
+            attack_success_rate=asr,
         )
     )
     return holder
@@ -52,6 +54,25 @@ class TestMarkdown:
     def test_paper_columns_present(self):
         text = comparisons_to_markdown(comparisons())
         assert "| 36 | 8 |" in text  # paper reference flips for ResNet-20
+
+    def test_asr_columns(self):
+        """Targeted runs render their ASR; untargeted runs render '-'."""
+        untargeted = comparisons()[0]
+        line = next(
+            l for l in comparisons_to_markdown([untargeted]).splitlines() if "ResNet-20" in l
+        )
+        assert "| - | - |" in line  # no ASR notion for untargeted runs
+
+        targeted = ModelComparisonResult(
+            model_key="resnet20", display_name="ResNet-20", dataset_name="CIFAR-10",
+            num_parameters=68786, clean_accuracy=92.0, random_guess_accuracy=10.0,
+            rowhammer=outcome("rowhammer", 12, asr=75.0),
+            rowpress=outcome("rowpress", 4, asr=100.0),
+        )
+        line = next(
+            l for l in comparisons_to_markdown([targeted]).splitlines() if "ResNet-20" in l
+        )
+        assert "| 75.0 | 100.0 |" in line
 
     def test_undefined_flip_ratio_rendered_as_dash(self):
         rows = [

@@ -1,9 +1,9 @@
-"""Tests for the attack objective."""
+"""Tests for the untargeted attack objective (and the base-class dispatch)."""
 
 import numpy as np
 import pytest
 
-from repro.core.objective import AttackObjective
+from repro.core.objective import AttackObjective, ObjectiveMetrics, UntargetedDegradation
 
 
 def make_objective(**overrides):
@@ -15,7 +15,7 @@ def make_objective(**overrides):
         random_guess_accuracy=10.0,
     )
     defaults.update(overrides)
-    return AttackObjective(**defaults)
+    return UntargetedDegradation(**defaults)
 
 
 class TestTargetAccuracy:
@@ -29,6 +29,11 @@ class TestTargetAccuracy:
         objective = make_objective(tolerance=2.0, relative_factor=1.5)
         assert objective.is_satisfied(14.9)
         assert not objective.is_satisfied(15.1)
+
+    def test_is_satisfied_accepts_metrics(self):
+        objective = make_objective(tolerance=2.0, relative_factor=1.5)
+        assert objective.is_satisfied(ObjectiveMetrics(accuracy=14.9))
+        assert not objective.is_satisfied(ObjectiveMetrics(accuracy=15.1))
 
     def test_describe_mentions_levels(self):
         text = make_objective().describe()
@@ -44,6 +49,12 @@ class TestTargetAccuracy:
 
 
 class TestFromDataset:
+    def test_base_class_dispatches_to_untargeted(self, tiny_dataset):
+        """Pre-refactor call sites keep working through the base class."""
+        objective = AttackObjective.from_dataset(tiny_dataset, attack_batch_size=8, seed=3)
+        assert isinstance(objective, UntargetedDegradation)
+        assert objective.kind == "untargeted"
+
     def test_sizes_and_pool(self, tiny_dataset):
         objective = AttackObjective.from_dataset(tiny_dataset, attack_batch_size=8, eval_samples=12, seed=3)
         assert objective.attack_x.shape[0] == 8

@@ -59,6 +59,14 @@ class TestRunAndReport:
         assert main(["run", "--store", str(tmp_path)]) == 2
         assert "provide an experiment kind" in capsys.readouterr().err
 
+    def test_targeted_source_equals_target_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "run", "comparison", "--objective", "targeted",
+            "--source-class", "2", "--target-class", "2",
+            "--store", str(tmp_path),
+        ]) == 2
+        assert "must differ" in capsys.readouterr().err
+
 
 class TestPackageSurface:
     def test_lazy_top_level_exports(self):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.bfa import BitSearchConfig
+from repro.core.objective import ObjectiveConfig
 from repro.dram.geometry import DramGeometry
 from repro.experiments import (
     ComparisonSpec,
@@ -96,3 +97,27 @@ class TestParallelDeterminism:
         # The serial context trained the victim exactly once for all units.
         assert serial_runner.context.victims.stats()["misses"] == 1
         assert serial_runner.context.victims.stats()["hits"] >= 4
+
+    def test_parallel_equals_serial_for_targeted_quantized_spec(self):
+        """The new scenario families honour the same determinism contract."""
+        spec = ComparisonSpec(
+            model_keys=("resnet20",),
+            repetitions=1,
+            eval_samples=32,
+            search=BitSearchConfig(max_flips=6, top_k_layers=2, eval_batch_size=32),
+            training_epochs=1,
+            seed=321,
+            profile_seed=321,
+            objective=ObjectiveConfig(
+                "targeted", params={"source_class": 0, "target_class": 1}
+            ),
+            victim_precision="int4",
+        )
+        serial = ExperimentRunner(backend=SerialBackend()).run(spec).payload
+        parallel = ExperimentRunner(backend=ProcessPoolBackend(max_workers=2)).run(spec).payload
+        a, b = serial[0], parallel[0]
+        assert a.rowhammer.results == b.rowhammer.results
+        assert a.rowpress.results == b.rowpress.results
+        for result in a.rowhammer.results + a.rowpress.results:
+            assert result.objective_kind == "targeted"
+            assert result.attack_success_rate is not None

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.bfa import BitSearchConfig
+from repro.core.objective import ObjectiveConfig
 from repro.dram.geometry import DramGeometry
 from repro.experiments import (
     SPEC_KINDS,
@@ -72,6 +73,50 @@ class TestRoundTrip:
         assert back == spec
         assert back.defenses[0].name == "G"
         assert back.rowhammer.pattern is spec.rowhammer.pattern
+
+    def test_targeted_quantized_comparison_round_trips(self):
+        spec = ComparisonSpec(
+            model_keys=("resnet20",),
+            objective=ObjectiveConfig(
+                "targeted",
+                params={"source_class": 0, "target_class": 3, "success_threshold": 80.0},
+            ),
+            victim_precision="int4",
+        )
+        back = _round_trip(spec)
+        assert back == spec
+        assert back.objective.objective_kind == "targeted"
+        assert back.objective.params["target_class"] == 3
+        assert back.victim_precision == "int4"
+
+    def test_pre_objective_payloads_still_decode(self):
+        """Stored specs predating the objective layer keep loading."""
+        payload = ComparisonSpec().to_dict()
+        del payload["objective"]
+        del payload["victim_precision"]
+        spec = spec_from_dict(payload)
+        assert spec.objective == ObjectiveConfig()
+        assert spec.victim_precision == "float32"
+
+    def test_invalid_objective_rejected_at_validation(self):
+        """source == target fails at spec construction, not mid-run."""
+        with pytest.raises(ValueError, match="must differ"):
+            ComparisonSpec(
+                objective=ObjectiveConfig(
+                    "targeted", params={"source_class": 2, "target_class": 2}
+                )
+            )
+        payload = ComparisonSpec().to_dict()
+        payload["objective"] = {
+            "objective_kind": "targeted",
+            "params": {"source_class": 1, "target_class": 1},
+        }
+        with pytest.raises(ValueError, match="must differ"):
+            spec_from_dict(payload)
+
+    def test_invalid_victim_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown victim precision"):
+            ComparisonSpec(victim_precision="fp16")
 
     def test_customised_sweep_and_ablation_round_trip(self):
         sweep = FlipSweepSpec(hammer_counts=(1000, 2000), open_cycles=(10_000,), chip_seed=1)
