@@ -6,10 +6,18 @@ measured on the same machine in the same run) regressed by more than the
 allowed factor.  Comparing speedups rather than absolute times keeps the
 gate meaningful on CI runners of arbitrary speed.
 
+With ``--check-case-sync`` the gate additionally fails when the committed
+baseline's case set drifts out of sync with ``perf_cases.CASE_NAMES`` —
+i.e. someone added or removed a tracked case without re-running
+``run_perf.py`` and committing the refreshed baseline.
+
 Usage::
 
     python benchmarks/perf/check_regression.py --baseline BENCH_perf.json \
-        --fresh BENCH_perf.fresh.json [--max-regression 2.0]
+        --fresh BENCH_perf.fresh.json [--max-regression 2.0] [--check-case-sync]
+
+Exit codes: 0 = ok, 1 = regression / drift, 2 = unusable input (malformed
+JSON or schema mismatch).
 """
 
 from __future__ import annotations
@@ -20,16 +28,63 @@ import sys
 from pathlib import Path
 
 
+def _load(path: Path, label: str):
+    """Parse one benchmark file, or return ``None`` with a message printed."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {label} benchmark file {path}: {error}")
+        return None
+    if not isinstance(payload, dict) or not isinstance(payload.get("cases"), dict):
+        print(f"{label} benchmark file {path} is malformed: expected a 'cases' object")
+        return None
+    for name, case in payload["cases"].items():
+        if not isinstance(case, dict) or not isinstance(case.get("speedup"), (int, float)):
+            print(
+                f"{label} benchmark file {path} is malformed: case {name!r} "
+                "lacks a numeric 'speedup'"
+            )
+            return None
+    return payload
+
+
+def _case_sync_failures(baseline: dict, fresh: dict):
+    """Baseline/fresh case sets must both match ``perf_cases.CASE_NAMES``."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from perf_cases import CASE_NAMES  # deferred: imports the repro package
+
+    failures = []
+    for label, payload in (("baseline", baseline), ("fresh", fresh)):
+        recorded = set(payload["cases"])
+        expected = set(CASE_NAMES)
+        missing = sorted(expected - recorded)
+        extra = sorted(recorded - expected)
+        if missing:
+            failures.append(
+                f"{label}: tracked case(s) {missing} missing — re-run "
+                "benchmarks/perf/run_perf.py and commit the refreshed baseline"
+            )
+        if extra:
+            failures.append(
+                f"{label}: unknown case(s) {extra} not in perf_cases.CASE_NAMES"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True)
     parser.add_argument("--fresh", type=Path, required=True)
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail when fresh speedup < baseline speedup / this factor")
+    parser.add_argument("--check-case-sync", action="store_true",
+                        help="fail when the baseline cases drift from perf_cases.CASE_NAMES")
     args = parser.parse_args()
 
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
+    baseline = _load(args.baseline, "baseline")
+    fresh = _load(args.fresh, "fresh")
+    if baseline is None or fresh is None:
+        return 2
     if baseline.get("schema_version") != fresh.get("schema_version"):
         print(
             f"schema mismatch: baseline v{baseline.get('schema_version')} vs "
@@ -38,6 +93,9 @@ def main() -> int:
         return 2
 
     failures = []
+    if args.check_case_sync:
+        failures.extend(_case_sync_failures(baseline, fresh))
+
     for name, committed in sorted(baseline["cases"].items()):
         measured = fresh["cases"].get(name)
         if measured is None:
@@ -55,6 +113,11 @@ def main() -> int:
                 f"{floor:.2f}x (baseline {committed['speedup']:.2f}x / "
                 f"{args.max_regression:g})"
             )
+    for name in sorted(set(fresh["cases"]) - set(baseline["cases"])):
+        # Not a failure by itself (--check-case-sync turns drift into one):
+        # a fresh-only case simply has no baseline to compare against yet.
+        print(f"{name:24s} new case, no committed baseline")
+
     if failures:
         print("\nperf regression detected:")
         for failure in failures:

@@ -6,16 +6,25 @@ retained engine implementations.  The golden-equivalence tests under
 ``tests/`` prove the engines produce bit-identical outputs; this module only
 measures them.
 
-The four cases mirror the perf-critical layers:
+The six cases mirror the perf-critical layers:
 
 * ``bit_search_iteration`` — the intra-layer proposal stage of the
   progressive bit search over every quantized tensor (core + nn layers).
 * ``bank_profile`` — a whole-chip RowHammer + RowPress profiling campaign
   (faults + dram layers).
-* ``flip_sweep`` — the Fig. 6 cumulative flip-curve sweeps (faults layer).
-* ``end_to_end_attack`` — a small full bit-flip attack including model
-  evaluation (dominated by engine-independent forward/backward work, so its
-  speedup is a lower bound on the proposer's contribution).
+* ``flip_sweep`` — the Fig. 6 cumulative flip-curve sweeps (faults layer);
+  the vectorized engine evaluates all budget steps in one threshold pass.
+* ``victim_evaluation`` — repeated full-test-set victim evaluation with a
+  committed flip moving across the network between measurements: the
+  full-forward reference against the incremental suffix-re-execution
+  engine (nn inference layer).  Flips cycle through *every* quantized
+  tensor, so the measured speedup is the honest average over flip depths.
+* ``end_to_end_attack`` — the paper-shaped headline workload: a targeted
+  bit-flip attack evaluated on the full test set after every committed
+  flip.  Targeted attacks concentrate flips in the classifier head, which
+  is exactly the regime the incremental engine accelerates most.
+* ``end_to_end_attack_deep`` — the same evaluation-bound attack on a
+  deeper (depth-14) surrogate, where each saved forward pass is larger.
 """
 
 from __future__ import annotations
@@ -32,16 +41,32 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np
 
 from repro.core.bfa import BitFlipAttack, BitSearchConfig
-from repro.core.objective import AttackObjective
+from repro.core.objective import AttackObjective, TargetedMisclassification
 from repro.dram.chip import DramChip
 from repro.dram.geometry import DramGeometry
 from repro.dram.vulnerability import VulnerabilityParameters
 from repro.faults.profiler import ChipProfiler, ProfilingConfig
 from repro.faults.sweep import rowhammer_flip_curve, rowpress_flip_curve
 from repro.models.resnet_cifar import ResNetCifar
+from repro.nn.bitops import bit_flip_delta
 from repro.nn.data import make_cifar_like
-from repro.nn.quantization import quantize_model
+from repro.nn.inference import SuffixEvaluator
+from repro.nn.quantization import quantize_model, quantized_parameters
 from repro.nn.training import train
+
+#: Names of the tracked cases, in the order ``build_cases`` produces them.
+#: ``check_regression.py --check-case-sync`` compares the committed
+#: ``BENCH_perf.json`` against this tuple, so adding or removing a case
+#: without re-running ``run_perf.py`` fails CI instead of silently
+#: drifting.  Importing this must stay cheap (no workload construction).
+CASE_NAMES = (
+    "bit_search_iteration",
+    "bank_profile",
+    "flip_sweep",
+    "victim_evaluation",
+    "end_to_end_attack",
+    "end_to_end_attack_deep",
+)
 
 
 @dataclass(frozen=True)
@@ -54,13 +79,13 @@ class PerfCase:
     vectorized: Callable[[], object]
 
 
-def _surrogate(seed: int = 0, epochs: int = 2):
+def _surrogate(seed: int = 0, epochs: int = 2, depth: int = 8, test_per_class: int = 12):
     dataset = make_cifar_like(
-        num_classes=4, image_size=8, train_per_class=24, test_per_class=12,
+        num_classes=4, image_size=8, train_per_class=24, test_per_class=test_per_class,
         seed=5, noise_std=1.0, basis_dim=3,
     )
     model = ResNetCifar(
-        depth=8, num_classes=dataset.num_classes, base_width=8,
+        depth=depth, num_classes=dataset.num_classes, base_width=8,
         rng=np.random.default_rng(seed),
     )
     train(model, dataset, epochs=epochs, batch_size=16, lr=3e-3, seed=1)
@@ -156,26 +181,83 @@ def _make_flip_sweep_case(max_rows_per_bank: int) -> PerfCase:
 
 
 # ----------------------------------------------------------------------
-# Case 4: end-to-end small attack
+# Case 4: repeated victim evaluation under a moving committed flip
 # ----------------------------------------------------------------------
-def _make_end_to_end_case(max_flips: int) -> PerfCase:
-    model, clean_state, dataset = _surrogate()
+def _make_victim_evaluation_case(evaluations: int, test_per_class: int) -> PerfCase:
+    model, clean_state, dataset = _surrogate(test_per_class=test_per_class)
+
+    def evaluate_with_flips(engine: str):
+        model.load_state_dict(clean_state)
+        quantize_model(model)
+        parameters = quantized_parameters(model)
+        names = sorted(parameters)
+        objective = AttackObjective.from_dataset(
+            dataset, attack_batch_size=16, eval_samples=None, seed=2,
+            tolerance=1.0, relative_factor=1.05,
+        )
+        evaluator = None
+        if engine == "vectorized":
+            evaluator = SuffixEvaluator(model)
+            objective.attach_inference_engine(evaluator)
+        accuracies = []
+        for index in range(evaluations):
+            parameter = parameters[names[index % len(names)]]
+            value = int(parameter.int_repr.flat[0])
+            parameter.int_repr.flat[0] = value + bit_flip_delta(
+                value, parameter.num_bits - 1, parameter.num_bits
+            )
+            parameter.sync_from_int()
+            if evaluator is not None:
+                evaluator.invalidate_from(evaluator.stage_of(parameter))
+            accuracies.append(objective.evaluate(model).accuracy)
+        return accuracies
+
+    return PerfCase(
+        name="victim_evaluation",
+        description=(
+            f"{evaluations} full-test-set evaluations with a committed MSB flip "
+            "cycling through every quantized tensor between measurements"
+        ),
+        reference=lambda: evaluate_with_flips("reference"),
+        vectorized=lambda: evaluate_with_flips("vectorized"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cases 5 + 6: end-to-end evaluation-bound attacks
+# ----------------------------------------------------------------------
+def _make_end_to_end_case(
+    name: str,
+    depth: int,
+    max_flips: int,
+    test_per_class: int,
+    source_class: int,
+    target_class: int,
+    seed: int,
+) -> PerfCase:
+    model, clean_state, dataset = _surrogate(depth=depth, test_per_class=test_per_class)
 
     def attack(engine: str):
         model.load_state_dict(clean_state)
         quantize_model(model)
+        objective = TargetedMisclassification.from_dataset(
+            dataset, source_class=source_class, target_class=target_class,
+            attack_batch_size=16, eval_samples=None, success_threshold=99.0,
+            seed=seed,
+        )
         run = BitFlipAttack(
-            model, _objective(dataset),
-            config=BitSearchConfig(max_flips=max_flips, top_k_layers=3),
+            model, objective,
+            config=BitSearchConfig(max_flips=max_flips, top_k_layers=5),
             engine=engine,
         )
         return run.run()
 
     return PerfCase(
-        name="end_to_end_attack",
+        name=name,
         description=(
-            f"full progressive bit search ({max_flips} flips max) on the tiny "
-            "surrogate, evaluation included"
+            f"targeted progressive bit search ({max_flips} flips max, depth-{depth} "
+            f"surrogate) with full-test-set ASR evaluation "
+            f"({test_per_class * dataset.num_classes} samples) per committed flip"
         ),
         reference=lambda: attack("reference"),
         vectorized=lambda: attack("vectorized"),
@@ -183,20 +265,34 @@ def _make_end_to_end_case(max_flips: int) -> PerfCase:
 
 
 def build_cases(profile: str = "quick") -> List[PerfCase]:
-    """The four tracked microbenchmarks at the requested workload size."""
+    """The six tracked microbenchmarks at the requested workload size."""
     if profile == "quick":
         sizes: Dict[str, int] = {
-            "iterations": 30, "rows_per_bank": 96, "max_rows": 16, "max_flips": 4,
+            "iterations": 30, "rows_per_bank": 96, "max_rows": 16,
+            "evaluations": 12, "eval_per_class": 96, "max_flips": 6, "deep_depth": 14,
         }
     elif profile == "full":
         sizes = {
-            "iterations": 100, "rows_per_bank": 128, "max_rows": 32, "max_flips": 8,
+            "iterations": 100, "rows_per_bank": 128, "max_rows": 32,
+            "evaluations": 24, "eval_per_class": 192, "max_flips": 8, "deep_depth": 20,
         }
     else:
         raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
-    return [
+    cases = [
         _make_bit_search_case(sizes["iterations"]),
         _make_bank_profile_case(sizes["rows_per_bank"]),
         _make_flip_sweep_case(sizes["max_rows"]),
-        _make_end_to_end_case(sizes["max_flips"]),
+        _make_victim_evaluation_case(sizes["evaluations"], sizes["eval_per_class"]),
+        _make_end_to_end_case(
+            "end_to_end_attack", depth=8, max_flips=sizes["max_flips"],
+            test_per_class=sizes["eval_per_class"], source_class=1, target_class=0,
+            seed=3,
+        ),
+        _make_end_to_end_case(
+            "end_to_end_attack_deep", depth=sizes["deep_depth"],
+            max_flips=sizes["max_flips"], test_per_class=sizes["eval_per_class"],
+            source_class=2, target_class=0, seed=2,
+        ),
     ]
+    assert tuple(case.name for case in cases) == CASE_NAMES
+    return cases

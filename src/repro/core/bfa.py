@@ -41,6 +41,7 @@ from repro.nn.bitops import (
     from_twos_complement,
     to_twos_complement,
 )
+from repro.nn.inference import SuffixEvaluator
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.quantization import quantized_parameters
@@ -159,6 +160,14 @@ class BitFlipAttack:
       golden-equivalence tests and the perf benchmarks.  Both engines
       produce bit-identical proposals (same tie-breaking, same IEEE float
       operations).
+
+    The engine selector also picks the *evaluation* path.  With
+    ``"vectorized"`` and a stage-decomposable model, candidate and
+    convergence evaluations run through an incremental
+    :class:`~repro.nn.inference.SuffixEvaluator` (no-grad suffix
+    re-execution from the flipped layer); ``"reference"`` keeps the
+    retained full-forward evaluation.  Outputs are bit-identical either
+    way.
     """
 
     def __init__(
@@ -190,6 +199,28 @@ class BitFlipAttack:
         #: int_repr mutation goes through _apply/_revert, which refresh
         #: exactly the flipped weight's column.
         self._delta_tables: Dict[str, np.ndarray] = {}
+        #: Incremental evaluation engine (vectorized engine only): caches
+        #: per-batch stage-boundary activations so candidate evaluations
+        #: re-run only the flipped layer's suffix.  Built when the model is
+        #: stage-decomposable and every quantized tensor maps to a stage,
+        #: but attached to the objective only for the duration of ``run``
+        #: (which clears the cache on entry and detaches on exit) — outside
+        #: a run the objective stays on the full-forward path, so weight
+        #: mutations between runs can never be answered from a stale cache.
+        #: During a run, committed flips invalidate the cache at their
+        #: stage and trial flips are evaluated through the engine's
+        #: non-destructive peek path.  The reference engine keeps the
+        #: retained full-forward evaluation exactly as before.
+        self._evaluator: Optional[SuffixEvaluator] = None
+        self._stage_of_tensor: Dict[str, int] = {}
+        if engine == "vectorized":
+            evaluator = SuffixEvaluator(model)
+            if evaluator.covers(self.parameters.values()):
+                self._evaluator = evaluator
+                self._stage_of_tensor = {
+                    name: evaluator.stage_of(parameter)
+                    for name, parameter in self.parameters.items()
+                }
 
     def _delta_table(self, tensor_name: str, parameter: Parameter) -> np.ndarray:
         table = self._delta_tables.get(tensor_name)
@@ -347,9 +378,35 @@ class BitFlipAttack:
         comparison) and :class:`~repro.core.objective.ObjectiveMetrics`
         (convergence), so targeted and stealthy objectives run on the same
         vectorized delta-table fast path as the paper's untargeted one.
+
+        With the vectorized engine the objective's evaluations run through
+        the incremental :class:`~repro.nn.inference.SuffixEvaluator`: the
+        gradient pass records stage-boundary activations, trial flips are
+        scored by suffix re-execution from the flipped stage (peek path —
+        reverting restores cache validity), and committed flips invalidate
+        the cache at their stage before the convergence measurement.  All
+        of it is bit-identical to the retained ``engine="reference"``
+        full-forward path (golden tests pin this per objective kind and
+        victim precision).
         """
         config = self.config
         objective = self.objective
+        if self._evaluator is not None:
+            # Weights may have changed since construction or a prior run;
+            # start from an empty cache and make sure the engine is ours.
+            self._evaluator.clear()
+            objective.attach_inference_engine(self._evaluator)
+        else:
+            objective.detach_inference_engine()
+        try:
+            return self._run_loop(config, objective)
+        finally:
+            # Post-run callers may mutate weights without telling the
+            # evaluator; hand the objective back on the reference path.
+            objective.detach_inference_engine()
+
+    def _run_loop(self, config: BitSearchConfig, objective: AttackObjective) -> AttackResult:
+        """The attack iteration proper (engine wiring handled by :meth:`run`)."""
         metrics = objective.evaluate(self.model, config.eval_batch_size)
         accuracy_before = metrics.accuracy
         accuracy_curve = [accuracy_before]
@@ -386,7 +443,9 @@ class BitFlipAttack:
             best_loss = -np.inf
             for proposal in shortlist:
                 self._apply(proposal)
-                trial_loss = objective.attack_loss(self.model)
+                trial_loss = objective.attack_loss(
+                    self.model, flip_stage=self._stage_of_tensor.get(proposal.tensor_name)
+                )
                 self._revert(proposal)
                 if trial_loss > best_loss:
                     best_loss = trial_loss
@@ -394,6 +453,8 @@ class BitFlipAttack:
 
             assert best_proposal is not None
             self._apply(best_proposal)
+            if self._evaluator is not None:
+                self._evaluator.invalidate_from(self._stage_of_tensor[best_proposal.tensor_name])
             metrics = objective.evaluate(self.model, config.eval_batch_size)
             accuracy_curve.append(metrics.accuracy)
             if metrics.attack_success_rate is not None:

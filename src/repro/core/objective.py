@@ -113,6 +113,17 @@ class AttackObjective:
     #: Subset of :attr:`spec_params` that must be present.
     required_spec_params: ClassVar[frozenset] = frozenset()
 
+    # Incremental-evaluation state (class-level defaults so the dataclass
+    # subclasses inherit them without declaring fields).  ``_inference`` is
+    # the attached :class:`repro.nn.inference.SuffixEvaluator` (``None`` =
+    # the retained full-forward reference path); ``_forward_mode`` selects
+    # how :meth:`_model_logits` runs while an engine is attached ("graph"
+    # during the gradient pass, "suffix" during forward-only evaluations);
+    # ``_suffix_stage`` is the stage of the trial flip being evaluated.
+    _inference = None
+    _forward_mode = None
+    _suffix_stage = 0
+
     # -- subclass interface --------------------------------------------
     def attack_loss_tensor(self, model: Module) -> Tensor:
         """Differentiable scalar loss on the attack batch (to be maximised)."""
@@ -159,19 +170,64 @@ class AttackObjective:
         """Accuracy threshold of accuracy-driven objectives (``nan`` otherwise)."""
         return float("nan")
 
+    def attach_inference_engine(self, engine) -> None:
+        """Route evaluations through an incremental no-grad inference engine.
+
+        ``engine`` is a :class:`repro.nn.inference.SuffixEvaluator` built
+        for the attacked model.  While attached, forward-only evaluations
+        (:meth:`attack_loss`, :meth:`_eval_predictions`,
+        :meth:`evaluation_accuracy`) resume from the engine's cached stage
+        boundaries instead of re-running the whole network, and the
+        gradient pass records those boundaries as it goes.  The caller owns
+        cache consistency: committed weight mutations must be followed by
+        ``engine.invalidate_from`` (:class:`repro.core.bfa.BitFlipAttack`
+        does this in its commit step).  Detach (or clear the engine) before
+        mutating weights out of band.
+        """
+        self._inference = engine
+
+    def detach_inference_engine(self) -> None:
+        """Return to the full-forward (reference) evaluation path."""
+        self._inference = None
+
     def attack_loss_and_gradients(self, model: Module) -> float:
         """Forward + backward on the attack batch; gradients stay on the model."""
         model.zero_grad()
-        loss = self.attack_loss_tensor(model)
+        if self._inference is not None:
+            self._forward_mode = "graph"
+            try:
+                loss = self.attack_loss_tensor(model)
+            finally:
+                self._forward_mode = None
+        else:
+            loss = self.attack_loss_tensor(model)
         loss.backward()
         return float(loss.item())
 
-    def attack_loss(self, model: Module) -> float:
-        """Forward-only loss on the attack batch (used by trial flips)."""
+    def attack_loss(self, model: Module, flip_stage: Optional[int] = None) -> float:
+        """Forward-only loss on the attack batch (used by trial flips).
+
+        ``flip_stage`` is the forward stage of the weight currently under a
+        *trial* flip; with an inference engine attached the loss is then
+        computed by suffix re-execution from that stage (bit-identical to
+        the full forward, see :mod:`repro.nn.inference`).
+        """
+        if self._inference is not None:
+            self._forward_mode = "suffix"
+            self._suffix_stage = 0 if flip_stage is None else flip_stage
+            try:
+                return float(self.attack_loss_tensor(model).item())
+            finally:
+                self._forward_mode = None
         return float(self.attack_loss_tensor(model).item())
 
     def evaluation_accuracy(self, model: Module, batch_size: int = 64) -> float:
         """Accuracy (%) on the evaluation samples."""
+        if self._inference is not None:
+            predictions = self._eval_predictions(model, batch_size)
+            if predictions.size == 0:
+                return 0.0
+            return float((predictions == self.eval_y).mean() * 100.0)
         return evaluate(model, self.eval_x, self.eval_y, batch_size=batch_size)
 
     def resample_attack_batch(self) -> bool:
@@ -182,6 +238,8 @@ class AttackObjective:
         index = self._resample_rng.choice(self.attack_pool_x.shape[0], size=count, replace=False)
         self.attack_x = self.attack_pool_x[index]
         self.attack_y = self.attack_pool_y[index]
+        if self._inference is not None:
+            self._inference.drop("attack")
         return True
 
     @classmethod
@@ -203,13 +261,71 @@ class AttackObjective:
         if self.eval_x.shape[0] != self.eval_y.shape[0]:
             raise ValueError("evaluation inputs and labels disagree in size")
 
+    def _batch_tensor(self, key: str) -> Tensor:
+        """Hoisted :class:`Tensor` view of a named batch ("attack" / "clean").
+
+        The wrapping tensor is allocated once and reused across every loss
+        evaluation; the identity check re-wraps automatically when
+        :meth:`resample_attack_batch` swaps the underlying array.
+        """
+        array = self.attack_x if key == "attack" else self.clean_x
+        cache = getattr(self, "_batch_tensor_cache", None)
+        if cache is None:
+            cache = {}
+            self._batch_tensor_cache = cache
+        cached = cache.get(key)
+        if cached is None or cached[0] is not array:
+            cached = (array, Tensor(array))
+            cache[key] = cached
+        return cached[1]
+
+    def _model_logits(self, model: Module, key: str) -> Tensor:
+        """Logits of the named batch on the current evaluation path.
+
+        Reference path (no engine attached): a plain full forward.  With an
+        engine attached, the gradient pass records stage boundaries while
+        building the graph and forward-only trial evaluations resume from
+        the flipped stage — both bit-identical to the full forward.
+        """
+        batch = self._batch_tensor(key)
+        if self._inference is None or self._forward_mode is None:
+            return model(batch)
+        if self._forward_mode == "graph":
+            return self._inference.forward_tensor(key, batch)
+        return Tensor(self._inference.peek(key, batch.data, self._suffix_stage))
+
+    def _eval_batches(self, batch_size: int):
+        """Pre-sliced evaluation batches, memoized per batch size.
+
+        Returns ``(start, batch_array, batch_tensor)`` triples; slicing and
+        tensor wrapping happen once per objective instead of on every
+        evaluation pass (``eval_x`` / ``eval_y`` never change).
+        """
+        cache = getattr(self, "_eval_batch_cache", None)
+        if cache is None:
+            cache = {}
+            self._eval_batch_cache = cache
+        batches = cache.get(batch_size)
+        if batches is None:
+            batches = []
+            for start in range(0, self.eval_x.shape[0], batch_size):
+                batch_x = self.eval_x[start : start + batch_size]
+                batches.append((start, batch_x, Tensor(batch_x)))
+            cache[batch_size] = batches
+        return batches
+
     def _eval_predictions(self, model: Module, batch_size: int) -> np.ndarray:
         """Batched argmax predictions over the evaluation set."""
         model.eval()
         predictions = []
-        for start in range(0, self.eval_x.shape[0], batch_size):
-            logits = model(Tensor(self.eval_x[start : start + batch_size]))
-            predictions.append(np.argmax(logits.data, axis=-1))
+        if self._inference is not None:
+            for start, batch_x, _ in self._eval_batches(batch_size):
+                logits = self._inference.forward(("eval", start, batch_size), batch_x)
+                predictions.append(np.argmax(logits, axis=-1))
+        else:
+            for _, _, batch in self._eval_batches(batch_size):
+                logits = model(batch)
+                predictions.append(np.argmax(logits.data, axis=-1))
         if not predictions:
             return np.zeros(0, dtype=np.int64)
         return np.concatenate(predictions)
@@ -339,7 +455,7 @@ class UntargetedDegradation(AttackObjective):
 
     def attack_loss_tensor(self, model: Module) -> Tensor:
         """Mean cross-entropy of the attack batch against its true labels."""
-        logits = model(Tensor(self.attack_x))
+        logits = self._model_logits(model, "attack")
         return cross_entropy(logits, self.attack_y)
 
     def evaluate(self, model: Module, batch_size: int = 64) -> ObjectiveMetrics:
@@ -477,7 +593,7 @@ class TargetedMisclassification(AttackObjective):
     # ------------------------------------------------------------------
     def attack_loss_tensor(self, model: Module) -> Tensor:
         """Negative cross-entropy towards the target class (ascended by the search)."""
-        logits = model(Tensor(self.attack_x))
+        logits = self._model_logits(model, "attack")
         targets = np.full(self.attack_x.shape[0], self.target_class, dtype=np.int64)
         return -cross_entropy(logits, targets)
 
@@ -610,7 +726,7 @@ class StealthyTargeted(TargetedMisclassification):
         """Targeted term minus the weighted collateral-damage term."""
         loss = super().attack_loss_tensor(model)
         if self.clean_x is not None and self.clean_x.shape[0] and self.stealth_weight > 0:
-            clean_logits = model(Tensor(self.clean_x))
+            clean_logits = self._model_logits(model, "clean")
             loss = loss - self.stealth_weight * cross_entropy(clean_logits, self.clean_y)
         return loss
 

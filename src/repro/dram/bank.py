@@ -299,21 +299,9 @@ class DramBank:
         if not over_threshold.any():
             return []
 
-        is_aggressor = np.zeros(self.geometry.rows_per_bank, dtype=bool)
-        is_aggressor[list(aggressors)] = True
-        victim_bits = self.data[rows, cols]
-        differs = np.zeros(rows.size, dtype=bool)
-        for offset in (-1, 1):
-            neighbour = rows + offset
-            valid = (neighbour >= 0) & (neighbour < self.geometry.rows_per_bank)
-            neighbour_safe = np.where(valid, neighbour, 0)
-            adjacent = valid & is_aggressor[neighbour_safe]
-            differs |= adjacent & (self.data[neighbour_safe, cols] != victim_bits)
-        directions = all_directions[cell_indices]
-        # direction == 1 encodes ONE_TO_ZERO (cell must currently hold 1).
-        direction_ok = np.where(directions == 1, victim_bits == 1, victim_bits == 0)
-
-        flip_mask = over_threshold & differs & direction_ok
+        flip_mask = over_threshold & self._eligibility_mask(
+            rows, cols, all_directions[cell_indices], aggressors
+        )
         positions = np.nonzero(flip_mask)[0]
         if positions.size == 0:
             return []
@@ -334,6 +322,67 @@ class DramBank:
             )
             for row, col, b, a in zip(flip_rows, flip_cols, before, after)
         ]
+
+    def _eligibility_mask(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        directions: np.ndarray,
+        aggressors: Iterable[int],
+    ) -> np.ndarray:
+        """Which cells the stored data pattern and flip direction allow to flip.
+
+        A cell is eligible when an adjacent aggressor row stores the
+        opposite value (``differs``) and the cell currently holds the value
+        its preferred flip direction consumes.  Shared by the stateful flip
+        evaluation (:meth:`_evaluate_bank_flips`, which additionally gates
+        on the disturbance accumulator) and the static threshold view
+        (:meth:`flip_thresholds`), so the eligibility physics exists once.
+        """
+        is_aggressor = np.zeros(self.geometry.rows_per_bank, dtype=bool)
+        is_aggressor[list(aggressors)] = True
+        victim_bits = self.data[rows, cols]
+        differs = np.zeros(rows.size, dtype=bool)
+        for offset in (-1, 1):
+            neighbour = rows + offset
+            valid = (neighbour >= 0) & (neighbour < self.geometry.rows_per_bank)
+            neighbour_safe = np.where(valid, neighbour, 0)
+            adjacent = valid & is_aggressor[neighbour_safe]
+            differs |= adjacent & (self.data[neighbour_safe, cols] != victim_bits)
+        # direction == 1 encodes ONE_TO_ZERO (cell must currently hold 1).
+        direction_ok = np.where(directions == 1, victim_bits == 1, victim_bits == 0)
+        return differs & direction_ok
+
+    def flip_thresholds(
+        self, victims: np.ndarray, aggressors: Iterable[int], mechanism: str
+    ) -> np.ndarray:
+        """Disturbance thresholds of every cell that would eventually flip.
+
+        Static counterpart of :meth:`_evaluate_bank_flips`: applies the same
+        eligibility mask to the vulnerable cells of the (sorted) ``victims``
+        rows against the *currently stored* data, but instead of flipping
+        anything it returns the vulnerability thresholds of the cells that
+        pass.  Since a cell flips at the first moment its row's accumulator
+        reaches its threshold — and a flipped cell can never flip again
+        (its direction precondition now fails) — the cumulative flip count
+        of any monotone disturbance schedule is simply
+        ``count(threshold <= accumulated)``.  The budget sweeps
+        (:mod:`repro.faults.sweep`) use this to evaluate every budget step
+        of a flip curve in one pass.
+        """
+        vuln = self.vulnerability
+        all_rows, all_cols, all_thresholds, all_directions = vuln.arrays_for(mechanism)
+        victims = np.asarray(victims, dtype=np.int64)
+        cell_indices = vuln.cells_in_rows(mechanism, victims)
+        if cell_indices.size == 0:
+            return np.empty(0, dtype=all_thresholds.dtype)
+        mask = self._eligibility_mask(
+            all_rows[cell_indices],
+            all_cols[cell_indices],
+            all_directions[cell_indices],
+            aggressors,
+        )
+        return all_thresholds[cell_indices][mask]
 
     def vulnerable_cell_direction(self, mechanism: str, row: int, col: int) -> Optional[FlipDirection]:
         """Return the preferred flip direction of a vulnerable cell, if any."""

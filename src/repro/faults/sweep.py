@@ -104,6 +104,32 @@ def _victim_rows(chip: DramChip, max_rows: Optional[int]) -> List[int]:
     return rows
 
 
+def _one_pass_flip_counts(
+    chip: DramChip,
+    banks: Sequence[int],
+    victim_rows: Sequence[int],
+    aggressors: set,
+    mechanism: str,
+    budgets: Sequence[int],
+) -> np.ndarray:
+    """Cumulative flips at every budget step, evaluated in one pass.
+
+    A cell flips at the first budget step whose accumulated disturbance
+    reaches its threshold (and never again — the flip direction
+    precondition fails afterwards), so the cumulative count at budget ``b``
+    is the number of eligible cells with ``threshold <= b``.  One
+    ``searchsorted`` per bank therefore evaluates *all* budget steps of the
+    curve at once — no per-step controller calls, no chip mutation.
+    """
+    budget_array = np.asarray(budgets, dtype=np.float64)
+    counts = np.zeros(budget_array.size, dtype=np.int64)
+    victims = np.asarray(sorted(victim_rows), dtype=np.int64)
+    for bank in banks:
+        thresholds = chip.bank(bank).flip_thresholds(victims, aggressors, mechanism)
+        counts += np.searchsorted(np.sort(thresholds), budget_array, side="right")
+    return counts
+
+
 def rowhammer_flip_curve(
     chip: DramChip,
     hammer_counts: Sequence[int],
@@ -114,14 +140,20 @@ def rowhammer_flip_curve(
 ) -> FlipCurve:
     """Cumulative RowHammer flips over the chip as hammer count grows.
 
-    The default ``"vectorized"`` engine hammers the whole aggressor-row set
-    of a bank with one controller call per budget step, so the per-step
-    fault evaluation is a single masked compare over the bank's
-    vulnerability arrays.  The victim rows are spaced so that each keeps its
-    two written aggressor neighbours, which makes the union hammering
-    produce the same per-cell disturbance — and hence the same cumulative
-    flip counts — as the retained ``"reference"`` per-row loop (asserted by
-    the golden-equivalence tests).
+    The default ``"vectorized"`` engine evaluates **all budget steps in one
+    pass**: per bank it collects the thresholds of the cells whose data
+    pattern and flip direction allow a flip under the written layout
+    (:meth:`repro.dram.bank.DramBank.flip_thresholds`) and reads the whole
+    cumulative curve off one ``searchsorted``.  This is exact because the
+    per-step disturbance deltas sum to the budget and a flipped cell can
+    never flip back; the retained ``"reference"`` per-row per-step loop
+    pins the equivalence in the golden tests.
+
+    The golden contract covers the returned curve, not the chip: the
+    one-pass engine never hammers, so it leaves the written data and the
+    disturbance accumulators untouched, while the reference loop mutates
+    them as it always did.  Callers that inspect the chip after a sweep
+    must use the reference engine (or ``chip.reset()`` first).
     """
     check_engine(engine)
     budgets = sorted(set(int(h) for h in hammer_counts))
@@ -135,31 +167,42 @@ def rowhammer_flip_curve(
     aggressor_union = sorted(
         {neighbour for row in rows for neighbour in chip.geometry.neighbours(row)}
     )
+    # Rows the union hammering disturbs: every neighbour of an aggressor
+    # that is not itself actively driven (mirrors DramBank._victim_rows).
+    union_victims = sorted(
+        {
+            neighbour
+            for row in aggressor_union
+            for neighbour in chip.geometry.neighbours(row)
+        }
+        - set(aggressor_union)
+    )
 
     cumulative = np.zeros(len(budgets), dtype=np.int64)
     for pattern in patterns:
         chip.reset()
-        controller = MemoryController(chip)
         victim_bits, aggressor_bits = make_pattern(pattern, chip.geometry.cols_per_row)
         for bank in banks:
             for row in rows:
                 chip.write_row(bank, row, victim_bits)
                 for neighbour in chip.geometry.neighbours(row):
                     chip.write_row(bank, neighbour, aggressor_bits)
+        if engine == "vectorized":
+            cumulative += _one_pass_flip_counts(
+                chip, banks, union_victims, set(aggressor_union), "rowhammer", budgets
+            )
+            continue
+        controller = MemoryController(chip)
         previous = 0
         flipped_so_far = 0
         for index, budget in enumerate(budgets):
             delta = budget - previous
             previous = budget
             for bank in banks:
-                if engine == "vectorized":
-                    flips = controller.hammer_rows(bank, aggressor_union, delta)
+                for row in rows:
+                    aggressors = list(chip.geometry.neighbours(row))
+                    flips = controller.hammer_rows(bank, aggressors, delta)
                     flipped_so_far += len(flips)
-                else:
-                    for row in rows:
-                        aggressors = list(chip.geometry.neighbours(row))
-                        flips = controller.hammer_rows(bank, aggressors, delta)
-                        flipped_so_far += len(flips)
             cumulative[index] += flipped_so_far
     return FlipCurve(
         mechanism="rowhammer",
@@ -179,10 +222,14 @@ def rowpress_flip_curve(
 ) -> FlipCurve:
     """Cumulative RowPress flips over the chip as the open window grows.
 
-    The default ``"vectorized"`` engine presses a bank's whole pressed-row
-    set per open window with one controller call (the pressed rows are
-    pairwise non-adjacent, so batching is exact); the ``"reference"``
-    per-row loop is retained for golden-equivalence testing.
+    The default ``"vectorized"`` engine evaluates all budget steps in one
+    pass, exactly like :func:`rowhammer_flip_curve`: the open windows of a
+    budget (split at ``tREFW``) accumulate additively on the pressed rows'
+    neighbours, so the curve is one threshold ``searchsorted`` per bank.
+    The ``"reference"`` per-row per-window loop is retained for
+    golden-equivalence testing.  As with :func:`rowhammer_flip_curve`, the
+    one-pass engine does not mutate the chip; only the reference loop
+    leaves flipped cells and advanced accumulators behind.
     """
     check_engine(engine)
     budgets = sorted(set(int(c) for c in open_cycles))
@@ -194,38 +241,38 @@ def rowpress_flip_curve(
     patterns = list(patterns) if patterns is not None else list(profiling_patterns())
     rows = _victim_rows(chip, max_rows_per_bank)
     max_window = chip.timings.max_open_window_cycles()
+    press_victims = sorted(
+        {neighbour for row in rows for neighbour in chip.geometry.neighbours(row)}
+    )
 
     cumulative = np.zeros(len(budgets), dtype=np.int64)
     for pattern in patterns:
         chip.reset()
-        controller = MemoryController(chip)
         pressed_bits, pattern_bits = make_pattern(pattern, chip.geometry.cols_per_row)
         for bank in banks:
             for row in rows:
                 chip.write_row(bank, row, pressed_bits)
                 for neighbour in chip.geometry.neighbours(row):
                     chip.write_row(bank, neighbour, pattern_bits)
+        if engine == "vectorized":
+            cumulative += _one_pass_flip_counts(
+                chip, banks, press_victims, set(rows), "rowpress", budgets
+            )
+            continue
+        controller = MemoryController(chip)
         previous = 0
         flipped_so_far = 0
         for index, budget in enumerate(budgets):
             delta = budget - previous
             previous = budget
             for bank in banks:
-                if engine == "vectorized":
+                for row in rows:
                     remaining = delta
                     while remaining > 0:
                         window = min(remaining, max_window)
-                        flips = controller.press_rows(bank, rows, window)
+                        flips = controller.press_row(bank, row, window)
                         flipped_so_far += len(flips)
                         remaining -= window
-                else:
-                    for row in rows:
-                        remaining = delta
-                        while remaining > 0:
-                            window = min(remaining, max_window)
-                            flips = controller.press_row(bank, row, window)
-                            flipped_so_far += len(flips)
-                            remaining -= window
             cumulative[index] += flipped_so_far
     return FlipCurve(
         mechanism="rowpress",

@@ -7,7 +7,7 @@ shrinking the absolute sizes so numpy training stays fast.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.nn.layers import (
     TransformerBlock,
 )
 from repro.nn.layers.norm import LayerNorm
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 
 
 class DeiT(Module):
@@ -61,6 +61,27 @@ class DeiT(Module):
         tokens = self.norm(tokens)
         class_representation = tokens[:, 0, :]
         return self.head(class_representation)
+
+    def forward_stages(self) -> List[ForwardStage]:
+        """Token embedding / one stage per encoder block / norm + head."""
+        stages = [
+            ForwardStage(
+                name="embed",
+                run=lambda x: self.positional(self.class_token(self.patch_embed(x))),
+                modules=(self.patch_embed, self.class_token, self.positional),
+            )
+        ]
+        for index in range(self.depth):
+            block = self._modules[f"block{index}"]
+            stages.append(ForwardStage(name=f"block{index}", run=block, modules=(block,)))
+        stages.append(
+            ForwardStage(
+                name="head",
+                run=lambda tokens: self.head(self.norm(tokens)[:, 0, :]),
+                modules=(self.norm, self.head),
+            )
+        )
+        return stages
 
 
 def deit_tiny(

@@ -9,14 +9,14 @@ layer structure (hence the name) and shrinks the widths and input length.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Conv1d, GlobalAvgPool1d, Linear, MaxPool1d
 from repro.nn.layers.norm import BatchNorm1d
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 
 
 class M11(Module):
@@ -75,6 +75,45 @@ class M11(Module):
             if group_index < len(self.GROUPS) - 1:
                 out = self._modules[f"pool{group_index}"](out)
         return self.head(self.pool(out))
+
+    def forward_stages(self) -> List[ForwardStage]:
+        """Stem / one stage per conv-bn-relu (pools folded in) / head."""
+        stages = [
+            ForwardStage(
+                name="stem",
+                run=lambda x: self.stem_pool(self.stem_bn(self.stem(x)).relu()),
+                modules=(self.stem, self.stem_bn, self.stem_pool),
+            )
+        ]
+        conv_index = 0
+        for group_index, (blocks, _) in enumerate(self.GROUPS):
+            for block_index in range(blocks):
+                conv = self._modules[f"conv{conv_index}"]
+                bn = self._modules[f"bn{conv_index}"]
+                modules = [conv, bn]
+                # Fold the inter-group pool into the group's last conv stage
+                # so that the stage chain composes exactly like forward().
+                pool = None
+                if block_index == blocks - 1 and group_index < len(self.GROUPS) - 1:
+                    pool = self._modules[f"pool{group_index}"]
+                    modules.append(pool)
+
+                def run(x, conv=conv, bn=bn, pool=pool):
+                    out = bn(conv(x)).relu()
+                    return pool(out) if pool is not None else out
+
+                stages.append(
+                    ForwardStage(name=f"conv{conv_index}", run=run, modules=tuple(modules))
+                )
+                conv_index += 1
+        stages.append(
+            ForwardStage(
+                name="head",
+                run=lambda x: self.head(self.pool(x)),
+                modules=(self.pool, self.head),
+            )
+        )
+        return stages
 
 
 def m11(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> M11:

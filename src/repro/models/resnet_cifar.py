@@ -9,14 +9,14 @@ exact topology and only shrinks the base width and input resolution.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
 from repro.nn.layers.norm import BatchNorm2d
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 
 
 class BasicBlock(Module):
@@ -92,6 +92,29 @@ class ResNetCifar(Module):
                 block = self._modules[f"stage{stage_index}_block{block_index}"]
                 out = block(out)
         return self.head(self.pool(out))
+
+    def forward_stages(self) -> List[ForwardStage]:
+        """Stem / one stage per residual block / pooled classifier head."""
+        stages = [
+            ForwardStage(
+                name="stem",
+                run=lambda x: self.stem_bn(self.stem(x)).relu(),
+                modules=(self.stem, self.stem_bn),
+            )
+        ]
+        for stage_index in range(self._stage_count):
+            for block_index in range(self._blocks_per_stage):
+                name = f"stage{stage_index}_block{block_index}"
+                block = self._modules[name]
+                stages.append(ForwardStage(name=name, run=block, modules=(block,)))
+        stages.append(
+            ForwardStage(
+                name="head",
+                run=lambda x: self.head(self.pool(x)),
+                modules=(self.pool, self.head),
+            )
+        )
+        return stages
 
 
 def resnet20(num_classes: int = 10, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetCifar:

@@ -15,7 +15,7 @@ import numpy as np
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear
 from repro.nn.layers.norm import BatchNorm2d
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 from repro.models.resnet_cifar import BasicBlock
 
 
@@ -101,6 +101,29 @@ class ResNetImageNet(Module):
                 block = self._modules[f"stage{stage_index}_block{block_index}"]
                 out = block(out)
         return self.head(self.pool(out))
+
+    def forward_stages(self) -> List[ForwardStage]:
+        """Stem / one stage per residual block / pooled classifier head."""
+        stages = [
+            ForwardStage(
+                name="stem",
+                run=lambda x: self.stem_bn(self.stem(x)).relu(),
+                modules=(self.stem, self.stem_bn),
+            )
+        ]
+        for stage_index, blocks in enumerate(self.stage_blocks):
+            for block_index in range(blocks):
+                name = f"stage{stage_index}_block{block_index}"
+                block = self._modules[name]
+                stages.append(ForwardStage(name=name, run=block, modules=(block,)))
+        stages.append(
+            ForwardStage(
+                name="head",
+                run=lambda x: self.head(self.pool(x)),
+                modules=(self.pool, self.head),
+            )
+        )
+        return stages
 
 
 def resnet34(num_classes: int = 20, base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNetImageNet:

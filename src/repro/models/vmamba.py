@@ -9,14 +9,14 @@ mean-pooled classification head.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Linear, PatchEmbedding, PositionalEmbedding, SelectiveSSMBlock
 from repro.nn.layers.norm import LayerNorm
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 
 
 class VMamba(Module):
@@ -51,6 +51,27 @@ class VMamba(Module):
         tokens = self.norm(tokens)
         pooled = tokens.mean(axis=1)
         return self.head(pooled)
+
+    def forward_stages(self) -> List[ForwardStage]:
+        """Patch embedding / one stage per SSM block / norm + pooled head."""
+        stages = [
+            ForwardStage(
+                name="embed",
+                run=lambda x: self.positional(self.patch_embed(x)),
+                modules=(self.patch_embed, self.positional),
+            )
+        ]
+        for index in range(self.depth):
+            block = self._modules[f"block{index}"]
+            stages.append(ForwardStage(name=f"block{index}", run=block, modules=(block,)))
+        stages.append(
+            ForwardStage(
+                name="head",
+                run=lambda tokens: self.head(self.norm(tokens).mean(axis=1)),
+                modules=(self.norm, self.head),
+            )
+        )
+        return stages
 
 
 def vmamba_tiny(

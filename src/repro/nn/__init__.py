@@ -14,7 +14,8 @@ immediately observe the changed network function.  The subpackage provides:
   the training loop used to produce surrogate victims.
 """
 
-from repro.nn.autograd import Tensor, as_tensor, concatenate, stack, where
+from repro.nn.autograd import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from repro.nn.inference import SuffixEvaluator
 from repro.nn.data import (
     Dataset,
     build_dataset,
@@ -23,7 +24,7 @@ from repro.nn.data import (
     make_speech_commands_like,
 )
 from repro.nn.loss import CrossEntropyLoss, accuracy, cross_entropy
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 from repro.nn.optim import SGD, Adam
 from repro.nn.parameter import Parameter
 from repro.nn.quantization import (
@@ -39,8 +40,12 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "is_grad_enabled",
+    "no_grad",
     "stack",
     "where",
+    "ForwardStage",
+    "SuffixEvaluator",
     "Dataset",
     "build_dataset",
     "make_cifar_like",

@@ -25,6 +25,44 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+#: Global graph-construction switch (see :class:`no_grad`).
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new tensor operations currently record the computation graph."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables computation-graph construction.
+
+    Inside the context every tensor operation returns a constant
+    :class:`Tensor` — no parents, no backward closure, ``requires_grad``
+    False — while computing exactly the same numpy values as the recording
+    path.  Pure evaluation (accuracy measurement, the trial-flip loss
+    comparisons of the bit search) therefore allocates no graph state; the
+    incremental evaluation engine (:mod:`repro.nn.inference`) runs all of
+    its suffix re-executions under this mode.
+
+    The previous mode is restored on exit, so contexts nest safely::
+
+        with no_grad():
+            logits = model(batch)       # plain forward, no graph
+        loss = model(batch)             # records the graph again
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, np.ndarray):
@@ -108,6 +146,8 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(data, requires_grad=False)
         requires_grad = any(p.requires_grad for p in parents)
         if not requires_grad:
             return Tensor(data, requires_grad=False)

@@ -1,0 +1,197 @@
+"""Incremental no-grad inference: suffix re-execution over cached prefixes.
+
+The progressive bit search evaluates the victim after every candidate flip,
+and a flip perturbs exactly one weight tensor in one forward stage — every
+activation *upstream* of that stage is unchanged.  For stage-decomposable
+models (:meth:`repro.nn.module.Module.forward_stages`) this module turns
+that structure into work saved: a :class:`SuffixEvaluator` checkpoints the
+activation at every stage boundary per evaluation batch and re-runs only
+the suffix of the network that a flip can actually affect.
+
+All suffix re-executions run under :class:`repro.nn.autograd.no_grad`, so
+pure evaluation allocates no parents or backward closures.  Because a
+resumed pass feeds the *same float64 arrays* through the *same operations
+in the same order* as a full forward, its outputs are bit-identical to the
+full pass — the property the golden-equivalence tests pin against
+``engine="reference"``.
+
+Cache-consistency contract (mirrors the PR-2 flip-delta-table contract):
+
+* **Committed** weight mutations must be followed by
+  :meth:`SuffixEvaluator.invalidate_from` with the mutated stage — every
+  cached boundary downstream of the stage is dropped for every batch.
+* **Trial** mutations (apply → evaluate → revert) must be evaluated with
+  :meth:`SuffixEvaluator.peek`, which reads the cached prefix up to the
+  flipped stage but never writes a boundary the trial flip could have
+  influenced — so reverting the flip restores cache validity for free.
+* Code that mutates weights behind the evaluator's back must call
+  :meth:`SuffixEvaluator.clear` (or build a fresh evaluator).
+
+:class:`repro.core.bfa.BitFlipAttack` owns this wiring for the attack loop;
+the evaluator itself is model-level machinery with no attack knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.module import ForwardStage, Module
+from repro.nn.parameter import Parameter
+
+
+class SuffixEvaluator:
+    """Evaluate a stage-decomposed model incrementally across weight flips.
+
+    The evaluator keeps, per evaluation batch (identified by a hashable
+    ``key``), the list of stage-boundary activations ``boundaries[i]`` =
+    input of stage ``i`` (``boundaries[0]`` is the batch itself, the final
+    entry after a completed pass is the model output).  A valid prefix of
+    that list survives any weight change strictly downstream of it, which
+    is what makes :meth:`forward` after :meth:`invalidate_from` cost only
+    the suffix from the flipped stage.
+    """
+
+    def __init__(self, model: Module):
+        self.model = model
+        self._stages: Optional[List[ForwardStage]] = model.forward_stages()
+        self._caches: Dict[Hashable, List[np.ndarray]] = {}
+        self._stage_of_parameter: Dict[int, int] = {}
+        if self._stages:
+            for index, stage in enumerate(self._stages):
+                for module in stage.modules:
+                    for _, parameter in module.named_parameters():
+                        self._stage_of_parameter[id(parameter)] = index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def supported(self) -> bool:
+        """Whether the model exposes a usable stage decomposition."""
+        return bool(self._stages)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of forward stages (0 when unsupported)."""
+        return len(self._stages) if self._stages else 0
+
+    def stage_of(self, parameter: Parameter) -> Optional[int]:
+        """Index of the stage consuming ``parameter`` (``None`` if unmapped)."""
+        return self._stage_of_parameter.get(id(parameter))
+
+    def covers(self, parameters: Iterable[Parameter]) -> bool:
+        """Whether every given parameter belongs to a known stage."""
+        return self.supported and all(
+            id(parameter) in self._stage_of_parameter for parameter in parameters
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation paths
+    # ------------------------------------------------------------------
+    def forward(self, key: Hashable, x: np.ndarray) -> np.ndarray:
+        """Cached no-grad forward of batch ``key``; returns the output array.
+
+        Only the stages past the last valid cached boundary are executed;
+        the newly computed boundaries are stored, so a subsequent call after
+        :meth:`invalidate_from` re-runs exactly the invalidated suffix.
+        """
+        self._require_supported()
+        entry = self._entry(key, x)
+        start = len(entry) - 1
+        if start == self.num_stages:
+            return entry[-1]
+        with no_grad():
+            act = Tensor(entry[start])
+            for stage in self._stages[start:]:
+                act = stage.run(act)
+                entry.append(act.data)
+        return entry[-1]
+
+    def forward_tensor(self, key: Hashable, x: Tensor) -> Tensor:
+        """Graph-recording full forward that (re)populates the boundary cache.
+
+        Used for the gradient pass of the bit search: the pass must build
+        the complete graph anyway, and recording the boundary *data* along
+        the way makes the subsequent trial-flip evaluations of the same
+        batch start from a warm cache at no extra forward cost.
+        """
+        self._require_supported()
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        entry = [x.data]
+        self._caches[key] = entry
+        act = x
+        for stage in self._stages:
+            act = stage.run(act)
+            entry.append(act.data)
+        return act
+
+    def peek(self, key: Hashable, x: np.ndarray, from_stage: int = 0) -> np.ndarray:
+        """Output of batch ``key`` under a *trial* flip at stage ``from_stage``.
+
+        Resumes from the deepest cached boundary not past ``from_stage``
+        and recomputes the rest without storing any boundary downstream of
+        the flip — the cache therefore still describes the pre-trial
+        weights, which become current again when the trial is reverted.
+        Boundaries at or upstream of ``from_stage`` are unaffected by the
+        flip and may be filled in on the way.
+        """
+        self._require_supported()
+        entry = self._entry(key, x)
+        start = min(from_stage, len(entry) - 1)
+        act = Tensor(entry[start])
+        with no_grad():
+            for index in range(start, self.num_stages):
+                act = self._stages[index].run(act)
+                if index + 1 <= from_stage and len(entry) == index + 1:
+                    entry.append(act.data)
+        return act.data
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_from(self, stage_index: int) -> None:
+        """Drop every cached boundary downstream of ``stage_index``.
+
+        Must be called after a *committed* weight mutation in that stage.
+        The boundary at ``stage_index`` itself (the stage's input) is kept —
+        a weight of a stage can only influence the stage's output.
+        """
+        if not 0 <= stage_index < self.num_stages:
+            raise IndexError(
+                f"stage_index must be within [0, {self.num_stages}), got {stage_index}"
+            )
+        for entry in self._caches.values():
+            del entry[stage_index + 1 :]
+
+    def drop(self, key: Hashable) -> None:
+        """Forget one batch entirely (e.g. after the attack batch resamples)."""
+        self._caches.pop(key, None)
+
+    def clear(self) -> None:
+        """Forget every cached boundary (weights changed out of band)."""
+        self._caches.clear()
+
+    # ------------------------------------------------------------------
+    def _entry(self, key: Hashable, x: np.ndarray) -> List[np.ndarray]:
+        """The boundary list of batch ``key``, started (or restarted) at ``x``.
+
+        A cached entry whose stored batch no longer matches ``x`` — a key
+        reused for a different batch shape — is discarded rather than
+        silently answered from, so a stale hit can never return logits for
+        the wrong data.
+        """
+        entry = self._caches.get(key)
+        if entry is None or entry[0].shape != np.shape(x):
+            entry = [np.asarray(x, dtype=np.float64)]
+            self._caches[key] = entry
+        return entry
+
+    def _require_supported(self) -> None:
+        if not self.supported:
+            raise RuntimeError(
+                f"{type(self.model).__name__} does not expose forward stages; "
+                "check SuffixEvaluator.supported before evaluating"
+            )

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.nn.autograd import Tensor
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 
 
 class Sequential(Module):
@@ -37,3 +37,10 @@ class Sequential(Module):
         for module in self._ordered:
             x = module(x)
         return x
+
+    def forward_stages(self) -> Optional[List[ForwardStage]]:
+        """One stage per child module — a chain is its own decomposition."""
+        return [
+            ForwardStage(name=str(index), run=module, modules=(module,))
+            for index, module in enumerate(self._ordered)
+        ]

@@ -5,16 +5,51 @@ smaller scale: modules own :class:`~repro.nn.parameter.Parameter` objects
 and child modules, expose ``named_parameters`` / ``named_modules`` for
 traversal (the attack uses these to enumerate attackable weight tensors),
 and carry a train/eval flag consumed by batch-norm and dropout.
+
+Models may additionally expose a **sequential stage decomposition**
+(:meth:`Module.forward_stages`): an ordered list of :class:`ForwardStage`
+callables whose composition is exactly :meth:`Module.forward`.  A bit-flip
+attack perturbs one weight in one stage, leaving everything upstream of
+that stage unchanged, so a stage-decomposed model can be re-evaluated from
+the flipped stage onwards (:meth:`Module.forward_from`) instead of from the
+input — the structural fact the incremental evaluation engine
+(:mod:`repro.nn.inference`) exploits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.autograd import Tensor
 from repro.nn.parameter import Parameter
+
+
+@dataclass(frozen=True)
+class ForwardStage:
+    """One step of a model's sequential forward decomposition.
+
+    Attributes
+    ----------
+    name:
+        Human-readable stage label (used in diagnostics).
+    run:
+        Callable computing the stage output from the stage input.  The
+        composition of all stages' ``run`` callables, in order, must be
+        **operation-for-operation identical** to the model's ``forward`` —
+        that is what makes resuming from a cached intermediate activation
+        bit-identical to a full forward pass.
+    modules:
+        The child modules whose parameters the stage consumes.  The
+        incremental evaluation engine uses this to map a flipped weight
+        tensor to the first stage whose output it can affect.
+    """
+
+    name: str
+    run: Callable[[Tensor], Tensor]
+    modules: Tuple["Module", ...]
 
 
 class Module:
@@ -101,6 +136,43 @@ class Module:
 
     def __call__(self, *inputs: Tensor) -> Tensor:
         return self.forward(*inputs)
+
+    # ------------------------------------------------------------------
+    # Sequential stage decomposition (incremental evaluation support)
+    # ------------------------------------------------------------------
+    def forward_stages(self) -> Optional[List[ForwardStage]]:
+        """Ordered stage decomposition of :meth:`forward`, or ``None``.
+
+        Models that can express their forward pass as a chain of
+        :class:`ForwardStage` callables return the list here; the default
+        ``None`` means the model is not stage-decomposable and incremental
+        evaluation falls back to full forward passes.
+        """
+        return None
+
+    def forward_from(self, stage_index: int, activation: Tensor) -> Tensor:
+        """Resume the forward pass from ``stage_index`` on a cached activation.
+
+        ``activation`` must be the input of stage ``stage_index`` (i.e. the
+        output of stage ``stage_index - 1``) as produced by an earlier full
+        or partial forward pass on the same batch.  Because the stage
+        composition is operation-identical to :meth:`forward`, the result is
+        bit-identical to a full forward pass on the original input.
+        """
+        stages = self.forward_stages()
+        if stages is None:
+            raise RuntimeError(
+                f"{self.__class__.__name__} does not expose forward stages; "
+                "incremental re-execution requires a stage-decomposable model"
+            )
+        if not 0 <= stage_index <= len(stages):
+            raise IndexError(
+                f"stage_index must be within [0, {len(stages)}], got {stage_index}"
+            )
+        out = activation
+        for stage in stages[stage_index:]:
+            out = stage.run(out)
+        return out
 
     # ------------------------------------------------------------------
     # State I/O

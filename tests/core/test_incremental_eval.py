@@ -1,0 +1,112 @@
+"""Attack-loop wiring of the incremental evaluation engine.
+
+The golden suites (test_bfa_golden, test_objectives_targeted) already pin
+that ``engine="vectorized"`` runs — which now evaluate through the
+:class:`SuffixEvaluator` — are bit-identical to ``engine="reference"``.
+These tests cover the wiring itself: engine attachment/detachment, the
+multi-batch evaluation path, and the hoisted batch views.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bfa import BitFlipAttack, BitSearchConfig
+from repro.core.objective import AttackObjective, TargetedMisclassification
+from repro.nn.quantization import quantize_model
+
+
+@pytest.fixture
+def fresh_model(tiny_trained_model):
+    model, clean_state = tiny_trained_model
+    model.load_state_dict(clean_state)
+    quantize_model(model)
+    return model
+
+
+def untargeted(dataset, seed=2, **overrides):
+    kwargs = dict(
+        attack_batch_size=16, eval_samples=24, seed=seed, tolerance=1.0, relative_factor=1.05
+    )
+    kwargs.update(overrides)
+    return AttackObjective.from_dataset(dataset, **kwargs)
+
+
+class TestEngineAttachment:
+    def test_vectorized_attack_builds_incremental_engine(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        attack = BitFlipAttack(fresh_model, objective, engine="vectorized")
+        assert attack._evaluator is not None
+        # Every quantized tensor must map to a forward stage.
+        assert set(attack._stage_of_tensor) == set(attack.parameters)
+        # The engine is attached only for the duration of run(): between
+        # runs the objective must answer from the full-forward path so
+        # out-of-band weight mutations can never hit a stale cache.
+        assert objective._inference is None
+
+    def test_reference_attack_keeps_full_forward_path(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        attack = BitFlipAttack(fresh_model, objective, engine="reference")
+        assert attack._evaluator is None
+
+    def test_run_detaches_engine_afterwards(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        attack = BitFlipAttack(
+            fresh_model, objective, config=BitSearchConfig(max_flips=2, top_k_layers=2)
+        )
+        attack.run()
+        assert objective._inference is None
+
+    def test_reference_run_detaches_stale_engine(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        vectorized = BitFlipAttack(fresh_model, objective, engine="vectorized")
+        objective.attach_inference_engine(vectorized._evaluator)  # stale leftover
+        reference = BitFlipAttack(
+            fresh_model, objective,
+            config=BitSearchConfig(max_flips=1, top_k_layers=2), engine="reference",
+        )
+        reference.run()
+        assert objective._inference is None
+
+
+class TestMultiBatchEvaluation:
+    def test_small_eval_batches_golden_identical(self, tiny_trained_model, tiny_dataset):
+        """Several eval batches mean several cache keys; results must not move."""
+        results = {}
+        for engine in ("reference", "vectorized"):
+            model, clean_state = tiny_trained_model
+            model.load_state_dict(clean_state)
+            quantize_model(model)
+            objective = TargetedMisclassification.from_dataset(
+                tiny_dataset, source_class=0, target_class=1,
+                attack_batch_size=16, eval_samples=None, seed=4,
+            )
+            attack = BitFlipAttack(
+                model, objective,
+                config=BitSearchConfig(max_flips=4, top_k_layers=3, eval_batch_size=16),
+                engine=engine,
+            )
+            results[engine] = attack.run()
+        reference, vectorized = results["reference"], results["vectorized"]
+        assert reference.events == vectorized.events
+        assert reference.accuracy_curve == vectorized.accuracy_curve
+        assert reference.asr_curve == vectorized.asr_curve
+        assert reference.loss_curve == vectorized.loss_curve
+
+
+class TestHoistedBatches:
+    def test_eval_batches_memoized(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        first = objective._eval_batches(16)
+        assert objective._eval_batches(16) is first
+        assert [start for start, _, _ in first] == list(range(0, 24, 16))
+        for _, batch_x, batch_tensor in first:
+            assert batch_tensor.data is batch_x or np.array_equal(batch_tensor.data, batch_x)
+
+    def test_attack_batch_tensor_follows_resample(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        before = objective._batch_tensor("attack")
+        assert objective._batch_tensor("attack") is before
+        assert objective.resample_attack_batch()
+        after = objective._batch_tensor("attack")
+        assert after is not before
+        assert np.array_equal(after.data, objective.attack_x)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.autograd import Tensor, as_tensor, concatenate, stack, where
+from repro.nn.autograd import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
 
 
 def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -214,3 +214,49 @@ class TestGraphComposition:
             return hidden.matmul(Tensor(w2)).softmax(axis=-1) * readout
 
         check_gradient(network, x, rtol=1e-3)
+
+
+class TestNoGrad:
+    def test_default_mode_records(self):
+        assert is_grad_enabled()
+
+    def test_no_graph_inside_context(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (x * 2.0).relu().sum()
+        assert not out.requires_grad
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_values_identical_to_recording_path(self):
+        data = np.linspace(-2.0, 2.0, 12).reshape(3, 4)
+        x = Tensor(data, requires_grad=True)
+        recorded = x.silu().log_softmax(axis=-1)
+        with no_grad():
+            plain = x.silu().log_softmax(axis=-1)
+        assert np.array_equal(recorded.data, plain.data)
+
+    def test_mode_restored_after_exit_and_exception(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_contexts_nest(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_outside_context_unaffected(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        with no_grad():
+            (x * 3.0).sum()  # constant detour must not poison the graph
+        loss = (x * 3.0).sum()
+        loss.backward()
+        assert np.array_equal(x.grad, np.full(3, 3.0))

@@ -1,0 +1,198 @@
+"""Stage decompositions and the incremental suffix-re-execution engine.
+
+The contract under test: composing a model's ``forward_stages`` is
+bit-identical to its ``forward``, and the :class:`SuffixEvaluator` cache —
+through commits (``invalidate_from``), trials (``peek``) and graph passes
+(``forward_tensor``) — always returns exactly what a fresh full forward
+would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.deit import deit_tiny
+from repro.models.m11 import M11
+from repro.models.resnet_cifar import ResNetCifar
+from repro.models.resnet_imagenet import resnet34, resnet50
+from repro.models.vmamba import vmamba_tiny
+from repro.nn.autograd import Tensor
+from repro.nn.inference import SuffixEvaluator
+from repro.nn.layers import Linear
+from repro.nn.layers.container import Sequential
+from repro.nn.module import Module
+from repro.nn.quantization import quantize_model, quantized_parameters
+
+
+def model_zoo():
+    rng = np.random.default_rng(0)
+    return [
+        (
+            ResNetCifar(depth=8, num_classes=4, base_width=8, rng=np.random.default_rng(1)),
+            rng.normal(size=(3, 3, 8, 8)),
+        ),
+        (resnet34(num_classes=5, base_width=4, rng=np.random.default_rng(2)), rng.normal(size=(2, 3, 8, 8))),
+        (resnet50(num_classes=5, base_width=4, rng=np.random.default_rng(3)), rng.normal(size=(2, 3, 8, 8))),
+        (M11(num_classes=5, base_width=4, rng=np.random.default_rng(4)), rng.normal(size=(2, 1, 64))),
+        (deit_tiny(num_classes=5, rng=np.random.default_rng(5)), rng.normal(size=(2, 3, 16, 16))),
+        (vmamba_tiny(num_classes=5, rng=np.random.default_rng(6)), rng.normal(size=(2, 3, 16, 16))),
+        (
+            Sequential(
+                Linear(6, 5, rng=np.random.default_rng(7)), Linear(5, 3, rng=np.random.default_rng(8))
+            ),
+            rng.normal(size=(2, 6)),
+        ),
+    ]
+
+
+class TestForwardStages:
+    @pytest.mark.parametrize("model,x", model_zoo(), ids=lambda v: type(v).__name__)
+    def test_stage_composition_bit_identical(self, model, x):
+        model.eval()
+        full = model(Tensor(x)).data
+        out = Tensor(np.asarray(x))
+        for stage in model.forward_stages():
+            out = stage.run(out)
+        assert np.array_equal(full, out.data)
+
+    @pytest.mark.parametrize("model,x", model_zoo(), ids=lambda v: type(v).__name__)
+    def test_stages_cover_every_quantized_tensor(self, model, x):
+        model.eval()
+        try:
+            quantize_model(model)
+        except ValueError:
+            pytest.skip("model has no quantizable tensors")
+        evaluator = SuffixEvaluator(model)
+        assert evaluator.supported
+        assert evaluator.covers(quantized_parameters(model).values())
+
+    def test_forward_from_resumes_bit_identically(self):
+        model = ResNetCifar(depth=8, num_classes=4, base_width=8, rng=np.random.default_rng(1))
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        full = model(Tensor(x)).data
+        stages = model.forward_stages()
+        boundary = Tensor(np.asarray(x))
+        for stage in stages[:2]:
+            boundary = stage.run(boundary)
+        assert np.array_equal(model.forward_from(2, boundary).data, full)
+
+    def test_forward_from_validates(self):
+        model = ResNetCifar(depth=8, num_classes=4, base_width=8, rng=np.random.default_rng(1))
+        with pytest.raises(IndexError):
+            model.forward_from(99, Tensor(np.zeros((1, 3, 8, 8))))
+
+        class Opaque(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(RuntimeError, match="forward stages"):
+            Opaque().forward_from(0, Tensor(np.zeros(1)))
+
+    def test_default_module_is_not_decomposable(self):
+        class Opaque(Module):
+            def forward(self, x):
+                return x
+
+        assert Opaque().forward_stages() is None
+        evaluator = SuffixEvaluator(Opaque())
+        assert not evaluator.supported
+        with pytest.raises(RuntimeError, match="forward stages"):
+            evaluator.forward("k", np.zeros(1))
+
+
+@pytest.fixture
+def quantized_resnet():
+    model = ResNetCifar(depth=8, num_classes=4, base_width=8, rng=np.random.default_rng(1))
+    model.eval()
+    quantize_model(model)
+    return model
+
+
+def msb_flip(parameter):
+    """Flip the sign bit of the first weight; returns the undo callable."""
+    from repro.nn.bitops import bit_flip_delta
+
+    before = int(parameter.int_repr.flat[0])
+    after = before + bit_flip_delta(before, parameter.num_bits - 1, parameter.num_bits)
+    parameter.int_repr.flat[0] = after
+    parameter.sync_from_int()
+
+    def undo():
+        parameter.int_repr.flat[0] = before
+        parameter.sync_from_int()
+
+    return undo
+
+
+class TestSuffixEvaluator:
+    def test_cached_forward_matches_full(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        first = evaluator.forward("batch", x)
+        again = evaluator.forward("batch", x)
+        assert np.array_equal(first, quantized_resnet(Tensor(x)).data)
+        assert np.array_equal(first, again)
+
+    def test_invalidate_from_tracks_committed_flips(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        evaluator.forward("batch", x)
+        for name, parameter in quantized_parameters(quantized_resnet).items():
+            msb_flip(parameter)
+            evaluator.invalidate_from(evaluator.stage_of(parameter))
+            fresh = quantized_resnet(Tensor(x)).data
+            assert np.array_equal(evaluator.forward("batch", x), fresh), name
+
+    def test_peek_evaluates_trial_without_corrupting_cache(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        clean = evaluator.forward("batch", x).copy()
+        for name, parameter in quantized_parameters(quantized_resnet).items():
+            stage = evaluator.stage_of(parameter)
+            undo = msb_flip(parameter)
+            trial = evaluator.peek("batch", x, from_stage=stage)
+            assert np.array_equal(trial, quantized_resnet(Tensor(x)).data), name
+            undo()
+            # The trial was reverted: the cache must still answer with the
+            # clean output without recomputation having poisoned it.
+            assert np.array_equal(evaluator.forward("batch", x), clean), name
+
+    def test_peek_on_cold_cache(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        assert np.array_equal(
+            evaluator.peek("cold", x, from_stage=3), quantized_resnet(Tensor(x)).data
+        )
+
+    def test_forward_tensor_builds_graph_and_warms_cache(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        logits = evaluator.forward_tensor("batch", Tensor(x))
+        assert logits.requires_grad
+        logits.sum().backward()
+        head = quantized_parameters(quantized_resnet)["head.weight"]
+        assert head.grad is not None
+        # Boundaries were recorded during the graph pass: a trial peek at
+        # the last stage must now cost only that stage (and be exact).
+        stage = evaluator.stage_of(head)
+        undo = msb_flip(head)
+        assert np.array_equal(
+            evaluator.peek("batch", x, from_stage=stage),
+            quantized_resnet(Tensor(x)).data,
+        )
+        undo()
+
+    def test_invalidate_bounds_checked(self, quantized_resnet):
+        evaluator = SuffixEvaluator(quantized_resnet)
+        with pytest.raises(IndexError):
+            evaluator.invalidate_from(evaluator.num_stages)
+
+    def test_drop_and_clear(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        evaluator.forward("a", x)
+        evaluator.forward("b", x)
+        evaluator.drop("a")
+        assert "a" not in evaluator._caches and "b" in evaluator._caches
+        evaluator.clear()
+        assert not evaluator._caches
