@@ -1,10 +1,11 @@
 """CI regression gate for the tracked perf microbenchmarks.
 
 Compares a freshly measured ``BENCH_perf.json`` against the committed
-baseline and fails when any case's *speedup* (reference / vectorized, both
-measured on the same machine in the same run) regressed by more than the
-allowed factor.  Comparing speedups rather than absolute times keeps the
-gate meaningful on CI runners of arbitrary speed.
+baseline, printing a per-case speedup diff (fresh minus committed), and
+fails when any case's *speedup* (reference / vectorized, both measured on
+the same machine in the same run) regressed by more than the allowed
+factor.  Comparing speedups rather than absolute times keeps the gate
+meaningful on CI runners of arbitrary speed.
 
 With ``--check-case-sync`` the gate additionally fails when the committed
 baseline's case set drifts out of sync with ``perf_cases.CASE_NAMES`` —
@@ -103,9 +104,11 @@ def main() -> int:
             continue
         floor = committed["speedup"] / args.max_regression
         status = "ok" if measured["speedup"] >= floor else "REGRESSED"
+        delta = measured["speedup"] - committed["speedup"]
         print(
             f"{name:24s} baseline {committed['speedup']:8.2f}x  "
-            f"fresh {measured['speedup']:8.2f}x  floor {floor:8.2f}x  {status}"
+            f"fresh {measured['speedup']:8.2f}x  diff {delta:+7.2f}x  "
+            f"floor {floor:8.2f}x  {status}"
         )
         if measured["speedup"] < floor:
             failures.append(

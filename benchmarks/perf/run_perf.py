@@ -25,18 +25,21 @@ from perf_cases import REPO_ROOT, PerfCase, build_cases
 SCHEMA_VERSION = 1
 
 
-def _best_seconds(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+def _seconds(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def measure(case: PerfCase, repeats: int) -> dict:
-    reference_seconds = _best_seconds(case.reference, repeats)
-    vectorized_seconds = _best_seconds(case.vectorized, repeats)
+    # Interleave the engines (ref, vec, ref, vec, ...) so both see the same
+    # machine conditions; timing all reference repeats first would let CPU
+    # frequency drift or noisy neighbours bias the ratio on busy runners.
+    reference_seconds = float("inf")
+    vectorized_seconds = float("inf")
+    for _ in range(repeats):
+        reference_seconds = min(reference_seconds, _seconds(case.reference))
+        vectorized_seconds = min(vectorized_seconds, _seconds(case.vectorized))
     return {
         "description": case.description,
         "reference_seconds": reference_seconds,

@@ -28,6 +28,7 @@ direction.  The restriction is expressed by :class:`CandidateSet`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -41,7 +42,7 @@ from repro.nn.bitops import (
     from_twos_complement,
     to_twos_complement,
 )
-from repro.nn.inference import SuffixEvaluator
+from repro.nn.inference import SuffixEvaluator, TrialFlip
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.quantization import quantized_parameters
@@ -368,6 +369,44 @@ class BitFlipAttack:
         self._refresh_delta_column(proposal.tensor_name, proposal.weight_index)
 
     # ------------------------------------------------------------------
+    # Inter-layer stage: realised-loss scoring of the shortlist
+    # ------------------------------------------------------------------
+    def _score_shortlist(
+        self, objective: AttackObjective, shortlist: List[_Proposal]
+    ) -> List[float]:
+        """Realised loss of every shortlisted proposal, in shortlist order.
+
+        With the incremental engine attached the proposals become
+        :class:`~repro.nn.inference.TrialFlip` descriptors grouped by their
+        forward stage and scored through the objective's batched
+        :meth:`~repro.core.objective.AttackObjective.attack_losses` path —
+        each flipped stage runs per trial, every shared downstream suffix
+        stage runs once on the stacked trials.  Without the engine (the
+        ``"reference"`` path, or a model without a stage decomposition) the
+        retained apply → evaluate → revert loop runs one trial at a time.
+        Both paths produce bit-identical losses, so the winner (strict
+        ``>`` comparison in shortlist order) is identical either way.
+        """
+        if self._evaluator is not None:
+            trials = [
+                TrialFlip(
+                    stage=self._stage_of_tensor[proposal.tensor_name],
+                    apply=partial(self._apply, proposal),
+                    revert=partial(self._revert, proposal),
+                )
+                for proposal in shortlist
+            ]
+            return objective.attack_losses(self.model, trials)
+        losses = []
+        for proposal in shortlist:
+            self._apply(proposal)
+            try:
+                losses.append(objective.attack_loss(self.model))
+            finally:
+                self._revert(proposal)
+        return losses
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> AttackResult:
@@ -381,11 +420,14 @@ class BitFlipAttack:
 
         With the vectorized engine the objective's evaluations run through
         the incremental :class:`~repro.nn.inference.SuffixEvaluator`: the
-        gradient pass records stage-boundary activations, trial flips are
-        scored by suffix re-execution from the flipped stage (peek path —
-        reverting restores cache validity), and committed flips invalidate
-        the cache at their stage before the convergence measurement.  All
-        of it is bit-identical to the retained ``engine="reference"``
+        gradient pass records stage-boundary activations, the whole
+        inter-layer shortlist is scored in one batched ``peek_many``
+        cascade per evaluation batch (flipped stages run per trial, shared
+        downstream stages run once on the stacked trials; reverting
+        restores cache validity), and committed flips invalidate the cache
+        at their stage before the convergence measurement, whose
+        evaluation batches run as one stacked suffix via ``forward_many``.
+        All of it is bit-identical to the retained ``engine="reference"``
         full-forward path (golden tests pin this per objective kind and
         victim precision).
         """
@@ -398,9 +440,24 @@ class BitFlipAttack:
             objective.attach_inference_engine(self._evaluator)
         else:
             objective.detach_inference_engine()
+        # The search only ever reads the gradients of the quantized weight
+        # tensors; turning accumulation off everywhere else (biases, norm
+        # affine parameters) skips their weight-gradient work in the
+        # backward pass without changing any gradient the attack consumes.
+        # Both engines share the gradient pass, so equivalence is untouched.
+        attacked = {id(parameter) for parameter in self.parameters.values()}
+        spectators = [
+            parameter
+            for parameter in self.model.parameters()
+            if id(parameter) not in attacked and parameter.requires_grad
+        ]
+        for parameter in spectators:
+            parameter.requires_grad = False
         try:
             return self._run_loop(config, objective)
         finally:
+            for parameter in spectators:
+                parameter.requires_grad = True
             # Post-run callers may mutate weights without telling the
             # evaluator; hand the objective back on the reference path.
             objective.detach_inference_engine()
@@ -439,14 +496,10 @@ class BitFlipAttack:
             proposals.sort(key=lambda p: p.estimated_gain, reverse=True)
             shortlist = proposals[: config.top_k_layers]
 
+            trial_losses = self._score_shortlist(objective, shortlist)
             best_proposal: Optional[_Proposal] = None
             best_loss = -np.inf
-            for proposal in shortlist:
-                self._apply(proposal)
-                trial_loss = objective.attack_loss(
-                    self.model, flip_stage=self._stage_of_tensor.get(proposal.tensor_name)
-                )
-                self._revert(proposal)
+            for proposal, trial_loss in zip(shortlist, trial_losses):
                 if trial_loss > best_loss:
                     best_loss = trial_loss
                     best_proposal = proposal

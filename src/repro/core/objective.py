@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple, Type
 
 import numpy as np
 
@@ -118,11 +118,18 @@ class AttackObjective:
     # the attached :class:`repro.nn.inference.SuffixEvaluator` (``None`` =
     # the retained full-forward reference path); ``_forward_mode`` selects
     # how :meth:`_model_logits` runs while an engine is attached ("graph"
-    # during the gradient pass, "suffix" during forward-only evaluations);
-    # ``_suffix_stage`` is the stage of the trial flip being evaluated.
+    # during the gradient pass, "suffix" during forward-only evaluations,
+    # "suffix_many" while :meth:`attack_losses` scores a batch of trial
+    # flips); ``_suffix_stage`` is the stage of the trial flip being
+    # evaluated and ``_trial_flips`` / ``_trial_index`` / ``_trial_logits``
+    # the batched-trial state (the flips under evaluation, the trial whose
+    # loss is being assembled, and the per-batch-key ``peek_many`` outputs).
     _inference = None
     _forward_mode = None
     _suffix_stage = 0
+    _trial_flips = ()
+    _trial_index = 0
+    _trial_logits = None
 
     # -- subclass interface --------------------------------------------
     def attack_loss_tensor(self, model: Module) -> Tensor:
@@ -221,6 +228,43 @@ class AttackObjective:
                 self._forward_mode = None
         return float(self.attack_loss_tensor(model).item())
 
+    def attack_losses(self, model: Module, trials) -> List[float]:
+        """Forward-only losses of several *trial* flips, batched when possible.
+
+        ``trials`` is a sequence of :class:`repro.nn.inference.TrialFlip`
+        (stage + apply/revert callables); the returned list holds one loss
+        per trial, in trial order.  With an inference engine attached the
+        trials are scored through :meth:`SuffixEvaluator.peek_many` — each
+        flipped stage runs per trial, every shared downstream stage runs
+        once on the stacked trials — and each trial's loss is then computed
+        from its own logits with exactly the sequential operations, so the
+        losses are bit-identical to ``apply -> attack_loss -> revert`` one
+        trial at a time.  Without an engine (the reference path) that
+        sequential loop is executed literally.
+        """
+        if self._inference is None:
+            losses = []
+            for trial in trials:
+                trial.apply()
+                try:
+                    losses.append(self.attack_loss(model, flip_stage=trial.stage))
+                finally:
+                    trial.revert()
+            return losses
+        self._forward_mode = "suffix_many"
+        self._trial_flips = tuple(trials)
+        self._trial_logits = {}
+        losses = []
+        try:
+            for index in range(len(self._trial_flips)):
+                self._trial_index = index
+                losses.append(float(self.attack_loss_tensor(model).item()))
+        finally:
+            self._forward_mode = None
+            self._trial_flips = ()
+            self._trial_logits = None
+        return losses
+
     def evaluation_accuracy(self, model: Module, batch_size: int = 64) -> float:
         """Accuracy (%) on the evaluation samples."""
         if self._inference is not None:
@@ -292,6 +336,17 @@ class AttackObjective:
             return model(batch)
         if self._forward_mode == "graph":
             return self._inference.forward_tensor(key, batch)
+        if self._forward_mode == "suffix_many":
+            # Batched trial scoring: the first logits request for a batch
+            # key scores *every* trial flip through one peek_many cascade;
+            # subsequent trials of the same attack_losses call read their
+            # slice from the memo, so per-trial loss assembly costs only
+            # the loss operations themselves.
+            cached = self._trial_logits.get(key)
+            if cached is None:
+                cached = self._inference.peek_many(key, batch.data, self._trial_flips)
+                self._trial_logits[key] = cached
+            return Tensor(cached[self._trial_index])
         return Tensor(self._inference.peek(key, batch.data, self._suffix_stage))
 
     def _eval_batches(self, batch_size: int):
@@ -315,12 +370,22 @@ class AttackObjective:
         return batches
 
     def _eval_predictions(self, model: Module, batch_size: int) -> np.ndarray:
-        """Batched argmax predictions over the evaluation set."""
+        """Batched argmax predictions over the evaluation set.
+
+        With an inference engine attached the evaluation batches are pushed
+        through :meth:`SuffixEvaluator.forward_many` in one call: after a
+        committed flip every batch resumes from the same invalidated stage,
+        so the whole evaluation set costs a single stacked suffix execution
+        (bit-identical to the per-batch forwards it replaces).
+        """
         model.eval()
         predictions = []
         if self._inference is not None:
-            for start, batch_x, _ in self._eval_batches(batch_size):
-                logits = self._inference.forward(("eval", start, batch_size), batch_x)
+            items = [
+                (("eval", start, batch_size), batch_x)
+                for start, batch_x, _ in self._eval_batches(batch_size)
+            ]
+            for logits in self._inference.forward_many(items):
                 predictions.append(np.argmax(logits, axis=-1))
         else:
             for _, _, batch in self._eval_batches(batch_size):

@@ -8,8 +8,10 @@ reproduction defines:
   (Table I / Fig. 7 comparisons, the defense-bypass matrix, Fig. 6
   budget sweeps, Fig. 4 profiling, the profile-density ablation);
 * :mod:`~repro.experiments.runner` — :class:`ExperimentRunner` with
-  pluggable serial / process-pool backends that produce identical,
-  seed-determined results;
+  pluggable serial / thread-pool / process-pool backends that produce
+  identical, seed-determined results (the process pool ships trained
+  victims to workers zero-copy through
+  :mod:`~repro.experiments.shared`);
 * :mod:`~repro.experiments.cache` — :class:`VictimCache`, training each
   surrogate victim once and sharing clean-state snapshots across
   experiments;
@@ -36,8 +38,10 @@ from repro.experiments.runner import (
     ExperimentRunner,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     make_backend,
 )
+from repro.experiments.shared import SharedStateHandle, SharedVictimManifest
 from repro.experiments.specs import (
     MECHANISMS,
     SPEC_KINDS,
@@ -80,6 +84,9 @@ __all__ = [
     "ProfileDensitySpec",
     "ResultStore",
     "SerialBackend",
+    "SharedStateHandle",
+    "SharedVictimManifest",
+    "ThreadPoolBackend",
     "VictimCache",
     "VictimKey",
     "default_defense_roster",

@@ -19,7 +19,7 @@ callers that want it done for them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,8 +51,15 @@ class VictimCache:
 
     def __init__(self) -> None:
         self._victims: Dict[VictimKey, VictimTriple] = {}
+        #: Shared-memory manifests registered by :meth:`seed_shared`; a miss
+        #: whose key has one attaches the exported clean state instead of
+        #: training (bit-identical — training is deterministic in the key).
+        self._shared: Dict[VictimKey, object] = {}
+        self._seeded_states: Dict[VictimKey, Dict[str, np.ndarray]] = {}
+        self._attached: List[object] = []
         self.hits = 0
         self.misses = 0
+        self.shared_attaches = 0
 
     def __len__(self) -> int:
         return len(self._victims)
@@ -72,12 +79,67 @@ class VictimCache:
         if cached is not None:
             self.hits += 1
             return cached
+        manifest = self._shared.get(key)
+        if manifest is not None:
+            from repro.experiments.shared import attach_state
+
+            handle = attach_state(manifest.state)
+            self._attached.append(handle)
+            victim = self._materialize(spec, key, dict(handle.arrays))
+            self._victims[key] = victim
+            self.shared_attaches += 1
+            return victim
+        state = self._seeded_states.get(key)
+        if state is not None:
+            victim = self._materialize(spec, key, state)
+            self._victims[key] = victim
+            self.shared_attaches += 1
+            return victim
         self.misses += 1
         from repro.core.comparison import prepare_victim
 
         victim = prepare_victim(spec, seed=seed, training_epochs=training_epochs)
         self._victims[key] = victim
         return victim
+
+    def seed_shared(self, manifests: Iterable) -> None:
+        """Register shared-memory clean states to materialise victims from.
+
+        ``manifests`` are :class:`repro.experiments.shared.SharedVictimManifest`
+        records (typically delivered through the process-pool worker
+        initializer).  A later cache miss whose key matches one attaches
+        the exported state zero-copy and skips training entirely.
+        """
+        for manifest in manifests:
+            key = VictimKey(
+                manifest.model_key, manifest.seed, manifest.training_epochs
+            )
+            self._shared[key] = manifest
+
+    def seed_states(self, states: Dict[VictimKey, Dict[str, np.ndarray]]) -> None:
+        """Register in-process clean states to materialise victims from.
+
+        The in-process analogue of :meth:`seed_shared` (used by the thread
+        backend): a later cache miss whose key matches builds the untrained
+        model and loads the given state instead of retraining.
+        """
+        self._seeded_states.update(states)
+
+    def _materialize(self, spec: ModelSpec, key: VictimKey, state) -> VictimTriple:
+        """Rebuild a victim from a trained clean state (no training).
+
+        The dataset and the untrained model are deterministic in the seed,
+        and the clean state fully determines every parameter and buffer, so
+        the materialised triple is bit-identical to the one local training
+        would have produced.  ``state`` doubles as the triple's
+        ``clean_state``: restoring between attack repetitions reads
+        straight from it (for shared-memory attachments, straight from the
+        shared pages).
+        """
+        dataset = spec.build_dataset(seed=key.seed)
+        model = spec.build_model(num_classes=dataset.num_classes, seed=key.seed)
+        model.load_state_dict(state)
+        return model, dataset, state
 
     def get_or_prepare_by_key(
         self,
@@ -104,10 +166,18 @@ class VictimCache:
     def clear(self) -> None:
         """Drop every cached victim (training will rerun on next access)."""
         self._victims.clear()
+        for handle in self._attached:
+            handle.close()
+        self._attached.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters (useful for cache-efficacy assertions)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._victims)}
+        """Hit/miss/attach counters (useful for cache-efficacy assertions)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._victims),
+            "shared_attaches": self.shared_attaches,
+        }
 
 
 class ExperimentContext:

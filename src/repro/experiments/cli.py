@@ -176,8 +176,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute an experiment and store its result")
     run.add_argument("kind", nargs="?", default=None, help="experiment kind (see `list`)")
     run.add_argument("--spec", help="JSON spec file overriding the default spec")
-    run.add_argument("--backend", default="serial", choices=("serial", "process"))
-    run.add_argument("--workers", type=int, default=None, help="process-pool size")
+    run.add_argument("--backend", default="serial", choices=("serial", "thread", "process"))
+    run.add_argument("--workers", type=int, default=None, help="thread/process pool size")
     run.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
     run.add_argument("--save-as", default=None, help="store entry name (default: kind)")
     run.add_argument("--models", default=None, help="comma-separated model keys (comparison)")

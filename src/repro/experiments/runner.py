@@ -1,4 +1,4 @@
-"""Experiment execution: pluggable serial / process-pool backends.
+"""Experiment execution: pluggable serial / thread / process backends.
 
 The runner is intentionally small: a spec already knows how to decompose
 itself into independent work units and how to combine the unit outputs
@@ -6,33 +6,87 @@ itself into independent work units and how to combine the unit outputs
 units run.
 
 Determinism contract: every unit derives its randomness from the spec's
-explicit seeds, never from process-global state, so
-:class:`ProcessPoolBackend` is required to produce results identical to
-:class:`SerialBackend` for the same spec.  The test suite asserts this
-bit-for-bit on the attack results.
+explicit seeds, never from process-global state, so every backend —
+:class:`ProcessPoolBackend` (with or without shared-memory victim
+shipping, chunked or not) and :class:`ThreadPoolBackend` alike — is
+required to produce results identical to :class:`SerialBackend` for the
+same spec.  The test suite asserts this bit-for-bit on the attack results.
+
+Scale machinery:
+
+* **Shared-memory victim shipping** — :class:`ProcessPoolBackend` trains
+  each victim the spec declares (:meth:`ExperimentSpec.victim_requirements`)
+  once in the parent, exports the clean state through
+  :mod:`repro.experiments.shared` and hands workers zero-copy attach
+  manifests via the pool initializer, so no worker ever retrains (or
+  unpickles) a victim.
+* **Chunked unit scheduling** — both parallel backends group units into
+  contiguous chunks, cutting per-task dispatch overhead while preserving
+  unit order (outputs are flattened in submission order).
+* **Thread pool** — the heavy numpy kernels release the GIL, so
+  evaluation-bound sweeps parallelise in one process with zero
+  serialisation; each worker thread owns a private
+  :class:`~repro.experiments.cache.ExperimentContext` because work units
+  mutate the models they attack.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.cache import ExperimentContext, VictimCache
 from repro.experiments.specs import ExperimentSpec, spec_from_dict
 
 #: Worker-process context, created lazily on first unit (shared by every
-#: unit the worker executes, so victims are trained once per worker).
+#: unit the worker executes, so victims are trained — or attached from
+#: shared memory — once per worker).
 _WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+#: Shared-victim manifests delivered through the pool initializer; the
+#: lazily built worker context seeds its cache from them.
+_WORKER_MANIFESTS: Tuple = ()
+
+
+def _worker_init(manifests: Tuple = ()) -> None:
+    """Pool initializer: record the shared-victim manifests for this worker."""
+    global _WORKER_MANIFESTS, _WORKER_CONTEXT
+    _WORKER_MANIFESTS = manifests
+    _WORKER_CONTEXT = None
+
+
+def _worker_context() -> ExperimentContext:
+    """The worker's lazily created context, cache seeded from shared memory."""
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = ExperimentContext()
+        if _WORKER_MANIFESTS:
+            _WORKER_CONTEXT.victims.seed_shared(_WORKER_MANIFESTS)
+    return _WORKER_CONTEXT
 
 
 def _execute_unit(spec_payload: Mapping[str, Any], unit: Mapping[str, Any]) -> Any:
     """Top-level (picklable) entry point for process-pool workers."""
-    global _WORKER_CONTEXT
-    if _WORKER_CONTEXT is None:
-        _WORKER_CONTEXT = ExperimentContext()
     spec = spec_from_dict(spec_payload)
-    return spec.run_unit(unit, _WORKER_CONTEXT)
+    return spec.run_unit(unit, _worker_context())
+
+
+def _execute_chunk(
+    spec_payload: Mapping[str, Any], units: Sequence[Mapping[str, Any]]
+) -> List[Any]:
+    """Run a contiguous chunk of units in one worker task, in unit order."""
+    spec = spec_from_dict(spec_payload)
+    context = _worker_context()
+    return [spec.run_unit(unit, context) for unit in units]
+
+
+def _chunk(units: Sequence, chunk_size: Optional[int], workers: int) -> List[Sequence]:
+    """Contiguous unit chunks; auto-sizes to ~4 tasks per worker when unset."""
+    if chunk_size is None:
+        chunk_size = max(1, len(units) // (workers * 4))
+    return [units[start : start + chunk_size] for start in range(0, len(units), chunk_size)]
 
 
 class ExecutionBackend:
@@ -64,19 +118,97 @@ class SerialBackend(ExecutionBackend):
         return [spec.run_unit(unit, context) for unit in units]
 
 
+class ThreadPoolBackend(ExecutionBackend):
+    """Fan unit chunks out over threads in this process.
+
+    The hot paths (training, the vectorized bit search, the incremental
+    evaluation engine) spend their time inside numpy kernels that release
+    the GIL, so evaluation-bound sweeps scale across cores without any
+    spec serialisation or process startup.  Every worker thread lazily
+    builds its **own** :class:`~repro.experiments.cache.ExperimentContext`:
+    work units mutate the victims they attack, so sharing cached model
+    objects across threads would race.  The victims the spec declares are
+    trained **once** by the runner's context, and each thread context is
+    seeded with the clean states (:meth:`VictimCache.seed_states`), so
+    threads materialise private model copies without retraining.  Unit
+    outputs are collected in submission order, and each unit is
+    deterministic in the spec's seeds, so results are bit-identical to
+    :class:`SerialBackend`.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None, chunk_size: Optional[int] = None):
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    def run_units(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[Mapping[str, Any]],
+        context: ExperimentContext,
+    ) -> List[Any]:
+        if not units:
+            return []
+        from repro.experiments.cache import VictimKey
+
+        workers = self.max_workers or min(len(units), 4)
+        seeded = {}
+        for model_key, seed, epochs in spec.victim_requirements():
+            _, _, clean_state = context.victims.get_or_prepare_by_key(
+                model_key, seed=seed, training_epochs=epochs
+            )
+            seeded[VictimKey(model_key, seed, epochs)] = clean_state
+        local = threading.local()
+
+        def run_chunk(chunk: Sequence[Mapping[str, Any]]) -> List[Any]:
+            thread_context = getattr(local, "context", None)
+            if thread_context is None:
+                thread_context = local.context = ExperimentContext()
+                thread_context.victims.seed_states(seeded)
+            return [spec.run_unit(unit, thread_context) for unit in chunk]
+
+        chunks = _chunk(units, self.chunk_size, workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            outputs: List[Any] = []
+            for future in futures:
+                outputs.extend(future.result())
+        return outputs
+
+
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan units out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+    """Fan unit chunks out over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
     The spec travels to workers as its JSON payload (so anything a worker
     needs must be declared in the spec — which is exactly the declarative
     contract).  Outputs are collected in submission order, making the
     combined result independent of worker scheduling.
+
+    With ``share_victims`` (the default) the backend trains every victim
+    the spec declares via :meth:`ExperimentSpec.victim_requirements` once
+    in the parent — reusing the runner's cache when it is already warm —
+    and ships the clean states to workers through
+    :mod:`multiprocessing.shared_memory`: workers attach read-only numpy
+    views zero-copy and materialise the victim without retraining.  The
+    parent owns the segment lifecycle (created before the pool, unlinked
+    in a ``finally`` after it drains), so a crashed worker can never
+    strand a segment.  Results stay bit-identical to serial execution
+    because the attached state equals what deterministic local training
+    would have produced.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        share_victims: bool = True,
+        chunk_size: Optional[int] = None,
+    ):
         self.max_workers = max_workers
+        self.share_victims = share_victims
+        self.chunk_size = chunk_size
 
     def run_units(
         self,
@@ -88,27 +220,54 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         payload = spec.to_dict()
         workers = self.max_workers or min(len(units), 4)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_execute_unit, payload, unit) for unit in units]
-            return [future.result() for future in futures]
+        handles: List[Any] = []
+        manifests: List[Any] = []
+        try:
+            # Export inside the try so a failure preparing a later victim
+            # still unlinks the segments already created for earlier ones.
+            if self.share_victims:
+                from repro.experiments.shared import export_victim
+
+                for model_key, seed, epochs in spec.victim_requirements():
+                    _, _, clean_state = context.victims.get_or_prepare_by_key(
+                        model_key, seed=seed, training_epochs=epochs
+                    )
+                    handle, manifest = export_victim(model_key, seed, epochs, clean_state)
+                    handles.append(handle)
+                    manifests.append(manifest)
+            chunks = _chunk(units, self.chunk_size, workers)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(tuple(manifests),),
+            ) as pool:
+                futures = [pool.submit(_execute_chunk, payload, chunk) for chunk in chunks]
+                outputs: List[Any] = []
+                for future in futures:
+                    outputs.extend(future.result())
+            return outputs
+        finally:
+            for handle in handles:
+                handle.unlink()
 
 
 BACKENDS = {
     "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
 }
 
 
 def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend by name (``serial`` or ``process``)."""
+    """Build a backend by name (``serial``, ``thread`` or ``process``)."""
     try:
         backend_cls = BACKENDS[name]
     except KeyError as exc:
         known = ", ".join(sorted(BACKENDS))
         raise ValueError(f"unknown backend {name!r}; known backends: {known}") from exc
-    if backend_cls is ProcessPoolBackend:
-        return ProcessPoolBackend(max_workers=max_workers)
-    return backend_cls()
+    if backend_cls is SerialBackend:
+        return backend_cls()
+    return backend_cls(max_workers=max_workers)
 
 
 @dataclass

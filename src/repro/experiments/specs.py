@@ -161,6 +161,16 @@ class ExperimentSpec:
         """Assemble unit outputs (in unit order) into the result payload."""
         raise NotImplementedError
 
+    def victim_requirements(self) -> List[Tuple[str, int, Optional[int]]]:
+        """Trained victims the work units need, as (model_key, seed, epochs).
+
+        Backends that pre-stage expensive artefacts (the shared-memory
+        process pool ships each listed victim's trained state to workers
+        once) read this; the default — no victims — keeps chip-only
+        experiments unaffected.
+        """
+        return []
+
     def describe(self) -> str:
         """One-line human-readable summary for the CLI."""
         return f"{self.kind}: {self.title or type(self).__doc__ or ''}".strip()
@@ -288,6 +298,13 @@ class ComparisonSpec(ExperimentSpec):
                 rowpress_budget=self.rowpress_budget,
             ),
         )
+
+    def victim_requirements(self) -> List[Tuple[str, int, Optional[int]]]:
+        """One trained surrogate per model on the roster."""
+        return [
+            (model_key, self.seed, self.training_epochs)
+            for model_key in self.model_keys
+        ]
 
     def work_units(self) -> List[Dict[str, Any]]:
         units: List[Dict[str, Any]] = []
@@ -753,6 +770,10 @@ class ProfileDensitySpec(ExperimentSpec):
         return cls(**params)
 
     # -- execution -----------------------------------------------------
+    def victim_requirements(self) -> List[Tuple[str, int, Optional[int]]]:
+        """The single surrogate every density unit attacks."""
+        return [(self.model_key, self.seed, self.training_epochs)]
+
     def work_units(self) -> List[Dict[str, Any]]:
         units: List[Dict[str, Any]] = [
             {"task": "density", "density": density} for density in self.densities

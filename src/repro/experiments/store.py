@@ -213,14 +213,50 @@ def register_codec(
 
 
 class ResultStore:
-    """Directory of schema-versioned experiment-result JSON files."""
+    """Directory of schema-versioned experiment-result JSON files.
+
+    The store keeps an mtime/size index over the directory: a file is read
+    and parsed once, and re-read only when its stat signature changes, so
+    repeated CLI ``list`` / ``report`` calls (and programmatic
+    :meth:`names` / :meth:`load` loops) over a large result directory cost
+    one ``stat`` per file instead of one full JSON parse.
+    """
 
     def __init__(self, directory: PathLike):
         self.directory = Path(directory)
+        #: path -> (mtime_ns, size, parsed envelope or None when unreadable
+        #: / not a result envelope); entries invalidate themselves whenever
+        #: the stat signature stops matching.
+        self._index: Dict[Path, tuple] = {}
 
     def path_for(self, name: str) -> Path:
         """Filesystem path a result of this name is stored at."""
         return self.directory / f"{name}.json"
+
+    def _envelope_for(self, path: Path) -> Any:
+        """The parsed envelope of ``path``, via the mtime/size index.
+
+        Returns ``None`` (and caches the verdict) for files that vanish,
+        cannot be parsed, or are not this store's envelopes — exactly the
+        files :meth:`names` has always skipped.
+        """
+        try:
+            stat = path.stat()
+        except OSError:
+            self._index.pop(path, None)
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cached = self._index.get(path)
+        if cached is not None and cached[:2] == signature:
+            return cached[2]
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            envelope = None
+        if not (isinstance(envelope, dict) and "schema_version" in envelope):
+            envelope = None
+        self._index[path] = (*signature, envelope)
+        return envelope
 
     def save(self, name: str, result: ExperimentResult) -> Path:
         """Persist ``result`` under ``name``, returning the written path."""
@@ -240,9 +276,18 @@ class ResultStore:
         return path
 
     def load(self, name: str) -> ExperimentResult:
-        """Reconstruct the result previously saved under ``name``."""
+        """Reconstruct the result previously saved under ``name``.
+
+        The raw envelope comes from the mtime/size index (parsed once per
+        on-disk version of the file); decoding still builds fresh result
+        objects on every call, so callers may mutate what they get back.
+        """
         path = self.path_for(name)
-        envelope = json.loads(path.read_text())
+        envelope = self._envelope_for(path)
+        if envelope is None:
+            # Preserve the historical error surface: a missing file raises
+            # OSError, a non-envelope JSON file a ValueError.
+            envelope = json.loads(path.read_text())
         version = envelope.get("schema_version")
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -259,16 +304,18 @@ class ResultStore:
         )
 
     def names(self) -> List[str]:
-        """Names of every loadable result in the store (sorted)."""
+        """Names of every loadable result in the store (sorted).
+
+        Backed by the mtime/size index: unchanged files are answered from
+        the cached parse, so a listing over a populated store re-reads only
+        the files that were added or rewritten since the previous call.
+        """
         if not self.directory.is_dir():
             return []
         found = []
         for path in sorted(self.directory.glob("*.json")):
-            try:
-                envelope = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
-            if isinstance(envelope, dict) and envelope.get("schema_version") == SCHEMA_VERSION:
+            envelope = self._envelope_for(path)
+            if envelope is not None and envelope.get("schema_version") == SCHEMA_VERSION:
                 found.append(path.stem)
         return found
 

@@ -19,19 +19,32 @@ same primitives.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-#: Global graph-construction switch (see :class:`no_grad`).
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Thread-local graph-construction switch (see :class:`no_grad`).
+
+    Each thread carries its own flag so a thread evaluating under
+    ``no_grad`` (the incremental inference engine, the thread-pool
+    experiment backend) can never disable graph recording for a thread
+    that is concurrently training or running a gradient pass.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 def is_grad_enabled() -> bool:
     """Whether new tensor operations currently record the computation graph."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 class no_grad:
@@ -53,14 +66,12 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
         return False
 
 
@@ -146,7 +157,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _GRAD_MODE.enabled:
             return Tensor(data, requires_grad=False)
         requires_grad = any(p.requires_grad for p in parents)
         if not requires_grad:
@@ -157,6 +168,11 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
+            if np.shape(grad) == self.data.shape:
+                # First contribution: one copy instead of zeros + add (the
+                # values are identical — 0 + g == g).
+                self.grad = np.array(grad, dtype=self.data.dtype)
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 

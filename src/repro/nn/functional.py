@@ -97,7 +97,12 @@ def conv2d(
 
     cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
     weight_matrix = weight.data.reshape(out_channels, -1)  # (F, C*kh*kw)
-    out = np.einsum("fk,nkl->nfl", weight_matrix, cols)
+    # Broadcast GEMM: one (F, K) @ (K, L) product per sample.  BLAS-fast,
+    # and — because every sample's GEMM has the same fixed shape no matter
+    # how many samples are stacked — per-sample results are independent of
+    # the leading dimension, which the stacked trial evaluation
+    # (SuffixEvaluator.peek_many) relies on for bit-identical suffixes.
+    out = np.matmul(weight_matrix, cols)  # (N, F, L)
     if bias is not None:
         out = out + bias.data.reshape(1, -1, 1)
     out = out.reshape(batch, out_channels, out_h, out_w)
@@ -107,12 +112,14 @@ def conv2d(
     def backward(grad: np.ndarray) -> None:
         grad_flat = grad.reshape(batch, out_channels, out_h * out_w)
         if weight.requires_grad:
-            grad_weight = np.einsum("nfl,nkl->fk", grad_flat, cols)
+            # One GEMM over the (sample, position) axes — no (N, F, K)
+            # intermediate like a broadcast matmul + sum would allocate.
+            grad_weight = np.tensordot(grad_flat, cols, axes=([0, 2], [0, 2]))
             weight._accumulate(grad_weight.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_flat.sum(axis=(0, 2)))
         if x.requires_grad:
-            grad_cols = np.einsum("fk,nfl->nkl", weight_matrix, grad_flat)
+            grad_cols = np.matmul(weight_matrix.T, grad_flat)
             grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
             x._accumulate(grad_x)
 
@@ -227,9 +234,38 @@ def global_avg_pool1d(x: Tensor) -> Tensor:
 # ----------------------------------------------------------------------
 # Misc
 # ----------------------------------------------------------------------
+def _rowstable_matmul_2d(x: Tensor, weight: Tensor) -> Tensor:
+    """``x (N, D) @ weight.T (D, C)`` with rows independent of ``N``.
+
+    BLAS ``matmul`` kernels pick M-dependent blocking, so the *same row*
+    can round differently (by an ulp) once the leading dimension crosses a
+    kernel threshold.  The stacked trial evaluation
+    (:meth:`repro.nn.inference.SuffixEvaluator.peek_many`) feeds suffix
+    stages batches whose leading dimension is ``num_trials × batch``, and
+    its per-trial rows must be bit-identical to the unstacked forward —
+    ``einsum`` guarantees that by iterating the contraction in a fixed
+    per-element order regardless of ``N``.  The 2-D case only carries
+    classifier heads (tiny ``D × C``), so the BLAS throughput loss is
+    negligible; 3-D token inputs stay on ``matmul``, whose broadcast path
+    runs one GEMM per sample and is therefore already row-stable.
+    """
+    out = np.einsum("nd,cd->nc", x.data, weight.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+        if weight.requires_grad:
+            weight._accumulate(grad.T @ x.data)
+
+    return Tensor._make(out, (x, weight), backward)
+
+
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine transform ``x @ weight.T + bias`` for 2-D or 3-D inputs."""
-    out = x.matmul(weight.transpose(1, 0))
+    if x.ndim == 2:
+        out = _rowstable_matmul_2d(x, weight)
+    else:
+        out = x.matmul(weight.transpose(1, 0))
     if bias is not None:
         out = out + bias
     return out

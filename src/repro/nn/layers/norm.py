@@ -43,13 +43,22 @@ class _BatchNorm(Module):
             self.running_var[...] = (
                 (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
             )
-        else:
-            mean = Tensor(self.running_mean.reshape(shape))
-            var = Tensor(self.running_var.reshape(shape))
-        normalised = (x - mean) / ((var + self.eps) ** 0.5)
-        weight = self.weight.reshape(shape)
-        bias = self.bias.reshape(shape)
-        return normalised * weight + bias
+            normalised = (x - mean) / ((var + self.eps) ** 0.5)
+            weight = self.weight.reshape(shape)
+            bias = self.bias.reshape(shape)
+            return normalised * weight + bias
+        # Inference mode: the statistics are constants, so the whole layer
+        # folds to ``x * scale + shift`` — two full-size passes instead of
+        # four.  scale/shift are built from *per-channel* tensor ops, so
+        # gradients still reach weight and bias through the graph, and the
+        # elementwise form is per-sample independent (stacked-evaluation
+        # safe).
+        inv_std = Tensor(
+            (1.0 / np.sqrt(self.running_var + self.eps)).reshape(shape)
+        )
+        scale = self.weight.reshape(shape) * inv_std
+        shift = self.bias.reshape(shape) - Tensor(self.running_mean.reshape(shape)) * scale
+        return x * scale + shift
 
 
 class BatchNorm2d(_BatchNorm):

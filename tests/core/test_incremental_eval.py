@@ -93,6 +93,98 @@ class TestMultiBatchEvaluation:
         assert reference.loss_curve == vectorized.loss_curve
 
 
+class TestBatchedTrialScoring:
+    """attack_losses (peek_many) == sequential apply -> peek -> revert."""
+
+    def shortlist(self, attack, objective, count=5):
+        """A realistic inter-layer shortlist from one intra-layer stage."""
+        objective.attack_loss_and_gradients(attack.model)
+        proposals = [
+            proposal
+            for proposal in (
+                attack._propose_for_tensor(name) for name in attack.candidates.tensors()
+            )
+            if proposal is not None and np.isfinite(proposal.estimated_gain)
+        ]
+        proposals.sort(key=lambda p: p.estimated_gain, reverse=True)
+        return proposals[:count]
+
+    @pytest.mark.parametrize("objective_kind", ["untargeted", "targeted", "stealthy"])
+    def test_batched_losses_match_sequential_peek_path(
+        self, tiny_trained_model, tiny_dataset, objective_kind
+    ):
+        from repro.core.objective import StealthyTargeted
+
+        model, clean_state = tiny_trained_model
+        model.load_state_dict(clean_state)
+        quantize_model(model)
+        if objective_kind == "untargeted":
+            objective = untargeted(tiny_dataset)
+        elif objective_kind == "targeted":
+            objective = TargetedMisclassification.from_dataset(
+                tiny_dataset, source_class=0, target_class=1, attack_batch_size=16, seed=4
+            )
+        else:
+            objective = StealthyTargeted.from_dataset(
+                tiny_dataset, source_class=0, target_class=1, attack_batch_size=16, seed=4
+            )
+        attack = BitFlipAttack(model, objective, engine="vectorized")
+        objective.attach_inference_engine(attack._evaluator)
+        try:
+            shortlist = self.shortlist(attack, objective)
+            assert len(shortlist) >= 3
+            # The PR-4 sequential path: one apply -> suffix peek -> revert
+            # per proposal.
+            sequential = []
+            for proposal in shortlist:
+                attack._apply(proposal)
+                sequential.append(
+                    objective.attack_loss(
+                        model, flip_stage=attack._stage_of_tensor[proposal.tensor_name]
+                    )
+                )
+                attack._revert(proposal)
+            batched = attack._score_shortlist(objective, shortlist)
+            assert batched == sequential
+        finally:
+            objective.detach_inference_engine()
+
+    def test_batched_losses_match_reference_full_forward(
+        self, tiny_trained_model, tiny_dataset
+    ):
+        model, clean_state = tiny_trained_model
+        model.load_state_dict(clean_state)
+        quantize_model(model)
+        objective = untargeted(tiny_dataset)
+        attack = BitFlipAttack(model, objective, engine="vectorized")
+        objective.attach_inference_engine(attack._evaluator)
+        try:
+            shortlist = self.shortlist(attack, objective)
+            batched = attack._score_shortlist(objective, shortlist)
+        finally:
+            objective.detach_inference_engine()
+        # Reference scoring: full forwards, no engine anywhere.
+        full = []
+        for proposal in shortlist:
+            attack._apply(proposal)
+            full.append(objective.attack_loss(model))
+            attack._revert(proposal)
+        assert batched == full
+
+    def test_trial_state_resets_after_batched_scoring(self, fresh_model, tiny_dataset):
+        objective = untargeted(tiny_dataset)
+        attack = BitFlipAttack(fresh_model, objective, engine="vectorized")
+        objective.attach_inference_engine(attack._evaluator)
+        try:
+            shortlist = self.shortlist(attack, objective, count=3)
+            attack._score_shortlist(objective, shortlist)
+            assert objective._forward_mode is None
+            assert objective._trial_flips == ()
+            assert objective._trial_logits is None
+        finally:
+            objective.detach_inference_engine()
+
+
 class TestHoistedBatches:
     def test_eval_batches_memoized(self, fresh_model, tiny_dataset):
         objective = untargeted(tiny_dataset)

@@ -29,10 +29,10 @@ class TestVictimCache:
         cache = VictimCache()
         spec = get_spec("resnet20")
         first = cache.get_or_prepare(spec, seed=1)
-        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1, "shared_attaches": 0}
         second = cache.get_or_prepare(spec, seed=1)
         assert second is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1, "shared_attaches": 0}
         assert counting_prepare == [("resnet20", 1, None)]
 
     def test_key_includes_seed_and_epochs(self, counting_prepare):

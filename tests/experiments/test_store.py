@@ -100,6 +100,64 @@ class TestEnvelope:
         assert store.names() == ["real"]
 
 
+class TestMtimeIndex:
+    """names()/load() stat the directory; files are re-read only on change."""
+
+    def _count_reads(self, monkeypatch):
+        from pathlib import Path
+
+        reads = []
+        original = Path.read_text
+
+        def counting(self, *args, **kwargs):
+            reads.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", counting)
+        return reads
+
+    def test_repeated_names_reads_each_file_once(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        payload = _comparison_payload()
+        store.save("a", ExperimentResult(spec=ComparisonSpec(), payload=payload))
+        store.save("b", ExperimentResult(spec=ComparisonSpec(), payload=payload))
+        reads = self._count_reads(monkeypatch)
+        assert store.names() == ["a", "b"]
+        assert sorted(reads) == ["a.json", "b.json"]
+        reads.clear()
+        assert store.names() == ["a", "b"]  # answered from the index
+        assert reads == []
+
+    def test_changed_file_is_re_read(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        payload = _comparison_payload()
+        store.save("a", ExperimentResult(spec=ComparisonSpec(), payload=payload))
+        assert store.names() == ["a"]
+        # Rewriting the file (new mtime/size) invalidates its index entry.
+        import os
+
+        text = store.path_for("a").read_text()
+        store.path_for("a").write_text(text + " ")
+        os.utime(store.path_for("a"), ns=(1, 1))
+        reads = self._count_reads(monkeypatch)
+        assert store.names() == ["a"]
+        assert reads == ["a.json"]
+
+    def test_load_uses_index_and_deleted_file_drops_out(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        payload = _comparison_payload()
+        store.save("a", ExperimentResult(spec=ComparisonSpec(), payload=payload))
+        assert store.names() == ["a"]
+        reads = self._count_reads(monkeypatch)
+        loaded = store.load("a")  # envelope answered from the index
+        assert reads == []
+        assert loaded.payload == payload
+        store.path_for("a").unlink()
+        assert store.names() == []
+        with pytest.raises(OSError):
+            store.load("a")
+
+
 class TestRoundTripsSynthetic:
     """Codec round-trips on hand-built payloads (no training needed)."""
 

@@ -16,7 +16,7 @@ from repro.models.resnet_cifar import ResNetCifar
 from repro.models.resnet_imagenet import resnet34, resnet50
 from repro.models.vmamba import vmamba_tiny
 from repro.nn.autograd import Tensor
-from repro.nn.inference import SuffixEvaluator
+from repro.nn.inference import SuffixEvaluator, TrialFlip
 from repro.nn.layers import Linear
 from repro.nn.layers.container import Sequential
 from repro.nn.module import Module
@@ -187,6 +187,14 @@ class TestSuffixEvaluator:
         with pytest.raises(IndexError):
             evaluator.invalidate_from(evaluator.num_stages)
 
+    def test_stage_map_is_memoized(self, quantized_resnet):
+        evaluator = SuffixEvaluator(quantized_resnet)
+        assert evaluator._stage_of_parameter is None  # built lazily
+        head = quantized_parameters(quantized_resnet)["head.weight"]
+        stage = evaluator.stage_of(head)
+        assert stage == evaluator.num_stages - 1
+        assert evaluator._stage_map() is evaluator._stage_map()  # one dict, reused
+
     def test_drop_and_clear(self, quantized_resnet):
         x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
         evaluator = SuffixEvaluator(quantized_resnet)
@@ -196,3 +204,151 @@ class TestSuffixEvaluator:
         assert "a" not in evaluator._caches and "b" in evaluator._caches
         evaluator.clear()
         assert not evaluator._caches
+
+
+def trial_flips(model, evaluator, count):
+    """One MSB trial flip per quantized tensor (mixed stages, incl. shares)."""
+    from repro.nn.bitops import bit_flip_delta
+
+    trials = []
+    for index, (_, parameter) in enumerate(sorted(quantized_parameters(model).items())):
+        if len(trials) == count:
+            break
+        position = index % parameter.size
+        before = int(parameter.int_repr.flat[position])
+        after = before + bit_flip_delta(before, parameter.num_bits - 1, parameter.num_bits)
+
+        def apply(parameter=parameter, position=position, after=after):
+            parameter.int_repr.flat[position] = after
+            parameter.sync_from_int()
+
+        def revert(parameter=parameter, position=position, before=before):
+            parameter.int_repr.flat[position] = before
+            parameter.sync_from_int()
+
+        trials.append(TrialFlip(stage=evaluator.stage_of(parameter), apply=apply, revert=revert))
+    return trials
+
+
+class TestPeekMany:
+    """Golden contract: peek_many == B sequential peeks, bit for bit."""
+
+    def test_matches_sequential_peeks_warm_cache(self, quantized_resnet):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        clean = evaluator.forward("batch", x).copy()
+        trials = trial_flips(quantized_resnet, evaluator, count=6)
+        assert len({trial.stage for trial in trials}) > 1  # mixed stages
+        sequential = []
+        for trial in trials:
+            trial.apply()
+            sequential.append(evaluator.peek("batch", x, from_stage=trial.stage).copy())
+            trial.revert()
+        batched = evaluator.peek_many("batch", x, trials)
+        for index, (expected, got) in enumerate(zip(sequential, batched)):
+            assert np.array_equal(expected, got), index
+        # The trials were reverted around their own stage runs only: the
+        # cache must still answer with the clean output.
+        assert np.array_equal(evaluator.forward("batch", x), clean)
+
+    def test_matches_sequential_peeks_cold_cache(self, quantized_resnet):
+        x = np.random.default_rng(3).normal(size=(3, 3, 8, 8))
+        warm = SuffixEvaluator(quantized_resnet)
+        warm.forward("k", x)
+        trials = trial_flips(quantized_resnet, warm, count=4)
+        sequential = []
+        for trial in trials:
+            trial.apply()
+            sequential.append(warm.peek("k", x, from_stage=trial.stage).copy())
+            trial.revert()
+        cold = SuffixEvaluator(quantized_resnet)
+        batched = cold.peek_many("k", x, trials)
+        for expected, got in zip(sequential, batched):
+            assert np.array_equal(expected, got)
+
+    def test_same_stage_group_is_batched_downstream(self, quantized_resnet):
+        """Several trials in one stage share every downstream suffix stage."""
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        evaluator.forward("batch", x)
+        base = trial_flips(quantized_resnet, evaluator, count=1)[0]
+        trials = [base, TrialFlip(stage=base.stage, apply=base.apply, revert=base.revert)]
+        batched = evaluator.peek_many("batch", x, trials)
+        base.apply()
+        expected = evaluator.peek("batch", x, from_stage=base.stage)
+        base.revert()
+        assert np.array_equal(batched[0], expected)
+        assert np.array_equal(batched[1], expected)
+
+    def test_large_stacks_stay_bit_identical(self, quantized_resnet):
+        """Stacks beyond BLAS kernel thresholds must not move any row.
+
+        BLAS matmul kernels re-block once the leading dimension grows past
+        a few hundred rows, which would make a stacked suffix round
+        differently from the solo forward; the row-stable 2-D linear path
+        exists exactly to prevent that.  25 stacked trials x 16 rows puts
+        the suffix well past the observed OpenBLAS threshold.
+        """
+        x = np.random.default_rng(5).normal(size=(16, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        evaluator.forward("batch", x)
+        base = trial_flips(quantized_resnet, evaluator, count=1)[0]
+        base.apply()
+        expected = evaluator.peek("batch", x, from_stage=base.stage).copy()
+        base.revert()
+        for got in evaluator.peek_many("batch", x, [base] * 25):
+            assert np.array_equal(got, expected)
+
+    def test_empty_and_invalid_trials(self, quantized_resnet):
+        evaluator = SuffixEvaluator(quantized_resnet)
+        assert evaluator.peek_many("k", np.zeros((1, 3, 8, 8)), []) == []
+        bad = TrialFlip(stage=evaluator.num_stages, apply=lambda: None, revert=lambda: None)
+        with pytest.raises(IndexError):
+            evaluator.peek_many("k", np.zeros((1, 3, 8, 8)), [bad])
+
+
+class TestForwardMany:
+    """forward_many == per-batch forward, including stored boundaries."""
+
+    def test_matches_individual_forwards(self, quantized_resnet):
+        rng = np.random.default_rng(0)
+        batches = [rng.normal(size=(size, 3, 8, 8)) for size in (4, 4, 2)]
+        stacked = SuffixEvaluator(quantized_resnet)
+        outputs = stacked.forward_many([(index, x) for index, x in enumerate(batches)])
+        single = SuffixEvaluator(quantized_resnet)
+        for index, (x, output) in enumerate(zip(batches, outputs)):
+            assert np.array_equal(output, single.forward(("solo", index), x))
+
+    def test_resumes_each_batch_from_its_own_depth(self, quantized_resnet):
+        rng = np.random.default_rng(7)
+        batches = [rng.normal(size=(3, 3, 8, 8)) for _ in range(3)]
+        evaluator = SuffixEvaluator(quantized_resnet)
+        items = [(index, x) for index, x in enumerate(batches)]
+        evaluator.forward_many(items)
+        head = quantized_parameters(quantized_resnet)["head.weight"]
+        undo = msb_flip(head)
+        evaluator.invalidate_from(evaluator.stage_of(head))
+        # Truncate two entries further so the batches resume from three
+        # different depths and join the stacked pass at different stages.
+        del evaluator._caches[1][2:]
+        del evaluator._caches[2][4:]
+        try:
+            outputs = evaluator.forward_many(items)
+            for x, output in zip(batches, outputs):
+                assert np.array_equal(output, quantized_resnet(Tensor(x)).data)
+        finally:
+            undo()
+
+    def test_duplicate_keys_rejected(self, quantized_resnet):
+        x = np.random.default_rng(4).normal(size=(2, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        with pytest.raises(ValueError, match="distinct batch keys"):
+            evaluator.forward_many([("a", x), ("a", x)])
+
+    def test_cached_batches_cost_nothing(self, quantized_resnet):
+        x = np.random.default_rng(2).normal(size=(2, 3, 8, 8))
+        evaluator = SuffixEvaluator(quantized_resnet)
+        first = evaluator.forward_many([("a", x)])
+        again = evaluator.forward_many([("a", x)])
+        assert np.array_equal(first[0], again[0])
+        assert again[0] is evaluator._caches["a"][-1]
