@@ -6,7 +6,7 @@ retained engine implementations.  The golden-equivalence tests under
 ``tests/`` prove the engines produce bit-identical outputs; this module only
 measures them.
 
-The eight cases mirror the perf-critical layers:
+The nine cases mirror the perf-critical layers:
 
 * ``bit_search_iteration`` — the intra-layer proposal stage of the
   progressive bit search over every quantized tensor (core + nn layers).
@@ -35,6 +35,10 @@ The eight cases mirror the perf-critical layers:
   a 2-worker process pool, per-worker victim retraining vs the parent
   shipping the trained state through ``multiprocessing.shared_memory``
   (zero-copy worker attach).
+* ``runner_service_throughput`` — the service layer: a campaign of
+  comparison specs sharing one surrogate, a fresh runner per spec (victim
+  retrained each time) vs one experiment service whose warm victim
+  registry trains it once and serves every later job from shared memory.
 """
 
 from __future__ import annotations
@@ -78,6 +82,7 @@ CASE_NAMES = (
     "end_to_end_attack",
     "end_to_end_attack_deep",
     "runner_shared_memory",
+    "runner_service_throughput",
 )
 
 
@@ -385,21 +390,77 @@ def _make_runner_shared_memory_case(repetitions: int) -> PerfCase:
     )
 
 
+def _make_runner_service_throughput_case(num_specs: int) -> PerfCase:
+    import tempfile
+
+    from repro.core.bfa import BitSearchConfig
+    from repro.experiments import ComparisonSpec, ExperimentRunner, ExperimentService
+
+    # A small campaign of specs that share one victim (identical model,
+    # seed and epochs) but attack different chips: the regime the daemon's
+    # warm registry serves.  The cold path trains the surrogate per spec;
+    # the service trains it once and every later job attaches the
+    # registry's shared-memory clean state.
+    specs = [
+        ComparisonSpec(
+            model_keys=("resnet20",),
+            repetitions=1,
+            eval_samples=32,
+            search=BitSearchConfig(max_flips=2, top_k_layers=2, eval_batch_size=32),
+            training_epochs=2,
+            seed=11,
+            profile_seed=11 + offset,
+        )
+        for offset in range(num_specs)
+    ]
+
+    def cold_runners():
+        outputs = []
+        for spec in specs:
+            runner = ExperimentRunner()  # fresh cache: retrains the victim
+            outputs.append(runner.run(spec).payload)
+        return outputs
+
+    def warm_service():
+        with tempfile.TemporaryDirectory() as root:
+            service = ExperimentService(
+                queue_dir=Path(root) / "queue", store_dir=Path(root) / "store"
+            )
+            try:
+                for spec in specs:
+                    service.queue.submit(spec.to_dict())
+                service.drain()
+                return [service.store.load(name).payload for name in service.store.names()]
+            finally:
+                service.registry.close()
+
+    return PerfCase(
+        name="runner_service_throughput",
+        description=(
+            f"{num_specs} comparison specs sharing one surrogate: a fresh "
+            "runner per spec (victim retrained each time) vs one experiment "
+            "service whose warm registry trains it once"
+        ),
+        reference=cold_runners,
+        vectorized=warm_service,
+    )
+
+
 def build_cases(profile: str = "quick") -> List[PerfCase]:
-    """The six tracked microbenchmarks at the requested workload size."""
+    """The nine tracked microbenchmarks at the requested workload size."""
     if profile == "quick":
         sizes: Dict[str, int] = {
             "iterations": 30, "rows_per_bank": 96, "max_rows": 16,
             "evaluations": 12, "eval_per_class": 96, "max_flips": 6, "deep_depth": 14,
             "scoring_rounds": 20, "scoring_depth": 26, "scoring_batch": 4,
-            "runner_repetitions": 2,
+            "runner_repetitions": 2, "service_specs": 3,
         }
     elif profile == "full":
         sizes = {
             "iterations": 100, "rows_per_bank": 128, "max_rows": 32,
             "evaluations": 24, "eval_per_class": 192, "max_flips": 8, "deep_depth": 20,
             "scoring_rounds": 50, "scoring_depth": 32, "scoring_batch": 8,
-            "runner_repetitions": 3,
+            "runner_repetitions": 3, "service_specs": 4,
         }
     else:
         raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
@@ -427,6 +488,7 @@ def build_cases(profile: str = "quick") -> List[PerfCase]:
             top_k_layers=64,
         ),
         _make_runner_shared_memory_case(sizes["runner_repetitions"]),
+        _make_runner_service_throughput_case(sizes["service_specs"]),
     ]
     assert tuple(case.name for case in cases) == CASE_NAMES
     return cases

@@ -15,4 +15,9 @@ if __name__ == "__main__":
     except BrokenPipeError:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         code = 0
+    except KeyboardInterrupt:
+        # Ctrl-C on a long-lived command (`serve`, `worker`, `submit
+        # --wait`) is a normal way to leave; exit with the conventional
+        # 130 instead of a traceback.
+        code = 130
     raise SystemExit(code)

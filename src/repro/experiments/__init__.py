@@ -15,8 +15,17 @@ reproduction defines:
 * :mod:`~repro.experiments.cache` — :class:`VictimCache`, training each
   surrogate victim once and sharing clean-state snapshots across
   experiments;
-* :mod:`~repro.experiments.store` — :class:`ResultStore`, persisting every
-  result type as schema-versioned JSON envelopes;
+* :mod:`~repro.experiments.store` — :class:`ResultStore` (and its
+  spec-hash-partitioned sibling :class:`ShardedResultStore`), persisting
+  every result type as schema-versioned JSON envelopes;
+* :mod:`~repro.experiments.service` — :class:`ExperimentService`, the
+  persistent daemon behind ``python -m repro serve``: an async
+  :class:`JobQueue` (:mod:`~repro.experiments.queue`), a warm
+  :class:`VictimRegistry` (:mod:`~repro.experiments.registry`) and a
+  :class:`ServiceClient` for submit/status/cancel/results;
+* :mod:`~repro.experiments.distributed` — :class:`DistributedBackend`,
+  executing work units in TCP-connected worker processes (same-host or
+  multi-host) with serial-identical results;
 * :mod:`~repro.experiments.cli` — the ``python -m repro`` command line.
 
 Quick start::
@@ -31,6 +40,9 @@ Quick start::
 
 from repro.core.objective import ObjectiveConfig
 from repro.experiments.cache import ExperimentContext, VictimCache, VictimKey
+from repro.experiments.distributed import DistributedBackend
+from repro.experiments.queue import Job, JobQueue
+from repro.experiments.registry import VictimRegistry
 from repro.experiments.runner import (
     BACKENDS,
     ExecutionBackend,
@@ -41,6 +53,7 @@ from repro.experiments.runner import (
     ThreadPoolBackend,
     make_backend,
 )
+from repro.experiments.service import ExperimentService, ServiceClient
 from repro.experiments.shared import SharedStateHandle, SharedVictimManifest
 from repro.experiments.specs import (
     MECHANISMS,
@@ -55,11 +68,19 @@ from repro.experiments.specs import (
     FlipSweepSpec,
     ProfileDensityOutcome,
     ProfileDensitySpec,
+    canonical_spec_json,
     default_defense_roster,
     register_spec,
     spec_from_dict,
+    spec_hash,
 )
-from repro.experiments.store import SCHEMA_VERSION, ResultStore, register_codec
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    ShardedResultStore,
+    open_store,
+    register_codec,
+)
 
 __all__ = [
     "BACKENDS",
@@ -71,27 +92,37 @@ __all__ = [
     "ComparisonSpec",
     "DefenseConfig",
     "DefenseMatrixSpec",
+    "DistributedBackend",
     "ExecutionBackend",
     "ExperimentContext",
     "ExperimentResult",
     "ExperimentRunner",
+    "ExperimentService",
     "ExperimentSpec",
     "FlipSweepOutcome",
     "FlipSweepSpec",
+    "Job",
+    "JobQueue",
     "ObjectiveConfig",
     "ProcessPoolBackend",
     "ProfileDensityOutcome",
     "ProfileDensitySpec",
     "ResultStore",
     "SerialBackend",
+    "ServiceClient",
     "SharedStateHandle",
     "SharedVictimManifest",
+    "ShardedResultStore",
     "ThreadPoolBackend",
     "VictimCache",
     "VictimKey",
+    "VictimRegistry",
+    "canonical_spec_json",
     "default_defense_roster",
     "make_backend",
+    "open_store",
     "register_codec",
     "register_spec",
     "spec_from_dict",
+    "spec_hash",
 ]

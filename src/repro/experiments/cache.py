@@ -18,6 +18,7 @@ callers that want it done for them.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -46,20 +47,33 @@ class VictimCache:
     The cache is deliberately *not* shared across processes: parallel
     execution backends instantiate one cache per worker, which keeps the
     semantics identical to serial execution (training is deterministic in
-    the key) while still amortising training inside each worker.
+    the key) while still amortising training inside each worker.  Cross
+    -process sharing happens one level up, through shared-memory clean
+    states: :meth:`seed_shared` manifests (one-shot, per run) or an
+    attached :class:`~repro.experiments.registry.VictimRegistry` (warm,
+    across jobs).
+
+    ``max_entries`` bounds the number of resident victims: inserting past
+    the bound evicts the least-recently-used entry (an evicted victim is
+    simply re-materialised — or retrained — on its next miss, which is
+    bit-identical because training is deterministic in the key).
+    ``None`` keeps the pre-existing unbounded behaviour.
     """
 
-    def __init__(self) -> None:
-        self._victims: Dict[VictimKey, VictimTriple] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = max_entries
+        self._victims: "OrderedDict[VictimKey, VictimTriple]" = OrderedDict()
         #: Shared-memory manifests registered by :meth:`seed_shared`; a miss
         #: whose key has one attaches the exported clean state instead of
         #: training (bit-identical — training is deterministic in the key).
         self._shared: Dict[VictimKey, object] = {}
         self._seeded_states: Dict[VictimKey, Dict[str, np.ndarray]] = {}
         self._attached: List[object] = []
+        self._registry = None
         self.hits = 0
         self.misses = 0
         self.shared_attaches = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._victims)
@@ -73,34 +87,76 @@ class VictimCache:
         seed: int = 0,
         training_epochs: Optional[int] = None,
     ) -> VictimTriple:
-        """Return the trained victim for ``spec``, training it on first use."""
+        """Return the trained victim for ``spec``, training it on first use.
+
+        Misses are resolved in cost order: a seeded shared-memory manifest,
+        the attached :class:`~repro.experiments.registry.VictimRegistry`,
+        a seeded in-process state, and finally local training.  Every path
+        yields a bit-identical triple (training is deterministic in the
+        key), so a stale manifest — e.g. a registry segment evicted or a
+        remote host without the exporter's ``/dev/shm`` — safely falls
+        through to the next resolution.
+        """
         key = VictimKey(spec.key, seed, training_epochs)
         cached = self._victims.get(key)
         if cached is not None:
+            self._victims.move_to_end(key)
             self.hits += 1
             return cached
-        manifest = self._shared.get(key)
-        if manifest is not None:
-            from repro.experiments.shared import attach_state
+        victim = self._from_manifest(spec, key, self._shared.get(key))
+        if victim is None and self._registry is not None:
+            victim = self._from_manifest(spec, key, self._registry.get(key))
+        if victim is None:
+            state = self._seeded_states.get(key)
+            if state is not None:
+                victim = self._materialize(spec, key, state)
+                self.shared_attaches += 1
+        if victim is None:
+            self.misses += 1
+            from repro.core.comparison import prepare_victim
 
-            handle = attach_state(manifest.state)
-            self._attached.append(handle)
-            victim = self._materialize(spec, key, dict(handle.arrays))
-            self._victims[key] = victim
-            self.shared_attaches += 1
-            return victim
-        state = self._seeded_states.get(key)
-        if state is not None:
-            victim = self._materialize(spec, key, state)
-            self._victims[key] = victim
-            self.shared_attaches += 1
-            return victim
-        self.misses += 1
-        from repro.core.comparison import prepare_victim
-
-        victim = prepare_victim(spec, seed=seed, training_epochs=training_epochs)
+            victim = prepare_victim(spec, seed=seed, training_epochs=training_epochs)
+            if self._registry is not None:
+                self._registry.put(key, victim[2])
         self._victims[key] = victim
+        self._evict_lru()
         return victim
+
+    def _from_manifest(self, spec: ModelSpec, key: VictimKey, manifest) -> Optional[VictimTriple]:
+        """Materialise from a shared-memory manifest; ``None`` on any miss.
+
+        A manifest whose segment no longer exists (evicted by its owner, or
+        never present because this worker runs on another host) returns
+        ``None`` so the caller falls through to retraining.
+        """
+        if manifest is None:
+            return None
+        from repro.experiments.shared import attach_state
+
+        try:
+            handle = attach_state(manifest.state)
+        except FileNotFoundError:
+            return None
+        self._attached.append(handle)
+        self.shared_attaches += 1
+        return self._materialize(spec, key, dict(handle.arrays))
+
+    def _evict_lru(self) -> None:
+        """Drop least-recently-used victims beyond ``max_entries``."""
+        if self.max_entries is None:
+            return
+        while len(self._victims) > self.max_entries:
+            self._victims.popitem(last=False)
+            self.evictions += 1
+
+    def attach_registry(self, registry) -> None:
+        """Connect a :class:`~repro.experiments.registry.VictimRegistry`.
+
+        Once attached, cache misses first consult the registry (zero-copy
+        attach of a previously exported clean state) and locally trained
+        victims are published back into it, warming it for later jobs.
+        """
+        self._registry = registry
 
     def seed_shared(self, manifests: Iterable) -> None:
         """Register shared-memory clean states to materialise victims from.
@@ -177,6 +233,7 @@ class VictimCache:
             "misses": self.misses,
             "entries": len(self._victims),
             "shared_attaches": self.shared_attaches,
+            "evictions": self.evictions,
         }
 
 

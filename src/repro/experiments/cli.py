@@ -11,6 +11,18 @@ Subcommands
 ``report NAME``
     Load a stored result and render it (markdown via
     :mod:`repro.analysis.reporting` for comparisons, plain text otherwise).
+``serve``
+    Start the persistent experiment daemon: an async job queue, a warm
+    victim registry and a sharded result store behind a TCP socket
+    (:mod:`repro.experiments.service`).
+``submit KIND`` / ``status JOB`` / ``cancel JOB`` / ``jobs``
+    Client side of the daemon: queue a spec (same spec-building flags as
+    ``run``), poll or cancel a job, list the queue.
+``worker``
+    Join a distributed run (or a daemon using ``--backend distributed``)
+    as a TCP worker process, possibly from another host.
+``migrate-store``
+    Move a legacy flat results directory into the sharded layout.
 """
 
 from __future__ import annotations
@@ -30,10 +42,14 @@ from repro.experiments.specs import (
     ProfileDensitySpec,
     spec_from_dict,
 )
-from repro.experiments.store import ResultStore
+from repro.experiments.store import ShardedResultStore, open_store
 from repro.nn.quantization import VICTIM_PRECISIONS
 
 DEFAULT_STORE = "benchmarks/results"
+DEFAULT_QUEUE = "benchmarks/queue"
+
+#: Backends selectable from the command line.
+BACKEND_CHOICES = ("serial", "thread", "process", "distributed")
 
 
 def _objective_config(args: argparse.Namespace) -> ObjectiveConfig:
@@ -166,6 +182,43 @@ def _render_report(name: str, result: ExperimentResult) -> str:
     return json.dumps({"kind": kind, "spec": result.spec.to_dict()}, indent=2)
 
 
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Spec-building flags shared by ``run`` and ``submit``."""
+    parser.add_argument("kind", nargs="?", default=None, help="experiment kind (see `list`)")
+    parser.add_argument("--spec", help="JSON spec file overriding the default spec")
+    parser.add_argument("--models", default=None, help="comma-separated model keys (comparison)")
+    parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--max-flips", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--objective",
+        default="untargeted",
+        choices=sorted(OBJECTIVE_KINDS),
+        help="attack objective for comparison specs",
+    )
+    parser.add_argument(
+        "--source-class", type=int, default=0,
+        help="class to misclassify (targeted objectives)",
+    )
+    parser.add_argument(
+        "--target-class", type=int, default=1,
+        help="class to misclassify the source as (targeted objectives)",
+    )
+    parser.add_argument(
+        "--objective-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra objective parameter (repeatable), e.g. success_threshold=80",
+    )
+    parser.add_argument(
+        "--victim-precision",
+        default="float32",
+        choices=sorted(VICTIM_PRECISIONS),
+        help="deployed weight precision of the victim (comparison specs)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -174,73 +227,92 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="execute an experiment and store its result")
-    run.add_argument("kind", nargs="?", default=None, help="experiment kind (see `list`)")
-    run.add_argument("--spec", help="JSON spec file overriding the default spec")
-    run.add_argument("--backend", default="serial", choices=("serial", "thread", "process"))
-    run.add_argument("--workers", type=int, default=None, help="thread/process pool size")
+    _add_spec_arguments(run)
+    run.add_argument("--backend", default="serial", choices=BACKEND_CHOICES)
+    run.add_argument("--workers", type=int, default=None, help="worker pool size")
     run.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
     run.add_argument("--save-as", default=None, help="store entry name (default: kind)")
-    run.add_argument("--models", default=None, help="comma-separated model keys (comparison)")
-    run.add_argument("--repetitions", type=int, default=1)
-    run.add_argument("--max-flips", type=int, default=150)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--objective",
-        default="untargeted",
-        choices=sorted(OBJECTIVE_KINDS),
-        help="attack objective for comparison specs",
-    )
-    run.add_argument(
-        "--source-class", type=int, default=0,
-        help="class to misclassify (targeted objectives)",
-    )
-    run.add_argument(
-        "--target-class", type=int, default=1,
-        help="class to misclassify the source as (targeted objectives)",
-    )
-    run.add_argument(
-        "--objective-param",
-        action="append",
-        default=[],
-        metavar="KEY=VALUE",
-        help="extra objective parameter (repeatable), e.g. success_threshold=80",
-    )
-    run.add_argument(
-        "--victim-precision",
-        default="float32",
-        choices=sorted(VICTIM_PRECISIONS),
-        help="deployed weight precision of the victim (comparison specs)",
-    )
     run.add_argument("--report", action="store_true", help="print the rendered report too")
 
     lst = sub.add_parser("list", help="list experiment kinds and stored results")
     lst.add_argument("--store", default=DEFAULT_STORE)
 
-    report = sub.add_parser("report", help="render a stored result")
-    report.add_argument("name", help="store entry name (see `list`)")
+    report = sub.add_parser("report", help="render stored results")
+    report.add_argument("name", nargs="?", default=None, help="store entry name (see `list`)")
     report.add_argument("--store", default=DEFAULT_STORE)
+    report.add_argument("--all", action="store_true",
+                        help="render every stored result, streaming one at a time")
+
+    serve = sub.add_parser("serve", help="start the persistent experiment daemon")
+    serve.add_argument("--queue", default=DEFAULT_QUEUE, help="job queue directory")
+    serve.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
+    serve.add_argument("--backend", default="serial", choices=BACKEND_CHOICES,
+                       help="execution backend jobs run under")
+    serve.add_argument("--workers", type=int, default=None, help="worker pool size")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 7421; 0 picks an ephemeral port)")
+    serve.add_argument("--registry-max-bytes", type=int, default=None,
+                       help="victim registry shared-memory budget")
+    serve.add_argument("--registry-max-entries", type=int, default=None,
+                       help="victim registry entry cap")
+
+    submit = sub.add_parser("submit", help="queue an experiment on a running daemon")
+    _add_spec_arguments(submit)
+    submit.add_argument("--queue", default=DEFAULT_QUEUE,
+                        help="queue directory (for endpoint discovery)")
+    submit.add_argument("--name", default=None, help="store entry name for the result")
+    submit.add_argument("--wait", action="store_true", help="block until the job finishes")
+    submit.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
+
+    status = sub.add_parser("status", help="show one job of a running daemon")
+    status.add_argument("job_id")
+    status.add_argument("--queue", default=DEFAULT_QUEUE)
+
+    cancel = sub.add_parser("cancel", help="cancel a pending job on a running daemon")
+    cancel.add_argument("job_id")
+    cancel.add_argument("--queue", default=DEFAULT_QUEUE)
+
+    jobs = sub.add_parser("jobs", help="list a running daemon's jobs")
+    jobs.add_argument("--queue", default=DEFAULT_QUEUE)
+
+    worker = sub.add_parser("worker", help="join a distributed run as a TCP worker")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, required=True)
+    worker.add_argument("--once", action="store_true",
+                        help="exit after serving one run instead of reconnecting")
+
+    migrate = sub.add_parser("migrate-store",
+                             help="move a flat results directory into the sharded layout")
+    migrate.add_argument("--store", default=DEFAULT_STORE)
     return parser
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _resolve_spec(args: argparse.Namespace):
+    """The spec selected by ``run``/``submit`` flags, or an error exit code."""
     if args.spec:
         try:
-            spec = _load_spec_file(args.spec)
+            return _load_spec_file(args.spec)
         except (OSError, json.JSONDecodeError, ValueError, TypeError) as error:
             print(f"error: cannot load spec file {args.spec!r}: {error}", file=sys.stderr)
             return 2
-    elif args.kind:
+    if args.kind:
         try:
-            spec = build_default_spec(args.kind, args)
+            return build_default_spec(args.kind, args)
         except ValueError as error:
             # e.g. a targeted objective whose source and target coincide
             print(f"error: invalid spec: {error}", file=sys.stderr)
             return 2
-    else:
-        print("error: provide an experiment kind or --spec file", file=sys.stderr)
-        return 2
+    print("error: provide an experiment kind or --spec file", file=sys.stderr)
+    return 2
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    if isinstance(spec, int):
+        return spec
     name = args.save_as or spec.kind
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     runner = ExperimentRunner(
         backend=make_backend(args.backend, max_workers=args.workers), store=store
     )
@@ -258,7 +330,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("experiment kinds:")
     for kind in sorted(SPEC_KINDS):
         print(f"  {kind:<18} {SPEC_KINDS[kind].title}")
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     names = store.names()
     print(f"\nstored results in {store.directory}:")
     if names:
@@ -270,7 +342,20 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store = open_store(args.store)
+    if args.all:
+        rendered = 0
+        # iter_results decodes lazily, so this holds one result at a time
+        # no matter how many files the (sharded) store contains.
+        for name, result in store.iter_results():
+            print(_render_report(name, result))
+            rendered += 1
+        if rendered == 0:
+            print(f"(no stored results in {store.directory})")
+        return 0
+    if not args.name:
+        print("error: provide a result name or --all", file=sys.stderr)
+        return 2
     if args.name not in store:
         print(f"error: no stored result named {args.name!r} in {store.directory}", file=sys.stderr)
         return 1
@@ -284,11 +369,139 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.service import DEFAULT_PORT, ExperimentService
+
+    service = ExperimentService(
+        queue_dir=args.queue,
+        store_dir=args.store,
+        backend=args.backend,
+        max_workers=args.workers,
+        registry_max_bytes=args.registry_max_bytes,
+        registry_max_entries=args.registry_max_entries,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+    )
+    service.start()
+    print(f"experiment service listening on {service.host}:{service.port}")
+    print(f"  queue: {service.queue.directory}   store: {service.store.directory}   "
+          f"backend: {args.backend}")
+    for job_id in service.recovery["requeued"]:
+        print(f"  requeued interrupted job {job_id}")
+    for job_id in service.recovery["failed"]:
+        print(f"  failed twice-interrupted job {job_id}")
+    try:
+        service.wait_until_stopped()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        service.stop()
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    """A ServiceClient for the daemon of ``--queue`` (or an exit code)."""
+    from repro.experiments.service import ServiceClient
+
+    try:
+        return ServiceClient(queue_dir=args.queue)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(
+            f"error: no running daemon found via {args.queue!r} ({error}); "
+            "start one with `python -m repro serve`",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    if isinstance(spec, int):
+        return spec
+    client = _client(args)
+    if isinstance(client, int):
+        return client
+    response = client.submit(spec.to_dict(), name=args.name)
+    verb = "queued" if response["created"] else "already queued (deduplicated)"
+    print(f"{verb}: job {response['job_id']} -> result {response['name']!r} "
+          f"[{response['state']}]")
+    if not args.wait:
+        return 0
+    job = client.wait(response["job_id"], timeout=args.timeout)
+    print(f"job {job['job_id']} finished: {job['state']}"
+          + (f" ({job['error']})" if job.get("error") else ""))
+    return 0 if job["state"] == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if isinstance(client, int):
+        return client
+    try:
+        job = client.status(args.job_id)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(job, indent=2))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if isinstance(client, int):
+        return client
+    if client.cancel(args.job_id):
+        print(f"cancelled job {args.job_id}")
+        return 0
+    print(f"job {args.job_id} is not pending (already running, done or unknown)")
+    return 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if isinstance(client, int):
+        return client
+    jobs = client.jobs()
+    if not jobs:
+        print("(no jobs)")
+        return 0
+    for job in jobs:
+        error = f"  {job['error']}" if job.get("error") else ""
+        print(f"{job['job_id']}  {job['state']:<9}  {job['name']}{error}")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.distributed import run_worker
+
+    return run_worker(args.host, args.port, once=args.once)
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    store = ShardedResultStore(args.store)
+    moved = store.migrate()
+    print(f"migrated {len(moved)} result file(s) into "
+          f"{store.directory / ShardedResultStore.SHARD_DIR}")
+    for name in moved:
+        print(f"  {name}")
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "list": cmd_list,
+    "report": cmd_report,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "cancel": cmd_cancel,
+    "jobs": cmd_jobs,
+    "worker": cmd_worker,
+    "migrate-store": cmd_migrate,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return cmd_run(args)
-    if args.command == "list":
-        return cmd_list(args)
-    return cmd_report(args)
+    return _COMMANDS[args.command](args)

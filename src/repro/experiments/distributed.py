@@ -1,0 +1,348 @@
+"""Multi-host execution backend: workers pull unit chunks over TCP.
+
+The local backends top out at one machine.  :class:`DistributedBackend`
+keeps the exact :class:`~repro.experiments.runner.ExecutionBackend`
+contract — same work units in, same ordered outputs out, bit-identical to
+:class:`~repro.experiments.runner.SerialBackend` — but executes the units
+in worker *processes that connect over TCP*, so they can live on other
+hosts.  By default the backend spawns its workers locally
+(``python -m repro worker``), which doubles as the daemon's in-host pool;
+pointing external ``repro worker`` processes at the same address scales
+the same run across machines with no code changes.
+
+Protocol (length-prefixed pickle frames, trusted-cluster only — pickle
+executes arbitrary code, never expose the port beyond hosts you control):
+
+1. worker connects; backend sends a handshake ``{spec, manifests}``;
+2. backend streams ``{units: [...]}`` task frames, one chunk at a time,
+   and the worker answers each with ``{outputs: [...]}``;
+3. ``{done: true}`` releases the worker back to its connect loop.
+
+Workers keep one :class:`~repro.experiments.cache.ExperimentContext`
+across all chunks of a run, seeded with the handshake's shared-memory
+manifests: a same-host worker attaches the exported clean states
+zero-copy, while a remote host (where the exporter's ``/dev/shm`` does
+not exist) transparently falls back to deterministic local retraining —
+bit-identical either way, which is what keeps the backend's results equal
+to serial.
+
+Fault model: a connection that drops mid-chunk has its chunk requeued
+(bounded per chunk) for any other live worker; chunk execution is
+deterministic, so a re-run yields the identical outputs.  A run whose
+workers all die with work outstanding raises instead of hanging.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ExperimentContext
+from repro.experiments.runner import ExecutionBackend, _chunk, _stage_victims
+from repro.experiments.specs import ExperimentSpec, spec_from_dict
+
+#: Frame header: unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct("!Q")
+
+#: How many times one chunk may be requeued after worker losses before the
+#: run is declared failed (prevents a poisonous chunk from cycling forever
+#: through a flaky fleet).
+MAX_CHUNK_REQUEUES = 3
+
+#: Default port the daemon offers to distributed workers.
+DEFAULT_WORKER_PORT = 7422
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    """Pickle ``payload`` and send it as one length-prefixed frame."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one length-prefixed pickle frame (raises on a closed peer)."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        block = sock.recv(min(remaining, 1 << 20))
+        if not block:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(block)
+        remaining -= len(block)
+    return b"".join(chunks)
+
+
+class _RunState:
+    """Shared bookkeeping for one distributed run (tasks, results, liveness)."""
+
+    def __init__(self, chunks: Sequence[Sequence[Mapping[str, Any]]]):
+        self.tasks = deque(enumerate(chunks))
+        self.results: Dict[int, List[Any]] = {}
+        self.requeues: Dict[int, int] = {}
+        self.expected = len(chunks)
+        self.active_handlers = 0
+        self.error: Optional[BaseException] = None
+        self.lock = threading.Lock()
+        self.done = threading.Condition(self.lock)
+
+    def finished(self) -> bool:
+        return self.error is not None or len(self.results) >= self.expected
+
+    def requeue(self, index: int, chunk) -> None:
+        with self.lock:
+            if index in self.results:
+                return
+            self.requeues[index] = self.requeues.get(index, 0) + 1
+            if self.requeues[index] > MAX_CHUNK_REQUEUES:
+                self.error = RuntimeError(
+                    f"chunk {index} failed {MAX_CHUNK_REQUEUES} requeues; giving up"
+                )
+            else:
+                self.tasks.appendleft((index, chunk))
+            self.done.notify_all()
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execute work units in worker processes connected over TCP.
+
+    ``num_workers`` local workers are spawned by default (set
+    ``spawn_workers=False`` to rely purely on externally started
+    ``python -m repro worker`` processes).  ``host``/``port`` choose the
+    listening address; port ``0`` picks an ephemeral port, which suits the
+    spawn-local mode.  An attached
+    :class:`~repro.experiments.registry.VictimRegistry` stages victims
+    warm instead of exporting per run, exactly like
+    :class:`~repro.experiments.runner.ProcessPoolBackend`.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: bool = True,
+        chunk_size: Optional[int] = None,
+        share_victims: bool = True,
+        registry=None,
+        connect_timeout: float = 60.0,
+    ):
+        self.num_workers = num_workers
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.chunk_size = chunk_size
+        self.share_victims = share_victims
+        self.registry = registry
+        self.connect_timeout = connect_timeout
+
+    def run_units(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[Mapping[str, Any]],
+        context: ExperimentContext,
+    ) -> List[Any]:
+        """Fan unit chunks out to connected workers; outputs in unit order."""
+        if not units:
+            return []
+        payload = spec.to_dict()
+        workers = self.num_workers or 2
+        handles: List[Any] = []
+        manifests: List[Any] = []
+        processes: List[subprocess.Popen] = []
+        try:
+            if self.share_victims:
+                handles, manifests = _stage_victims(spec, context, self.registry)
+            chunks = _chunk(units, self.chunk_size, workers)
+            state = _RunState(chunks)
+            handshake = {"spec": payload, "manifests": tuple(manifests)}
+            with socket.create_server((self.host, self.port)) as server:
+                server.settimeout(0.1)
+                port = server.getsockname()[1]
+                if self.spawn_workers:
+                    processes = [self._spawn_worker(port) for _ in range(workers)]
+                self._serve(server, handshake, state, processes)
+            if state.error is not None:
+                raise state.error
+            outputs: List[Any] = []
+            for index in range(len(chunks)):
+                outputs.extend(state.results[index])
+            return outputs
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                    process.kill()
+            for handle in handles:
+                handle.unlink()
+
+    def _spawn_worker(self, port: int) -> subprocess.Popen:
+        """Start one local ``python -m repro worker`` pointed at ``port``."""
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--host",
+                self.host,
+                "--port",
+                str(port),
+                "--once",
+            ],
+        )
+
+    def _serve(
+        self,
+        server: socket.socket,
+        handshake: Dict[str, Any],
+        state: _RunState,
+        processes: List[subprocess.Popen],
+    ) -> None:
+        """Accept workers and feed them until every chunk has a result."""
+        deadline = time.monotonic() + self.connect_timeout
+        threads: List[threading.Thread] = []
+        while True:
+            with state.lock:
+                if state.finished():
+                    break
+                idle_fleet = not processes or all(p.poll() is not None for p in processes)
+                needs_worker = bool(state.tasks) and state.active_handlers == 0
+                if self.spawn_workers and idle_fleet and needs_worker:
+                    # Requeued work outlived the fleet (e.g. every --once
+                    # worker finished before a crash handed a chunk back):
+                    # replace one worker so the run can complete.
+                    processes.append(self._spawn_worker(server.getsockname()[1]))
+                    deadline = time.monotonic() + self.connect_timeout
+                    idle_fleet = False
+                stalled = (
+                    state.active_handlers == 0
+                    and idle_fleet
+                    and time.monotonic() > deadline
+                )
+                if stalled:
+                    state.error = RuntimeError(
+                        "distributed run stalled: no workers connected "
+                        f"within {self.connect_timeout:.0f}s and work remains"
+                    )
+                    break
+            try:
+                connection, _ = server.accept()
+            except socket.timeout:
+                continue
+            with state.lock:
+                state.active_handlers += 1
+            thread = threading.Thread(
+                target=self._handle_worker,
+                args=(connection, handshake, state),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+            deadline = time.monotonic() + self.connect_timeout
+        for thread in threads:
+            thread.join(timeout=10)
+
+    def _handle_worker(
+        self, connection: socket.socket, handshake: Dict[str, Any], state: _RunState
+    ) -> None:
+        """Per-connection pump: handshake, then task/answer round trips."""
+        current: Optional[Tuple[int, Any]] = None
+        try:
+            with connection:
+                send_frame(connection, handshake)
+                while True:
+                    with state.lock:
+                        if state.error is not None or not state.tasks:
+                            break
+                        current = state.tasks.popleft()
+                    index, chunk = current
+                    send_frame(connection, {"units": list(chunk)})
+                    reply = recv_frame(connection)
+                    if "error" in reply:
+                        raise RuntimeError(f"worker failed: {reply['error']}")
+                    with state.lock:
+                        state.results[index] = reply["outputs"]
+                        current = None
+                        state.done.notify_all()
+                send_frame(connection, {"done": True})
+        except RuntimeError as exc:
+            # A worker-side execution error is deterministic — rerunning the
+            # chunk elsewhere would fail identically, so fail the run.
+            with state.lock:
+                state.error = exc
+                state.done.notify_all()
+        except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+            # Lost the worker mid-chunk: give the chunk back to the fleet.
+            if current is not None:
+                state.requeue(*current)
+        finally:
+            with state.lock:
+                state.active_handlers -= 1
+                state.done.notify_all()
+
+
+def run_worker(
+    host: str, port: int, once: bool = False, connect_retries: int = 50
+) -> int:
+    """Worker loop for ``python -m repro worker``: pull chunks, push outputs.
+
+    Connects to a :class:`DistributedBackend` (retrying while the backend
+    is still binding), executes the chunks it is handed with one
+    long-lived :class:`~repro.experiments.cache.ExperimentContext`, and —
+    unless ``once`` — reconnects for the next run, so a standing fleet of
+    workers can serve many runs.  Returns a process exit status.
+    """
+    while True:
+        try:
+            connection = _connect(host, port, connect_retries)
+        except ConnectionError:
+            return 1
+        with connection:
+            handshake = recv_frame(connection)
+            spec = spec_from_dict(handshake["spec"])
+            context = ExperimentContext()
+            if handshake.get("manifests"):
+                context.victims.seed_shared(handshake["manifests"])
+            while True:
+                message = recv_frame(connection)
+                if message.get("done"):
+                    break
+                try:
+                    outputs = [spec.run_unit(unit, context) for unit in message["units"]]
+                except Exception as exc:  # noqa: BLE001 - reported to the backend
+                    send_frame(connection, {"error": f"{type(exc).__name__}: {exc}"})
+                    return 1
+                send_frame(connection, {"outputs": outputs})
+        if once:
+            return 0
+
+
+def _connect(host: str, port: int, retries: int) -> socket.socket:
+    """Dial the backend, retrying briefly while it finishes binding."""
+    for attempt in range(retries):
+        try:
+            return socket.create_connection((host, port), timeout=30)
+        except OSError:
+            if attempt == retries - 1:
+                raise ConnectionError(f"could not reach {host}:{port}")
+            time.sleep(0.1)
+    raise ConnectionError(f"could not reach {host}:{port}")  # pragma: no cover

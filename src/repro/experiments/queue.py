@@ -1,0 +1,257 @@
+"""Persistent, crash-safe job queue for the experiment service.
+
+Jobs are :class:`ExperimentSpec` payloads queued for asynchronous
+execution.  Every job is persisted as one JSON file under the queue
+directory (written atomically via ``tmp`` + ``rename``), so the queue
+survives a daemon restart: pending jobs resume exactly where they were,
+and a job that was *running* when the daemon died is requeued — exactly
+once — by :meth:`JobQueue.recover`.
+
+Semantics:
+
+* **Dedup** — a job's id is the :func:`~repro.experiments.specs.spec_hash`
+  of its spec payload, so submitting the same spec twice returns the same
+  job instead of queueing duplicate work.  Submitting a spec whose previous
+  job failed or was cancelled re-activates that job.
+* **FIFO** — :meth:`JobQueue.claim` hands out pending jobs in submission
+  order (a monotonic per-queue sequence number, persisted with the job).
+* **Requeue exactly once** — a claimed job carries ``attempts`` and a
+  ``requeued`` flag; :meth:`JobQueue.recover` returns an interrupted
+  running job to the pending state the first time and fails it the second,
+  so a job that crashes the daemon cannot crash-loop forever.
+
+The queue is thread-safe (one lock guards all state) but single-writer:
+exactly one daemon process owns a queue directory at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.experiments.specs import spec_hash
+
+PathLike = Union[str, Path]
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a duplicate submission deduplicates against (anything still
+#: queued, in flight or already successfully completed).
+_ACTIVE_STATES = (PENDING, RUNNING, DONE)
+
+_JOB_PREFIX = "job-"
+
+
+@dataclass
+class Job:
+    """One queued experiment: a spec payload plus its execution state.
+
+    ``job_id`` is the spec-hash content address (deduplication key),
+    ``name`` the result-store entry the output is saved under, and
+    ``sequence`` the FIFO submission order.  ``attempts`` counts claims and
+    ``requeued`` records whether the crash-recovery path already gave the
+    job its one retry.
+    """
+
+    job_id: str
+    name: str
+    spec: Dict[str, Any]
+    state: str = PENDING
+    sequence: int = 0
+    attempts: int = 0
+    requeued: bool = False
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable description; inverse of :meth:`from_dict`."""
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "spec": self.spec,
+            "state": self.state,
+            "sequence": self.sequence,
+            "attempts": self.attempts,
+            "requeued": self.requeued,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return cls(
+            job_id=payload["job_id"],
+            name=payload["name"],
+            spec=dict(payload["spec"]),
+            state=payload.get("state", PENDING),
+            sequence=int(payload.get("sequence", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            requeued=bool(payload.get("requeued", False)),
+            error=payload.get("error"),
+        )
+
+
+class JobQueue:
+    """Directory-backed FIFO queue of experiment jobs.
+
+    Construction loads every persisted job from ``directory``; call
+    :meth:`recover` afterwards (the daemon does) to requeue work that was
+    interrupted mid-run.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._sequence = 0
+        for path in sorted(self.directory.glob(f"{_JOB_PREFIX}*.json")):
+            try:
+                job = Job.from_dict(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # foreign or truncated file: never block the queue
+            self._jobs[job.job_id] = job
+            self._sequence = max(self._sequence, job.sequence)
+
+    # -- persistence ---------------------------------------------------
+    def _path_for(self, job_id: str) -> Path:
+        return self.directory / f"{_JOB_PREFIX}{job_id}.json"
+
+    def _persist(self, job: Job) -> None:
+        """Atomically write one job file (tmp + rename survives crashes)."""
+        path = self._path_for(job.job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(job.to_dict(), indent=2))
+        os.replace(tmp, path)
+
+    # -- submission and lifecycle --------------------------------------
+    def submit(
+        self, spec_payload: Mapping[str, Any], name: Optional[str] = None
+    ) -> Tuple[Job, bool]:
+        """Queue a spec payload; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an active job for the same spec
+        already exists (the existing job is returned unchanged — duplicate
+        submissions never queue duplicate work).  A previous job that
+        failed or was cancelled is re-activated with fresh attempt
+        counters.  ``name`` defaults to ``<kind>-<job id prefix>``.
+        """
+        payload = dict(spec_payload)
+        job_id = spec_hash(payload)[:16]
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.state in _ACTIVE_STATES:
+                return existing, False
+            if existing is not None:
+                existing.state = PENDING
+                existing.attempts = 0
+                existing.requeued = False
+                existing.error = None
+                self._persist(existing)
+                return existing, True
+            self._sequence += 1
+            job = Job(
+                job_id=job_id,
+                name=name or f"{payload.get('kind', 'job')}-{job_id[:8]}",
+                spec=payload,
+                sequence=self._sequence,
+            )
+            self._jobs[job_id] = job
+            self._persist(job)
+            return job, True
+
+    def claim(self) -> Optional[Job]:
+        """Move the oldest pending job to ``running`` and return it."""
+        with self._lock:
+            pending = [job for job in self._jobs.values() if job.state == PENDING]
+            if not pending:
+                return None
+            job = min(pending, key=lambda entry: entry.sequence)
+            job.state = RUNNING
+            job.attempts += 1
+            self._persist(job)
+            return job
+
+    def complete(self, job_id: str) -> Job:
+        """Mark a running job as successfully done."""
+        return self._transition(job_id, DONE)
+
+    def fail(self, job_id: str, error: str) -> Job:
+        """Mark a job as failed with a human-readable error."""
+        return self._transition(job_id, FAILED, error=error)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; running/finished jobs are not cancellable."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != PENDING:
+                return False
+            job.state = CANCELLED
+            self._persist(job)
+            return True
+
+    def _transition(self, job_id: str, state: str, error: Optional[str] = None) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = state
+            job.error = error
+            self._persist(job)
+            return job
+
+    # -- recovery ------------------------------------------------------
+    def recover(self) -> Dict[str, List[str]]:
+        """Requeue work interrupted by a daemon crash or restart.
+
+        Every job found in the ``running`` state was in flight when the
+        previous owner died.  The first recovery returns it to ``pending``
+        (and sets the ``requeued`` flag); a job recovered *again* — i.e.
+        one whose execution has now taken the daemon down twice — is
+        failed instead, so a poisonous job cannot crash-loop the service.
+        Returns ``{"requeued": [...ids...], "failed": [...ids...]}``.
+        """
+        report: Dict[str, List[str]] = {"requeued": [], "failed": []}
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state != RUNNING:
+                    continue
+                if not job.requeued:
+                    job.state = PENDING
+                    job.requeued = True
+                    report["requeued"].append(job.job_id)
+                else:
+                    job.state = FAILED
+                    job.error = "interrupted again after its one crash requeue"
+                    report["failed"].append(job.job_id)
+                self._persist(job)
+        return report
+
+    # -- introspection -------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """The job with this id (raises ``KeyError`` when unknown)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.sequence)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per state (states with zero jobs included)."""
+        tally = {state: 0 for state in (PENDING, RUNNING, DONE, FAILED, CANCELLED)}
+        with self._lock:
+            for job in self._jobs.values():
+                tally[job.state] = tally.get(job.state, 0) + 1
+        return tally
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

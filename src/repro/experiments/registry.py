@@ -1,0 +1,195 @@
+"""Warm victim registry: an evicting shared-memory cache spanning jobs.
+
+PR 5's shared-memory shipping exported victims per *run*: the backend
+packed each trained clean state into ``/dev/shm`` before the pool started
+and unlinked everything when it drained, so the next job retrained (or
+re-exported) the very same victims.  :class:`VictimRegistry` generalises
+that manifest into a **persistent, bounded** cache owned by a long-lived
+process (the experiment service daemon): trained clean states stay
+exported across jobs, workers of any later job attach them zero-copy, and
+an LRU policy with a byte budget keeps ``/dev/shm`` usage bounded.
+
+The registry only ever holds *clean* (post-training, pre-attack) states,
+which are deterministic in their :class:`~repro.experiments.cache.VictimKey`
+— so serving a warm state is bit-identical to retraining, and eviction is
+always safe: the next consumer simply retrains (or re-exports) on miss.
+
+Ownership follows the rules of :mod:`repro.experiments.shared`: the
+registry's process owns every segment and unlinks evicted or closed
+entries; workers attach read-only and can never destroy registry state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.cache import VictimKey
+from repro.experiments.shared import (
+    SharedStateHandle,
+    SharedVictimManifest,
+    export_victim,
+)
+
+
+class VictimRegistry:
+    """Bounded LRU cache of exported victim clean states.
+
+    ``max_bytes`` caps the total shared-memory footprint (``None`` for
+    unbounded); ``max_entries`` caps the entry count.  Insertion beyond
+    either bound evicts least-recently-used entries — never the entry
+    being inserted, so a single oversized victim is still served (it is
+    simply evicted by the next insertion).  All methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[VictimKey, SharedStateHandle]" = OrderedDict()
+        self._manifests: Dict[VictimKey, SharedVictimManifest] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: VictimKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # -- core API ------------------------------------------------------
+    def get(self, key: VictimKey) -> Optional[SharedVictimManifest]:
+        """Manifest for ``key`` (marking it most-recently-used), or ``None``."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._manifests[key]
+
+    def put(
+        self, key: VictimKey, clean_state: Mapping[str, np.ndarray]
+    ) -> SharedVictimManifest:
+        """Export ``clean_state`` under ``key`` and return its manifest.
+
+        Re-inserting an existing key refreshes its LRU position and
+        returns the already-exported manifest (states are deterministic in
+        the key, so the bytes are interchangeable).  Inserting past the
+        budget evicts least-recently-used entries first.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("VictimRegistry is closed")
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._manifests[key]
+            handle, manifest = export_victim(
+                key.model_key, key.seed, key.training_epochs, clean_state
+            )
+            self._entries[key] = handle
+            self._manifests[key] = manifest
+            self._evict_over_budget()
+            return manifest
+
+    def get_or_export(
+        self,
+        key: VictimKey,
+        builder: Callable[[], Mapping[str, np.ndarray]],
+    ) -> SharedVictimManifest:
+        """Return ``key``'s manifest, exporting ``builder()`` on a miss."""
+        manifest = self.get(key)
+        if manifest is not None:
+            return manifest
+        return self.put(key, builder())
+
+    # -- eviction ------------------------------------------------------
+    def _evict_over_budget(self) -> None:
+        """Evict LRU entries until within budget (lock held by caller).
+
+        The most-recently-inserted entry is exempt, so an insertion always
+        succeeds even when the new state alone exceeds ``max_bytes``.
+        """
+        while len(self._entries) > 1 and self._over_budget():
+            key = next(iter(self._entries))
+            self._drop(key)
+            self.evictions += 1
+
+    def _over_budget(self) -> bool:
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        if self.max_bytes is not None and self._total_bytes() > self.max_bytes:
+            return True
+        return False
+
+    def _total_bytes(self) -> int:
+        return sum(
+            manifest.state.total_bytes for manifest in self._manifests.values()
+        )
+
+    def _drop(self, key: VictimKey) -> None:
+        handle = self._entries.pop(key)
+        self._manifests.pop(key, None)
+        handle.unlink()
+
+    def evict(self, key: VictimKey) -> bool:
+        """Explicitly drop one entry (unlinking its segment); True if present."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._drop(key)
+            self.evictions += 1
+            return True
+
+    # -- introspection and shutdown ------------------------------------
+    def total_bytes(self) -> int:
+        """Total shared-memory bytes currently held by the registry."""
+        with self._lock:
+            return self._total_bytes()
+
+    def manifests(self) -> List[SharedVictimManifest]:
+        """Manifests of every resident entry, LRU-first (does not touch LRU)."""
+        with self._lock:
+            return [self._manifests[key] for key in self._entries]
+
+    def keys(self) -> List[VictimKey]:
+        """Resident keys, LRU-first."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus residency figures."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": self._total_bytes(),
+            }
+
+    def close(self) -> None:
+        """Unlink every resident segment; the registry rejects further puts."""
+        with self._lock:
+            self._closed = True
+            for key in list(self._entries):
+                self._drop(key)
+
+    def __enter__(self) -> "VictimRegistry":
+        """Context-manager entry returning the registry itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the registry."""
+        self.close()

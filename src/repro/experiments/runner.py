@@ -89,6 +89,46 @@ def _chunk(units: Sequence, chunk_size: Optional[int], workers: int) -> List[Seq
     return [units[start : start + chunk_size] for start in range(0, len(units), chunk_size)]
 
 
+def _stage_victims(
+    spec: ExperimentSpec, context: ExperimentContext, registry=None
+) -> Tuple[List[Any], List[Any]]:
+    """Export every victim ``spec`` declares; returns ``(handles, manifests)``.
+
+    Without a registry the export is per-run: every returned handle is
+    owned by the caller, which must unlink it once the consuming pool has
+    drained (exactly PR 5's lifecycle).  With a
+    :class:`~repro.experiments.registry.VictimRegistry` the segments
+    belong to the registry instead — already-resident victims are served
+    without retraining *or* re-exporting, fresh ones are trained and
+    published, and the returned ``handles`` list is empty because eviction
+    and shutdown are the registry's job.  Either way the manifests hand
+    workers bit-identical clean states.
+    """
+    from repro.experiments.cache import VictimKey
+
+    handles: List[Any] = []
+    manifests: List[Any] = []
+    for model_key, seed, epochs in spec.victim_requirements():
+        if registry is not None:
+            manifest = registry.get(VictimKey(model_key, seed, epochs))
+            if manifest is None:
+                _, _, clean_state = context.victims.get_or_prepare_by_key(
+                    model_key, seed=seed, training_epochs=epochs
+                )
+                manifest = registry.put(VictimKey(model_key, seed, epochs), clean_state)
+            manifests.append(manifest)
+            continue
+        from repro.experiments.shared import export_victim
+
+        _, _, clean_state = context.victims.get_or_prepare_by_key(
+            model_key, seed=seed, training_epochs=epochs
+        )
+        handle, manifest = export_victim(model_key, seed, epochs, clean_state)
+        handles.append(handle)
+        manifests.append(manifest)
+    return handles, manifests
+
+
 class ExecutionBackend:
     """Strategy deciding where a spec's work units execute."""
 
@@ -205,10 +245,16 @@ class ProcessPoolBackend(ExecutionBackend):
         max_workers: Optional[int] = None,
         share_victims: bool = True,
         chunk_size: Optional[int] = None,
+        registry=None,
     ):
         self.max_workers = max_workers
         self.share_victims = share_victims
         self.chunk_size = chunk_size
+        #: Optional :class:`~repro.experiments.registry.VictimRegistry`:
+        #: when set, victims are staged from (and published into) the warm
+        #: registry instead of being exported per run, so consecutive jobs
+        #: in one daemon share segments.
+        self.registry = registry
 
     def run_units(
         self,
@@ -226,15 +272,7 @@ class ProcessPoolBackend(ExecutionBackend):
             # Export inside the try so a failure preparing a later victim
             # still unlinks the segments already created for earlier ones.
             if self.share_victims:
-                from repro.experiments.shared import export_victim
-
-                for model_key, seed, epochs in spec.victim_requirements():
-                    _, _, clean_state = context.victims.get_or_prepare_by_key(
-                        model_key, seed=seed, training_epochs=epochs
-                    )
-                    handle, manifest = export_victim(model_key, seed, epochs, clean_state)
-                    handles.append(handle)
-                    manifests.append(manifest)
+                handles, manifests = _stage_victims(spec, context, self.registry)
             chunks = _chunk(units, self.chunk_size, workers)
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -259,11 +297,20 @@ BACKENDS = {
 
 
 def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend by name (``serial``, ``thread`` or ``process``)."""
+    """Build a backend by name: ``serial``, ``thread``, ``process`` or ``distributed``.
+
+    ``distributed`` is resolved lazily from
+    :mod:`repro.experiments.distributed` (it pulls in sockets and worker
+    process management the local backends never need).
+    """
+    if name == "distributed":
+        from repro.experiments.distributed import DistributedBackend
+
+        return DistributedBackend(num_workers=max_workers)
     try:
         backend_cls = BACKENDS[name]
     except KeyError as exc:
-        known = ", ".join(sorted(BACKENDS))
+        known = ", ".join(sorted([*BACKENDS, "distributed"]))
         raise ValueError(f"unknown backend {name!r}; known backends: {known}") from exc
     if backend_cls is SerialBackend:
         return backend_cls()

@@ -1,0 +1,354 @@
+"""Long-lived experiment daemon: submit specs, poll status, fetch results.
+
+``python -m repro serve`` turns the one-shot CLI into a persistent
+service.  The daemon composes the pieces this package already has —
+:class:`~repro.experiments.queue.JobQueue` (persistent, crash-safe job
+state), :class:`~repro.experiments.registry.VictimRegistry` (warm
+shared-memory victims spanning jobs),
+:class:`~repro.experiments.store.ShardedResultStore` (spec-hash-sharded
+results) and :class:`~repro.experiments.runner.ExperimentRunner` — behind
+a line-oriented JSON protocol on a TCP socket:
+
+    {"op": "submit", "spec": {...ExperimentSpec payload...}}
+    {"ok": true, "job_id": "6fb0...", "state": "pending", ...}
+
+One executor thread drains the queue (jobs run strictly one at a time, in
+submission order, so daemon results are reproducible), while any number
+of client connections submit, poll, cancel and fetch concurrently.  On
+startup the daemon replays the queue directory: pending jobs resume,
+jobs interrupted mid-run are requeued exactly once — a restart loses no
+work.  The listening address is published to ``endpoint.json`` in the
+queue directory so clients (``python -m repro submit`` and friends) need
+no configuration.
+
+Execution stays bit-identical to a direct
+:class:`~repro.experiments.runner.ExperimentRunner` run of the same spec:
+the spec carries every seed, the backend contract guarantees
+serial-equality, and warm registry victims equal freshly trained ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.experiments.cache import VictimCache
+from repro.experiments.queue import JobQueue, Job
+from repro.experiments.registry import VictimRegistry
+from repro.experiments.runner import ExperimentRunner, make_backend
+from repro.experiments.specs import spec_from_dict
+from repro.experiments.store import open_store
+
+PathLike = Union[str, Path]
+
+#: Default TCP port of the experiment service.
+DEFAULT_PORT = 7421
+
+#: Name of the discovery file the daemon writes into its queue directory.
+ENDPOINT_FILE = "endpoint.json"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: JSON object per line in, JSON line out."""
+
+    def handle(self):  # noqa: D102 - socketserver plumbing, not public API
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            request: Dict[str, Any] = {}
+            try:
+                request = json.loads(line)
+                response = self.server.service._dispatch(request)
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if request.get("op") == "shutdown":
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ExperimentService:
+    """The daemon: a job queue, a warm victim registry and a runner.
+
+    ``queue_dir`` holds job state (and the ``endpoint.json`` discovery
+    file); ``store_dir`` is the sharded result store jobs save into.
+    ``backend`` names the execution backend jobs run under (``serial``,
+    ``thread``, ``process`` or ``distributed``); backends with a
+    ``registry`` attribute get the service's
+    :class:`~repro.experiments.registry.VictimRegistry` attached, so
+    consecutive jobs share exported victims.  ``registry_max_bytes`` /
+    ``registry_max_entries`` bound that registry.
+
+    Use :meth:`start` + :meth:`stop` (or :meth:`serve_forever`) for the
+    network daemon; tests drive the same object deterministically with
+    :meth:`process_once` / :meth:`drain` and no socket at all.
+    """
+
+    def __init__(
+        self,
+        queue_dir: PathLike,
+        store_dir: PathLike,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        registry_max_bytes: Optional[int] = None,
+        registry_max_entries: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ):
+        self.queue = JobQueue(queue_dir)
+        self.recovery = self.queue.recover()
+        self.store = open_store(store_dir, sharded=True)
+        self.registry = VictimRegistry(
+            max_bytes=registry_max_bytes, max_entries=registry_max_entries
+        )
+        cache = VictimCache()
+        cache.attach_registry(self.registry)
+        execution = make_backend(backend, max_workers=max_workers)
+        if hasattr(execution, "registry"):
+            execution.registry = self.registry
+        self.runner = ExperimentRunner(
+            backend=execution, store=self.store, victim_cache=cache
+        )
+        self.host = host
+        self.port = port
+        self._server: Optional[_Server] = None
+        self._executor: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+
+    # -- job execution -------------------------------------------------
+    def process_once(self) -> Optional[Job]:
+        """Claim and run one pending job; ``None`` when the queue is idle.
+
+        The synchronous core of the executor thread, exposed so tests (and
+        embedders) can drain the queue deterministically without sockets.
+        """
+        job = self.queue.claim()
+        if job is None:
+            return None
+        try:
+            spec = spec_from_dict(job.spec)
+            self.runner.run(spec, save_as=job.name)
+        except Exception as exc:  # noqa: BLE001 - job-level isolation
+            return self.queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
+        return self.queue.complete(job.job_id)
+
+    def drain(self) -> int:
+        """Run queued jobs until none are pending; returns the count run."""
+        ran = 0
+        while self.process_once() is not None:
+            ran += 1
+        return ran
+
+    def _execute_loop(self) -> None:
+        while not self._stopping.is_set():
+            if self.process_once() is None:
+                self._wake.wait(timeout=0.05)
+                self._wake.clear()
+
+    # -- protocol ------------------------------------------------------
+    def _dispatch(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Serve one protocol request (already JSON-decoded)."""
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(), "jobs": self.queue.counts()}
+        if op == "submit":
+            try:
+                spec_from_dict(request["spec"])  # reject malformed specs up front
+            except (ValueError, TypeError, KeyError) as exc:
+                return {"ok": False, "error": f"invalid spec: {exc}"}
+            job, created = self.queue.submit(request["spec"], name=request.get("name"))
+            self._wake.set()
+            return {
+                "ok": True,
+                "job_id": job.job_id,
+                "name": job.name,
+                "state": job.state,
+                "created": created,
+            }
+        if op == "status":
+            try:
+                return {"ok": True, "job": self.queue.get(request["job_id"]).to_dict()}
+            except KeyError:
+                return {"ok": False, "error": f"unknown job {request['job_id']!r}"}
+        if op == "cancel":
+            return {"ok": True, "cancelled": self.queue.cancel(request["job_id"])}
+        if op == "jobs":
+            return {"ok": True, "jobs": [job.to_dict() for job in self.queue.jobs()]}
+        if op == "results":
+            return {"ok": True, "names": self.store.names()}
+        if op == "result":
+            path = self.store.path_for(request["name"])
+            if not path.is_file():
+                return {"ok": False, "error": f"no result named {request['name']!r}"}
+            return {"ok": True, "envelope": json.loads(path.read_text())}
+        if op == "registry":
+            return {"ok": True, "stats": self.registry.stats()}
+        if op == "shutdown":
+            threading.Thread(target=self.stop, daemon=True).start()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- daemon lifecycle ----------------------------------------------
+    @property
+    def endpoint_path(self) -> Path:
+        """Where the daemon publishes (and clients discover) its address."""
+        return self.queue.directory / ENDPOINT_FILE
+
+    def start(self) -> None:
+        """Bind the socket, publish ``endpoint.json``, start the executor."""
+        self._server = _Server((self.host, self.port), _Handler)
+        self._server.service = self
+        self.port = self._server.server_address[1]
+        self.endpoint_path.write_text(
+            json.dumps({"host": self.host, "port": self.port, "pid": os.getpid()})
+        )
+        self._executor = threading.Thread(target=self._execute_loop, daemon=True)
+        self._executor.start()
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+        )
+        self._serve_thread.start()
+
+    def wait_until_stopped(self, timeout: Optional[float] = None) -> bool:
+        """Block until the daemon stops; ``False`` when ``timeout`` expires."""
+        return self._stopping.wait(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Run the daemon until :meth:`stop` (or a shutdown request)."""
+        self.start()
+        try:
+            self.wait_until_stopped()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop serving, finish the in-flight job, release the registry.
+
+        Idempotent.  A job actually mid-run when the daemon dies instead
+        of stopping cleanly is requeued by the next start's queue
+        recovery.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self._wake.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._executor is not None:
+            self._executor.join(timeout=60)
+            self._executor = None
+        try:
+            self.endpoint_path.unlink()
+        except OSError:
+            pass
+        self.registry.close()
+
+
+class ServiceClient:
+    """Talk to a running :class:`ExperimentService` over its JSON protocol.
+
+    Address resolution: pass ``host``/``port`` explicitly, or a
+    ``queue_dir`` whose ``endpoint.json`` (written by the daemon) is read
+    instead.  Every method opens a short-lived connection, so a client
+    object is cheap and stateless.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        queue_dir: Optional[PathLike] = None,
+    ):
+        if host is None or port is None:
+            if queue_dir is None:
+                raise ValueError("need host+port or a queue_dir with endpoint.json")
+            endpoint = json.loads((Path(queue_dir) / ENDPOINT_FILE).read_text())
+            host = host or endpoint["host"]
+            port = port or endpoint["port"]
+        self.host = host
+        self.port = port
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with socket.create_connection((self.host, self.port), timeout=30) as conn:
+            conn.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            reader = conn.makefile("r", encoding="utf-8")
+            line = reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection without replying")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "service request failed"))
+        return response
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns the daemon pid and per-state job counts."""
+        return self._call({"op": "ping"})
+
+    def submit(
+        self, spec_payload: Mapping[str, Any], name: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Submit a spec payload; returns job id/name/state and dedup flag."""
+        request: Dict[str, Any] = {"op": "submit", "spec": dict(spec_payload)}
+        if name is not None:
+            request["name"] = name
+        return self._call(request)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Full job record (state, attempts, error) for ``job_id``."""
+        return self._call({"op": "status", "job_id": job_id})["job"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; ``False`` when it already left the queue."""
+        return self._call({"op": "cancel", "job_id": job_id})["cancelled"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the daemon knows, in submission order."""
+        return self._call({"op": "jobs"})["jobs"]
+
+    def results(self) -> List[str]:
+        """Names of every result in the daemon's store."""
+        return self._call({"op": "results"})["names"]
+
+    def result(self, name: str) -> Dict[str, Any]:
+        """The raw stored envelope (schema/kind/spec/payload) of a result."""
+        return self._call({"op": "result", "name": name})["envelope"]
+
+    def registry_stats(self) -> Dict[str, Any]:
+        """Victim-registry counters (hits/misses/evictions/entries/bytes)."""
+        return self._call({"op": "registry"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (it finishes the in-flight job first)."""
+        self._call({"op": "shutdown"})
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until ``job_id`` reaches a terminal state; returns the job.
+
+        Raises ``TimeoutError`` if the job is still pending/running after
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)

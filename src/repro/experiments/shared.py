@@ -36,6 +36,8 @@ import atexit
 import mmap
 import os
 import secrets
+import signal
+import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
@@ -80,6 +82,46 @@ def _unlink_owned() -> None:
             segment.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover - already gone
             pass
+
+
+#: Whether the SIGTERM/SIGINT unlink backstop is installed (main thread only).
+_SIGNALS_INSTALLED = False
+
+
+def _install_signal_backstop() -> None:
+    """Run the atexit unlink backstop on SIGTERM/SIGINT too.
+
+    ``atexit`` never fires when the owning process is killed by an
+    unhandled SIGTERM, so a terminated daemon would strand its segments in
+    ``/dev/shm`` until reboot.  The first :func:`export_state` call from
+    the main thread therefore wraps the existing SIGTERM/SIGINT
+    disposition: the wrapper unlinks every owned segment, then defers to
+    the previous handler — re-raising with the default disposition when
+    there was none, so exit codes and signal semantics are preserved.  A
+    signal explicitly ignored (``SIG_IGN``) stays ignored: the process is
+    not dying, so its segments must stay linked.
+    """
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED or threading.current_thread() is not threading.main_thread():
+        return
+    _SIGNALS_INSTALLED = True
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous = signal.getsignal(signum)
+        if previous is signal.SIG_IGN:
+            continue
+
+        def _handler(num, frame, previous=previous):
+            _unlink_owned()
+            if callable(previous):
+                previous(num, frame)
+            else:
+                signal.signal(num, signal.SIG_DFL)
+                os.kill(os.getpid(), num)
+
+        try:
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic embedding
+            _SIGNALS_INSTALLED = False
 
 
 @dataclass(frozen=True)
@@ -159,6 +201,7 @@ def export_state(state: Mapping[str, np.ndarray]) -> Tuple[SharedStateHandle, Sh
     Returns the owning handle (caller must :meth:`~SharedStateHandle.unlink`
     it when every consumer is done) and the manifest workers attach with.
     """
+    _install_signal_backstop()
     items: List[Tuple[str, np.ndarray]] = [
         (key, np.ascontiguousarray(value)) for key, value in state.items()
     ]

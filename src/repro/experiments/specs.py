@@ -22,6 +22,8 @@ campaign and the profile-density ablation) is described by one of the
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
@@ -203,6 +205,32 @@ def spec_from_dict(payload: Mapping[str, Any]) -> ExperimentSpec:
 
 def _freeze(values: Optional[Sequence]) -> Optional[tuple]:
     return None if values is None else tuple(values)
+
+
+def canonical_spec_json(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding of a spec payload (sorted keys, no spaces).
+
+    Two payloads describing the same spec always canonicalise to the same
+    string, which makes :func:`spec_hash` a stable content address across
+    processes, hosts and Python versions.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=float)
+
+
+def spec_hash(spec_or_payload) -> str:
+    """Content hash (SHA-256 hex) of a spec or its ``to_dict`` payload.
+
+    The hash addresses everything downstream of a spec: the job queue
+    derives job ids from it (duplicate submissions of the same spec
+    deduplicate to one job) and the sharded result store partitions its
+    directory by the hash prefix.  Accepts either an
+    :class:`ExperimentSpec` instance or its payload mapping.
+    """
+    if isinstance(spec_or_payload, ExperimentSpec):
+        payload = spec_or_payload.to_dict()
+    else:
+        payload = dict(spec_or_payload)
+    return hashlib.sha256(canonical_spec_json(payload).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Union
+from typing import Any, Callable, Dict, Iterator, List, Tuple, Union
 
 from repro.core.comparison import MechanismOutcome, ModelComparisonResult
 from repro.core.results import AttackResult
@@ -36,6 +37,7 @@ from repro.experiments.specs import (
     FlipSweepOutcome,
     ProfileDensityOutcome,
     spec_from_dict,
+    spec_hash,
 )
 
 SCHEMA_VERSION = 1
@@ -228,6 +230,9 @@ class ResultStore:
         #: / not a result envelope); entries invalidate themselves whenever
         #: the stat signature stops matching.
         self._index: Dict[Path, tuple] = {}
+        #: Number of result files actually read and JSON-parsed (index hits
+        #: excluded) — lets tests assert how much I/O an operation cost.
+        self.files_parsed = 0
 
     def path_for(self, name: str) -> Path:
         """Filesystem path a result of this name is stored at."""
@@ -251,6 +256,7 @@ class ResultStore:
             return cached[2]
         try:
             envelope = json.loads(path.read_text())
+            self.files_parsed += 1
         except (OSError, json.JSONDecodeError):
             envelope = None
         if not (isinstance(envelope, dict) and "schema_version" in envelope):
@@ -258,18 +264,39 @@ class ResultStore:
         self._index[path] = (*signature, envelope)
         return envelope
 
-    def save(self, name: str, result: ExperimentResult) -> Path:
-        """Persist ``result`` under ``name``, returning the written path."""
+    def _encode_envelope(self, result: ExperimentResult) -> Dict[str, Any]:
+        """The on-disk envelope dict for ``result`` (spec + encoded payload)."""
         try:
             encode, _ = _CODECS[result.kind]
         except KeyError as exc:
             raise ValueError(f"no result codec registered for kind {result.kind!r}") from exc
-        envelope = {
+        return {
             "schema_version": SCHEMA_VERSION,
             "kind": result.kind,
             "spec": result.spec.to_dict(),
             "payload": _jsonify(encode(result.payload)),
         }
+
+    def _decode_envelope(self, path: Path, envelope: Dict[str, Any]) -> ExperimentResult:
+        """Rebuild the in-memory result from a parsed envelope dict."""
+        version = envelope.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has schema version {version!r}; this build reads {SCHEMA_VERSION}"
+            )
+        kind = envelope["kind"]
+        try:
+            _, decode = _CODECS[kind]
+        except KeyError as exc:
+            raise ValueError(f"no result codec registered for kind {kind!r}") from exc
+        return ExperimentResult(
+            spec=spec_from_dict(envelope["spec"]),
+            payload=decode(envelope["payload"]),
+        )
+
+    def save(self, name: str, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``name``, returning the written path."""
+        envelope = self._encode_envelope(result)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(name)
         path.write_text(json.dumps(envelope, indent=2, default=float, allow_nan=False))
@@ -288,20 +315,18 @@ class ResultStore:
             # Preserve the historical error surface: a missing file raises
             # OSError, a non-envelope JSON file a ValueError.
             envelope = json.loads(path.read_text())
-        version = envelope.get("schema_version")
-        if version != SCHEMA_VERSION:
-            raise ValueError(
-                f"{path} has schema version {version!r}; this build reads {SCHEMA_VERSION}"
-            )
-        kind = envelope["kind"]
-        try:
-            _, decode = _CODECS[kind]
-        except KeyError as exc:
-            raise ValueError(f"no result codec registered for kind {kind!r}") from exc
-        return ExperimentResult(
-            spec=spec_from_dict(envelope["spec"]),
-            payload=decode(envelope["payload"]),
-        )
+        return self._decode_envelope(path, envelope)
+
+    def iter_results(self) -> Iterator[Tuple[str, ExperimentResult]]:
+        """Yield ``(name, result)`` pairs one at a time, in name order.
+
+        The streaming counterpart of ``{name: load(name) for ...}``: each
+        result is decoded only when the consumer reaches it, so aggregation
+        (the CLI ``report``) holds one decoded result at a time regardless
+        of store size.
+        """
+        for name in self.names():
+            yield name, self.load(name)
 
     def names(self) -> List[str]:
         """Names of every loadable result in the store (sorted).
@@ -321,3 +346,191 @@ class ResultStore:
 
     def __contains__(self, name: str) -> bool:
         return self.path_for(name).is_file()
+
+
+class ShardedResultStore(ResultStore):
+    """A :class:`ResultStore` partitioned by spec-hash prefix.
+
+    Fleet-scale campaigns produce orders of magnitude more result files
+    than the flat layout's single directory (and single stat-everything
+    index pass) can serve.  This store partitions results into
+    ``shards/<xx>/`` subdirectories — ``xx`` being the first two hex digits
+    of the producing spec's :func:`~repro.experiments.specs.spec_hash` —
+    and maintains one ``_index.json`` per shard mapping result names to
+    ``{kind, spec_hash, mtime_ns, size}``.  Listing reads the (tiny, also
+    mtime-cached) shard indexes instead of every result file, and
+    :meth:`load` parses result files on demand *without* retaining the
+    parsed envelope, so :meth:`~ResultStore.iter_results` aggregation
+    streams in constant memory.
+
+    Legacy flat files in the store root remain readable (read-through);
+    :meth:`migrate` moves them into shards in place.
+    """
+
+    #: Subdirectory holding the shard tree; its existence marks a store
+    #: directory as sharded (see :func:`open_store`).
+    SHARD_DIR = "shards"
+
+    def __init__(self, directory: PathLike):
+        super().__init__(directory)
+        #: result name -> path of its sharded file (rebuilt from the shard
+        #: indexes whenever a lookup misses).
+        self._locations: Dict[str, Path] = {}
+        #: index-file path -> ((mtime_ns, size), entries) parse cache.
+        self._shard_index_cache: Dict[Path, tuple] = {}
+
+    # -- layout --------------------------------------------------------
+    def shard_prefix(self, spec_payload: Dict[str, Any]) -> str:
+        """The two-hex-digit shard a spec payload's results live in."""
+        return spec_hash(spec_payload)[:2]
+
+    def path_for(self, name: str) -> Path:
+        """Sharded path when the shard indexes know ``name``, else flat.
+
+        The flat fallback keeps legacy (pre-sharding) files readable and
+        preserves the historical miss behaviour: loading an unknown name
+        raises ``OSError`` from the flat path.
+        """
+        located = self._locations.get(name)
+        if located is None:
+            flat = self.directory / f"{name}.json"
+            if flat.is_file():
+                return flat
+            self._refresh_locations()
+            located = self._locations.get(name)
+            if located is None:
+                return flat
+        return located
+
+    # -- shard indexes -------------------------------------------------
+    def _read_shard_index(self, index_path: Path) -> Dict[str, Any]:
+        """Entries of one shard ``_index.json`` (mtime/size cached)."""
+        try:
+            stat = index_path.stat()
+        except OSError:
+            self._shard_index_cache.pop(index_path, None)
+            return {}
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cached = self._shard_index_cache.get(index_path)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        try:
+            entries = json.loads(index_path.read_text()).get("entries", {})
+        except (OSError, json.JSONDecodeError, AttributeError):
+            entries = {}
+        self._shard_index_cache[index_path] = (signature, entries)
+        return entries
+
+    def _refresh_locations(self) -> None:
+        """Rebuild the name -> path map from every shard's index."""
+        root = self.directory / self.SHARD_DIR
+        locations: Dict[str, Path] = {}
+        if root.is_dir():
+            for index_path in sorted(root.glob("*/_index.json")):
+                shard_dir = index_path.parent
+                for name in self._read_shard_index(index_path):
+                    locations[name] = shard_dir / f"{name}.json"
+        self._locations = locations
+
+    def _update_shard_index(
+        self, shard_dir: Path, name: str, envelope: Dict[str, Any], path: Path
+    ) -> None:
+        """Record ``name`` in its shard's ``_index.json`` (atomic rewrite)."""
+        index_path = shard_dir / "_index.json"
+        entries = dict(self._read_shard_index(index_path))
+        stat = path.stat()
+        entries[name] = {
+            "kind": envelope["kind"],
+            "spec_hash": spec_hash(envelope["spec"]),
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+        }
+        tmp = index_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION, "entries": entries}, indent=2)
+        )
+        os.replace(tmp, index_path)
+        stat = index_path.stat()
+        self._shard_index_cache[index_path] = ((stat.st_mtime_ns, stat.st_size), entries)
+
+    # -- store API -----------------------------------------------------
+    def save(self, name: str, result: ExperimentResult) -> Path:
+        """Persist ``result`` into its spec-hash shard and index it.
+
+        A legacy flat file of the same name is removed — the sharded copy
+        supersedes it, keeping :meth:`names` duplicate-free.
+        """
+        envelope = self._encode_envelope(result)
+        shard_dir = self.directory / self.SHARD_DIR / self.shard_prefix(envelope["spec"])
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        path = shard_dir / f"{name}.json"
+        path.write_text(json.dumps(envelope, indent=2, default=float, allow_nan=False))
+        flat = self.directory / f"{name}.json"
+        if flat.is_file():
+            flat.unlink()
+            self._index.pop(flat, None)
+        self._update_shard_index(shard_dir, name, envelope, path)
+        self._locations[name] = path
+        return path
+
+    def load(self, name: str) -> ExperimentResult:
+        """Load ``name``, parsing sharded files without retaining them.
+
+        Flat legacy files go through the base class (and its envelope
+        cache); sharded files are parsed on demand and *not* cached, so a
+        full-store aggregation pass needs memory for one result at a time.
+        """
+        path = self.path_for(name)
+        if path.parent == self.directory:
+            return super().load(name)
+        envelope = json.loads(path.read_text())
+        self.files_parsed += 1
+        return self._decode_envelope(path, envelope)
+
+    def names(self) -> List[str]:
+        """All result names: shard-index entries plus legacy flat files.
+
+        The shard contribution costs one (cached) index read per shard —
+        result files themselves are neither stat-ed nor parsed.
+        """
+        self._refresh_locations()
+        return sorted(set(super().names()) | set(self._locations))
+
+    def migrate(self) -> List[str]:
+        """Move every legacy flat result file into the sharded layout.
+
+        Returns the migrated names.  Files move with ``os.replace`` (their
+        bytes are unchanged — the envelope's spec supplies the shard), so a
+        half-completed migration leaves every result in exactly one place
+        and a rerun finishes the job.
+        """
+        moved = []
+        for name in ResultStore.names(self):
+            flat = self.directory / f"{name}.json"
+            envelope = self._envelope_for(flat)
+            if envelope is None:  # pragma: no cover - raced deletion
+                continue
+            shard_dir = self.directory / self.SHARD_DIR / self.shard_prefix(envelope["spec"])
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            target = shard_dir / f"{name}.json"
+            os.replace(flat, target)
+            self._index.pop(flat, None)
+            self._update_shard_index(shard_dir, name, envelope, target)
+            self._locations[name] = target
+            moved.append(name)
+        return moved
+
+
+def open_store(directory: PathLike, sharded: Union[bool, None] = None) -> ResultStore:
+    """Open the right store flavour for ``directory``.
+
+    Auto-detects by layout: a ``shards/`` subdirectory means
+    :class:`ShardedResultStore`, anything else the flat
+    :class:`ResultStore`.  Pass ``sharded=True``/``False`` to force a
+    flavour (e.g. when creating a new sharded store, or before running
+    :meth:`ShardedResultStore.migrate` on a flat tree).
+    """
+    root = Path(directory)
+    if sharded is None:
+        sharded = (root / ShardedResultStore.SHARD_DIR).is_dir()
+    return ShardedResultStore(root) if sharded else ResultStore(root)

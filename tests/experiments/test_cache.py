@@ -29,10 +29,14 @@ class TestVictimCache:
         cache = VictimCache()
         spec = get_spec("resnet20")
         first = cache.get_or_prepare(spec, seed=1)
-        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1, "shared_attaches": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "entries": 1, "shared_attaches": 0, "evictions": 0,
+        }
         second = cache.get_or_prepare(spec, seed=1)
         assert second is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1, "shared_attaches": 0}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "shared_attaches": 0, "evictions": 0,
+        }
         assert counting_prepare == [("resnet20", 1, None)]
 
     def test_key_includes_seed_and_epochs(self, counting_prepare):
@@ -65,6 +69,83 @@ class TestVictimCache:
         # a second "experiment" using the same context reuses the victim
         context.victims.get_or_prepare_by_key("resnet20", seed=5)
         assert len(counting_prepare) == 1
+
+
+class TestBoundedCache:
+    def test_lru_eviction_at_max_entries(self, counting_prepare):
+        cache = VictimCache(max_entries=2)
+        cache.get_or_prepare_by_key("resnet20", seed=1)
+        cache.get_or_prepare_by_key("resnet20", seed=2)
+        cache.get_or_prepare_by_key("resnet20", seed=1)  # touch: seed=2 is LRU
+        cache.get_or_prepare_by_key("resnet20", seed=3)
+        assert VictimKey("resnet20", 2, None) not in cache
+        assert VictimKey("resnet20", 1, None) in cache
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["entries"] == 2
+
+    def test_evicted_victim_retrains_on_next_miss(self, counting_prepare):
+        cache = VictimCache(max_entries=1)
+        cache.get_or_prepare_by_key("resnet20", seed=1)
+        cache.get_or_prepare_by_key("resnet20", seed=2)  # evicts seed=1
+        cache.get_or_prepare_by_key("resnet20", seed=1)  # deterministic retrain
+        assert [call[1] for call in counting_prepare] == [1, 2, 1]
+
+    def test_unbounded_by_default(self, counting_prepare):
+        cache = VictimCache()
+        for seed in range(10):
+            cache.get_or_prepare_by_key("resnet20", seed=seed)
+        assert cache.stats() == {
+            "hits": 0, "misses": 10, "entries": 10,
+            "shared_attaches": 0, "evictions": 0,
+        }
+
+
+class TestRegistryAttachment:
+    def test_miss_attaches_from_registry_instead_of_training(
+        self, counting_prepare, monkeypatch
+    ):
+        from repro.experiments import VictimRegistry
+
+        # The fake clean state cannot be loaded into a real model; stand in
+        # for the (deterministic) rebuild step as well.
+        monkeypatch.setattr(
+            VictimCache,
+            "_materialize",
+            lambda self, spec, key, state: (object(), object(), state),
+        )
+        with VictimRegistry() as registry:
+            warm = VictimCache()
+            warm.attach_registry(registry)
+            warm.get_or_prepare_by_key("resnet20", seed=1)  # trains + publishes
+            assert len(registry) == 1
+
+            cold = VictimCache()
+            cold.attach_registry(registry)
+            cold.get_or_prepare_by_key("resnet20", seed=1)
+            assert cold.stats()["misses"] == 0
+            assert cold.stats()["shared_attaches"] == 1
+            assert len(counting_prepare) == 1  # only the warm cache trained
+            cold.clear()
+
+    def test_stale_manifest_falls_back_to_training(self, counting_prepare):
+        from repro.experiments import VictimRegistry
+
+        key = VictimKey("resnet20", 1, None)
+        with VictimRegistry() as registry:
+            publisher = VictimCache()
+            publisher.attach_registry(registry)
+            publisher.get_or_prepare_by_key("resnet20", seed=1)
+            manifest = registry.get(key)
+            registry.evict(key)  # segment unlinked; manifest now dangles
+
+            stale = VictimCache()
+            # Attaching the dangling manifest misses cleanly...
+            assert stale._from_manifest(get_spec("resnet20"), key, manifest) is None
+            # ...so a full lookup falls through to a deterministic retrain.
+            stale.seed_shared([manifest])
+            stale.get_or_prepare_by_key("resnet20", seed=1)
+            assert stale.stats()["misses"] == 1
+            assert len(counting_prepare) == 2
 
 
 class TestCheckout:

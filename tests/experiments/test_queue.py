@@ -1,0 +1,149 @@
+"""JobQueue: dedup, FIFO, persistence, and requeue-exactly-once recovery."""
+
+import json
+
+from repro.experiments import ComparisonSpec, DefenseMatrixSpec, JobQueue
+from repro.experiments.queue import Job
+
+
+def _payload(seed=0):
+    return ComparisonSpec(seed=seed).to_dict()
+
+
+class TestJobRoundTrip:
+    def test_job_dict_round_trip(self):
+        job = Job(job_id="abc", name="x", spec=_payload(), state="running",
+                  sequence=3, attempts=2, requeued=True, error="boom")
+        assert Job.from_dict(job.to_dict()) == job
+
+
+class TestSubmit:
+    def test_submit_persists_and_names(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, created = queue.submit(_payload())
+        assert created
+        assert job.state == "pending"
+        assert job.name.startswith("comparison-")
+        on_disk = json.loads((tmp_path / f"job-{job.job_id}.json").read_text())
+        assert on_disk["spec"]["kind"] == "comparison"
+
+    def test_duplicate_spec_deduplicates(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, created_first = queue.submit(_payload())
+        second, created_second = queue.submit(_payload())
+        assert created_first and not created_second
+        assert second is first
+        assert len(queue) == 1
+
+    def test_different_specs_are_different_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        a, _ = queue.submit(_payload(seed=1))
+        b, _ = queue.submit(_payload(seed=2))
+        assert a.job_id != b.job_id
+        assert len(queue) == 2
+
+    def test_done_job_still_deduplicates(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        queue.claim()
+        queue.complete(job.job_id)
+        again, created = queue.submit(_payload())
+        assert not created
+        assert again.state == "done"
+
+    def test_failed_job_is_reactivated(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        queue.claim()
+        queue.fail(job.job_id, "boom")
+        again, created = queue.submit(_payload())
+        assert created
+        assert again.state == "pending"
+        assert again.attempts == 0 and again.error is None
+
+
+class TestClaimAndLifecycle:
+    def test_claim_is_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit(_payload(seed=1))
+        second, _ = queue.submit(_payload(seed=2))
+        assert queue.claim().job_id == first.job_id
+        assert queue.claim().job_id == second.job_id
+        assert queue.claim() is None
+
+    def test_cancel_only_pending(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        assert queue.cancel(job.job_id)
+        assert queue.get(job.job_id).state == "cancelled"
+        running, _ = queue.submit(_payload(seed=9))
+        queue.claim()
+        assert not queue.cancel(running.job_id)  # running: not cancellable
+        assert not queue.cancel("nonexistent")
+
+    def test_counts(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit(_payload(seed=1))
+        queue.submit(_payload(seed=2))
+        queue.claim()  # claims the first submission
+        queue.complete(first.job_id)
+        counts = queue.counts()
+        assert counts["pending"] == 1 and counts["done"] == 1
+
+
+class TestPersistence:
+    def test_restart_preserves_jobs_and_order(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit(DefenseMatrixSpec().to_dict())
+        second, _ = queue.submit(_payload(seed=5))
+        reloaded = JobQueue(tmp_path)
+        assert [job.job_id for job in reloaded.jobs()] == [first.job_id, second.job_id]
+        assert reloaded.claim().job_id == first.job_id
+
+    def test_new_submissions_continue_the_sequence(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(_payload(seed=1))
+        reloaded = JobQueue(tmp_path)
+        later, _ = reloaded.submit(_payload(seed=2))
+        assert later.sequence == 2
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        (tmp_path / "job-bogus.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("hello")
+        queue = JobQueue(tmp_path)
+        assert len(queue) == 0
+
+
+class TestRecovery:
+    def test_interrupted_running_job_requeued_exactly_once(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        queue.claim()
+        assert queue.get(job.job_id).state == "running"
+
+        # Simulated daemon crash: a fresh queue sees the running job...
+        crashed = JobQueue(tmp_path)
+        report = crashed.recover()
+        assert report["requeued"] == [job.job_id]
+        recovered = crashed.get(job.job_id)
+        assert recovered.state == "pending" and recovered.requeued
+
+        # ...and it runs again. A second interruption fails it for good.
+        crashed.claim()
+        crashed_again = JobQueue(tmp_path)
+        report = crashed_again.recover()
+        assert report["failed"] == [job.job_id]
+        assert crashed_again.get(job.job_id).state == "failed"
+
+    def test_recover_leaves_other_states_alone(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        pending, _ = queue.submit(_payload(seed=1))
+        done, _ = queue.submit(_payload(seed=2))
+        queue.claim()
+        queue.claim()
+        queue.complete(done.job_id)
+        # restart: one running (pending's claim), one done
+        reloaded = JobQueue(tmp_path)
+        reloaded.recover()
+        assert reloaded.get(done.job_id).state == "done"
+        assert reloaded.get(pending.job_id).state == "pending"

@@ -1,0 +1,209 @@
+"""ExperimentService: protocol, queue semantics, restart recovery, and the
+daemon-vs-serial bit-identity acceptance."""
+
+import json
+
+import pytest
+
+from repro.core.bfa import BitSearchConfig
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    ComparisonSpec,
+    DefenseMatrixSpec,
+    ExperimentRunner,
+    ExperimentService,
+    ResultStore,
+    ServiceClient,
+)
+
+SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
+
+
+def _cheap_spec(seed=11):
+    """A spec that runs in well under a second (no DNN training)."""
+    return DefenseMatrixSpec(geometry=SMALL_GEOMETRY, chip_seed=seed)
+
+
+def _service(tmp_path, **kwargs):
+    return ExperimentService(
+        queue_dir=tmp_path / "queue", store_dir=tmp_path / "store", **kwargs
+    )
+
+
+class TestOfflineExecution:
+    """The executor core, driven without any socket."""
+
+    def test_submit_process_once_stores_result(self, tmp_path):
+        service = _service(tmp_path)
+        response = service._dispatch({"op": "submit", "spec": _cheap_spec().to_dict()})
+        assert response["ok"] and response["created"]
+        job = service.process_once()
+        assert job.state == "done"
+        assert service.store.names() == [response["name"]]
+        assert service.process_once() is None
+
+    def test_malformed_spec_rejected_at_submit(self, tmp_path):
+        service = _service(tmp_path)
+        response = service._dispatch({"op": "submit", "spec": {"kind": "nope"}})
+        assert not response["ok"]
+        assert len(service.queue) == 0
+
+    def test_failing_job_is_isolated(self, tmp_path, monkeypatch):
+        service = _service(tmp_path)
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=2).to_dict()})
+        calls = []
+
+        def boom_once(spec, save_as=None):
+            calls.append(save_as)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return original(spec, save_as=save_as)
+
+        original = service.runner.run
+        monkeypatch.setattr(service.runner, "run", boom_once)
+        assert service.drain() == 2
+        states = [job.state for job in service.queue.jobs()]
+        assert states == ["failed", "done"]
+        assert "boom" in service.queue.jobs()[0].error
+
+    def test_cancel_via_protocol(self, tmp_path):
+        service = _service(tmp_path)
+        first = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        second = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=2).to_dict()})
+        assert service._dispatch({"op": "cancel", "job_id": second["job_id"]})["cancelled"]
+        service.drain()
+        jobs = {job.job_id: job.state for job in service.queue.jobs()}
+        assert jobs[first["job_id"]] == "done"
+        assert jobs[second["job_id"]] == "cancelled"
+        # Only the non-cancelled job produced a result.
+        assert len(service.store.names()) == 1
+
+
+class TestRestartRecovery:
+    def test_restart_resumes_pending_jobs_bit_identical_to_serial(self, tmp_path):
+        specs = [_cheap_spec(seed=1), _cheap_spec(seed=2)]
+        first = _service(tmp_path)
+        for index, spec in enumerate(specs):
+            first._dispatch({"op": "submit", "spec": spec.to_dict(), "name": f"job{index}"})
+        # Daemon dies before running anything; a new daemon on the same
+        # directories resumes the queue and loses no work.
+        second = _service(tmp_path)
+        assert second.drain() == 2
+        assert [job.state for job in second.queue.jobs()] == ["done", "done"]
+
+        serial_store = ResultStore(tmp_path / "serial")
+        runner = ExperimentRunner(store=serial_store)
+        for index, spec in enumerate(specs):
+            runner.run(spec, save_as=f"job{index}")
+        for index in range(2):
+            daemon_env = json.loads(second.store.path_for(f"job{index}").read_text())
+            serial_env = json.loads(serial_store.path_for(f"job{index}").read_text())
+            assert daemon_env == serial_env
+
+    def test_job_interrupted_mid_run_requeues_exactly_once(self, tmp_path):
+        first = _service(tmp_path)
+        first._dispatch({"op": "submit", "spec": _cheap_spec().to_dict()})
+        claimed = first.queue.claim()  # crash with the job mid-flight
+
+        second = _service(tmp_path)
+        assert second.recovery["requeued"] == [claimed.job_id]
+        assert second.drain() == 1
+        assert second.queue.get(claimed.job_id).state == "done"
+
+        # A job that takes the daemon down twice is failed, not looped.
+        second.queue.submit(_cheap_spec(seed=99).to_dict())
+        poisoned = second.queue.claim()
+        third = _service(tmp_path)
+        requeued = third.queue.get(poisoned.job_id)
+        assert requeued.state == "pending" and requeued.requeued
+        third.queue.claim()
+        fourth = _service(tmp_path)
+        assert fourth.recovery["failed"] == [poisoned.job_id]
+        assert fourth.queue.get(poisoned.job_id).state == "failed"
+
+
+class TestSocketProtocol:
+    @pytest.fixture
+    def running(self, tmp_path):
+        service = _service(tmp_path, port=0)
+        service.start()
+        try:
+            yield service, ServiceClient(queue_dir=tmp_path / "queue")
+        finally:
+            service.stop()
+
+    def test_ping_and_endpoint_discovery(self, running):
+        service, client = running
+        response = client.ping()
+        assert response["ok"]
+        assert service.endpoint_path.is_file()
+
+    def test_submit_wait_result_roundtrip(self, running):
+        service, client = running
+        spec = _cheap_spec()
+        response = client.submit(spec.to_dict(), name="matrix")
+        job = client.wait(response["job_id"], timeout=60)
+        assert job["state"] == "done"
+        assert client.results() == ["matrix"]
+        envelope = client.result("matrix")
+        assert envelope["kind"] == "defense_matrix"
+        # Duplicate submission after completion deduplicates.
+        again = client.submit(spec.to_dict())
+        assert not again["created"] and again["job_id"] == response["job_id"]
+
+    def test_status_unknown_job_and_unknown_op(self, running):
+        _, client = running
+        with pytest.raises(RuntimeError, match="unknown job"):
+            client.status("bogus")
+        with pytest.raises(RuntimeError, match="unknown op"):
+            client._call({"op": "frobnicate"})
+
+    def test_jobs_and_registry_stats(self, running):
+        service, client = running
+        client.submit(_cheap_spec().to_dict())
+        assert len(client.jobs()) == 1
+        stats = client.registry_stats()
+        assert set(stats) >= {"hits", "misses", "evictions", "entries", "bytes"}
+
+    def test_stop_removes_endpoint_file(self, tmp_path):
+        service = _service(tmp_path, port=0)
+        service.start()
+        assert service.endpoint_path.is_file()
+        service.stop()
+        assert not service.endpoint_path.is_file()
+        service.stop()  # idempotent
+
+
+@pytest.mark.slow
+class TestDaemonBitIdentity:
+    """Acceptance: daemon + multi-worker backend + warm registry == serial."""
+
+    def test_daemon_process_backend_warm_registry_matches_serial(self, tmp_path):
+        spec = ComparisonSpec(
+            model_keys=("resnet20",),
+            repetitions=2,
+            eval_samples=32,
+            search=BitSearchConfig(max_flips=8, top_k_layers=2, eval_batch_size=32),
+            training_epochs=1,
+            seed=123,
+            profile_seed=123,
+        )
+        service = _service(tmp_path, backend="process", max_workers=2, port=0)
+        service.start()
+        try:
+            client = ServiceClient(queue_dir=tmp_path / "queue")
+            response = client.submit(spec.to_dict(), name="cmp")
+            job = client.wait(response["job_id"], timeout=900)
+            assert job["state"] == "done", job.get("error")
+            daemon_env = client.result("cmp")
+            # The victim landed in the warm registry for later jobs.
+            assert client.registry_stats()["entries"] == 1
+        finally:
+            service.stop()
+
+        serial_store = ResultStore(tmp_path / "serial")
+        ExperimentRunner(store=serial_store).run(spec, save_as="cmp")
+        serial_env = json.loads(serial_store.path_for("cmp").read_text())
+        assert daemon_env["payload"] == serial_env["payload"]
+        assert daemon_env["spec"] == serial_env["spec"]

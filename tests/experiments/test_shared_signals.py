@@ -1,0 +1,89 @@
+"""Signal backstop: a killed segment owner leaves nothing in ``/dev/shm``."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+OWNER_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    import numpy as np
+    from repro.experiments.shared import export_state
+    handle, manifest = export_state({"w": np.arange(64.0)})
+    print(manifest.shm_name, flush=True)
+    time.sleep(60)  # wait to be killed
+    """
+)
+
+
+def _spawn_owner():
+    process = subprocess.Popen(
+        [sys.executable, "-c", OWNER_SCRIPT],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    segment_name = process.stdout.readline().strip()
+    assert segment_name.startswith("repro_victim_")
+    assert os.path.exists(f"/dev/shm/{segment_name}")
+    return process, segment_name
+
+
+def _wait_gone(path, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not os.path.exists(path):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestSignalBackstop:
+    def test_sigterm_unlinks_owned_segments(self):
+        process, segment = _spawn_owner()
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=10)
+        assert _wait_gone(f"/dev/shm/{segment}")
+        # Default SIGTERM semantics preserved: died by the signal.
+        assert process.returncode == -signal.SIGTERM
+
+    def test_sigint_unlinks_owned_segments(self):
+        process, segment = _spawn_owner()
+        process.send_signal(signal.SIGINT)
+        process.wait(timeout=10)
+        assert _wait_gone(f"/dev/shm/{segment}")
+        # SIGINT surfaces as KeyboardInterrupt (exit code 1 from the
+        # traceback path) or a signal death — either way, no leak.
+        assert process.returncode != 0
+
+    def test_killed_serving_daemon_leaks_nothing(self):
+        """SIGTERM mid-serve (registry holding victims) cleans /dev/shm."""
+        script = textwrap.dedent(
+            """
+            import time
+            import numpy as np
+            from repro.experiments import VictimKey, VictimRegistry
+            registry = VictimRegistry()
+            m1 = registry.put(VictimKey("resnet20", 1, None), {"w": np.ones(32)})
+            m2 = registry.put(VictimKey("resnet20", 2, None), {"w": np.ones(32)})
+            print(m1.state.shm_name, m2.state.shm_name, flush=True)
+            time.sleep(60)
+            """
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        names = process.stdout.readline().split()
+        assert len(names) == 2
+        for name in names:
+            assert os.path.exists(f"/dev/shm/{name}")
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=10)
+        for name in names:
+            assert _wait_gone(f"/dev/shm/{name}")

@@ -1,0 +1,113 @@
+"""VictimRegistry: warm shared-memory victims with LRU eviction."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.experiments import VictimKey, VictimRegistry
+from repro.experiments.shared import SEGMENT_PREFIX, attach_state
+
+
+def _segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+def _state(fill, size=32):
+    return {"w": np.full(size, float(fill))}
+
+
+KEY_A = VictimKey("resnet20", 1, None)
+KEY_B = VictimKey("resnet20", 2, None)
+KEY_C = VictimKey("m11", 1, 3)
+
+
+class TestPutGet:
+    def test_put_exports_and_get_attaches(self):
+        with VictimRegistry() as registry:
+            manifest = registry.put(KEY_A, _state(7.0))
+            assert (manifest.model_key, manifest.seed) == ("resnet20", 1)
+            fetched = registry.get(KEY_A)
+            assert fetched is manifest
+            handle = attach_state(fetched.state)
+            assert np.array_equal(handle.arrays["w"], _state(7.0)["w"])
+            handle.close()
+        assert not _segments()
+
+    def test_miss_returns_none_and_counts(self):
+        with VictimRegistry() as registry:
+            assert registry.get(KEY_A) is None
+            assert registry.stats()["misses"] == 1
+
+    def test_reinsert_returns_existing_manifest(self):
+        with VictimRegistry() as registry:
+            first = registry.put(KEY_A, _state(1.0))
+            second = registry.put(KEY_A, _state(2.0))  # same key: kept as-is
+            assert second is first
+            assert len(registry) == 1
+
+    def test_get_or_export_builds_once(self):
+        builds = []
+        with VictimRegistry() as registry:
+            for _ in range(3):
+                registry.get_or_export(KEY_A, lambda: builds.append(1) or _state(1.0))
+            assert builds == [1]
+            assert registry.stats()["hits"] == 2
+
+
+class TestEviction:
+    def test_max_entries_evicts_lru(self):
+        with VictimRegistry(max_entries=2) as registry:
+            registry.put(KEY_A, _state(1.0))
+            registry.put(KEY_B, _state(2.0))
+            registry.get(KEY_A)  # touch A: B becomes LRU
+            registry.put(KEY_C, _state(3.0))
+            assert KEY_B not in registry
+            assert KEY_A in registry and KEY_C in registry
+            assert registry.stats()["evictions"] == 1
+            assert len(_segments()) == 2  # evicted segment unlinked
+
+    def test_max_bytes_budget(self):
+        state = _state(1.0, size=128)  # 1 KiB per entry
+        budget = 2 * state["w"].nbytes + 16
+        with VictimRegistry(max_bytes=budget) as registry:
+            registry.put(KEY_A, state)
+            registry.put(KEY_B, state)
+            assert registry.stats()["evictions"] == 0
+            registry.put(KEY_C, state)  # over budget: LRU (A) evicted
+            assert KEY_A not in registry
+            assert registry.total_bytes() <= budget
+
+    def test_oversized_entry_is_still_served(self):
+        with VictimRegistry(max_bytes=8) as registry:
+            manifest = registry.put(KEY_A, _state(1.0, size=64))
+            assert registry.get(KEY_A) is manifest  # never evict the newest
+            registry.put(KEY_B, _state(2.0, size=64))
+            assert KEY_A not in registry  # the next insertion displaces it
+
+    def test_explicit_evict(self):
+        with VictimRegistry() as registry:
+            registry.put(KEY_A, _state(1.0))
+            assert registry.evict(KEY_A)
+            assert not registry.evict(KEY_A)
+            assert not _segments()
+
+
+class TestShutdown:
+    def test_close_unlinks_everything_and_rejects_puts(self):
+        registry = VictimRegistry()
+        registry.put(KEY_A, _state(1.0))
+        registry.put(KEY_B, _state(2.0))
+        registry.close()
+        assert not _segments()
+        assert len(registry) == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            registry.put(KEY_C, _state(3.0))
+
+    def test_manifests_and_keys_lru_order(self):
+        with VictimRegistry() as registry:
+            registry.put(KEY_A, _state(1.0))
+            registry.put(KEY_B, _state(2.0))
+            registry.get(KEY_A)
+            assert registry.keys() == [KEY_B, KEY_A]
+            assert [m.seed for m in registry.manifests()] == [2, 1]

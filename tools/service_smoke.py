@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the experiment service (CI `service-smoke` job).
+
+Starts a real daemon on an ephemeral port, drives it through the TCP
+client, and checks the service invariants that matter:
+
+1. a submitted job runs to completion and its stored envelope is
+   byte-identical to a serial ``ExperimentRunner`` run of the same spec;
+2. resubmitting the same spec deduplicates against the finished job;
+3. a second daemon on the same directories resumes pending work after the
+   first one dies without running it;
+4. stopping the daemon leaves no shared-memory segments in ``/dev/shm``.
+
+Runs in a few seconds: the workload is a small-geometry defense matrix
+(no DNN training).  Exits non-zero on the first violated invariant.
+"""
+
+import glob
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    DefenseMatrixSpec,
+    ExperimentRunner,
+    ExperimentService,
+    ResultStore,
+    ServiceClient,
+)
+from repro.experiments.shared import SEGMENT_PREFIX
+
+
+def _spec(seed=7):
+    return DefenseMatrixSpec(
+        geometry=DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128),
+        chip_seed=seed,
+    )
+
+
+def main() -> int:
+    failures = []
+
+    def check(condition, label):
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as raw:
+        root = Path(raw)
+        service = ExperimentService(
+            queue_dir=root / "queue", store_dir=root / "store", port=0
+        )
+        service.start()
+        try:
+            client = ServiceClient(queue_dir=root / "queue")
+            check(client.ping()["ok"], "daemon answers ping")
+
+            submitted = client.submit(_spec().to_dict(), name="smoke")
+            job = client.wait(submitted["job_id"], timeout=120)
+            check(job["state"] == "done", "submitted job completes")
+
+            again = client.submit(_spec().to_dict())
+            check(
+                not again["created"] and again["job_id"] == submitted["job_id"],
+                "identical spec deduplicates",
+            )
+        finally:
+            service.stop()
+
+        serial_store = ResultStore(root / "serial")
+        ExperimentRunner(store=serial_store).run(_spec(), save_as="smoke")
+        daemon_env = json.loads(service.store.path_for("smoke").read_text())
+        serial_env = json.loads(serial_store.path_for("smoke").read_text())
+        check(daemon_env == serial_env, "daemon result bit-identical to serial")
+
+        # Restart resume: submit without processing, then let a new daemon
+        # on the same directories drain the queue.
+        first = ExperimentService(queue_dir=root / "q2", store_dir=root / "s2")
+        first._dispatch({"op": "submit", "spec": _spec(seed=8).to_dict(), "name": "resumed"})
+        second = ExperimentService(queue_dir=root / "q2", store_dir=root / "s2")
+        check(second.drain() == 1, "restarted daemon resumes pending job")
+        check("resumed" in second.store.names(), "resumed job stored its result")
+        second.registry.close()
+        first.registry.close()
+
+        check(
+            not glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"),
+            "no shared-memory segments leaked",
+        )
+
+    if failures:
+        print(f"service smoke FAILED ({len(failures)} problem(s))")
+        return 1
+    print("service smoke passed: queue, dedup, restart resume and serial parity")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
