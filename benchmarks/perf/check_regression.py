@@ -7,10 +7,17 @@ the same machine in the same run) regressed by more than the allowed
 factor.  Comparing speedups rather than absolute times keeps the gate
 meaningful on CI runners of arbitrary speed.
 
+Schema v2 files may carry a third engine column per case —
+``compiled_seconds`` / ``compiled_speedup`` (compiled tier over
+vectorized).  The column is optional (runners without a kernel toolchain
+omit it); when *both* the baseline and the fresh run measured it for a
+case, the compiled speedup is gated by the same regression factor.
+
 With ``--check-case-sync`` the gate additionally fails when the committed
-baseline's case set drifts out of sync with ``perf_cases.CASE_NAMES`` —
-i.e. someone added or removed a tracked case without re-running
-``run_perf.py`` and committing the refreshed baseline.
+baseline drifts out of sync with ``perf_cases``: a case set differing from
+``CASE_NAMES``, a description differing from the metadata-derived
+``case_description``, or a case carrying only half of the compiled column
+pair.
 
 Usage::
 
@@ -27,6 +34,9 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Optional per-case columns that must appear together or not at all.
+COMPILED_FIELDS = ("compiled_seconds", "compiled_speedup")
 
 
 def _load(path: Path, label: str):
@@ -46,13 +56,22 @@ def _load(path: Path, label: str):
                 "lacks a numeric 'speedup'"
             )
             return None
+        for field in COMPILED_FIELDS:
+            if field in case and not isinstance(case[field], (int, float)):
+                print(
+                    f"{label} benchmark file {path} is malformed: case {name!r} "
+                    f"has a non-numeric {field!r}"
+                )
+                return None
     return payload
 
 
 def _case_sync_failures(baseline: dict, fresh: dict):
-    """Baseline/fresh case sets must both match ``perf_cases.CASE_NAMES``."""
+    """Baseline/fresh payloads must agree with the ``perf_cases`` metadata."""
     sys.path.insert(0, str(Path(__file__).resolve().parent))
-    from perf_cases import CASE_NAMES  # deferred: imports the repro package
+    # Deferred: imports the repro package.  profile_sizes/case_description
+    # are metadata-only, so this stays cheap (no workload construction).
+    from perf_cases import CASE_NAMES, case_description, profile_sizes
 
     failures = []
     for label, payload in (("baseline", baseline), ("fresh", fresh)):
@@ -69,6 +88,26 @@ def _case_sync_failures(baseline: dict, fresh: dict):
             failures.append(
                 f"{label}: unknown case(s) {extra} not in perf_cases.CASE_NAMES"
             )
+        try:
+            sizes = profile_sizes(payload.get("profile", "quick"))
+        except ValueError as error:
+            failures.append(f"{label}: {error}")
+            continue
+        for name in sorted(recorded & expected):
+            case = payload["cases"][name]
+            derived = case_description(name, sizes)
+            if case.get("description") != derived:
+                failures.append(
+                    f"{label}: case {name!r} description drifted from the "
+                    f"perf_cases metadata — recorded {case.get('description')!r}, "
+                    f"derived {derived!r}; re-run run_perf.py"
+                )
+            present = [field for field in COMPILED_FIELDS if field in case]
+            if present and len(present) != len(COMPILED_FIELDS):
+                failures.append(
+                    f"{label}: case {name!r} carries {present} without the rest "
+                    f"of the compiled column pair {COMPILED_FIELDS}"
+                )
     return failures
 
 
@@ -79,7 +118,7 @@ def main() -> int:
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail when fresh speedup < baseline speedup / this factor")
     parser.add_argument("--check-case-sync", action="store_true",
-                        help="fail when the baseline cases drift from perf_cases.CASE_NAMES")
+                        help="fail when the baseline drifts from the perf_cases metadata")
     args = parser.parse_args()
 
     baseline = _load(args.baseline, "baseline")
@@ -116,6 +155,32 @@ def main() -> int:
                 f"{floor:.2f}x (baseline {committed['speedup']:.2f}x / "
                 f"{args.max_regression:g})"
             )
+        # The compiled column is gated only when both runs measured it:
+        # a toolchain-less runner (no column in fresh) must not fail the
+        # gate, and a newly added column has no baseline to compare yet.
+        base_compiled = committed.get("compiled_speedup")
+        fresh_compiled = measured.get("compiled_speedup")
+        if base_compiled is not None and fresh_compiled is not None:
+            compiled_floor = base_compiled / args.max_regression
+            compiled_status = "ok" if fresh_compiled >= compiled_floor else "REGRESSED"
+            compiled_delta = fresh_compiled - base_compiled
+            print(
+                f"{name:24s} compiled {base_compiled:8.2f}x  "
+                f"fresh {fresh_compiled:8.2f}x  diff {compiled_delta:+7.2f}x  "
+                f"floor {compiled_floor:8.2f}x  {compiled_status}"
+            )
+            if fresh_compiled < compiled_floor:
+                failures.append(
+                    f"{name}: compiled speedup {fresh_compiled:.2f}x fell below "
+                    f"{compiled_floor:.2f}x (baseline {base_compiled:.2f}x / "
+                    f"{args.max_regression:g})"
+                )
+        elif base_compiled is not None:
+            print(f"{name:24s} compiled {base_compiled:8.2f}x  "
+                  "fresh run has no compiled column (toolchain absent?); not gated")
+        elif fresh_compiled is not None:
+            print(f"{name:24s} compiled (new column, no committed baseline)")
+
     for name in sorted(set(fresh["cases"]) - set(baseline["cases"])):
         # Not a failure by itself (--check-case-sync turns drift into one):
         # a fresh-only case simply has no baseline to compare against yet.

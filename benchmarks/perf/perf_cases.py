@@ -2,9 +2,12 @@
 
 Each case builds one shared workload and exposes a ``reference`` and a
 ``vectorized`` callable that perform the *same* computation through the two
-retained engine implementations.  The golden-equivalence tests under
-``tests/`` prove the engines produce bit-identical outputs; this module only
-measures them.
+retained engine implementations; the model-forward-bound cases additionally
+expose a ``compiled`` callable running the vectorized algorithm with the
+:mod:`repro.nn.kernels` registry active (``run_perf.py`` only times it when
+a kernel backend is actually available, with JIT/compile warmup excluded).
+The golden-equivalence tests under ``tests/`` prove the engines produce
+bit-identical outputs; this module only measures them.
 
 The nine cases mirror the perf-critical layers:
 
@@ -46,7 +49,7 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(REPO_ROOT / "src") not in sys.path:
@@ -56,6 +59,7 @@ import numpy as np
 
 from repro.core.bfa import BitFlipAttack, BitSearchConfig
 from repro.core.objective import AttackObjective, TargetedMisclassification
+from repro.nn import kernels
 from repro.dram.chip import DramChip
 from repro.dram.geometry import DramGeometry
 from repro.dram.vulnerability import VulnerabilityParameters
@@ -85,15 +89,115 @@ CASE_NAMES = (
     "runner_service_throughput",
 )
 
+# ----------------------------------------------------------------------
+# Workload metadata — the single source the case *descriptions* derive
+# from.  The factories below consume the same constants that the
+# descriptions cite, so a committed BENCH_perf.json can no longer drift
+# from the code driving the measurement; ``check_regression.py
+# --check-case-sync`` re-derives every description and compares.
+# ----------------------------------------------------------------------
+#: Chip shape shared by the profiling-flavoured cases.
+PROFILE_BANKS = 2
+PROFILE_COLS = 1024
+SWEEP_ROWS_PER_BANK = 128
+#: Budget grids of the ``flip_sweep`` case (Fig. 6 shaped).
+HAMMER_COUNTS = (100_000, 300_000, 600_000, 885_000)
+OPEN_CYCLES = (10_000_000, 30_000_000, 60_000_000, 100_000_000)
+#: Class count of the synthetic CIFAR-like surrogate dataset.
+SURROGATE_CLASSES = 4
+
+
+def profile_sizes(profile: str) -> Dict[str, int]:
+    """Workload sizes of the requested profile (quick = CI, full = local)."""
+    if profile == "quick":
+        return {
+            "iterations": 30, "rows_per_bank": 96, "max_rows": 16,
+            "evaluations": 12, "eval_per_class": 96, "max_flips": 6, "deep_depth": 14,
+            "scoring_rounds": 20, "scoring_depth": 26, "scoring_batch": 4,
+            "runner_repetitions": 2, "service_specs": 3,
+        }
+    if profile == "full":
+        return {
+            "iterations": 100, "rows_per_bank": 128, "max_rows": 32,
+            "evaluations": 24, "eval_per_class": 192, "max_flips": 8, "deep_depth": 20,
+            "scoring_rounds": 50, "scoring_depth": 32, "scoring_batch": 8,
+            "runner_repetitions": 3, "service_specs": 4,
+        }
+    raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
+
+
+def case_description(name: str, sizes: Dict[str, int]) -> str:
+    """The tracked description of case ``name`` at workload ``sizes``.
+
+    Derived from the same module constants the factories consume, and
+    cheap to import (no workload construction) so the CI sync gate can
+    call it without paying for surrogate training.
+    """
+    if name == "bit_search_iteration":
+        return (
+            f"{sizes['iterations']} intra-layer proposal passes over every "
+            "quantized tensor of the tiny surrogate"
+        )
+    if name == "bank_profile":
+        return (
+            f"RowHammer + RowPress profiling of {PROFILE_BANKS} banks x "
+            f"{sizes['rows_per_bank']} rows x {PROFILE_COLS} cols, both polarities"
+        )
+    if name == "flip_sweep":
+        return (
+            f"RowHammer + RowPress cumulative flip curves, {len(HAMMER_COUNTS)} "
+            f"budget steps, up to {sizes['max_rows']} rows per bank"
+        )
+    if name == "victim_evaluation":
+        return (
+            f"{sizes['evaluations']} full-test-set evaluations with a committed "
+            "MSB flip cycling through every quantized tensor between measurements"
+        )
+    if name == "trial_scoring_batched":
+        return (
+            f"{sizes['scoring_rounds']} every-layer inter-layer scoring rounds "
+            f"(full layer roster, attack batch {sizes['scoring_batch']}) on a "
+            f"depth-{sizes['scoring_depth']} surrogate: sequential suffix peeks "
+            "vs one stacked peek_many cascade"
+        )
+    if name in ("end_to_end_attack", "end_to_end_attack_deep"):
+        depth = 8 if name == "end_to_end_attack" else sizes["deep_depth"]
+        scope = "top-5" if name == "end_to_end_attack" else "every-layer"
+        samples = sizes["eval_per_class"] * SURROGATE_CLASSES
+        return (
+            f"targeted progressive bit search ({sizes['max_flips']} flips max, "
+            f"depth-{depth} surrogate, {scope} inter-layer stage) with "
+            f"full-test-set ASR evaluation ({samples} samples) per committed flip"
+        )
+    if name == "runner_shared_memory":
+        return (
+            f"comparison experiment ({sizes['runner_repetitions']} repetitions x "
+            "2 mechanisms) on a 2-worker process pool: per-worker victim "
+            "retraining vs zero-copy shared-memory state shipping"
+        )
+    if name == "runner_service_throughput":
+        return (
+            f"{sizes['service_specs']} comparison specs sharing one surrogate: "
+            "a fresh runner per spec (victim retrained each time) vs one "
+            "experiment service whose warm registry trains it once"
+        )
+    raise KeyError(f"unknown perf case {name!r}")
+
 
 @dataclass(frozen=True)
 class PerfCase:
-    """One microbenchmark: two engines computing the same workload."""
+    """One microbenchmark: two or three engines computing the same workload.
+
+    ``compiled`` is present only on the cases whose hot loop goes through
+    the :mod:`repro.nn.kernels` dispatch layer (model forwards); the
+    chip/runner-flavoured cases have no kernel-accelerated path to measure.
+    """
 
     name: str
     description: str
     reference: Callable[[], object]
     vectorized: Callable[[], object]
+    compiled: Optional[Callable[[], object]] = None
 
 
 def _surrogate(seed: int = 0, epochs: int = 2, depth: int = 8, test_per_class: int = 12):
@@ -130,18 +234,17 @@ def _make_bit_search_case(iterations: int) -> PerfCase:
         attack = BitFlipAttack(model, objective, engine=engine)
         tensor_names = attack.candidates.tensors()
         proposals = []
-        for _ in range(iterations):
-            proposals = [attack._propose_for_tensor(name) for name in tensor_names]
+        with attack.kernel_scope():
+            for _ in range(iterations):
+                proposals = [attack._propose_for_tensor(name) for name in tensor_names]
         return proposals
 
     return PerfCase(
         name="bit_search_iteration",
-        description=(
-            f"{iterations} intra-layer proposal passes over every quantized "
-            "tensor of the tiny surrogate"
-        ),
+        description=case_description("bit_search_iteration", {"iterations": iterations}),
         reference=lambda: propose_all("reference"),
         vectorized=lambda: propose_all("vectorized"),
+        compiled=lambda: propose_all("compiled"),
     )
 
 
@@ -149,7 +252,9 @@ def _make_bit_search_case(iterations: int) -> PerfCase:
 # Case 2: whole-chip profiling campaign
 # ----------------------------------------------------------------------
 def _make_bank_profile_case(rows_per_bank: int) -> PerfCase:
-    geometry = DramGeometry(num_banks=2, rows_per_bank=rows_per_bank, cols_per_row=1024)
+    geometry = DramGeometry(
+        num_banks=PROFILE_BANKS, rows_per_bank=rows_per_bank, cols_per_row=PROFILE_COLS
+    )
     config = ProfilingConfig(hammer_count=600_000, open_cycles=60_000_000)
 
     def profile(engine: str):
@@ -158,10 +263,7 @@ def _make_bank_profile_case(rows_per_bank: int) -> PerfCase:
 
     return PerfCase(
         name="bank_profile",
-        description=(
-            f"RowHammer + RowPress profiling of {geometry.num_banks} banks x "
-            f"{rows_per_bank} rows x {geometry.cols_per_row} cols, both polarities"
-        ),
+        description=case_description("bank_profile", {"rows_per_bank": rows_per_bank}),
         reference=lambda: profile("reference"),
         vectorized=lambda: profile("vectorized"),
     )
@@ -171,27 +273,26 @@ def _make_bank_profile_case(rows_per_bank: int) -> PerfCase:
 # Case 3: Fig. 6 budget sweeps
 # ----------------------------------------------------------------------
 def _make_flip_sweep_case(max_rows_per_bank: int) -> PerfCase:
-    geometry = DramGeometry(num_banks=2, rows_per_bank=128, cols_per_row=1024)
+    geometry = DramGeometry(
+        num_banks=PROFILE_BANKS,
+        rows_per_bank=SWEEP_ROWS_PER_BANK,
+        cols_per_row=PROFILE_COLS,
+    )
     params = VulnerabilityParameters()
-    hammer_counts = [100_000, 300_000, 600_000, 885_000]
-    open_cycles = [10_000_000, 30_000_000, 60_000_000, 100_000_000]
 
     def sweep(engine: str):
         chip = DramChip(geometry, vulnerability_parameters=params, seed=0, engine=engine)
         rh = rowhammer_flip_curve(
-            chip, hammer_counts, max_rows_per_bank=max_rows_per_bank, engine=engine
+            chip, list(HAMMER_COUNTS), max_rows_per_bank=max_rows_per_bank, engine=engine
         )
         rp = rowpress_flip_curve(
-            chip, open_cycles, max_rows_per_bank=max_rows_per_bank, engine=engine
+            chip, list(OPEN_CYCLES), max_rows_per_bank=max_rows_per_bank, engine=engine
         )
         return rh, rp
 
     return PerfCase(
         name="flip_sweep",
-        description=(
-            f"RowHammer + RowPress cumulative flip curves, {len(hammer_counts)} "
-            f"budget steps, up to {max_rows_per_bank} rows per bank"
-        ),
+        description=case_description("flip_sweep", {"max_rows": max_rows_per_bank}),
         reference=lambda: sweep("reference"),
         vectorized=lambda: sweep("vectorized"),
     )
@@ -213,30 +314,29 @@ def _make_victim_evaluation_case(evaluations: int, test_per_class: int) -> PerfC
             tolerance=1.0, relative_factor=1.05,
         )
         evaluator = None
-        if engine == "vectorized":
+        if engine != "reference":
             evaluator = SuffixEvaluator(model)
             objective.attach_inference_engine(evaluator)
         accuracies = []
-        for index in range(evaluations):
-            parameter = parameters[names[index % len(names)]]
-            value = int(parameter.int_repr.flat[0])
-            parameter.int_repr.flat[0] = value + bit_flip_delta(
-                value, parameter.num_bits - 1, parameter.num_bits
-            )
-            parameter.sync_from_int()
-            if evaluator is not None:
-                evaluator.invalidate_from(evaluator.stage_of(parameter))
-            accuracies.append(objective.evaluate(model).accuracy)
+        with kernels.use(engine):
+            for index in range(evaluations):
+                parameter = parameters[names[index % len(names)]]
+                value = int(parameter.int_repr.flat[0])
+                parameter.int_repr.flat[0] = value + bit_flip_delta(
+                    value, parameter.num_bits - 1, parameter.num_bits
+                )
+                parameter.sync_from_int()
+                if evaluator is not None:
+                    evaluator.invalidate_from(evaluator.stage_of(parameter))
+                accuracies.append(objective.evaluate(model).accuracy)
         return accuracies
 
     return PerfCase(
         name="victim_evaluation",
-        description=(
-            f"{evaluations} full-test-set evaluations with a committed MSB flip "
-            "cycling through every quantized tensor between measurements"
-        ),
+        description=case_description("victim_evaluation", {"evaluations": evaluations}),
         reference=lambda: evaluate_with_flips("reference"),
         vectorized=lambda: evaluate_with_flips("vectorized"),
+        compiled=lambda: evaluate_with_flips("compiled"),
     )
 
 
@@ -288,16 +388,20 @@ def _make_trial_scoring_case(rounds: int, depth: int, attack_batch: int) -> Perf
             losses = attack._score_shortlist(objective, shortlist)
         return losses
 
+    def batched_compiled():
+        with kernels.use("compiled"):
+            return batched()
+
     return PerfCase(
         name="trial_scoring_batched",
-        description=(
-            f"{rounds} every-layer inter-layer scoring rounds "
-            f"({len(shortlist)} trial flips, attack batch {attack_batch}) on a "
-            f"depth-{depth} surrogate: sequential suffix peeks vs one stacked "
-            "peek_many cascade"
+        description=case_description(
+            "trial_scoring_batched",
+            {"scoring_rounds": rounds, "scoring_depth": depth,
+             "scoring_batch": attack_batch},
         ),
         reference=sequential,
         vectorized=batched,
+        compiled=batched_compiled,
     )
 
 
@@ -331,17 +435,16 @@ def _make_end_to_end_case(
         )
         return run.run()
 
-    scope = "every-layer" if top_k_layers >= 64 else f"top-{top_k_layers}"
     return PerfCase(
         name=name,
-        description=(
-            f"targeted progressive bit search ({max_flips} flips max, depth-{depth} "
-            f"surrogate, {scope} inter-layer stage) with full-test-set ASR "
-            f"evaluation ({test_per_class * dataset.num_classes} samples) per "
-            "committed flip"
+        description=case_description(
+            name,
+            {"max_flips": max_flips, "deep_depth": depth,
+             "eval_per_class": test_per_class},
         ),
         reference=lambda: attack("reference"),
         vectorized=lambda: attack("vectorized"),
+        compiled=lambda: attack("compiled"),
     )
 
 
@@ -380,10 +483,8 @@ def _make_runner_shared_memory_case(repetitions: int) -> PerfCase:
 
     return PerfCase(
         name="runner_shared_memory",
-        description=(
-            f"comparison experiment ({repetitions} repetitions x 2 mechanisms) "
-            "on a 2-worker process pool: per-worker victim retraining vs "
-            "zero-copy shared-memory state shipping"
+        description=case_description(
+            "runner_shared_memory", {"runner_repetitions": repetitions}
         ),
         reference=lambda: run(False),
         vectorized=lambda: run(True),
@@ -436,10 +537,8 @@ def _make_runner_service_throughput_case(num_specs: int) -> PerfCase:
 
     return PerfCase(
         name="runner_service_throughput",
-        description=(
-            f"{num_specs} comparison specs sharing one surrogate: a fresh "
-            "runner per spec (victim retrained each time) vs one experiment "
-            "service whose warm registry trains it once"
+        description=case_description(
+            "runner_service_throughput", {"service_specs": num_specs}
         ),
         reference=cold_runners,
         vectorized=warm_service,
@@ -448,22 +547,7 @@ def _make_runner_service_throughput_case(num_specs: int) -> PerfCase:
 
 def build_cases(profile: str = "quick") -> List[PerfCase]:
     """The nine tracked microbenchmarks at the requested workload size."""
-    if profile == "quick":
-        sizes: Dict[str, int] = {
-            "iterations": 30, "rows_per_bank": 96, "max_rows": 16,
-            "evaluations": 12, "eval_per_class": 96, "max_flips": 6, "deep_depth": 14,
-            "scoring_rounds": 20, "scoring_depth": 26, "scoring_batch": 4,
-            "runner_repetitions": 2, "service_specs": 3,
-        }
-    elif profile == "full":
-        sizes = {
-            "iterations": 100, "rows_per_bank": 128, "max_rows": 32,
-            "evaluations": 24, "eval_per_class": 192, "max_flips": 8, "deep_depth": 20,
-            "scoring_rounds": 50, "scoring_depth": 32, "scoring_batch": 8,
-            "runner_repetitions": 3, "service_specs": 4,
-        }
-    else:
-        raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
+    sizes = profile_sizes(profile)
     cases = [
         _make_bit_search_case(sizes["iterations"]),
         _make_bank_profile_case(sizes["rows_per_bank"]),
@@ -491,4 +575,6 @@ def build_cases(profile: str = "quick") -> List[PerfCase]:
         _make_runner_service_throughput_case(sizes["service_specs"]),
     ]
     assert tuple(case.name for case in cases) == CASE_NAMES
+    for case in cases:
+        assert case.description == case_description(case.name, sizes), case.name
     return cases

@@ -27,6 +27,7 @@ direction.  The restriction is expressed by :class:`CandidateSet`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Tuple
@@ -36,7 +37,9 @@ import numpy as np
 from repro.core.mapping import TensorCandidates
 from repro.core.objective import AttackObjective
 from repro.core.results import AttackEvent, AttackResult
+from repro.nn import kernels
 from repro.nn.bitops import (
+    bit_flip_delta_column,
     bit_flip_delta_table,
     bit_flip_deltas_vector,
     from_twos_complement,
@@ -46,7 +49,7 @@ from repro.nn.inference import SuffixEvaluator, TrialFlip
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.quantization import quantized_parameters
-from repro.utils.validation import check_engine, check_positive
+from repro.utils.validation import check_engine, check_positive, default_engine
 
 
 @dataclass(frozen=True)
@@ -161,14 +164,25 @@ class BitFlipAttack:
       golden-equivalence tests and the perf benchmarks.  Both engines
       produce bit-identical proposals (same tie-breaking, same IEEE float
       operations).
+    * ``"compiled"`` — the vectorized algorithms with the registry's
+      compiled kernels (:mod:`repro.nn.kernels`) active for the duration
+      of :meth:`run`: JIT/C conv forwards, fused inference batch-norm and
+      compiled delta-table construction.  Every kernel reproduces the
+      reference bit for bit, so results are identical to both other
+      engines; when no backend is available (no numba, no C compiler) the
+      attack warns once and runs as plain vectorized.
 
     The engine selector also picks the *evaluation* path.  With
-    ``"vectorized"`` and a stage-decomposable model, candidate and
-    convergence evaluations run through an incremental
+    ``"vectorized"``/``"compiled"`` and a stage-decomposable model,
+    candidate and convergence evaluations run through an incremental
     :class:`~repro.nn.inference.SuffixEvaluator` (no-grad suffix
     re-execution from the flipped layer); ``"reference"`` keeps the
     retained full-forward evaluation.  Outputs are bit-identical either
     way.
+
+    ``engine=None`` resolves to the process default
+    (:func:`repro.utils.validation.default_engine`), which honours the
+    ``REPRO_DEFAULT_ENGINE`` environment variable.
     """
 
     def __init__(
@@ -179,8 +193,9 @@ class BitFlipAttack:
         config: Optional[BitSearchConfig] = None,
         model_name: str = "model",
         mechanism: str = "unconstrained",
-        engine: str = "vectorized",
+        engine: Optional[str] = None,
     ):
+        engine = default_engine() if engine is None else engine
         check_engine(engine)
         self.model = model
         self.objective = objective
@@ -200,7 +215,9 @@ class BitFlipAttack:
         #: int_repr mutation goes through _apply/_revert, which refresh
         #: exactly the flipped weight's column.
         self._delta_tables: Dict[str, np.ndarray] = {}
-        #: Incremental evaluation engine (vectorized engine only): caches
+        self._delta_tables_f64: Dict[str, np.ndarray] = {}
+        self._gain_buffers: Dict[str, np.ndarray] = {}
+        #: Incremental evaluation engine (vectorized/compiled engines): caches
         #: per-batch stage-boundary activations so candidate evaluations
         #: re-run only the flipped layer's suffix.  Built when the model is
         #: stage-decomposable and every quantized tensor maps to a stage,
@@ -212,9 +229,16 @@ class BitFlipAttack:
         #: stage and trial flips are evaluated through the engine's
         #: non-destructive peek path.  The reference engine keeps the
         #: retained full-forward evaluation exactly as before.
+        #: Whether :meth:`run` activates the compiled kernel tier.  Decided
+        #: once at construction: requesting ``"compiled"`` without a
+        #: backend warns (a single RuntimeWarning process-wide) and leaves
+        #: the attack on the plain vectorized path — bit-identical output.
+        self._kernels_active = (
+            engine == "compiled" and kernels.ensure_available(warn=True)
+        )
         self._evaluator: Optional[SuffixEvaluator] = None
         self._stage_of_tensor: Dict[str, int] = {}
-        if engine == "vectorized":
+        if engine != "reference":
             evaluator = SuffixEvaluator(model)
             if evaluator.covers(self.parameters.values()):
                 self._evaluator = evaluator
@@ -230,6 +254,13 @@ class BitFlipAttack:
                 parameter.int_repr.ravel(), parameter.num_bits, validate=False
             )
             self._delta_tables[tensor_name] = table
+            # Float64 shadow of the int64 table: every delta fits exactly in
+            # a double, so ``grad * delta`` computes the identical product —
+            # caching the cast saves one full-size conversion pass (and its
+            # temporary) per proposal round.  ``gains`` is the reusable
+            # output buffer of the same shape.
+            self._delta_tables_f64[tensor_name] = table.astype(np.float64)
+            self._gain_buffers[tensor_name] = np.empty(table.shape)
         return table
 
     def _refresh_delta_column(self, tensor_name: str, weight_index: int) -> None:
@@ -238,9 +269,8 @@ class BitFlipAttack:
             return
         parameter = self.parameters[tensor_name]
         value = parameter.int_repr.flat[weight_index]
-        table[:, weight_index] = bit_flip_delta_table(
-            np.asarray([value]), parameter.num_bits, validate=False
-        )[:, 0]
+        table[:, weight_index] = bit_flip_delta_column(value, parameter.num_bits)
+        self._delta_tables_f64[tensor_name][:, weight_index] = table[:, weight_index]
 
     # ------------------------------------------------------------------
     # Intra-layer stage
@@ -275,7 +305,12 @@ class BitFlipAttack:
         # of the loop reference, just broadcast over all bits at once.  The
         # (num_bits, size) layout makes the flat argmax resolve ties by
         # lowest bit first, then lowest weight index, like the reference.
-        gains = grad[None, :] * deltas * scale
+        # The cached float64 table and the preallocated output buffer keep
+        # the two multiplies temp-free; the products are bit-identical
+        # because int64 -> float64 conversion of the deltas is exact.
+        gains = self._gain_buffers[tensor_name]
+        np.multiply(grad[None, :], self._delta_tables_f64[tensor_name], out=gains)
+        np.multiply(gains, scale, out=gains)
         flat = int(np.argmax(gains))
         bit, index = divmod(flat, ints.size)
         return _Proposal(
@@ -409,6 +444,20 @@ class BitFlipAttack:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def kernel_scope(self):
+        """Context manager activating this attack's kernel tier.
+
+        ``engine="compiled"`` (with a backend available) activates the
+        registry's compiled kernels for the scope; the other engines — and
+        the unavailable-backend fallback — yield a no-op context.
+        :meth:`run` enters this automatically; callers driving internal
+        stages directly (the perf harness times ``_score_shortlist``
+        standalone) wrap them in it to measure the same tier ``run`` uses.
+        """
+        if self._kernels_active:
+            return kernels.use("compiled")
+        return nullcontext()
+
     def run(self) -> AttackResult:
         """Execute the attack until the objective is met or budgets run out.
 
@@ -454,7 +503,8 @@ class BitFlipAttack:
         for parameter in spectators:
             parameter.requires_grad = False
         try:
-            return self._run_loop(config, objective)
+            with self.kernel_scope():
+                return self._run_loop(config, objective)
         finally:
             for parameter in spectators:
                 parameter.requires_grad = True

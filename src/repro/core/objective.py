@@ -21,9 +21,11 @@ and defines the scalar loss the search ascends.  The progressive bit search
 / :meth:`attack_loss` to rank candidate flips and :meth:`evaluate` /
 :meth:`is_satisfied` to decide convergence — nothing else.  Adding a new
 scenario therefore means implementing one subclass and registering it with
-:func:`register_objective`; every engine (vectorized and ``"reference"``),
-every runner backend and the declarative experiment layer pick it up
-unmodified.
+:func:`register_objective`; every engine (vectorized, ``"reference"`` and
+the ``"compiled"`` kernel tier), every runner backend and the declarative
+experiment layer pick it up unmodified — objectives call the model through
+the op layer, so :mod:`repro.nn.kernels` dispatch applies to their forward
+passes exactly as it does to the search's own suffix cascades.
 
 Concrete objectives
 -------------------

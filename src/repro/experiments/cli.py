@@ -28,6 +28,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -44,6 +45,7 @@ from repro.experiments.specs import (
 )
 from repro.experiments.store import ShardedResultStore, open_store
 from repro.nn.quantization import VICTIM_PRECISIONS
+from repro.utils.validation import ENGINES
 
 DEFAULT_STORE = "benchmarks/results"
 DEFAULT_QUEUE = "benchmarks/queue"
@@ -90,6 +92,7 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             profile_seed=args.seed,
             objective=_objective_config(args),
             victim_precision=args.victim_precision,
+            engine=args.engine,
         )
     try:
         spec_cls = SPEC_KINDS[kind]
@@ -105,6 +108,7 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             ("--objective", args.objective != "untargeted"),
             ("--objective-param", bool(args.objective_param)),
             ("--victim-precision", args.victim_precision != "float32"),
+            ("--engine", args.engine is not None and kind != "profile_density"),
         )
         if used
     ]
@@ -128,6 +132,8 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             seed=spec.seed, profile_seed=spec.profile_seed, objective_seed=spec.objective_seed,
             search=BitSearchConfig(max_flips=args.max_flips, top_k_layers=5),
         )
+    if kind == "profile_density" and args.engine is not None:
+        spec = dataclasses.replace(spec, engine=args.engine)
     return spec
 
 
@@ -216,6 +222,14 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
         default="float32",
         choices=sorted(VICTIM_PRECISIONS),
         help="deployed weight precision of the victim (comparison specs)",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(ENGINES),
+        help="bit-search engine tier (default: REPRO_DEFAULT_ENGINE or vectorized); "
+             "'compiled' uses the JIT kernel registry and falls back to "
+             "vectorized when no toolchain is available",
     )
 
 

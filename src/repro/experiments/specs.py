@@ -63,6 +63,7 @@ from repro.faults.sweep import (
 from repro.models.registry import get_spec
 from repro.nn.quantization import precision_num_bits, quantize_model
 from repro.utils.rng import mix_seed, spawn_seeds
+from repro.utils.validation import check_engine
 
 MECHANISMS: Tuple[str, str] = ("rowhammer", "rowpress")
 
@@ -266,10 +267,14 @@ class ComparisonSpec(ExperimentSpec):
     rowpress_budget: float = DEFAULT_ROWPRESS_PROFILE_BUDGET
     objective: ObjectiveConfig = ObjectiveConfig()
     victim_precision: str = "float32"
+    #: Engine tier for the inner bit search (``None`` = process default).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model_keys", tuple(self.model_keys))
         precision_num_bits(self.victim_precision)  # validate the name
+        if self.engine is not None:
+            check_engine(self.engine)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -287,6 +292,7 @@ class ComparisonSpec(ExperimentSpec):
             "rowpress_budget": self.rowpress_budget,
             "objective": self.objective.to_dict(),
             "victim_precision": self.victim_precision,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -298,6 +304,8 @@ class ComparisonSpec(ExperimentSpec):
         # paper's untargeted float32 pipeline.
         params["objective"] = ObjectiveConfig.from_dict(params.get("objective", {}))
         params.setdefault("victim_precision", "float32")
+        # Pre-engine-tier payloads: None defers to the process default.
+        params.setdefault("engine", None)
         return cls(**params)
 
     # -- execution -----------------------------------------------------
@@ -313,6 +321,7 @@ class ComparisonSpec(ExperimentSpec):
             seed=self.seed,
             objective=self.objective,
             victim_precision=self.victim_precision,
+            engine=self.engine,
         )
 
     def profiles(self, context) -> ProfilePair:
@@ -770,9 +779,13 @@ class ProfileDensitySpec(ExperimentSpec):
     profile_seed: int = 17
     objective_seed: int = 23
     training_epochs: Optional[int] = None
+    #: Engine tier for the inner bit search (``None`` = process default).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "densities", tuple(float(d) for d in self.densities))
+        if self.engine is not None:
+            check_engine(self.engine)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -788,6 +801,7 @@ class ProfileDensitySpec(ExperimentSpec):
             "profile_seed": self.profile_seed,
             "objective_seed": self.objective_seed,
             "training_epochs": self.training_epochs,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -795,6 +809,7 @@ class ProfileDensitySpec(ExperimentSpec):
         params = {key: value for key, value in payload.items() if key != "kind"}
         params["densities"] = tuple(params.get("densities", ()))
         params["search"] = _decode_search(params.get("search", {}))
+        params.setdefault("engine", None)
         return cls(**params)
 
     # -- execution -----------------------------------------------------
@@ -833,6 +848,7 @@ class ProfileDensitySpec(ExperimentSpec):
                 config=self.search,
                 model_name=model_spec.display_name,
                 mechanism="unconstrained",
+                engine=self.engine,
             ).run()
         density = float(unit["density"])
         profile = BitFlipProfile.synthetic(
@@ -846,7 +862,7 @@ class ProfileDensitySpec(ExperimentSpec):
             model,
             self._objective(dataset),
             profile,
-            config=ProfileAwareConfig(search=self.search),
+            config=ProfileAwareConfig(search=self.search, engine=self.engine),
             tensor_infos=tensor_infos,
             model_name=model_spec.display_name,
         )

@@ -113,7 +113,10 @@ class ChipProfiler:
 
     # ------------------------------------------------------------------
     def _run_mechanism(self, mechanism: str) -> List[CellFlip]:
-        if self.engine == "vectorized":
+        # Every non-reference tier (vectorized, compiled) takes the masked
+        # whole-bank sweep; the profiler has no registry kernels of its
+        # own, so "compiled" must never fall into the slow loop path.
+        if self.engine != "reference":
             return self._run_mechanism_vectorized(mechanism)
         return self._run_mechanism_reference(mechanism)
 

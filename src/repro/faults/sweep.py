@@ -187,7 +187,7 @@ def rowhammer_flip_curve(
                 chip.write_row(bank, row, victim_bits)
                 for neighbour in chip.geometry.neighbours(row):
                     chip.write_row(bank, neighbour, aggressor_bits)
-        if engine == "vectorized":
+        if engine != "reference":
             cumulative += _one_pass_flip_counts(
                 chip, banks, union_victims, set(aggressor_union), "rowhammer", budgets
             )
@@ -254,7 +254,7 @@ def rowpress_flip_curve(
                 chip.write_row(bank, row, pressed_bits)
                 for neighbour in chip.geometry.neighbours(row):
                     chip.write_row(bank, neighbour, pattern_bits)
-        if engine == "vectorized":
+        if engine != "reference":
             cumulative += _one_pass_flip_counts(
                 chip, banks, press_victims, set(rows), "rowpress", budgets
             )

@@ -24,6 +24,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn import kernels
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
@@ -423,6 +425,15 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def relu(self) -> "Tensor":
+        if not (_GRAD_MODE.enabled and self.requires_grad):
+            # Same multiply-by-mask arithmetic (bool upcasts to 0.0/1.0,
+            # preserving signed zeros exactly), minus the float mask
+            # materialisation and graph bookkeeping.  With the compiled
+            # tier active the mask multiply runs as a single C/JIT pass.
+            impl = kernels.active("relu")
+            if impl is not None:
+                return Tensor(impl(self.data))
+            return Tensor(self.data * (self.data > 0))
         mask = (self.data > 0).astype(np.float64)
         data = self.data * mask
 

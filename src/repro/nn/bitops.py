@@ -16,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.nn import kernels
 from repro.utils.validation import check_index
 
 IntArray = Union[int, np.ndarray]
@@ -139,15 +140,25 @@ def bit_flip_delta_table(
     """
     if validate:
         _validate_num_bits(num_bits)
+        low, high = int_range(num_bits)
+        check_values = np.asarray(values, dtype=np.int64)
+        if check_values.size and (check_values.min() < low or check_values.max() > high):
+            raise ValueError(f"values out of range for {num_bits}-bit two's complement")
     values = np.asarray(values, dtype=np.int64).ravel()
-    patterns = to_twos_complement(values, num_bits, validate=validate)
-    bit_positions = np.arange(num_bits, dtype=np.int64)[:, None]
-    bits = (patterns[None, :] >> bit_positions) & 1
-    magnitudes = np.int64(1) << bit_positions
-    table = np.where(bits == 1, -magnitudes, magnitudes)
-    # Sign bit: setting it subtracts 2**bit, clearing it adds 2**bit.
-    table[num_bits - 1] = -table[num_bits - 1]
-    return table
+    # Integer arithmetic is exact in every backend, so the registry
+    # dispatch (compiled table construction when the tier is active)
+    # cannot change a single entry.
+    return kernels.delta_table(values, num_bits)
+
+
+def bit_flip_delta_column(value: int, num_bits: int) -> np.ndarray:
+    """One column of :func:`bit_flip_delta_table` for a single value.
+
+    The bit-search delta-table cache recomputes exactly one column after a
+    flip lands (only that weight's bit pattern changed); this is the
+    registry-dispatched single-value path it uses.
+    """
+    return kernels.delta_column(int(value), num_bits)
 
 
 def hamming_distance(a: IntArray, b: IntArray, num_bits: int) -> int:

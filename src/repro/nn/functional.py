@@ -4,6 +4,12 @@ Convolutions and pooling are implemented as custom graph nodes using
 im2col/col2im so that the heavy lifting stays inside vectorised numpy calls;
 everything else (normalisation, attention, losses) is composed from the
 :class:`~repro.nn.autograd.Tensor` primitives inside the layer classes.
+
+The convolution primitives dispatch through the kernel registry
+(:mod:`repro.nn.kernels`): with the compiled tier active they run the
+Numba/C backend kernels, otherwise the NumPy reference implementations —
+which are bit-identical by the golden contract, so the dispatch point is
+invisible to every caller.
 """
 
 from __future__ import annotations
@@ -12,23 +18,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.autograd import Tensor
+from repro.nn import kernels
+from repro.nn.autograd import Tensor, is_grad_enabled
+from repro.nn.kernels.reference import conv2d_output_size as _conv2d_output_size
 
 
 # ----------------------------------------------------------------------
 # im2col / col2im helpers (2-D)
 # ----------------------------------------------------------------------
-def _conv2d_output_size(height: int, width: int, kernel: Tuple[int, int], stride: int, padding: int) -> Tuple[int, int]:
-    out_h = (height + 2 * padding - kernel[0]) // stride + 1
-    out_w = (width + 2 * padding - kernel[1]) // stride + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"convolution output would be empty: input {height}x{width}, "
-            f"kernel {kernel}, stride {stride}, padding {padding}"
-        )
-    return out_h, out_w
-
-
 def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
     """Rearrange image patches into columns.
 
@@ -41,21 +38,7 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) ->
     -------
     Array of shape ``(N, C * kh * kw, out_h * out_w)``.
     """
-    batch, channels, height, width = x.shape
-    kh, kw = kernel
-    out_h, out_w = _conv2d_output_size(height, width, kernel, stride, padding)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(batch, channels, out_h, out_w, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
-        writeable=False,
-    )
-    # (N, C, kh, kw, out_h, out_w) -> (N, C*kh*kw, out_h*out_w)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(batch, channels * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols)
+    return kernels.im2col(x, kernel, stride, padding)
 
 
 def col2im(
@@ -66,17 +49,7 @@ def col2im(
     padding: int,
 ) -> np.ndarray:
     """Scatter-add columns back into image space (adjoint of :func:`im2col`)."""
-    batch, channels, height, width = input_shape
-    kh, kw = kernel
-    out_h, out_w = _conv2d_output_size(height, width, kernel, stride, padding)
-    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
-    cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[:, :, i, j]
-    if padding > 0:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+    return kernels.col2im(cols, input_shape, kernel, stride, padding)
 
 
 def conv2d(
@@ -95,16 +68,26 @@ def conv2d(
         )
     out_h, out_w = _conv2d_output_size(height, width, (kh, kw), stride, padding)
 
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
     weight_matrix = weight.data.reshape(out_channels, -1)  # (F, C*kh*kw)
-    # Broadcast GEMM: one (F, K) @ (K, L) product per sample.  BLAS-fast,
-    # and — because every sample's GEMM has the same fixed shape no matter
-    # how many samples are stacked — per-sample results are independent of
-    # the leading dimension, which the stacked trial evaluation
-    # (SuffixEvaluator.peek_many) relies on for bit-identical suffixes.
-    out = np.matmul(weight_matrix, cols)  # (N, F, L)
-    if bias is not None:
-        out = out + bias.data.reshape(1, -1, 1)
+    # When no backward closure can be recorded (no_grad, or no parent
+    # requires grad — exactly the cases where Tensor._make drops the
+    # closure) nothing retains ``cols`` past this call, so the im2col
+    # columns go into a per-thread scratch buffer reused across
+    # same-shape forwards instead of a fresh allocation.
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    out, cols = kernels.conv2d_forward(
+        x.data,
+        weight_matrix,
+        None if bias is None else bias.data,
+        (kh, kw),
+        stride,
+        padding,
+        reuse_scratch=not needs_grad,
+    )
     out = out.reshape(batch, out_channels, out_h, out_w)
 
     parents = (x, weight) if bias is None else (x, weight, bias)

@@ -15,6 +15,16 @@ in the same order* as a full forward, its outputs are bit-identical to the
 full pass — the property the golden-equivalence tests pin against
 ``engine="reference"``.
 
+The evaluator itself is kernel-agnostic: every stage runs through the op
+layer (:mod:`repro.nn.functional`, the norm layers), which dispatches to
+:mod:`repro.nn.kernels` when the compiled tier is active.  The suffix
+cascade is the hot loop those kernels accelerate — each ``peek_many`` call
+is dominated by conv forwards and folded inference batch-norms, and the
+no-grad context additionally enables the per-thread im2col scratch reuse
+(:func:`repro.nn.kernels.scratch_buffer`).  Bit-identity of the compiled
+kernels (enforced by :func:`repro.nn.kernels.warmup` self-validation)
+keeps the cached boundary activations interchangeable across tiers.
+
 Cache-consistency contract (mirrors the PR-2 flip-delta-table contract):
 
 * **Committed** weight mutations must be followed by
@@ -42,6 +52,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.nn import kernels
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.module import ForwardStage, Module
 from repro.nn.parameter import Parameter
@@ -306,13 +317,18 @@ class SuffixEvaluator:
                 if joining:
                     prefix = Tensor(entry[stage_index])
                     blocks = []
-                    for position in joining:
-                        trial = trials[position]
-                        trial.apply()
-                        try:
-                            blocks.append(stage.run(prefix).data)
-                        finally:
-                            trial.revert()
+                    # Every run in this group forwards the same prefix
+                    # array through the stage — only the flipped weights
+                    # differ — so conv columns are shared across trials
+                    # (a no-op outside the compiled tier).
+                    with kernels.im2col_memo():
+                        for position in joining:
+                            trial = trials[position]
+                            trial.apply()
+                            try:
+                                blocks.append(stage.run(prefix).data)
+                            finally:
+                                trial.revert()
                     live_order.extend(joining)
                     live_rows.extend(block.shape[0] for block in blocks)
                     if live is None and len(blocks) == 1:

@@ -1,0 +1,458 @@
+"""Kernel registry for the ``engine="compiled"`` op tier.
+
+The op stack (:mod:`repro.nn.functional`, the batch-norm layers,
+:mod:`repro.nn.bitops`) routes its hot primitives through this registry.
+Three tiers exist per kernel:
+
+- a **compiled backend** implementation (Numba JIT when ``numba`` imports,
+  else a C shared library built with the system compiler — see
+  :mod:`repro.nn.kernels.numba_backend` / :mod:`repro.nn.kernels.cc`),
+- the **reference** NumPy implementation in
+  :mod:`repro.nn.kernels.reference`, which is also the vectorized tier's
+  code path, and
+- nothing at all: a kernel a backend fails to provide silently falls back
+  to the reference implementation, per kernel.
+
+Compiled kernels only run while the compiled tier is *active*: inside a
+``kernels.use("compiled")`` context (entered by
+:class:`repro.core.bfa.BitFlipAttack` when built with
+``engine="compiled"``), or process-wide when ``REPRO_DEFAULT_ENGINE`` is
+``compiled``.  Activation is thread-local, so a thread-pool worker running
+a compiled attack never switches kernels under a concurrent vectorized
+one.
+
+Every backend kernel must reproduce the reference bit for bit (the golden
+contract of docs/ENGINES.md); :func:`warmup` self-checks each kernel on
+small inputs and drops any that disagrees.  Requesting the compiled tier
+with no backend available warns once and falls back — never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.kernels import reference
+
+#: Names every backend may implement (reference implements them all).
+KERNEL_NAMES: Tuple[str, ...] = tuple(reference.KERNELS)
+
+#: Probe order when ``REPRO_KERNEL_BACKEND`` does not force a backend.
+BACKEND_ORDER: Tuple[str, ...] = ("numba", "cc")
+
+_lock = threading.RLock()
+_state: Dict[str, object] = {
+    "probed": False,
+    "name": None,
+    "kernels": {},
+    "warned": False,
+    "warmed": False,
+    "default": None,
+}
+
+
+def _load_backend(name: str) -> Optional[Dict[str, Callable]]:
+    if name == "numba":
+        from repro.nn.kernels import numba_backend
+
+        return numba_backend.load()
+    if name == "cc":
+        from repro.nn.kernels import cc
+
+        return cc.load()
+    return None
+
+
+def _probe() -> None:
+    with _lock:
+        if _state["probed"]:
+            return
+        forced = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+        if forced in ("none", "off"):
+            order: Tuple[str, ...] = ()
+        elif forced:
+            order = (forced,) if forced in BACKEND_ORDER else ()
+        else:
+            order = BACKEND_ORDER
+        for name in order:
+            try:
+                kernels = _load_backend(name)
+            except Exception:
+                kernels = None
+            if kernels:
+                _state["name"] = name
+                _state["kernels"] = dict(kernels)
+                break
+        _state["probed"] = True
+
+
+def available() -> bool:
+    """Whether any compiled backend loaded (numba or the C library)."""
+    _probe()
+    return bool(_state["kernels"])
+
+
+def backend_name() -> Optional[str]:
+    """Name of the loaded backend (``"numba"`` / ``"cc"``), or ``None``."""
+    _probe()
+    return _state["name"]
+
+
+def get_kernel(name: str) -> Callable:
+    """Best implementation of ``name``: backend if loaded, else reference.
+
+    Unknown names raise ``KeyError`` — the registry is a closed set.
+    """
+    if name not in reference.KERNELS:
+        raise KeyError(
+            f"unknown kernel {name!r}; registered kernels: {sorted(reference.KERNELS)}"
+        )
+    _probe()
+    kernels: Dict[str, Callable] = _state["kernels"]  # type: ignore[assignment]
+    return kernels.get(name, reference.KERNELS[name])
+
+
+def ensure_available(warn: bool = False) -> bool:
+    """Availability check that optionally warns (once) about the fallback."""
+    if available():
+        warmup()
+        return True
+    if warn and not _state["warned"]:
+        _state["warned"] = True
+        warnings.warn(
+            "engine='compiled' requested but no kernel backend is available "
+            "(numba not importable and no C compiler found); falling back to "
+            "the vectorized engine — results are bit-identical, just slower",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Activation (thread-local, stack-based)
+# ----------------------------------------------------------------------
+class _Activation(threading.local):
+    def __init__(self):
+        self.stack = []
+
+
+_ACTIVE = _Activation()
+
+
+def _default_enabled() -> bool:
+    if _state["default"] is None:
+        engine = os.environ.get("REPRO_DEFAULT_ENGINE", "").strip().lower()
+        _state["default"] = engine == "compiled" and ensure_available(warn=True)
+    return bool(_state["default"])
+
+
+def compiled_active() -> bool:
+    """Whether compiled kernels dispatch on this thread right now."""
+    stack = _ACTIVE.stack
+    if stack:
+        return stack[-1]
+    return _default_enabled()
+
+
+@contextmanager
+def use(engine: Optional[str]) -> Iterator[bool]:
+    """Activate (or explicitly deactivate) compiled kernels in a scope.
+
+    ``use("compiled")`` enables the backend kernels for the current thread
+    — warning once and staying on the reference tier when no backend is
+    available.  Any other value (``"vectorized"``, ``"reference"``,
+    ``None``) pins the reference tier, overriding a process-wide
+    ``REPRO_DEFAULT_ENGINE=compiled`` for the scope.  Yields whether the
+    compiled tier is actually active.
+    """
+    enabled = engine == "compiled" and ensure_available(warn=True)
+    _ACTIVE.stack.append(enabled)
+    try:
+        yield enabled
+    finally:
+        _ACTIVE.stack.pop()
+
+
+def active(name: str) -> Optional[Callable]:
+    """Backend kernel ``name`` if the compiled tier is active, else ``None``."""
+    if not compiled_active():
+        return None
+    kernels: Dict[str, Callable] = _state["kernels"]  # type: ignore[assignment]
+    return kernels.get(name)
+
+
+# ----------------------------------------------------------------------
+# Warmup and self-validation
+# ----------------------------------------------------------------------
+def warmup() -> Tuple[str, ...]:
+    """Compile/JIT every backend kernel once and self-check bit-identity.
+
+    Runs each backend kernel on small inputs (several stride/padding
+    variants) and compares against the reference implementation with exact
+    equality; a kernel that disagrees is dropped from the backend so its
+    call sites fall back to reference.  Idempotent — perf harnesses call
+    this before timing so JIT/compile cost never lands in a timed region.
+
+    Returns the names of the validated backend kernels.
+    """
+    with _lock:
+        _probe()
+        kernels: Dict[str, Callable] = _state["kernels"]  # type: ignore[assignment]
+        if _state["warmed"] or not kernels:
+            return tuple(sorted(kernels))
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 2, 9, 9))
+        weight_matrix = rng.standard_normal((4, 2 * 3 * 3))
+        bias = rng.standard_normal(4)
+        variants = [(1, 0), (1, 1), (2, 1), (3, 2)]
+        values = rng.integers(-128, 128, size=37).astype(np.int64)
+
+        def check(name: str, run: Callable[[Callable], object]) -> None:
+            impl = kernels.get(name)
+            if impl is None:
+                return
+            try:
+                got = np.asarray(run(impl))
+                want = np.asarray(run(reference.KERNELS[name]))
+                # Byte-level comparison: catches signed-zero and NaN
+                # payload differences that ``array_equal`` would miss.
+                identical = (
+                    got.dtype == want.dtype
+                    and got.shape == want.shape
+                    and np.ascontiguousarray(got).tobytes()
+                    == np.ascontiguousarray(want).tobytes()
+                )
+            except Exception:
+                identical = False
+            if not identical:
+                kernels.pop(name, None)
+
+        for stride, padding in variants:
+            out_h, out_w = reference.conv2d_output_size(9, 9, (3, 3), stride, padding)
+            cols = rng.standard_normal((3, 2 * 3 * 3, out_h * out_w))
+            check("im2col", lambda k: k(x, (3, 3), stride, padding))
+            check("col2im", lambda k: k(cols, x.shape, (3, 3), stride, padding))
+            check(
+                "conv2d_forward",
+                lambda k: k(x, weight_matrix, bias, (3, 3), stride, padding)[0],
+            )
+        check(
+            "conv2d_forward",
+            lambda k: k(x, weight_matrix, None, (3, 3), 1, 1)[0],
+        )
+        scale = rng.standard_normal(2)
+        shift = rng.standard_normal(2)
+        check("bn_fold", lambda k: k(x, scale, shift))
+        bn_weight = rng.standard_normal(2)
+        bn_bias = rng.standard_normal(2)
+        bn_mean = rng.standard_normal(2)
+        bn_var = rng.random(2) + 0.5
+        check("bn_infer", lambda k: k(x, bn_weight, bn_bias, bn_mean, bn_var, 1e-5))
+        relu_probe = x.copy()
+        relu_probe[0, 0, 0, :3] = (0.0, -0.0, np.nan)
+        check("relu", lambda k: k(relu_probe))
+        check("delta_table", lambda k: k(values, 8))
+        check("delta_table", lambda k: k(values % 4, 3))
+        check("delta_column", lambda k: k(-77, 8))
+        if not kernels:
+            _state["name"] = None
+        _state["warmed"] = True
+        return tuple(sorted(kernels))
+
+
+# ----------------------------------------------------------------------
+# Per-thread im2col scratch pool
+# ----------------------------------------------------------------------
+class _Scratch(threading.local):
+    def __init__(self):
+        self.buffers = {}
+
+
+_SCRATCH = _Scratch()
+
+
+def scratch_buffer(name: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """A per-thread float64 buffer reused across same-shape requests.
+
+    Callers must fully overwrite the buffer and must not let it escape the
+    call — the conv forward only uses it when no backward closure can
+    retain the columns (gradient-free forwards), so the next same-shape
+    call may freely clobber it.
+    """
+    buffers = _SCRATCH.buffers
+    key = (name, shape)
+    buffer = buffers.get(key)
+    if buffer is None:
+        buffer = np.empty(shape)
+        buffers[key] = buffer
+    return buffer
+
+
+def clear_scratch() -> None:
+    """Drop this thread's scratch buffers (tests / memory pressure)."""
+    _SCRATCH.buffers.clear()
+
+
+# ----------------------------------------------------------------------
+# im2col memo for repeated same-input forwards (compiled tier only)
+# ----------------------------------------------------------------------
+class _Memo(threading.local):
+    def __init__(self):
+        self.scope = None
+
+
+_MEMO = _Memo()
+
+
+@contextmanager
+def im2col_memo() -> Iterator[Optional[dict]]:
+    """Reuse im2col columns across forwards that share the same input.
+
+    The stacked suffix cascade (`SuffixEvaluator.peek_many`) runs a trial
+    group's flipped stage once per trial on the *same* cached boundary
+    array — only the stage's weights differ between runs, and im2col does
+    not depend on weights.  Inside this scope :func:`conv2d_forward` keeps
+    one ``(input, cols)`` entry per conv signature and skips the gather
+    when the same input array object comes back.  Correctness guards:
+
+    - hits require the stored input to be the *same object* (``is``), and
+      the scope holds a strong reference so its id cannot be recycled;
+    - the caller must not mutate conv inputs in place within the scope
+      (stage forwards allocate fresh activations, so this holds);
+    - the scratch pool is bypassed for memoised columns — a later
+      same-shape conv would clobber a shared scratch buffer.
+
+    Active only while the compiled tier dispatches (the cascade's stage
+    loop is a compiled-engine hot path); otherwise a no-op.  Memory is
+    bounded at one cols buffer per distinct conv signature and released
+    when the scope exits.
+    """
+    if _MEMO.scope is not None or not compiled_active():
+        # Nested scopes keep the outer memo; the reference tiers skip it.
+        yield _MEMO.scope
+        return
+    _MEMO.scope = {}
+    try:
+        yield _MEMO.scope
+    finally:
+        _MEMO.scope = None
+
+
+# ----------------------------------------------------------------------
+# Dispatching convenience wrappers used by the op stack
+# ----------------------------------------------------------------------
+def im2col(x, kernel, stride, padding, out=None):
+    """Registry-dispatched im2col (compiled when active, else reference)."""
+    impl = active("im2col")
+    if impl is None:
+        return reference.im2col(x, kernel, stride, padding, out)
+    return impl(x, kernel, stride, padding, out)
+
+
+def col2im(cols, input_shape, kernel, stride, padding):
+    """Registry-dispatched col2im (compiled when active, else reference)."""
+    impl = active("col2im")
+    if impl is None:
+        return reference.col2im(cols, input_shape, kernel, stride, padding)
+    return impl(cols, input_shape, kernel, stride, padding)
+
+
+def conv2d_forward(x, weight_matrix, bias, kernel, stride, padding, reuse_scratch=False):
+    """Registry-dispatched conv forward returning ``(out, cols)``.
+
+    ``reuse_scratch=True`` routes the im2col columns into the per-thread
+    scratch pool — only safe when the caller will not retain ``cols``
+    (no backward closure), which :func:`repro.nn.functional.conv2d`
+    guarantees by checking grad mode and ``requires_grad``.
+
+    Inside an :func:`im2col_memo` scope, a repeated forward on the *same*
+    input array reuses its memoised columns and runs only the GEMM + bias
+    (``np.matmul`` per-sample semantics — the identical accumulation the
+    backends perform).
+    """
+    memo = _MEMO.scope
+    if memo is not None:
+        key = (x.shape, kernel, stride, padding)
+        hit = memo.get(key)
+        if hit is not None and hit[0] is x:
+            cols = hit[1]
+            out = np.matmul(weight_matrix, cols)
+            if bias is not None:
+                out = out + bias.reshape(1, -1, 1)
+            return out, cols
+    cols_out = None
+    if reuse_scratch and memo is None:
+        batch, channels = x.shape[0], x.shape[1]
+        kh, kw = kernel
+        out_h, out_w = reference.conv2d_output_size(
+            x.shape[2], x.shape[3], kernel, stride, padding
+        )
+        cols_out = scratch_buffer(
+            "im2col", (batch, channels * kh * kw, out_h * out_w)
+        )
+    impl = active("conv2d_forward")
+    if impl is None:
+        result = reference.conv2d_forward(
+            x, weight_matrix, bias, kernel, stride, padding, cols_out
+        )
+    else:
+        result = impl(x, weight_matrix, bias, kernel, stride, padding, cols_out)
+    if memo is not None:
+        memo[(x.shape, kernel, stride, padding)] = (x, result[1])
+    return result
+
+
+def bn_fold(x, scale, shift):
+    """Registry-dispatched folded batch-norm ``x * scale + shift``."""
+    impl = active("bn_fold")
+    if impl is None:
+        return reference.bn_fold(x, scale, shift)
+    return impl(x, scale, shift)
+
+
+def bn_infer(x, weight, bias, mean, var, eps):
+    """Registry-dispatched inference batch-norm from raw statistics."""
+    impl = active("bn_infer")
+    if impl is None:
+        return reference.bn_infer(x, weight, bias, mean, var, eps)
+    return impl(x, weight, bias, mean, var, eps)
+
+
+def relu(x):
+    """Registry-dispatched mask-multiply ReLU."""
+    impl = active("relu")
+    if impl is None:
+        return reference.relu(x)
+    return impl(x)
+
+
+def delta_table(values, num_bits):
+    """Registry-dispatched flip-delta table construction."""
+    impl = active("delta_table")
+    if impl is None:
+        return reference.delta_table(values, num_bits)
+    return impl(values, num_bits)
+
+
+def delta_column(value, num_bits):
+    """Registry-dispatched single-column flip-delta recompute."""
+    impl = active("delta_column")
+    if impl is None:
+        return reference.delta_column(value, num_bits)
+    return impl(value, num_bits)
+
+
+def _reset_for_tests() -> None:
+    """Forget probed backends, warnings and scratch state (test helper)."""
+    with _lock:
+        _state.update(
+            probed=False, name=None, kernels={}, warned=False, warmed=False, default=None
+        )
+    _ACTIVE.stack.clear()
+    clear_scratch()

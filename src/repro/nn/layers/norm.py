@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
-from repro.nn.autograd import Tensor
+from repro.nn import init, kernels
+from repro.nn.autograd import Tensor, is_grad_enabled
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 
@@ -53,6 +53,29 @@ class _BatchNorm(Module):
         # gradients still reach weight and bias through the graph, and the
         # elementwise form is per-sample independent (stacked-evaluation
         # safe).
+        if not (
+            is_grad_enabled()
+            and (x.requires_grad or self.weight.requires_grad or self.bias.requires_grad)
+        ):
+            fused = kernels.active("bn_infer")
+            if fused is not None:
+                # Gradient-free forward with the compiled tier active: one
+                # C/JIT pass folding the raw statistics and applying them,
+                # instead of several per-channel NumPy ops plus two Tensor
+                # passes.  Same derivation steps, same multiply-then-add
+                # rounding order — bit-identical to the composition below.
+                return Tensor(fused(
+                    x.data, self.weight.data, self.bias.data,
+                    self.running_mean, self.running_var, self.eps,
+                ))
+            fused = kernels.active("bn_fold")
+            if fused is not None:
+                # Partial backend (bn_infer dropped or absent): still fold
+                # scale/shift here and run the big pass compiled.
+                inv_std_vec = 1.0 / np.sqrt(self.running_var + self.eps)
+                scale_vec = self.weight.data * inv_std_vec
+                shift_vec = self.bias.data - self.running_mean * scale_vec
+                return Tensor(fused(x.data, scale_vec, shift_vec))
         inv_std = Tensor(
             (1.0 / np.sqrt(self.running_var + self.eps)).reshape(shape)
         )

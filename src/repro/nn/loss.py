@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.autograd import Tensor
+from repro.nn.autograd import Tensor, is_grad_enabled
 from repro.nn.functional import one_hot
 
 
@@ -23,6 +23,16 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
         raise ValueError(
             f"batch size mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
         )
+    if not (is_grad_enabled() and logits.requires_grad):
+        # Gradient-free path: the exact op sequence of the Tensor
+        # composition below on raw arrays (including mean's sum *
+        # (1/count) rounding), without graph construction or log_softmax's
+        # eager softmax materialisation for backward.
+        data = logits.data
+        shifted = data - data.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        per_sample = -((log_probs * one_hot(labels, logits.shape[1])).sum(axis=1))
+        return Tensor(per_sample.sum() * (1.0 / per_sample.size))
     log_probs = logits.log_softmax(axis=-1)
     targets = Tensor(one_hot(labels, logits.shape[1]))
     per_sample = -(log_probs * targets).sum(axis=1)

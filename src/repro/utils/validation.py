@@ -6,6 +6,7 @@ substantive modules focused on behaviour rather than defensive boilerplate.
 
 from __future__ import annotations
 
+import os
 from typing import Union
 
 Number = Union[int, float]
@@ -41,11 +42,35 @@ def check_index(name: str, value: int, size: int) -> None:
         raise IndexError(f"{name} must be within [0, {size}), got {value!r}")
 
 
+#: Engine tiers accepted everywhere an ``engine=`` selector appears.
+ENGINES = ("vectorized", "reference", "compiled")
+
+
 def check_engine(engine: str) -> None:
     """Raise ``ValueError`` unless ``engine`` names a known flip-engine.
 
-    The vectorized hot engines and their retained loop references share this
-    selector across the attack, bank, profiler and sweep layers.
+    The vectorized hot engines, their retained loop references and the
+    optional compiled kernel tier share this selector across the attack,
+    bank, profiler and sweep layers.  ``compiled`` runs the vectorized
+    algorithms with registry kernels swapped in (bit-identical, faster)
+    and degrades to plain vectorized when no backend is available.
     """
-    if engine not in ("vectorized", "reference"):
-        raise ValueError(f"engine must be 'vectorized' or 'reference', got {engine!r}")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {', '.join(repr(e) for e in ENGINES)}, got {engine!r}"
+        )
+
+
+def default_engine() -> str:
+    """The process-wide default engine tier.
+
+    ``REPRO_DEFAULT_ENGINE`` overrides the built-in ``"vectorized"``
+    default — the CI compiled leg runs the entire suite under
+    ``REPRO_DEFAULT_ENGINE=compiled`` this way.  Invalid values raise
+    rather than silently running a different tier than requested.
+    """
+    engine = os.environ.get("REPRO_DEFAULT_ENGINE", "").strip().lower()
+    if not engine:
+        return "vectorized"
+    check_engine(engine)
+    return engine

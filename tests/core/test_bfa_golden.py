@@ -72,25 +72,27 @@ class TestDeltaTable:
 
 
 class TestProposerEquivalence:
+    @pytest.mark.parametrize("engine", ["vectorized", "compiled"])
     @pytest.mark.parametrize("seed", [2, 3, 11])
     def test_unconstrained_events_bit_identical(
-        self, tiny_trained_model, objective_factory, seed
+        self, tiny_trained_model, objective_factory, seed, engine
     ):
         reference = run_attack(tiny_trained_model, objective_factory, "reference", seed, False)
-        vectorized = run_attack(tiny_trained_model, objective_factory, "vectorized", seed, False)
-        assert reference.events == vectorized.events
-        assert reference.accuracy_curve == vectorized.accuracy_curve
-        assert reference.loss_curve == vectorized.loss_curve
-        assert reference.num_flips == vectorized.num_flips
+        result = run_attack(tiny_trained_model, objective_factory, engine, seed, False)
+        assert reference.events == result.events
+        assert reference.accuracy_curve == result.accuracy_curve
+        assert reference.loss_curve == result.loss_curve
+        assert reference.num_flips == result.num_flips
 
+    @pytest.mark.parametrize("engine", ["vectorized", "compiled"])
     @pytest.mark.parametrize("seed", [2, 11])
     def test_restricted_events_bit_identical(
-        self, tiny_trained_model, objective_factory, seed
+        self, tiny_trained_model, objective_factory, seed, engine
     ):
         reference = run_attack(tiny_trained_model, objective_factory, "reference", seed, True)
-        vectorized = run_attack(tiny_trained_model, objective_factory, "vectorized", seed, True)
-        assert reference.events == vectorized.events
-        assert reference.accuracy_curve == vectorized.accuracy_curve
+        result = run_attack(tiny_trained_model, objective_factory, engine, seed, True)
+        assert reference.events == result.events
+        assert reference.accuracy_curve == result.accuracy_curve
 
     def test_single_iteration_proposals_identical(
         self, tiny_trained_model, objective_factory

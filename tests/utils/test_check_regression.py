@@ -19,15 +19,22 @@ def check_regression():
     return module
 
 
-def payload(cases, schema_version=1):
-    return {
-        "schema_version": schema_version,
-        "cases": {
-            name: {"description": name, "reference_seconds": ref, "vectorized_seconds": vec,
-                   "speedup": ref / vec}
-            for name, (ref, vec) in cases.items()
-        },
-    }
+def payload(cases, schema_version=1, descriptions=None, compiled=None):
+    """Build a benchmark payload; ``compiled`` maps case name -> compiled secs."""
+    built = {}
+    for name, (ref, vec) in cases.items():
+        case = {
+            "description": (descriptions or {}).get(name, name),
+            "reference_seconds": ref,
+            "vectorized_seconds": vec,
+            "speedup": ref / vec,
+        }
+        comp = (compiled or {}).get(name)
+        if comp is not None:
+            case["compiled_seconds"] = comp
+            case["compiled_speedup"] = vec / comp
+        built[name] = case
+    return {"schema_version": schema_version, "cases": built, "profile": "quick"}
 
 
 def run_gate(check_regression, monkeypatch, tmp_path, baseline, fresh, *extra):
@@ -108,6 +115,43 @@ class TestRegressionGate:
         ) == 0
 
 
+class TestCompiledColumn:
+    def test_compiled_regression_fails(self, check_regression, monkeypatch, tmp_path):
+        baseline = payload({"a": (4.0, 1.0)}, compiled={"a": 0.25})  # 4.0x compiled
+        fresh = payload({"a": (4.0, 1.0)}, compiled={"a": 1.0})  # 1.0x < 4.0 / 2
+        assert run_gate(check_regression, monkeypatch, tmp_path, baseline, fresh) == 1
+
+    def test_compiled_within_budget_passes(self, check_regression, monkeypatch, tmp_path):
+        baseline = payload({"a": (4.0, 1.0)}, compiled={"a": 0.4})  # 2.5x
+        fresh = payload({"a": (4.0, 1.0)}, compiled={"a": 0.5})  # 2.0x >= 2.5 / 2
+        assert run_gate(check_regression, monkeypatch, tmp_path, baseline, fresh) == 0
+
+    def test_toolchainless_fresh_run_is_not_gated(
+        self, check_regression, monkeypatch, tmp_path, capsys
+    ):
+        """A fresh run without the compiled column (no toolchain) must pass."""
+        baseline = payload({"a": (4.0, 1.0)}, compiled={"a": 0.25})
+        fresh = payload({"a": (4.0, 1.0)})
+        assert run_gate(check_regression, monkeypatch, tmp_path, baseline, fresh) == 0
+        assert "no compiled column" in capsys.readouterr().out
+
+    def test_new_compiled_column_without_baseline_passes(
+        self, check_regression, monkeypatch, tmp_path, capsys
+    ):
+        baseline = payload({"a": (4.0, 1.0)})
+        fresh = payload({"a": (4.0, 1.0)}, compiled={"a": 0.25})
+        assert run_gate(check_regression, monkeypatch, tmp_path, baseline, fresh) == 0
+        assert "new column, no committed baseline" in capsys.readouterr().out
+
+    def test_non_numeric_compiled_column_is_unusable(
+        self, check_regression, monkeypatch, tmp_path
+    ):
+        fresh = payload({"a": (4.0, 1.0)})
+        bad = payload({"a": (4.0, 1.0)})
+        bad["cases"]["a"]["compiled_seconds"] = "fast"
+        assert run_gate(check_regression, monkeypatch, tmp_path, bad, fresh) == 2
+
+
 class TestCaseSync:
     def _tracked(self):
         perf_dir = str(SCRIPT.parent)
@@ -117,29 +161,90 @@ class TestCaseSync:
 
         return CASE_NAMES
 
+    def _descriptions(self):
+        perf_dir = str(SCRIPT.parent)
+        if perf_dir not in sys.path:
+            sys.path.insert(0, perf_dir)
+        from perf_cases import case_description, profile_sizes
+
+        sizes = profile_sizes("quick")
+        return {name: case_description(name, sizes) for name in self._tracked()}
+
     def test_committed_benchmark_matches_tracked_cases(self):
         """The repo's own BENCH_perf.json must never drift from perf_cases."""
         committed = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
         assert set(committed["cases"]) == set(self._tracked())
 
+    def test_committed_benchmark_descriptions_are_derived(self):
+        """Committed descriptions must equal the metadata-derived strings."""
+        committed = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+        perf_dir = str(SCRIPT.parent)
+        if perf_dir not in sys.path:
+            sys.path.insert(0, perf_dir)
+        from perf_cases import case_description, profile_sizes
+
+        sizes = profile_sizes(committed.get("profile", "quick"))
+        for name, case in committed["cases"].items():
+            assert case["description"] == case_description(name, sizes), name
+
     def test_sync_flag_fails_on_baseline_drift(self, check_regression, monkeypatch, tmp_path):
         names = self._tracked()
-        complete = payload({name: (4.0, 1.0) for name in names})
-        stale = payload({name: (4.0, 1.0) for name in names[:-1]})
+        descriptions = self._descriptions()
+        complete = payload({name: (4.0, 1.0) for name in names}, descriptions=descriptions)
+        stale = payload({name: (4.0, 1.0) for name in names[:-1]}, descriptions=descriptions)
         assert run_gate(
             check_regression, monkeypatch, tmp_path, stale, complete, "--check-case-sync"
         ) == 1
 
     def test_sync_flag_fails_on_unknown_case(self, check_regression, monkeypatch, tmp_path):
         names = self._tracked()
-        complete = payload({name: (4.0, 1.0) for name in names})
-        extra = payload({**{name: (4.0, 1.0) for name in names}, "mystery": (2.0, 1.0)})
+        descriptions = self._descriptions()
+        complete = payload({name: (4.0, 1.0) for name in names}, descriptions=descriptions)
+        extra = payload(
+            {**{name: (4.0, 1.0) for name in names}, "mystery": (2.0, 1.0)},
+            descriptions=descriptions,
+        )
         assert run_gate(
             check_regression, monkeypatch, tmp_path, extra, complete, "--check-case-sync"
         ) == 1
 
+    def test_sync_flag_fails_on_description_drift(
+        self, check_regression, monkeypatch, tmp_path, capsys
+    ):
+        """A hand-edited description must trip the sync gate."""
+        descriptions = self._descriptions()
+        complete = payload(
+            {name: (4.0, 1.0) for name in self._tracked()}, descriptions=descriptions
+        )
+        drifted = json.loads(json.dumps(complete))
+        first = sorted(drifted["cases"])[0]
+        drifted["cases"][first]["description"] = "hand-edited text"
+        assert run_gate(
+            check_regression, monkeypatch, tmp_path, drifted, complete, "--check-case-sync"
+        ) == 1
+        assert "description drifted" in capsys.readouterr().out
+
+    def test_sync_flag_fails_on_half_compiled_pair(
+        self, check_regression, monkeypatch, tmp_path, capsys
+    ):
+        """compiled_seconds without compiled_speedup is a drift failure."""
+        descriptions = self._descriptions()
+        complete = payload(
+            {name: (4.0, 1.0) for name in self._tracked()}, descriptions=descriptions
+        )
+        half = json.loads(json.dumps(complete))
+        first = sorted(half["cases"])[0]
+        half["cases"][first]["compiled_seconds"] = 1.0
+        assert run_gate(
+            check_regression, monkeypatch, tmp_path, half, complete, "--check-case-sync"
+        ) == 1
+        assert "compiled column pair" in capsys.readouterr().out
+
     def test_sync_flag_passes_when_in_sync(self, check_regression, monkeypatch, tmp_path):
-        complete = payload({name: (4.0, 1.0) for name in self._tracked()})
+        complete = payload(
+            {name: (4.0, 1.0) for name in self._tracked()},
+            descriptions=self._descriptions(),
+        )
         assert run_gate(
             check_regression, monkeypatch, tmp_path, complete, complete, "--check-case-sync"
         ) == 0
