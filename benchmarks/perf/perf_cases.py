@@ -9,7 +9,7 @@ a kernel backend is actually available, with JIT/compile warmup excluded).
 The golden-equivalence tests under ``tests/`` prove the engines produce
 bit-identical outputs; this module only measures them.
 
-The nine cases mirror the perf-critical layers:
+The ten cases mirror the perf-critical layers:
 
 * ``bit_search_iteration`` — the intra-layer proposal stage of the
   progressive bit search over every quantized tensor (core + nn layers).
@@ -17,6 +17,9 @@ The nine cases mirror the perf-critical layers:
   (faults + dram layers).
 * ``flip_sweep`` — the Fig. 6 cumulative flip-curve sweeps (faults layer);
   the vectorized engine evaluates all budget steps in one threshold pass.
+* ``dram_timeline_sweep`` — a long multi-aggressor hammer timeline with a
+  random-policy TRR sampler (dram timeline layer): the per-command event
+  loop against the one-array-pass-per-tREFI-window engine.
 * ``victim_evaluation`` — repeated full-test-set victim evaluation with a
   committed flip moving across the network between measurements: the
   full-forward reference against the incremental suffix-re-execution
@@ -81,6 +84,7 @@ CASE_NAMES = (
     "bit_search_iteration",
     "bank_profile",
     "flip_sweep",
+    "dram_timeline_sweep",
     "victim_evaluation",
     "trial_scoring_batched",
     "end_to_end_attack",
@@ -103,6 +107,11 @@ SWEEP_ROWS_PER_BANK = 128
 #: Budget grids of the ``flip_sweep`` case (Fig. 6 shaped).
 HAMMER_COUNTS = (100_000, 300_000, 600_000, 885_000)
 OPEN_CYCLES = (10_000_000, 30_000_000, 60_000_000, 100_000_000)
+#: Command stream of the ``dram_timeline_sweep`` case: six round-robin
+#: aggressors hammered at (nearly) the tREFI slot limit every window.
+TIMELINE_AGGRESSORS = (20, 22, 50, 52, 80, 82)
+TIMELINE_ACTS_PER_WINDOW = 300
+TIMELINE_SAMPLER_CAPACITY = 4
 #: Class count of the synthetic CIFAR-like surrogate dataset.
 SURROGATE_CLASSES = 4
 
@@ -114,14 +123,14 @@ def profile_sizes(profile: str) -> Dict[str, int]:
             "iterations": 30, "rows_per_bank": 96, "max_rows": 16,
             "evaluations": 12, "eval_per_class": 96, "max_flips": 6, "deep_depth": 14,
             "scoring_rounds": 20, "scoring_depth": 26, "scoring_batch": 4,
-            "runner_repetitions": 2, "service_specs": 3,
+            "runner_repetitions": 2, "service_specs": 3, "timeline_windows": 64,
         }
     if profile == "full":
         return {
             "iterations": 100, "rows_per_bank": 128, "max_rows": 32,
             "evaluations": 24, "eval_per_class": 192, "max_flips": 8, "deep_depth": 20,
             "scoring_rounds": 50, "scoring_depth": 32, "scoring_batch": 8,
-            "runner_repetitions": 3, "service_specs": 4,
+            "runner_repetitions": 3, "service_specs": 4, "timeline_windows": 256,
         }
     raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
 
@@ -147,6 +156,14 @@ def case_description(name: str, sizes: Dict[str, int]) -> str:
         return (
             f"RowHammer + RowPress cumulative flip curves, {len(HAMMER_COUNTS)} "
             f"budget steps, up to {sizes['max_rows']} rows per bank"
+        )
+    if name == "dram_timeline_sweep":
+        return (
+            f"{sizes['timeline_windows']}-window hammer timeline "
+            f"({TIMELINE_ACTS_PER_WINDOW} ACTs/window over "
+            f"{len(TIMELINE_AGGRESSORS)} aggressors, capacity-"
+            f"{TIMELINE_SAMPLER_CAPACITY} random-policy TRR sampler): "
+            "per-command event loop vs one array pass per tREFI window"
         )
     if name == "victim_evaluation":
         return (
@@ -299,7 +316,54 @@ def _make_flip_sweep_case(max_rows_per_bank: int) -> PerfCase:
 
 
 # ----------------------------------------------------------------------
-# Case 4: repeated victim evaluation under a moving committed flip
+# Case 4: command-timeline execution under a TRR sampler
+# ----------------------------------------------------------------------
+def _make_timeline_sweep_case(windows: int) -> PerfCase:
+    from repro.defenses.trr import TrrSampler
+    from repro.dram.timeline import TimelineEngine, build_hammer_timeline
+    from repro.dram.timing import DramTimings
+
+    timings = DramTimings()
+    geometry = DramGeometry(
+        num_banks=1, rows_per_bank=SWEEP_ROWS_PER_BANK, cols_per_row=PROFILE_COLS
+    )
+    # Thresholds low enough that rows escaping the sampler flip within the
+    # run, so both engines pay the flip-latching path, not just accounting.
+    params = VulnerabilityParameters(
+        rh_density=0.05,
+        rh_threshold_min=600.0,
+        rh_threshold_log_mean=float(np.log(1200.0)),
+        rh_threshold_log_sigma=0.6,
+    )
+    timeline = build_hammer_timeline(
+        timings, bank=0, aggressor_rows=TIMELINE_AGGRESSORS,
+        windows=windows, acts_per_window=TIMELINE_ACTS_PER_WINDOW,
+    )
+
+    def run(engine: str):
+        chip = DramChip(
+            geometry, timings=timings, vulnerability_parameters=params,
+            seed=0, engine=engine,
+        )
+        sampler = TrrSampler(
+            capacity=TIMELINE_SAMPLER_CAPACITY, policy="random", seed=3
+        )
+        return TimelineEngine(
+            chip, sampler=sampler, refresh_bins=8, engine=engine
+        ).run(timeline)
+
+    return PerfCase(
+        name="dram_timeline_sweep",
+        description=case_description(
+            "dram_timeline_sweep", {"timeline_windows": windows}
+        ),
+        reference=lambda: run("reference"),
+        vectorized=lambda: run("vectorized"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 5: repeated victim evaluation under a moving committed flip
 # ----------------------------------------------------------------------
 def _make_victim_evaluation_case(evaluations: int, test_per_class: int) -> PerfCase:
     model, clean_state, dataset = _surrogate(test_per_class=test_per_class)
@@ -341,7 +405,7 @@ def _make_victim_evaluation_case(evaluations: int, test_per_class: int) -> PerfC
 
 
 # ----------------------------------------------------------------------
-# Case 5: batched vs sequential inter-layer trial scoring
+# Case 6: batched vs sequential inter-layer trial scoring
 # ----------------------------------------------------------------------
 def _make_trial_scoring_case(rounds: int, depth: int, attack_batch: int) -> PerfCase:
     model, clean_state, dataset = _surrogate(depth=depth)
@@ -406,7 +470,7 @@ def _make_trial_scoring_case(rounds: int, depth: int, attack_batch: int) -> Perf
 
 
 # ----------------------------------------------------------------------
-# Cases 6 + 7: end-to-end evaluation-bound attacks
+# Cases 7 + 8: end-to-end evaluation-bound attacks
 # ----------------------------------------------------------------------
 def _make_end_to_end_case(
     name: str,
@@ -449,7 +513,7 @@ def _make_end_to_end_case(
 
 
 # ----------------------------------------------------------------------
-# Case 8: process-pool victim shipping over shared memory
+# Case 9: process-pool victim shipping over shared memory
 # ----------------------------------------------------------------------
 def _make_runner_shared_memory_case(repetitions: int) -> PerfCase:
     from repro.core.bfa import BitSearchConfig
@@ -546,12 +610,13 @@ def _make_runner_service_throughput_case(num_specs: int) -> PerfCase:
 
 
 def build_cases(profile: str = "quick") -> List[PerfCase]:
-    """The nine tracked microbenchmarks at the requested workload size."""
+    """The ten tracked microbenchmarks at the requested workload size."""
     sizes = profile_sizes(profile)
     cases = [
         _make_bit_search_case(sizes["iterations"]),
         _make_bank_profile_case(sizes["rows_per_bank"]),
         _make_flip_sweep_case(sizes["max_rows"]),
+        _make_timeline_sweep_case(sizes["timeline_windows"]),
         _make_victim_evaluation_case(sizes["evaluations"], sizes["eval_per_class"]),
         _make_trial_scoring_case(
             sizes["scoring_rounds"], depth=sizes["scoring_depth"],

@@ -4,6 +4,8 @@ from repro.analysis.figures import (
     build_fig6_series,
     build_fig7_series,
     render_ascii_curve,
+    render_heatmap,
+    render_sampling_histogram,
 )
 from repro.analysis.metrics import (
     equal_time_flip_ratio,
@@ -29,6 +31,8 @@ __all__ = [
     "build_fig6_series",
     "build_fig7_series",
     "render_ascii_curve",
+    "render_heatmap",
+    "render_sampling_histogram",
     "equal_time_flip_ratio",
     "flips_reduction_factor",
     "summarize_takeaways",

@@ -61,6 +61,68 @@ def render_ascii_curve(
     return header + "\n".join(rows) + "\n" + footer
 
 
+def render_heatmap(
+    values: Sequence[Sequence[float]],
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str = "",
+    digits: int = 0,
+) -> str:
+    """Render a small 2-D grid as an aligned text heatmap.
+
+    ``nan`` cells (undefined ratios, e.g. the sampled fraction of a
+    zero-activation refsync cell) render as ``-``, the convention shared
+    with :func:`repro.analysis.tables.format_ratio`.
+    """
+    def fmt(value: float) -> str:
+        value = float(value)
+        if np.isnan(value):
+            return "-"
+        return f"{value:.{digits}f}"
+
+    cells = [[fmt(value) for value in row] for row in values]
+    headers = [""] + [str(label) for label in col_labels]
+    table = [headers] + [
+        [str(label)] + row for label, row in zip(row_labels, cells)
+    ]
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    rendered = []
+    for index, line in enumerate(table):
+        rendered.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    header = f"{title}\n" if title else ""
+    return header + "\n".join(rendered)
+
+
+def render_sampling_histogram(
+    histogram: Dict[int, Dict[int, int]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a per-bank row-sampling histogram as text bars.
+
+    ``histogram`` maps bank -> row -> number of tREFI windows in which the
+    TRR sampler retained the row (the
+    :class:`~repro.dram.timeline.TimelineResult` ``sampling_histogram``).
+    """
+    lines = [title] if title else []
+    if not any(rows for rows in histogram.values()):
+        lines.append("(no rows sampled)")
+        return "\n".join(lines)
+    peak = max(count for rows in histogram.values() for count in rows.values())
+    for bank in sorted(histogram):
+        rows = histogram[bank]
+        if not rows:
+            continue
+        lines.append(f"bank {bank}:")
+        for row in sorted(rows):
+            count = rows[row]
+            bar = "#" * max(1, int(round(width * count / peak)))
+            lines.append(f"  row {row:>5}  {count:>5}x  {bar}")
+    return "\n".join(lines)
+
+
 def curve_steepness(curve: Sequence[float]) -> float:
     """Average per-flip accuracy drop — the 'slope' compared in Fig. 7."""
     values = np.asarray(list(curve), dtype=np.float64)

@@ -18,13 +18,15 @@ from repro.defenses.graphene import GrapheneDefense
 from repro.defenses.hydra import HydraDefense
 from repro.defenses.para import ParaDefense
 from repro.defenses.press_aware import OpenWindowMonitorDefense
-from repro.defenses.trr import TargetRowRefreshDefense
+from repro.defenses.trr import TRR_SAMPLING_POLICIES, TargetRowRefreshDefense, TrrSampler
 from repro.defenses.evaluation import DefenseEvaluationResult, evaluate_defense
 
 __all__ = [
     "DefenseMechanism",
     "DefenseStats",
     "TargetRowRefreshDefense",
+    "TrrSampler",
+    "TRR_SAMPLING_POLICIES",
     "GrapheneDefense",
     "CounterBasedTreeDefense",
     "ParaDefense",

@@ -15,9 +15,13 @@ activation per refresh window, is never even sampled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.defenses.base import DefenseMechanism
+from repro.utils.rng import derive_rng, mix_seed
+
+#: Sampling policies understood by :class:`TrrSampler`.
+TRR_SAMPLING_POLICIES = ("first", "stride", "random")
 
 
 class TargetRowRefreshDefense(DefenseMechanism):
@@ -61,3 +65,109 @@ class TargetRowRefreshDefense(DefenseMechanism):
     def reset(self) -> None:
         super().reset()
         self._tables = {}
+
+
+class TrrSampler:
+    """Per-tREFI-window TRR sampling model for the command-timeline engine.
+
+    Real in-DRAM TRR cannot watch every activation: the sampler observes
+    the ACT stream of one tREFI window and retains at most ``capacity``
+    distinct candidate rows, whose neighbours (out to ``blast_radius``) are
+    then refreshed alongside the window's REF.  Which rows survive is the
+    vendor-proprietary part; three published archetypes are modelled:
+
+    * ``"first"`` — the first ``capacity`` distinct rows of the window (a
+      fill-then-ignore table; decoy activations early in the window shadow
+      a later aggressor burst — the weakness refsync attacks aim at);
+    * ``"stride"`` — rows at evenly strided positions of the ACT stream
+      (periodic sampling; defeats a pure prefix of decoys);
+    * ``"random"`` — a uniform draw of ACT positions, deterministic per
+      ``(seed, window, bank)`` so runs are reproducible across engines and
+      backends.
+
+    The sampler is pure bookkeeping — it never touches a bank itself; the
+    :class:`~repro.dram.timeline.TimelineEngine` applies the NRRs.  It
+    records a per-bank histogram of how often each row was sampled, which
+    the ``trr_sampling`` experiment kind reports.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        policy: str = "first",
+        seed: int = 0,
+        blast_radius: int = 1,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if policy not in TRR_SAMPLING_POLICIES:
+            known = ", ".join(TRR_SAMPLING_POLICIES)
+            raise ValueError(f"unknown sampling policy {policy!r}; known: {known}")
+        if blast_radius <= 0:
+            raise ValueError(f"blast_radius must be > 0, got {blast_radius}")
+        self.capacity = capacity
+        self.policy = policy
+        self.seed = seed
+        self.blast_radius = blast_radius
+        #: bank -> row -> number of windows in which the row was sampled.
+        self._histogram: Dict[int, Dict[int, int]] = {}
+        self.windows_observed = 0
+        self.rows_sampled = 0
+
+    def sample_window(
+        self, window_index: int, bank: int, act_rows: Sequence[int]
+    ) -> List[int]:
+        """Sample one window's ACT stream; returns at most ``capacity`` rows.
+
+        ``act_rows`` is the window's activated-row sequence in command
+        order (repeats included).  The returned rows are distinct, ordered
+        by first retention, and fully deterministic — the timeline engines
+        call this identically, so it is part of the golden contract.
+        """
+        self.windows_observed += 1
+        rows = [int(row) for row in act_rows]
+        if not rows:
+            return []
+        if self.policy == "first":
+            picked = rows
+        elif self.policy == "stride":
+            step = max(1, len(rows) // self.capacity)
+            picked = rows[::step]
+        else:  # random
+            rng = derive_rng(mix_seed(self.seed, "trr-sample", window_index, bank))
+            draw = min(len(rows), self.capacity)
+            positions = sorted(rng.choice(len(rows), size=draw, replace=False).tolist())
+            picked = [rows[position] for position in positions]
+        sampled: List[int] = []
+        for row in picked:
+            if row not in sampled:
+                sampled.append(row)
+            if len(sampled) == self.capacity:
+                break
+        bank_histogram = self._histogram.setdefault(bank, {})
+        for row in sampled:
+            bank_histogram[row] = bank_histogram.get(row, 0) + 1
+        self.rows_sampled += len(sampled)
+        return sampled
+
+    def victim_rows(self, row: int, rows_per_bank: int) -> List[int]:
+        """Rows the sampler's NRR refreshes for a sampled ``row`` (clipped)."""
+        victims: List[int] = []
+        for distance in range(1, self.blast_radius + 1):
+            if row - distance >= 0:
+                victims.append(row - distance)
+            if row + distance < rows_per_bank:
+                victims.append(row + distance)
+        return victims
+
+    def histogram_snapshot(self) -> Dict[int, Dict[int, int]]:
+        """Deep copy of the per-bank sampling histogram (bank -> row -> count)."""
+        return {
+            bank: dict(rows) for bank, rows in sorted(self._histogram.items())
+        }
+
+    def reset(self) -> None:
+        """Clear the histogram and counters for a fresh run."""
+        self._histogram = {}
+        self.windows_observed = 0
+        self.rows_sampled = 0

@@ -32,6 +32,16 @@ from repro.dram.commands import CommandTrace, CommandType, DramCommand
 from repro.dram.controller import MemoryController
 from repro.dram.geometry import DramGeometry
 from repro.dram.retention import RetentionModel
+from repro.dram.timeline import (
+    CommandTimeline,
+    TimelineEngine,
+    TimelineError,
+    TimelineResult,
+    WindowStats,
+    build_hammer_timeline,
+    build_press_timeline,
+    build_refsync_timeline,
+)
 from repro.dram.timing import DramTimings, SPEED_GRADES
 from repro.dram.vulnerability import (
     BankVulnerabilityMap,
@@ -51,6 +61,14 @@ __all__ = [
     "MemoryController",
     "DramGeometry",
     "RetentionModel",
+    "CommandTimeline",
+    "TimelineEngine",
+    "TimelineError",
+    "TimelineResult",
+    "WindowStats",
+    "build_hammer_timeline",
+    "build_press_timeline",
+    "build_refsync_timeline",
     "DramTimings",
     "SPEED_GRADES",
     "BankVulnerabilityMap",

@@ -208,6 +208,27 @@ class DramBank:
         victim_arr = np.unique(all_neighbours)
         return self._evaluate_bank_flips(victim_arr, set(pressed), mechanism="rowpress")
 
+    def evaluate_flips(
+        self, victims: Sequence[int], aggressors: Iterable[int], mechanism: str
+    ) -> List[CellFlip]:
+        """Evaluate flips for an already-accumulated victim-row set.
+
+        Public entry point for callers (the command-timeline engine) that
+        manage the disturbance accumulators themselves and only need the
+        flip evaluation step.  ``victims`` must be sorted ascending; the
+        result is ordered like :meth:`hammer` (victim rows ascending, cells
+        in vulnerability-array order), on both engines.
+        """
+        aggressors = set(int(row) for row in aggressors)
+        if self.engine == "reference":
+            flips: List[CellFlip] = []
+            for victim in victims:
+                flips.extend(self._evaluate_row_flips(int(victim), aggressors, mechanism))
+            return flips
+        return self._evaluate_bank_flips(
+            np.asarray(victims, dtype=np.int64), aggressors, mechanism
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -1,0 +1,816 @@
+"""Command-level tREFI timeline engine (refresh-synchronized simulation).
+
+The per-activation abstractions of :mod:`repro.dram.controller` hide the
+structure real refresh-synchronized ("refsync") attacks exploit: *when* REF
+commands land relative to the attacker's ACT bursts, and what an in-DRAM TRR
+sampler manages to observe between two REFs.  This module models that
+frontier at the command level:
+
+* :class:`CommandTimeline` — an array-of-commands representation (opcode,
+  bank, row, cycle, open-cycles per command) of an ACT/PRE/REF stream,
+  validated against the tRC / tRAS / tREFI constraints of a
+  :class:`~repro.dram.timing.DramTimings`;
+* :func:`build_hammer_timeline` / :func:`build_refsync_timeline` /
+  :func:`build_press_timeline` — pattern builders that emit valid timelines
+  (one REF at every tREFI boundary, slotted ACT/PRE pairs, round-robin
+  aggressors, optional decoy prefix + phase offset for refsync patterns);
+* :class:`TimelineEngine` — executes a timeline against a
+  :class:`~repro.dram.chip.DramChip` under *window-synchronous* semantics:
+  disturbance accumulates while a tREFI window is open and flips latch when
+  the window closes (at its REF, or at end-of-trace for a trailing partial
+  window).  Two implementations are kept under the golden engine contract
+  of ``docs/ENGINES.md``: ``engine="reference"`` is a per-command Python
+  event loop, ``engine="vectorized"`` evaluates one array pass per tREFI
+  window.  Both produce bit-identical :class:`TimelineResult` objects.
+
+Window-synchronous physics (shared by both engines):
+
+* every ACT in a window contributes one hammer count to each adjacent row
+  that is not itself activated in that window (the per-aggressor
+  generalisation of :meth:`DramBank.hammer`);
+* every PRE contributes its recorded open-window cycles to the pressed
+  row's neighbours (the :meth:`DramBank.press` accumulation — plain
+  hammering therefore also presses its neighbours for tRAS+sleep cycles
+  per iteration, which is physically faithful but far below RowPress
+  thresholds);
+* at window close, flips are evaluated once per touched bank (RowHammer
+  victims first, then RowPress victims, banks ascending, victims ascending
+  within a bank — the canonical order of the bank engines);
+* when the close is a REF: an attached
+  :class:`~repro.defenses.trr.TrrSampler` samples the window's ACT stream
+  and its Nearby-Row-Refresh mitigations are applied (after flip
+  latching — NRRs restore charge, they cannot undo flips), then the REF
+  refreshes its *refresh bin* (``row % refresh_bins == ref_index %
+  refresh_bins``), modelling the staggered per-REF row coverage a real
+  chip's 8192-REF cycle has.  A victim row is therefore only fully healed
+  every ``refresh_bins`` windows — the window a refsync attacker aims at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dram.cells import CellFlip
+from repro.dram.chip import DramChip
+from repro.dram.commands import CommandTrace, CommandType, DramCommand
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimings
+from repro.utils.validation import check_engine, check_non_negative, check_positive
+
+#: Integer opcodes of the timeline's command arrays.
+OP_ACT = 0
+OP_PRE = 1
+OP_REF = 2
+
+_OP_TO_COMMAND = {OP_ACT: CommandType.ACT, OP_PRE: CommandType.PRE, OP_REF: CommandType.REF}
+_COMMAND_TO_OP = {command: op for op, command in _OP_TO_COMMAND.items()}
+
+
+class TimelineError(ValueError):
+    """A command timeline violates the DDR4 timing or refresh constraints."""
+
+
+@dataclass(frozen=True)
+class CommandTimeline:
+    """Array-of-commands representation of an ACT/PRE/REF stream.
+
+    Commands are stored as five parallel numpy arrays (opcode, bank, row,
+    issue cycle, recorded open-window cycles for PREs), which is what lets
+    the vectorized engine aggregate a whole tREFI window in one pass.  REF
+    commands target the whole chip and carry ``bank = row = -1``, matching
+    the :class:`~repro.dram.commands.DramCommand` convention.
+
+    Instances are immutable; build them with :meth:`from_commands` /
+    :meth:`from_trace` or the pattern builders in this module.
+    """
+
+    ops: np.ndarray
+    banks: np.ndarray
+    rows: np.ndarray
+    cycles: np.ndarray
+    open_cycles: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("ops", "banks", "rows", "cycles", "open_cycles"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.int64)
+            )
+        lengths = {getattr(self, name).size for name in
+                   ("ops", "banks", "rows", "cycles", "open_cycles")}
+        if len(lengths) != 1:
+            raise TimelineError(f"command arrays disagree on length: {sorted(lengths)}")
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_commands(cls, commands: Sequence[DramCommand]) -> "CommandTimeline":
+        """Build a timeline from :class:`DramCommand` objects.
+
+        Only ACT / PRE / REF commands are representable; RD / WR / NRR in
+        the input raise :class:`TimelineError` (the timeline engine issues
+        NRRs itself, on behalf of the attached sampler).
+        """
+        ops, banks, rows, cycles, opens = [], [], [], [], []
+        for command in commands:
+            op = _COMMAND_TO_OP.get(command.command)
+            if op is None:
+                raise TimelineError(
+                    f"timeline cannot represent {command.command.value} commands"
+                )
+            ops.append(op)
+            banks.append(command.bank)
+            rows.append(command.row)
+            cycles.append(command.cycle)
+            opens.append(command.open_cycles)
+        return cls(
+            ops=np.asarray(ops, dtype=np.int64),
+            banks=np.asarray(banks, dtype=np.int64),
+            rows=np.asarray(rows, dtype=np.int64),
+            cycles=np.asarray(cycles, dtype=np.int64),
+            open_cycles=np.asarray(opens, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_trace(cls, trace: CommandTrace) -> "CommandTimeline":
+        """Build a timeline from a recorded :class:`CommandTrace`."""
+        return cls.from_commands(list(trace))
+
+    def to_trace(self) -> CommandTrace:
+        """Convert back to a :class:`CommandTrace` of command objects."""
+        trace = CommandTrace()
+        for index in range(len(self)):
+            trace.append(
+                DramCommand(
+                    command=_OP_TO_COMMAND[int(self.ops[index])],
+                    bank=int(self.banks[index]),
+                    row=int(self.rows[index]),
+                    cycle=int(self.cycles[index]),
+                    open_cycles=int(self.open_cycles[index]),
+                )
+            )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.ops.size)
+
+    @property
+    def last_cycle(self) -> int:
+        """Issue cycle of the final command (0 for an empty timeline)."""
+        return int(self.cycles[-1]) if len(self) else 0
+
+    def num_windows(self, timings: DramTimings) -> int:
+        """Number of tREFI windows the timeline spans (trailing partial included)."""
+        if len(self) == 0:
+            return 0
+        full, remainder = divmod(self.last_cycle, timings.t_refi_cycles)
+        if remainder == 0 and int(self.ops[-1]) == OP_REF:
+            # The trace ends exactly on a boundary REF: no trailing partial.
+            return int(full)
+        return int(full) + 1
+
+    def summary(self) -> Dict[str, int]:
+        """Per-opcode command counts plus the spanned cycle range."""
+        return {
+            "total": len(self),
+            "acts": int((self.ops == OP_ACT).sum()),
+            "precharges": int((self.ops == OP_PRE).sum()),
+            "refreshes": int((self.ops == OP_REF).sum()),
+            "last_cycle": self.last_cycle,
+        }
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(
+        self, timings: DramTimings, geometry: Optional[DramGeometry] = None
+    ) -> None:
+        """Check the timeline invariants, raising :class:`TimelineError`.
+
+        Enforced invariants (the ones the property suite drives):
+
+        1. commands are sorted by cycle (non-decreasing);
+        2. no two ACTs to the same (bank, row) closer than tRC;
+        3. exactly one REF sits at every crossed tREFI boundary
+           (``w * t_refi_cycles`` for ``w = 1 .. last_cycle // t_refi``),
+           and nowhere else;
+        4. with ``geometry``: bank/row coordinates are in range (REF uses
+           the chip-wide ``-1`` convention).
+        """
+        if len(self) == 0:
+            return
+        if np.any(np.diff(self.cycles) < 0):
+            raise TimelineError("commands must be sorted by cycle (non-decreasing)")
+        known_ops = np.isin(self.ops, (OP_ACT, OP_PRE, OP_REF))
+        if not known_ops.all():
+            raise TimelineError(f"unknown opcode {int(self.ops[~known_ops][0])}")
+
+        self._validate_act_spacing(timings)
+        self._validate_refresh_placement(timings)
+        if geometry is not None:
+            self._validate_coordinates(geometry)
+
+    def _validate_act_spacing(self, timings: DramTimings) -> None:
+        act = self.ops == OP_ACT
+        if not act.any():
+            return
+        banks = self.banks[act]
+        rows = self.rows[act]
+        cycles = self.cycles[act]
+        order = np.lexsort((cycles, rows, banks))
+        banks, rows, cycles = banks[order], rows[order], cycles[order]
+        same_row = (banks[1:] == banks[:-1]) & (rows[1:] == rows[:-1])
+        gaps = cycles[1:] - cycles[:-1]
+        bad = same_row & (gaps < timings.t_rc_cycles)
+        if bad.any():
+            where = int(np.nonzero(bad)[0][0])
+            raise TimelineError(
+                f"ACTs to bank {int(banks[where + 1])} row {int(rows[where + 1])} "
+                f"are {int(gaps[where])} cycles apart (< tRC = {timings.t_rc_cycles})"
+            )
+
+    def _validate_refresh_placement(self, timings: DramTimings) -> None:
+        t_refi = timings.t_refi_cycles
+        ref_cycles = self.cycles[self.ops == OP_REF]
+        if np.any(ref_cycles % t_refi != 0) or np.any(ref_cycles == 0):
+            raise TimelineError(
+                "REF commands must sit exactly at tREFI boundaries (w * t_refi, w >= 1)"
+            )
+        boundaries = (ref_cycles // t_refi).astype(np.int64)
+        if np.unique(boundaries).size != boundaries.size:
+            raise TimelineError("duplicate REF at the same tREFI boundary")
+        expected = np.arange(1, self.last_cycle // t_refi + 1, dtype=np.int64)
+        if boundaries.size != expected.size or np.any(np.sort(boundaries) != expected):
+            raise TimelineError(
+                "exactly one REF is required per crossed tREFI window: expected "
+                f"boundaries {expected.tolist()}, got {np.sort(boundaries).tolist()}"
+            )
+
+    def _validate_coordinates(self, geometry: DramGeometry) -> None:
+        chipwide = self.ops == OP_REF
+        if np.any(self.banks[chipwide] != -1) or np.any(self.rows[chipwide] != -1):
+            raise TimelineError("REF commands must use bank = row = -1")
+        banks = self.banks[~chipwide]
+        rows = self.rows[~chipwide]
+        if banks.size and (
+            banks.min() < 0 or banks.max() >= geometry.num_banks
+            or rows.min() < 0 or rows.max() >= geometry.rows_per_bank
+        ):
+            raise TimelineError("command coordinates outside the chip geometry")
+
+
+# ----------------------------------------------------------------------
+# Pattern builders
+# ----------------------------------------------------------------------
+def build_refsync_timeline(
+    timings: DramTimings,
+    bank: int,
+    aggressor_rows: Sequence[int],
+    windows: int,
+    acts_per_window: int,
+    phase: int = 0,
+    decoy_rows: Sequence[int] = (),
+) -> CommandTimeline:
+    """A refresh-synchronized hammer pattern, one REF per tREFI boundary.
+
+    Every window is divided into ACT+Sleep+PRE slots of
+    ``hammer_iteration_cycles`` each (starting tRP after the boundary).
+    ``phase`` slots lead the window: if ``decoy_rows`` is non-empty they are
+    filled with decoy activations (round-robin) aimed at saturating a TRR
+    sampler before the true burst; otherwise they stay idle (a pure phase
+    delay).  The aggressor burst then occupies the next ``acts_per_window``
+    slots, round-robin over ``aggressor_rows``.  The final REF at
+    ``windows * t_refi`` closes the last window, so the built timeline has
+    no trailing partial window.
+    """
+    check_positive("windows", windows)
+    check_non_negative("acts_per_window", acts_per_window)
+    check_non_negative("phase", phase)
+    aggressors = [int(row) for row in aggressor_rows]
+    decoys = [int(row) for row in decoy_rows]
+    if acts_per_window > 0 and not aggressors:
+        raise TimelineError("acts_per_window > 0 requires aggressor rows")
+    t_refi = timings.t_refi_cycles
+    slot = timings.hammer_iteration_cycles
+    open_window = timings.t_ras_cycles + timings.hammer_sleep_cycles
+    slots_available = (t_refi - timings.t_rp_cycles) // slot
+    if phase + acts_per_window > slots_available:
+        raise TimelineError(
+            f"{phase} phase + {acts_per_window} act slots exceed the "
+            f"{slots_available} slots of one tREFI window"
+        )
+
+    ops, banks, rows, cycles, opens = [], [], [], [], []
+    aggressor_cursor = 0
+    decoy_cursor = 0
+    for window in range(windows):
+        start = window * t_refi
+        base = start + timings.t_rp_cycles
+
+        def emit(slot_index: int, row: int) -> None:
+            act_cycle = base + slot_index * slot
+            ops.extend((OP_ACT, OP_PRE))
+            banks.extend((bank, bank))
+            rows.extend((row, row))
+            cycles.extend((act_cycle, act_cycle + open_window))
+            opens.extend((0, open_window))
+
+        if decoys:
+            for slot_index in range(phase):
+                emit(slot_index, decoys[decoy_cursor % len(decoys)])
+                decoy_cursor += 1
+        for burst_index in range(acts_per_window):
+            emit(phase + burst_index, aggressors[aggressor_cursor % len(aggressors)])
+            aggressor_cursor += 1
+        ops.append(OP_REF)
+        banks.append(-1)
+        rows.append(-1)
+        cycles.append(start + t_refi)
+        opens.append(0)
+    return CommandTimeline(
+        ops=np.asarray(ops), banks=np.asarray(banks), rows=np.asarray(rows),
+        cycles=np.asarray(cycles), open_cycles=np.asarray(opens),
+    )
+
+
+def build_hammer_timeline(
+    timings: DramTimings,
+    bank: int,
+    aggressor_rows: Sequence[int],
+    windows: int,
+    acts_per_window: int,
+) -> CommandTimeline:
+    """A plain (phase-0, decoy-free) hammer timeline; see the refsync builder."""
+    return build_refsync_timeline(
+        timings, bank, aggressor_rows, windows, acts_per_window
+    )
+
+
+def build_press_timeline(
+    timings: DramTimings,
+    bank: int,
+    pressed_rows: Sequence[int],
+    windows: int,
+    opens_per_window: int,
+    open_cycles: int,
+) -> CommandTimeline:
+    """A RowPress timeline: long ACT→PRE open windows, one REF per boundary.
+
+    Each press iteration keeps a row open for ``open_cycles`` (must be at
+    least tRAS and fit the tREFI window) before precharging; iterations
+    round-robin over ``pressed_rows``.
+    """
+    check_positive("windows", windows)
+    check_non_negative("opens_per_window", opens_per_window)
+    pressed = [int(row) for row in pressed_rows]
+    if opens_per_window > 0 and not pressed:
+        raise TimelineError("opens_per_window > 0 requires pressed rows")
+    if open_cycles < timings.t_ras_cycles:
+        raise TimelineError(
+            f"open_cycles must be >= tRAS ({timings.t_ras_cycles}), got {open_cycles}"
+        )
+    t_refi = timings.t_refi_cycles
+    iteration = open_cycles + timings.t_rp_cycles
+    if opens_per_window * iteration + timings.t_rp_cycles > t_refi:
+        raise TimelineError(
+            f"{opens_per_window} open windows of {open_cycles} cycles do not "
+            f"fit one tREFI window ({t_refi} cycles)"
+        )
+
+    ops, banks, rows, cycles, opens = [], [], [], [], []
+    cursor = 0
+    for window in range(windows):
+        base = window * t_refi + timings.t_rp_cycles
+        for index in range(opens_per_window):
+            row = pressed[cursor % len(pressed)]
+            cursor += 1
+            act_cycle = base + index * iteration
+            ops.extend((OP_ACT, OP_PRE))
+            banks.extend((bank, bank))
+            rows.extend((row, row))
+            cycles.extend((act_cycle, act_cycle + open_cycles))
+            opens.extend((0, open_cycles))
+        ops.append(OP_REF)
+        banks.append(-1)
+        rows.append(-1)
+        cycles.append((window + 1) * t_refi)
+        opens.append(0)
+    return CommandTimeline(
+        ops=np.asarray(ops), banks=np.asarray(banks), rows=np.asarray(rows),
+        cycles=np.asarray(cycles), open_cycles=np.asarray(opens),
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class WindowStats:
+    """Per-tREFI-window bookkeeping emitted by the timeline engine."""
+
+    index: int
+    acts: int = 0
+    opens: int = 0
+    distinct_rows: int = 0
+    sampled_rows: int = 0
+    sampled_acts: int = 0
+    nrr_rows: int = 0
+    flips: int = 0
+    refreshed: bool = True
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the window's ACTs whose row the sampler caught.
+
+        ``nan`` for a zero-activation window (the undefined-ratio
+        convention of ``rp_to_rh_ratio`` — reports render it as ``-``).
+        """
+        if self.acts == 0:
+            return float("nan")
+        return self.sampled_acts / self.acts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable encoding; inverse of :meth:`from_dict`."""
+        return {
+            "index": self.index, "acts": self.acts, "opens": self.opens,
+            "distinct_rows": self.distinct_rows, "sampled_rows": self.sampled_rows,
+            "sampled_acts": self.sampled_acts, "nrr_rows": self.nrr_rows,
+            "flips": self.flips, "refreshed": self.refreshed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WindowStats":
+        """Rebuild the stats row from :meth:`to_dict` output."""
+        return cls(**dict(payload))
+
+
+@dataclass
+class TimelineResult:
+    """Everything a timeline run produced, in canonical (comparable) order.
+
+    The golden differential suite compares two of these for full equality:
+    flips (and the windows they latched in), per-window statistics, the
+    sampler's per-row sampling histogram, and the refresh/NRR counters.
+    """
+
+    flips: List[CellFlip] = field(default_factory=list)
+    flip_windows: List[int] = field(default_factory=list)
+    windows: List[WindowStats] = field(default_factory=list)
+    sampling_histogram: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    refs_issued: int = 0
+    nrr_rows_issued: int = 0
+    duration_cycles: int = 0
+
+    @property
+    def total_flips(self) -> int:
+        """Number of bit flips latched over the whole timeline."""
+        return len(self.flips)
+
+    @property
+    def mean_sampled_fraction(self) -> float:
+        """Mean per-window sampled fraction over refreshed, non-idle windows.
+
+        ``nan`` when no window had activations — zero-sample runs keep the
+        undefined-ratio convention instead of reporting a misleading 0.
+        """
+        fractions = [
+            window.sampled_fraction
+            for window in self.windows
+            if window.refreshed and window.acts > 0
+        ]
+        if not fractions:
+            return float("nan")
+        return float(np.mean(fractions))
+
+    def flips_per_window(self) -> List[int]:
+        """Flip count per window index (dense, zeros included)."""
+        counts = [0] * len(self.windows)
+        for window_index in self.flip_windows:
+            counts[window_index] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable encoding; inverse of :meth:`from_dict`."""
+        return {
+            "flips": [
+                {
+                    "bank": flip.bank, "row": flip.row, "col": flip.col,
+                    "before": flip.before, "after": flip.after,
+                    "mechanism": flip.mechanism, "window": window,
+                }
+                for flip, window in zip(self.flips, self.flip_windows)
+            ],
+            "windows": [window.to_dict() for window in self.windows],
+            "sampling_histogram": {
+                str(bank): {str(row): count for row, count in rows.items()}
+                for bank, rows in self.sampling_histogram.items()
+            },
+            "refs_issued": self.refs_issued,
+            "nrr_rows_issued": self.nrr_rows_issued,
+            "duration_cycles": self.duration_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimelineResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        flips, flip_windows = [], []
+        for entry in payload.get("flips", ()):
+            flips.append(
+                CellFlip(
+                    bank=int(entry["bank"]), row=int(entry["row"]),
+                    col=int(entry["col"]), before=int(entry["before"]),
+                    after=int(entry["after"]), mechanism=entry["mechanism"],
+                )
+            )
+            flip_windows.append(int(entry["window"]))
+        return cls(
+            flips=flips,
+            flip_windows=flip_windows,
+            windows=[WindowStats.from_dict(entry) for entry in payload.get("windows", ())],
+            sampling_histogram={
+                int(bank): {int(row): int(count) for row, count in rows.items()}
+                for bank, rows in payload.get("sampling_histogram", {}).items()
+            },
+            refs_issued=int(payload.get("refs_issued", 0)),
+            nrr_rows_issued=int(payload.get("nrr_rows_issued", 0)),
+            duration_cycles=int(payload.get("duration_cycles", 0)),
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class TimelineEngine:
+    """Executes a :class:`CommandTimeline` against a :class:`DramChip`.
+
+    ``engine`` selects the execution strategy (defaults to the chip's
+    engine): ``"reference"`` is a per-command event loop with dict-based
+    window aggregation, ``"vectorized"`` (and ``"compiled"``, which has no
+    dedicated timeline kernels and reuses the vectorized pass) aggregates
+    each tREFI window with array operations.  Both strategies apply the
+    identical window-synchronous physics documented in the module
+    docstring and return bit-identical results; the golden differential
+    suite (``tests/dram/test_timeline_golden.py``) enforces it.
+
+    ``sampler`` is an optional :class:`~repro.defenses.trr.TrrSampler`
+    observing the ACT stream; ``refresh_bins`` sets how many REF commands
+    one full refresh cycle spans (1 = every REF heals every row).
+    """
+
+    def __init__(
+        self,
+        chip: DramChip,
+        sampler=None,
+        refresh_bins: int = 1,
+        engine: Optional[str] = None,
+    ):
+        check_positive("refresh_bins", refresh_bins)
+        self.chip = chip
+        self.sampler = sampler
+        self.refresh_bins = refresh_bins
+        engine = chip.engine if engine is None else engine
+        check_engine(engine)
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def run(self, timeline: CommandTimeline, validate: bool = True) -> TimelineResult:
+        """Execute ``timeline`` and return the latched flips and statistics."""
+        if validate:
+            timeline.validate(self.chip.timings, self.chip.geometry)
+        result = TimelineResult(duration_cycles=timeline.last_cycle)
+        self._seen_banks: Set[int] = set()
+        if self.engine == "reference":
+            self._run_reference(timeline, result)
+        else:
+            self._run_vectorized(timeline, result)
+        if self.sampler is not None:
+            result.sampling_histogram = self.sampler.histogram_snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+    # Reference strategy: per-command event loop
+    # ------------------------------------------------------------------
+    def _run_reference(self, timeline: CommandTimeline, result: TimelineResult) -> None:
+        """Walk the command stream one event at a time (executable spec)."""
+        acts: Dict[int, Dict[int, int]] = {}
+        order: Dict[int, List[int]] = {}
+        opens: Dict[int, Dict[int, int]] = {}
+        pre_count = 0
+        window_index = 0
+        ref_index = 0
+        pending = False
+        for position in range(len(timeline)):
+            op = int(timeline.ops[position])
+            if op == OP_REF:
+                self._close_window_reference(
+                    result, window_index, acts, order, opens, pre_count, refreshed=True
+                )
+                self._scheduled_refresh(ref_index)
+                result.refs_issued += 1
+                ref_index += 1
+                window_index += 1
+                acts, order, opens = {}, {}, {}
+                pre_count = 0
+                pending = False
+                continue
+            bank = int(timeline.banks[position])
+            row = int(timeline.rows[position])
+            pending = True
+            if op == OP_ACT:
+                bank_acts = acts.setdefault(bank, {})
+                bank_acts[row] = bank_acts.get(row, 0) + 1
+                order.setdefault(bank, []).append(row)
+            else:
+                bank_opens = opens.setdefault(bank, {})
+                bank_opens[row] = bank_opens.get(row, 0) + int(
+                    timeline.open_cycles[position]
+                )
+                pre_count += 1
+        if pending:
+            self._close_window_reference(
+                result, window_index, acts, order, opens, pre_count, refreshed=False
+            )
+
+    def _close_window_reference(
+        self,
+        result: TimelineResult,
+        window_index: int,
+        acts: Dict[int, Dict[int, int]],
+        order: Dict[int, List[int]],
+        opens: Dict[int, Dict[int, int]],
+        pre_count: int,
+        refreshed: bool,
+    ) -> None:
+        geometry = self.chip.geometry
+        stats = WindowStats(index=window_index, refreshed=refreshed, opens=pre_count)
+        for bank_index in sorted(set(acts) | set(opens)):
+            bank = self.chip.bank(bank_index)
+            self._seen_banks.add(bank_index)
+            bank_acts = acts.get(bank_index, {})
+            bank_opens = opens.get(bank_index, {})
+            stats.acts += sum(bank_acts.values())
+            stats.distinct_rows += len(bank_acts)
+
+            hammer_contrib: Dict[int, int] = {}
+            for aggressor, count in bank_acts.items():
+                for neighbour in geometry.neighbours(aggressor):
+                    if neighbour not in bank_acts:
+                        hammer_contrib[neighbour] = hammer_contrib.get(neighbour, 0) + count
+            victims = sorted(row for row, value in hammer_contrib.items() if value > 0)
+            for victim in victims:
+                bank.hammer_accumulator[victim] += hammer_contrib[victim]
+            for aggressor, count in bank_acts.items():
+                bank.activation_counts[aggressor] += count
+            flips = bank.evaluate_flips(victims, set(bank_acts), "rowhammer")
+
+            press_contrib: Dict[int, int] = {}
+            for pressed, open_sum in bank_opens.items():
+                for neighbour in geometry.neighbours(pressed):
+                    press_contrib[neighbour] = press_contrib.get(neighbour, 0) + open_sum
+            press_victims = sorted(
+                row for row, value in press_contrib.items() if value > 0
+            )
+            for victim in press_victims:
+                bank.press_accumulator[victim] += press_contrib[victim]
+            flips.extend(bank.evaluate_flips(press_victims, set(bank_opens), "rowpress"))
+
+            result.flips.extend(flips)
+            result.flip_windows.extend([window_index] * len(flips))
+            stats.flips += len(flips)
+
+            if refreshed and self.sampler is not None:
+                sampled = self.sampler.sample_window(
+                    window_index, bank_index, order.get(bank_index, [])
+                )
+                stats.sampled_rows += len(sampled)
+                stats.sampled_acts += sum(bank_acts.get(row, 0) for row in sampled)
+                for sampled_row in sampled:
+                    for victim in self.sampler.victim_rows(
+                        sampled_row, geometry.rows_per_bank
+                    ):
+                        bank.refresh_row(victim)
+                        stats.nrr_rows += 1
+        result.nrr_rows_issued += stats.nrr_rows
+        result.windows.append(stats)
+
+    # ------------------------------------------------------------------
+    # Vectorized strategy: one array pass per tREFI window
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, timeline: CommandTimeline, result: TimelineResult) -> None:
+        """Aggregate each tREFI window with array operations."""
+        ref_positions = np.nonzero(timeline.ops == OP_REF)[0]
+        window_index = 0
+        start = 0
+        for ref_index, position in enumerate(int(p) for p in ref_positions):
+            self._close_window_vectorized(
+                result, window_index, timeline, start, position, refreshed=True
+            )
+            self._scheduled_refresh(ref_index)
+            result.refs_issued += 1
+            window_index += 1
+            start = position + 1
+        if start < len(timeline):
+            self._close_window_vectorized(
+                result, window_index, timeline, start, len(timeline), refreshed=False
+            )
+
+    def _close_window_vectorized(
+        self,
+        result: TimelineResult,
+        window_index: int,
+        timeline: CommandTimeline,
+        start: int,
+        stop: int,
+        refreshed: bool,
+    ) -> None:
+        geometry = self.chip.geometry
+        rows_per_bank = geometry.rows_per_bank
+        stats = WindowStats(index=window_index, refreshed=refreshed)
+        ops = timeline.ops[start:stop]
+        banks = timeline.banks[start:stop]
+        rows = timeline.rows[start:stop]
+        opens = timeline.open_cycles[start:stop]
+        act_mask = ops == OP_ACT
+        pre_mask = ops == OP_PRE
+        stats.acts = int(act_mask.sum())
+        stats.opens = int(pre_mask.sum())
+        for bank_index in (int(b) for b in np.unique(banks[act_mask | pre_mask])):
+            bank = self.chip.bank(bank_index)
+            self._seen_banks.add(bank_index)
+            bank_mask = banks == bank_index
+            act_rows = rows[act_mask & bank_mask]
+            pre_rows = rows[pre_mask & bank_mask]
+            pre_opens = opens[pre_mask & bank_mask]
+
+            acted, counts = np.unique(act_rows, return_counts=True)
+            stats.distinct_rows += int(acted.size)
+            is_acted = np.zeros(rows_per_bank, dtype=bool)
+            is_acted[acted] = True
+            hammer_contrib = np.zeros(rows_per_bank, dtype=np.int64)
+            for offset in (-1, 1):
+                neighbour = acted + offset
+                valid = (neighbour >= 0) & (neighbour < rows_per_bank)
+                np.add.at(hammer_contrib, neighbour[valid], counts[valid])
+            hammer_contrib[is_acted] = 0
+            victims = np.nonzero(hammer_contrib > 0)[0]
+            bank.hammer_accumulator[victims] += hammer_contrib[victims]
+            bank.activation_counts[acted] += counts
+            flips = bank.evaluate_flips(
+                victims, set(int(row) for row in acted), "rowhammer"
+            )
+
+            press_contrib = np.zeros(rows_per_bank, dtype=np.int64)
+            pressed, open_sums = acted[:0], counts[:0]
+            if pre_rows.size:
+                pressed = np.unique(pre_rows)
+                open_sums = np.zeros(rows_per_bank, dtype=np.int64)
+                np.add.at(open_sums, pre_rows, pre_opens)
+                for offset in (-1, 1):
+                    neighbour = pressed + offset
+                    valid = (neighbour >= 0) & (neighbour < rows_per_bank)
+                    np.add.at(
+                        press_contrib, neighbour[valid], open_sums[pressed][valid]
+                    )
+            press_victims = np.nonzero(press_contrib > 0)[0]
+            bank.press_accumulator[press_victims] += press_contrib[press_victims]
+            flips.extend(
+                bank.evaluate_flips(
+                    press_victims, set(int(row) for row in pressed), "rowpress"
+                )
+            )
+
+            result.flips.extend(flips)
+            result.flip_windows.extend([window_index] * len(flips))
+            stats.flips += len(flips)
+
+            if refreshed and self.sampler is not None:
+                sampled = self.sampler.sample_window(
+                    window_index, bank_index, [int(row) for row in act_rows]
+                )
+                stats.sampled_rows += len(sampled)
+                count_of = dict(zip(acted.tolist(), counts.tolist()))
+                stats.sampled_acts += sum(count_of.get(row, 0) for row in sampled)
+                for sampled_row in sampled:
+                    for victim in self.sampler.victim_rows(sampled_row, rows_per_bank):
+                        bank.refresh_row(victim)
+                        stats.nrr_rows += 1
+        result.nrr_rows_issued += stats.nrr_rows
+        result.windows.append(stats)
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _scheduled_refresh(self, ref_index: int) -> None:
+        """Heal this REF's refresh bin on every bank the run has touched."""
+        rows = np.arange(self.chip.geometry.rows_per_bank, dtype=np.int64)
+        bin_rows = rows[rows % self.refresh_bins == ref_index % self.refresh_bins]
+        for bank_index in sorted(self._seen_banks):
+            bank = self.chip.bank(bank_index)
+            bank.hammer_accumulator[bin_rows] = 0.0
+            bank.press_accumulator[bin_rows] = 0.0

@@ -72,6 +72,21 @@ class DramTimings:
         return int(round(self.t_refw_ms * 1e-3 * self.frequency_mhz * 1e6))
 
     @property
+    def t_refi_cycles(self) -> int:
+        """Average refresh command interval expressed in clock cycles.
+
+        This is the tREFI window length the command-timeline engine
+        (:mod:`repro.dram.timeline`) partitions command streams by: one REF
+        command is due at every multiple of this interval.
+        """
+        return int(round(self.t_refi_us * self.frequency_mhz))
+
+    @property
+    def t_rc_cycles(self) -> int:
+        """Row Cycle time: minimum ACT-to-ACT spacing for one row (tRAS+tRP)."""
+        return self.t_ras_cycles + self.t_rp_cycles
+
+    @property
     def hammer_iteration_cycles(self) -> int:
         """Cycles consumed by one ACT + Sleep + PRE hammer iteration."""
         return self.t_ras_cycles + self.hammer_sleep_cycles + self.t_rp_cycles

@@ -68,6 +68,10 @@ from repro.experiments.specs import (
     FlipSweepSpec,
     ProfileDensityOutcome,
     ProfileDensitySpec,
+    RefsyncOutcome,
+    RefsyncSweepSpec,
+    TrrSamplingOutcome,
+    TrrSamplingSpec,
     canonical_spec_json,
     default_defense_roster,
     register_spec,
@@ -107,6 +111,10 @@ __all__ = [
     "ProcessPoolBackend",
     "ProfileDensityOutcome",
     "ProfileDensitySpec",
+    "RefsyncOutcome",
+    "RefsyncSweepSpec",
+    "TrrSamplingOutcome",
+    "TrrSamplingSpec",
     "ResultStore",
     "SerialBackend",
     "ServiceClient",

@@ -108,7 +108,11 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             ("--objective", args.objective != "untargeted"),
             ("--objective-param", bool(args.objective_param)),
             ("--victim-precision", args.victim_precision != "float32"),
-            ("--engine", args.engine is not None and kind != "profile_density"),
+            (
+                "--engine",
+                args.engine is not None
+                and kind not in ("profile_density", "trr_sampling", "refsync_sweep"),
+            ),
         )
         if used
     ]
@@ -123,7 +127,9 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
         if kind == "profile_density":
             spec = ProfileDensitySpec(seed=args.seed, profile_seed=args.seed,
                                       objective_seed=args.seed)
-        else:  # chip-based experiments: defense_matrix / flip_sweep / chip_profile
+        else:
+            # chip-based experiments: defense_matrix / flip_sweep /
+            # chip_profile / trr_sampling / refsync_sweep
             spec = spec_cls(chip_seed=args.seed)
     if kind == "profile_density" and args.max_flips != 150:
         from repro.core.bfa import BitSearchConfig
@@ -132,7 +138,9 @@ def build_default_spec(kind: str, args: argparse.Namespace) -> ExperimentSpec:
             seed=spec.seed, profile_seed=spec.profile_seed, objective_seed=spec.objective_seed,
             search=BitSearchConfig(max_flips=args.max_flips, top_k_layers=5),
         )
-    if kind == "profile_density" and args.engine is not None:
+    if args.engine is not None and kind in (
+        "profile_density", "trr_sampling", "refsync_sweep"
+    ):
         spec = dataclasses.replace(spec, engine=args.engine)
     return spec
 
@@ -184,6 +192,49 @@ def _render_report(name: str, result: ExperimentResult) -> str:
                 f"  {label:<14} flips={row['num_flips']:<5} converged={row['converged']} "
                 f"accuracy_after={row['accuracy_after']:.2f} candidates={row['candidate_bits']}"
             )
+        return "\n".join(lines) + "\n"
+    if kind == "refsync_sweep":
+        from repro.analysis.figures import render_heatmap
+
+        outcome = result.payload
+        lines = [f"refsync act-rate/phase sweep — {name}", ""]
+        lines.append(render_heatmap(
+            outcome.flips, outcome.act_rates, outcome.phases,
+            title="latched flips (rows: acts/window, cols: phase slots)",
+        ))
+        lines.append("")
+        lines.append(render_heatmap(
+            outcome.nrr_rows, outcome.act_rates, outcome.phases,
+            title="TRR NRR rows issued",
+        ))
+        lines.append("")
+        # nan cells (zero-activation grid points) render as '-'.
+        lines.append(render_heatmap(
+            outcome.sampled_fractions, outcome.act_rates, outcome.phases,
+            title="mean sampled fraction", digits=2,
+        ))
+        return "\n".join(lines) + "\n"
+    if kind == "trr_sampling":
+        from repro.analysis.figures import render_sampling_histogram
+        from repro.analysis.tables import format_ratio
+
+        lines = [f"TRR sampling-capacity sweep — {name}", ""]
+        header = f"{'capacity':<9} {'flips':<6} {'NRR rows':<9} {'REFs':<5} sampled fraction"
+        lines += [header, "-" * len(header)]
+        for capacity, timeline_result in result.payload.entries:
+            label = str(capacity) if capacity else "0 (off)"
+            lines.append(
+                f"{label:<9} {timeline_result.total_flips:<6} "
+                f"{timeline_result.nrr_rows_issued:<9} {timeline_result.refs_issued:<5} "
+                f"{format_ratio(timeline_result.mean_sampled_fraction)}"
+            )
+        for capacity, timeline_result in result.payload.entries:
+            if timeline_result.sampling_histogram:
+                lines.append("")
+                lines.append(render_sampling_histogram(
+                    timeline_result.sampling_histogram,
+                    title=f"sampling histogram (capacity {capacity})",
+                ))
         return "\n".join(lines) + "\n"
     return json.dumps({"kind": kind, "spec": result.spec.to_dict()}, indent=2)
 

@@ -46,12 +46,16 @@ from repro.core.profile_aware import DramProfileAwareAttack, ProfileAwareConfig
 from repro.core.results import AttackResult
 from repro.defenses import build_defense
 from repro.defenses.evaluation import DefenseEvaluationResult, evaluate_defense
+from repro.defenses.trr import TRR_SAMPLING_POLICIES, TrrSampler
 from repro.dram.chip import DramChip
 from repro.dram.geometry import DramGeometry
+from repro.dram.timeline import TimelineEngine, TimelineResult
+from repro.dram.timing import DramTimings
 from repro.dram.vulnerability import CellVulnerabilityModel, VulnerabilityParameters
 from repro.faults.patterns import DataPattern
 from repro.faults.profiler import ChipProfiler, ProfilingConfig
 from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.refsync import RefsyncConfig, build_refsync_attack
 from repro.faults.rowhammer import RowHammerConfig
 from repro.faults.rowpress import RowPressConfig
 from repro.faults.sweep import (
@@ -63,7 +67,7 @@ from repro.faults.sweep import (
 from repro.models.registry import get_spec
 from repro.nn.quantization import precision_num_bits, quantize_model
 from repro.utils.rng import mix_seed, spawn_seeds
-from repro.utils.validation import check_engine
+from repro.utils.validation import check_engine, default_engine
 
 MECHANISMS: Tuple[str, str] = ("rowhammer", "rowpress")
 
@@ -880,4 +884,334 @@ class ProfileDensitySpec(ExperimentSpec):
                 density_results.append((float(unit["density"]), output))
         return ProfileDensityOutcome(
             density_results=tuple(density_results), unconstrained=unconstrained
+        )
+
+
+# ----------------------------------------------------------------------
+# Command-timeline experiments (refsync attacks + TRR sampling)
+# ----------------------------------------------------------------------
+def _timeline_vulnerability(rh_density: float, rh_onset: float) -> VulnerabilityParameters:
+    """Vulnerability population scaled to per-tREFI-window accumulation.
+
+    The per-activation sweeps accumulate hundreds of thousands of ACTs
+    before evaluating; a tREFI window fits ~306 hammer slots, so timeline
+    experiments need thresholds with onset around a few hundred ACTs to
+    show the refresh-schedule effects.  ``rh_onset`` becomes the minimum
+    threshold, the median sits at twice the onset.
+    """
+    return VulnerabilityParameters(
+        rh_density=rh_density,
+        rh_threshold_min=float(rh_onset),
+        rh_threshold_log_mean=float(np.log(2.0 * rh_onset)),
+        rh_threshold_log_sigma=0.6,
+    )
+
+
+def _timeline_chip(
+    geometry: DramGeometry,
+    rh_density: float,
+    rh_onset: float,
+    chip_seed: int,
+    engine: Optional[str],
+    ones_rows: Sequence[Tuple[int, int]],
+) -> DramChip:
+    """A fresh chip for a timeline unit, with aggressor/decoy rows set to ones.
+
+    Banks start all-zeros; a flip additionally requires the aggressor's
+    data to *differ* from the victim's, so the rows the attack drives
+    (``ones_rows`` as (bank, row) pairs) are written to all-ones first —
+    the victim-zeros data pattern of the per-activation attacks.
+    """
+    chip = DramChip(
+        geometry,
+        timings=DramTimings(),
+        vulnerability_parameters=_timeline_vulnerability(rh_density, rh_onset),
+        seed=chip_seed,
+        engine=engine if engine is not None else default_engine(),
+    )
+    ones = np.ones(geometry.cols_per_row, dtype=np.uint8)
+    for bank, row in ones_rows:
+        chip.bank(bank).write_row(row, ones)
+    return chip
+
+
+@dataclass
+class TrrSamplingOutcome:
+    """Timeline runs per sampler capacity (capacity 0 = undefended baseline)."""
+
+    entries: Tuple[Tuple[int, TimelineResult], ...]
+
+    def flips_by_capacity(self) -> Dict[int, int]:
+        """Total latched flips per sampler capacity."""
+        return {capacity: result.total_flips for capacity, result in self.entries}
+
+
+@register_spec
+@dataclass(frozen=True)
+class TrrSamplingSpec(ExperimentSpec):
+    """TRR sampler-capacity sweep on a refresh-synchronized timeline.
+
+    Runs the same per-tREFI hammer timeline once per sampler capacity
+    (capacity 0 attaches no sampler — the undefended baseline) and reports
+    each run's per-window statistics and per-row sampling histogram.
+    """
+
+    kind: ClassVar[str] = "trr_sampling"
+    title: ClassVar[str] = "TRR sampling-capacity sweep on the command timeline"
+
+    geometry: DramGeometry = DramGeometry(num_banks=1, rows_per_bank=64, cols_per_row=512)
+    chip_seed: int = 7
+    rh_density: float = 0.15
+    rh_onset: float = 400.0
+    bank: int = 0
+    aggressor_rows: Tuple[int, ...] = (23, 25)
+    windows: int = 24
+    acts_per_window: int = 64
+    refresh_bins: int = 12
+    capacities: Tuple[int, ...] = (0, 1, 2, 4)
+    policy: str = "first"
+    sampler_seed: int = 0
+    #: Engine tier for the timeline evaluation (``None`` = process default).
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "aggressor_rows", tuple(int(r) for r in self.aggressor_rows))
+        object.__setattr__(self, "capacities", tuple(int(c) for c in self.capacities))
+        if self.policy not in TRR_SAMPLING_POLICIES:
+            raise ValueError(f"unknown sampling policy {self.policy!r}")
+        if any(capacity < 0 for capacity in self.capacities):
+            raise ValueError("sampler capacities must be >= 0 (0 = no sampler)")
+        if self.engine is not None:
+            check_engine(self.engine)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "geometry": _encode_geometry(self.geometry),
+            "chip_seed": self.chip_seed,
+            "rh_density": self.rh_density,
+            "rh_onset": self.rh_onset,
+            "bank": self.bank,
+            "aggressor_rows": list(self.aggressor_rows),
+            "windows": self.windows,
+            "acts_per_window": self.acts_per_window,
+            "refresh_bins": self.refresh_bins,
+            "capacities": list(self.capacities),
+            "policy": self.policy,
+            "sampler_seed": self.sampler_seed,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrrSamplingSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["geometry"] = _decode_geometry(params["geometry"])
+        params["aggressor_rows"] = tuple(params.get("aggressor_rows", ()))
+        params["capacities"] = tuple(params.get("capacities", ()))
+        params.setdefault("engine", None)
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def work_units(self) -> List[Dict[str, Any]]:
+        return [{"capacity": capacity} for capacity in self.capacities]
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> TimelineResult:
+        from repro.dram.timeline import build_hammer_timeline
+
+        capacity = int(unit["capacity"])
+        chip = _timeline_chip(
+            self.geometry, self.rh_density, self.rh_onset, self.chip_seed,
+            self.engine, [(self.bank, row) for row in self.aggressor_rows],
+        )
+        timeline = build_hammer_timeline(
+            chip.timings,
+            bank=self.bank,
+            aggressor_rows=self.aggressor_rows,
+            windows=self.windows,
+            acts_per_window=self.acts_per_window,
+        )
+        sampler = None
+        if capacity > 0:
+            sampler = TrrSampler(
+                capacity=capacity, policy=self.policy, seed=self.sampler_seed
+            )
+        engine = TimelineEngine(
+            chip, sampler=sampler, refresh_bins=self.refresh_bins,
+            engine=self.engine if self.engine is not None else default_engine(),
+        )
+        return engine.run(timeline)
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> TrrSamplingOutcome:
+        return TrrSamplingOutcome(
+            entries=tuple(
+                (int(unit["capacity"]), output) for unit, output in zip(units, outputs)
+            )
+        )
+
+
+@dataclass
+class RefsyncOutcome:
+    """(act_rate x phase) grids of the refsync sweep's headline metrics.
+
+    ``sampled_fractions`` keeps the undefined-ratio convention: an
+    (act_rate=0, phase) cell saw no activations, its sampled fraction is
+    ``nan`` and reports render it as ``-``.
+    """
+
+    act_rates: Tuple[int, ...]
+    phases: Tuple[int, ...]
+    flips: Tuple[Tuple[int, ...], ...]
+    nrr_rows: Tuple[Tuple[int, ...], ...]
+    sampled_fractions: Tuple[Tuple[float, ...], ...]
+
+    def max_flips(self) -> int:
+        """Largest flip count anywhere on the grid."""
+        return max((value for row in self.flips for value in row), default=0)
+
+
+@register_spec
+@dataclass(frozen=True)
+class RefsyncSweepSpec(ExperimentSpec):
+    """Refresh-synchronized act-rate/phase sweep against a TRR sampler.
+
+    Sweeps the per-window activation rate against the burst phase (ACT
+    slots of decoy activations ahead of the aggressor burst) of a
+    double-sided refsync attack and records, per grid cell, the latched
+    flips, the NRR volume the sampler triggered, and the fraction of ACTs
+    it observed — the act-rate heatmap that shows where the defense loses
+    track of the true aggressors.
+    """
+
+    kind: ClassVar[str] = "refsync_sweep"
+    title: ClassVar[str] = "Refsync act-rate/phase sweep vs TRR sampling"
+
+    geometry: DramGeometry = DramGeometry(num_banks=1, rows_per_bank=64, cols_per_row=512)
+    chip_seed: int = 11
+    rh_density: float = 0.15
+    rh_onset: float = 400.0
+    bank: int = 0
+    victim_row: int = 24
+    windows: int = 24
+    act_rates: Tuple[int, ...] = (0, 32, 64)
+    phases: Tuple[int, ...] = (0, 2, 4)
+    decoy_rows: Tuple[int, ...] = (2, 6, 10)
+    capacity: int = 2
+    policy: str = "first"
+    sampler_seed: int = 0
+    refresh_bins: int = 12
+    #: Engine tier for the timeline evaluation (``None`` = process default).
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "act_rates", tuple(int(a) for a in self.act_rates))
+        object.__setattr__(self, "phases", tuple(int(p) for p in self.phases))
+        object.__setattr__(self, "decoy_rows", tuple(int(r) for r in self.decoy_rows))
+        if self.policy not in TRR_SAMPLING_POLICIES:
+            raise ValueError(f"unknown sampling policy {self.policy!r}")
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        if self.engine is not None:
+            check_engine(self.engine)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "geometry": _encode_geometry(self.geometry),
+            "chip_seed": self.chip_seed,
+            "rh_density": self.rh_density,
+            "rh_onset": self.rh_onset,
+            "bank": self.bank,
+            "victim_row": self.victim_row,
+            "windows": self.windows,
+            "act_rates": list(self.act_rates),
+            "phases": list(self.phases),
+            "decoy_rows": list(self.decoy_rows),
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "sampler_seed": self.sampler_seed,
+            "refresh_bins": self.refresh_bins,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RefsyncSweepSpec":
+        params = {key: value for key, value in payload.items() if key != "kind"}
+        params["geometry"] = _decode_geometry(params["geometry"])
+        params["act_rates"] = tuple(params.get("act_rates", ()))
+        params["phases"] = tuple(params.get("phases", ()))
+        params["decoy_rows"] = tuple(params.get("decoy_rows", ()))
+        params.setdefault("engine", None)
+        return cls(**params)
+
+    # -- execution -----------------------------------------------------
+    def refsync_config(self, act_rate: int, phase: int) -> RefsyncConfig:
+        """The per-cell attack schedule for one grid point."""
+        return RefsyncConfig(
+            bank=self.bank,
+            victim_row=self.victim_row,
+            windows=self.windows,
+            acts_per_window=act_rate,
+            phase=phase,
+            decoy_rows=self.decoy_rows,
+        )
+
+    def work_units(self) -> List[Dict[str, Any]]:
+        return [
+            {"act_rate": act_rate, "phase": phase}
+            for act_rate in self.act_rates
+            for phase in self.phases
+        ]
+
+    def run_unit(self, unit: Mapping[str, Any], context) -> Dict[str, Any]:
+        config = self.refsync_config(int(unit["act_rate"]), int(unit["phase"]))
+        rows_per_bank = self.geometry.rows_per_bank
+        chip = _timeline_chip(
+            self.geometry, self.rh_density, self.rh_onset, self.chip_seed,
+            self.engine,
+            [(self.bank, row) for row in config.touched_rows(rows_per_bank)],
+        )
+        timeline = build_refsync_attack(chip.timings, config, rows_per_bank)
+        sampler = TrrSampler(
+            capacity=self.capacity, policy=self.policy, seed=self.sampler_seed
+        )
+        engine = TimelineEngine(
+            chip, sampler=sampler, refresh_bins=self.refresh_bins,
+            engine=self.engine if self.engine is not None else default_engine(),
+        )
+        result = engine.run(timeline)
+        return {
+            "flips": result.total_flips,
+            "nrr_rows": result.nrr_rows_issued,
+            "sampled_fraction": result.mean_sampled_fraction,
+        }
+
+    def combine(
+        self, units: Sequence[Mapping[str, Any]], outputs: Sequence[Any]
+    ) -> RefsyncOutcome:
+        by_cell = {
+            (int(unit["act_rate"]), int(unit["phase"])): output
+            for unit, output in zip(units, outputs)
+        }
+        flips, nrr_rows, fractions = [], [], []
+        for act_rate in self.act_rates:
+            flips.append(
+                tuple(int(by_cell[(act_rate, phase)]["flips"]) for phase in self.phases)
+            )
+            nrr_rows.append(
+                tuple(int(by_cell[(act_rate, phase)]["nrr_rows"]) for phase in self.phases)
+            )
+            fractions.append(
+                tuple(
+                    float(by_cell[(act_rate, phase)]["sampled_fraction"])
+                    for phase in self.phases
+                )
+            )
+        return RefsyncOutcome(
+            act_rates=self.act_rates,
+            phases=self.phases,
+            flips=tuple(flips),
+            nrr_rows=tuple(nrr_rows),
+            sampled_fractions=tuple(fractions),
         )

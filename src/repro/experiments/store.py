@@ -32,10 +32,13 @@ from repro.defenses.evaluation import DefenseEvaluationResult
 from repro.faults.profiles import BitFlipProfile, ProfilePair
 from repro.faults.sweep import FlipCurve
 from repro.experiments.runner import ExperimentResult
+from repro.dram.timeline import TimelineResult
 from repro.experiments.specs import (
     ChipProfileOutcome,
     FlipSweepOutcome,
     ProfileDensityOutcome,
+    RefsyncOutcome,
+    TrrSamplingOutcome,
     spec_from_dict,
     spec_hash,
 )
@@ -196,12 +199,56 @@ def _decode_profile_density(payload: Dict[str, Any]) -> ProfileDensityOutcome:
     )
 
 
+def _encode_trr_sampling(outcome: TrrSamplingOutcome) -> Dict[str, Any]:
+    return {
+        "entries": [
+            [capacity, result.to_dict()] for capacity, result in outcome.entries
+        ]
+    }
+
+
+def _decode_trr_sampling(payload: Dict[str, Any]) -> TrrSamplingOutcome:
+    return TrrSamplingOutcome(
+        entries=tuple(
+            (int(capacity), TimelineResult.from_dict(entry))
+            for capacity, entry in payload["entries"]
+        )
+    )
+
+
+def _encode_refsync(outcome: RefsyncOutcome) -> Dict[str, Any]:
+    return {
+        "act_rates": list(outcome.act_rates),
+        "phases": list(outcome.phases),
+        "flips": [list(row) for row in outcome.flips],
+        "nrr_rows": [list(row) for row in outcome.nrr_rows],
+        # nan entries (zero-activation cells) become null via _jsonify.
+        "sampled_fractions": [list(row) for row in outcome.sampled_fractions],
+    }
+
+
+def _decode_refsync(payload: Dict[str, Any]) -> RefsyncOutcome:
+    return RefsyncOutcome(
+        act_rates=tuple(int(rate) for rate in payload["act_rates"]),
+        phases=tuple(int(phase) for phase in payload["phases"]),
+        flips=tuple(tuple(int(v) for v in row) for row in payload["flips"]),
+        nrr_rows=tuple(tuple(int(v) for v in row) for row in payload["nrr_rows"]),
+        sampled_fractions=tuple(
+            # null round-trips back to nan, the in-memory undefined marker.
+            tuple(float("nan") if v is None else float(v) for v in row)
+            for row in payload["sampled_fractions"]
+        ),
+    )
+
+
 _CODECS: Dict[str, tuple] = {
     "comparison": (_encode_comparison, _decode_comparison),
     "defense_matrix": (_encode_defense_matrix, _decode_defense_matrix),
     "flip_sweep": (_encode_flip_sweep, _decode_flip_sweep),
     "chip_profile": (_encode_chip_profile, _decode_chip_profile),
     "profile_density": (_encode_profile_density, _decode_profile_density),
+    "trr_sampling": (_encode_trr_sampling, _decode_trr_sampling),
+    "refsync_sweep": (_encode_refsync, _decode_refsync),
 }
 
 

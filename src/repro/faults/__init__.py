@@ -10,6 +10,7 @@ that the DRAM-profile-aware attack of Section VI consumes.
 from repro.faults.patterns import DataPattern, make_pattern
 from repro.faults.profiler import ChipProfiler, ProfilingConfig
 from repro.faults.profiles import BitFlipProfile, ProfilePair
+from repro.faults.refsync import RefsyncConfig, build_refsync_attack
 from repro.faults.rowhammer import RowHammerAttack, RowHammerConfig, RowHammerResult
 from repro.faults.rowpress import RowPressAttack, RowPressConfig, RowPressResult
 from repro.faults.sweep import FlipCurve, rowhammer_flip_curve, rowpress_flip_curve
@@ -21,6 +22,8 @@ __all__ = [
     "ProfilingConfig",
     "BitFlipProfile",
     "ProfilePair",
+    "RefsyncConfig",
+    "build_refsync_attack",
     "RowHammerAttack",
     "RowHammerConfig",
     "RowHammerResult",

@@ -1,0 +1,101 @@
+"""Refresh-synchronized ("refsync") RowHammer attack patterns.
+
+Modern many-sided attacks (Phoenix/utrr-style) do not out-hammer TRR — they
+out-*schedule* it.  The attacker observes where REF commands land, re-phases
+its activation bursts against the observed REF slots, and tunes its per-tREFI
+activation rate so that the TRR sampler's limited view of each window is
+spent on decoy rows while the true aggressors hammer unobserved.
+
+This module expresses that attack as configuration over the command-timeline
+layer: :class:`RefsyncConfig` captures the per-window schedule (activation
+rate, phase offset in ACT slots, decoy rows) and
+:func:`build_refsync_attack` lowers it to a validated
+:class:`~repro.dram.timeline.CommandTimeline` of explicit ACT/PRE/REF
+commands.  The ``refsync_sweep`` experiment kind sweeps ``(act_rate, phase)``
+grids over these timelines to map where the defense loses track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dram.timeline import CommandTimeline, build_refsync_timeline
+from repro.dram.timing import DramTimings
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class RefsyncConfig:
+    """Schedule of a refresh-synchronized double-sided hammer pattern.
+
+    Attributes
+    ----------
+    bank:
+        Bank the attack targets.
+    victim_row:
+        The row whose neighbours are hammered (classic double-sided layout:
+        aggressors at ``victim_row ± 1``, clipped at the bank edges).
+    windows:
+        Number of tREFI windows the attack spans.
+    acts_per_window:
+        Aggressor activations issued in each window (the act rate the
+        sweeps tune; 0 is a legal idle baseline).
+    phase:
+        ACT slots between the window's start and the aggressor burst.  With
+        ``decoy_rows`` the slots carry decoy activations that occupy the
+        TRR sampler; without decoys they are a pure delay.
+    decoy_rows:
+        Rows activated during the phase prefix (round-robin).  Keep them
+        at least two rows away from the victim so decoy disturbance never
+        touches the measured row.
+    """
+
+    bank: int = 0
+    victim_row: int = 24
+    windows: int = 24
+    acts_per_window: int = 64
+    phase: int = 0
+    decoy_rows: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_non_negative("bank", self.bank)
+        check_non_negative("victim_row", self.victim_row)
+        check_positive("windows", self.windows)
+        check_non_negative("acts_per_window", self.acts_per_window)
+        check_non_negative("phase", self.phase)
+        object.__setattr__(self, "decoy_rows", tuple(int(r) for r in self.decoy_rows))
+
+    def aggressor_rows(self, rows_per_bank: int) -> Tuple[int, ...]:
+        """Double-sided aggressors ``victim_row ± 1``, clipped to the bank."""
+        rows = [
+            row
+            for row in (self.victim_row - 1, self.victim_row + 1)
+            if 0 <= row < rows_per_bank
+        ]
+        if not rows:
+            raise ValueError(
+                f"victim_row {self.victim_row} has no in-bank neighbours "
+                f"(rows_per_bank={rows_per_bank})"
+            )
+        return tuple(rows)
+
+    def touched_rows(self, rows_per_bank: int) -> Tuple[int, ...]:
+        """All rows the attack activates (aggressors + decoys), sorted."""
+        return tuple(sorted(set(self.aggressor_rows(rows_per_bank)) | set(self.decoy_rows)))
+
+
+def build_refsync_attack(
+    timings: DramTimings, config: RefsyncConfig, rows_per_bank: int
+) -> CommandTimeline:
+    """Lower a :class:`RefsyncConfig` to a validated command timeline."""
+    timeline = build_refsync_timeline(
+        timings,
+        bank=config.bank,
+        aggressor_rows=config.aggressor_rows(rows_per_bank),
+        windows=config.windows,
+        acts_per_window=config.acts_per_window,
+        phase=config.phase,
+        decoy_rows=config.decoy_rows,
+    )
+    return timeline

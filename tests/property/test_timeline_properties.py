@@ -1,0 +1,261 @@
+"""Property-based tests (hypothesis) for CommandTimeline invariants.
+
+Randomized traces pin the timeline validator's contract: builder output
+always validates; cycles are non-decreasing; no two ACTs hit the same row
+of the same bank closer than tRC; every tREFI boundary inside the trace
+carries exactly one REF; and the TRR sampler never retains more rows than
+its capacity, always a deterministic subset of the window's ACT rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defenses.trr import TRR_SAMPLING_POLICIES, TrrSampler
+from repro.dram.geometry import DramGeometry
+from repro.dram.timeline import (
+    OP_ACT,
+    OP_PRE,
+    OP_REF,
+    CommandTimeline,
+    TimelineError,
+    build_hammer_timeline,
+    build_press_timeline,
+    build_refsync_timeline,
+)
+from repro.dram.timing import DramTimings
+
+TIMINGS = DramTimings()
+GEOMETRY = DramGeometry(num_banks=2, rows_per_bank=128, cols_per_row=64)
+
+windows_st = st.integers(min_value=1, max_value=6)
+acts_st = st.integers(min_value=1, max_value=64)
+phase_st = st.integers(min_value=0, max_value=8)
+row_st = st.integers(min_value=1, max_value=126)
+
+
+def arrays(records):
+    """Build a CommandTimeline from (op, bank, row, cycle, open) tuples."""
+    columns = list(zip(*records))
+    return CommandTimeline(
+        ops=np.array(columns[0], dtype=np.int64),
+        banks=np.array(columns[1], dtype=np.int64),
+        rows=np.array(columns[2], dtype=np.int64),
+        cycles=np.array(columns[3], dtype=np.int64),
+        open_cycles=np.array(columns[4], dtype=np.int64),
+    )
+
+
+class TestBuildersAlwaysValidate:
+    @settings(max_examples=40, deadline=None)
+    @given(windows=windows_st, acts=acts_st, row=row_st, seed=st.integers(0, 2**16))
+    def test_hammer_builder_validates(self, windows, acts, row, seed):
+        rows = (row,) if seed % 2 == 0 else tuple(sorted({row, min(row + 2, 126)}))
+        timeline = build_hammer_timeline(
+            TIMINGS, bank=seed % 2, aggressor_rows=rows,
+            windows=windows, acts_per_window=acts,
+        )
+        timeline.validate(TIMINGS, GEOMETRY)
+        assert timeline.num_windows(TIMINGS) == windows
+
+    @settings(max_examples=40, deadline=None)
+    @given(windows=windows_st, acts=acts_st, phase=phase_st, row=row_st)
+    def test_refsync_builder_validates(self, windows, acts, phase, row):
+        decoys = tuple(sorted({(row + 40) % 120 + 2, (row + 60) % 120 + 2}))
+        timeline = build_refsync_timeline(
+            TIMINGS, bank=0, aggressor_rows=(row,), windows=windows,
+            acts_per_window=acts, phase=phase, decoy_rows=decoys,
+        )
+        timeline.validate(TIMINGS, GEOMETRY)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        windows=windows_st,
+        opens=st.integers(min_value=1, max_value=8),
+        open_cycles=st.integers(min_value=44, max_value=2_000),
+        row=row_st,
+    )
+    def test_press_builder_validates(self, windows, opens, open_cycles, row):
+        timeline = build_press_timeline(
+            TIMINGS, bank=1, pressed_rows=(row,), windows=windows,
+            opens_per_window=opens, open_cycles=open_cycles,
+        )
+        timeline.validate(TIMINGS, GEOMETRY)
+
+    def test_builder_rejects_oversubscribed_window(self):
+        slots = (TIMINGS.t_refi_cycles - TIMINGS.t_rp_cycles) // TIMINGS.hammer_iteration_cycles
+        with pytest.raises(TimelineError):
+            build_refsync_timeline(
+                TIMINGS, bank=0, aggressor_rows=(24,), windows=1,
+                acts_per_window=slots, phase=1,
+            )
+
+
+class TestValidatorRejectsMutations:
+    def base(self, windows=2, acts=16):
+        return build_hammer_timeline(
+            TIMINGS, bank=0, aggressor_rows=(23, 25),
+            windows=windows, acts_per_window=acts,
+        )
+
+    def test_cycle_order_violation_rejected(self):
+        timeline = self.base()
+        cycles = timeline.cycles.copy()
+        cycles[3], cycles[4] = cycles[4], cycles[3]
+        broken = CommandTimeline(
+            ops=timeline.ops, banks=timeline.banks, rows=timeline.rows,
+            cycles=cycles, open_cycles=timeline.open_cycles,
+        )
+        with pytest.raises(TimelineError, match="non-decreasing"):
+            broken.validate(TIMINGS)
+
+    def test_act_within_trc_rejected(self):
+        t_refi = TIMINGS.t_refi_cycles
+        records = [
+            (OP_ACT, 0, 24, 100, 0),
+            (OP_ACT, 0, 24, 100 + TIMINGS.t_rc_cycles - 1, 0),
+            (OP_REF, -1, -1, t_refi, 0),
+        ]
+        with pytest.raises(TimelineError, match="tRC"):
+            arrays(records).validate(TIMINGS)
+
+    def test_act_at_exactly_trc_accepted(self):
+        t_refi = TIMINGS.t_refi_cycles
+        records = [
+            (OP_ACT, 0, 24, 100, 0),
+            (OP_ACT, 0, 24, 100 + TIMINGS.t_rc_cycles, 0),
+            (OP_REF, -1, -1, t_refi, 0),
+        ]
+        arrays(records).validate(TIMINGS)
+
+    def test_missing_ref_rejected(self):
+        timeline = self.base(windows=3)
+        # Remove the middle boundary's REF: window 2's boundary has no REF.
+        boundary = 2 * TIMINGS.t_refi_cycles
+        keep = ~((timeline.ops == OP_REF) & (timeline.cycles == boundary))
+        broken = CommandTimeline(
+            ops=timeline.ops[keep], banks=timeline.banks[keep],
+            rows=timeline.rows[keep], cycles=timeline.cycles[keep],
+            open_cycles=timeline.open_cycles[keep],
+        )
+        with pytest.raises(TimelineError, match="expected boundaries"):
+            broken.validate(TIMINGS)
+
+    def test_duplicate_ref_rejected(self):
+        timeline = self.base(windows=2)
+        boundary = TIMINGS.t_refi_cycles
+        ops = np.append(timeline.ops, OP_REF)
+        banks = np.append(timeline.banks, -1)
+        rows = np.append(timeline.rows, -1)
+        cycles = np.append(timeline.cycles, boundary)
+        opens = np.append(timeline.open_cycles, 0)
+        order = np.argsort(cycles, kind="stable")
+        broken = CommandTimeline(
+            ops=ops[order], banks=banks[order], rows=rows[order],
+            cycles=cycles[order], open_cycles=opens[order],
+        )
+        with pytest.raises(TimelineError, match="duplicate"):
+            broken.validate(TIMINGS)
+
+    def test_off_boundary_ref_rejected(self):
+        records = [
+            (OP_ACT, 0, 24, 100, 0),
+            (OP_REF, -1, -1, TIMINGS.t_refi_cycles + 7, 0),
+        ]
+        with pytest.raises(TimelineError, match="boundar"):
+            arrays(records).validate(TIMINGS)
+
+    def test_out_of_range_row_rejected(self):
+        records = [
+            (OP_ACT, 0, GEOMETRY.rows_per_bank, 100, 0),
+            (OP_REF, -1, -1, TIMINGS.t_refi_cycles, 0),
+        ]
+        with pytest.raises(TimelineError, match="coordinates"):
+            arrays(records).validate(TIMINGS, GEOMETRY)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(TimelineError, match="opcode"):
+            arrays([(7, 0, 24, 100, 0)]).validate(TIMINGS)
+
+
+class TestExactlyOneRefPerWindow:
+    @settings(max_examples=30, deadline=None)
+    @given(windows=windows_st, acts=acts_st)
+    def test_builder_output_has_one_ref_per_boundary(self, windows, acts):
+        timeline = build_hammer_timeline(
+            TIMINGS, bank=0, aggressor_rows=(23, 25),
+            windows=windows, acts_per_window=acts,
+        )
+        refs = timeline.cycles[timeline.ops == OP_REF]
+        expected = TIMINGS.t_refi_cycles * np.arange(1, windows + 1)
+        assert np.array_equal(np.sort(refs), expected)
+
+
+class TestSamplerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        policy=st.sampled_from(sorted(TRR_SAMPLING_POLICIES)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        window=st.integers(min_value=0, max_value=50),
+        acts=st.lists(st.integers(min_value=0, max_value=127), min_size=0, max_size=40),
+    )
+    def test_sample_bounded_and_deterministic(self, capacity, policy, seed, window, acts):
+        sampler = TrrSampler(capacity=capacity, policy=policy, seed=seed)
+        sampled = sampler.sample_window(window, 0, list(acts))
+        assert len(sampled) <= capacity
+        assert len(sampled) == len(set(sampled))  # no duplicates
+        assert set(sampled) <= set(acts)
+        replay = TrrSampler(capacity=capacity, policy=policy, seed=seed)
+        assert replay.sample_window(window, 0, list(acts)) == sampled
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        acts=st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=40),
+    )
+    def test_first_policy_keeps_arrival_order(self, capacity, acts):
+        sampler = TrrSampler(capacity=capacity, policy="first", seed=0)
+        sampled = sampler.sample_window(0, 0, list(acts))
+        distinct = list(dict.fromkeys(acts))
+        assert sampled == distinct[:capacity]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        row=st.integers(min_value=0, max_value=127),
+        blast=st.integers(min_value=1, max_value=3),
+    )
+    def test_victim_rows_within_blast_radius(self, row, blast):
+        sampler = TrrSampler(capacity=1, blast_radius=blast)
+        victims = sampler.victim_rows(row, GEOMETRY.rows_per_bank)
+        assert all(0 <= victim < GEOMETRY.rows_per_bank for victim in victims)
+        assert all(0 < abs(victim - row) <= blast for victim in victims)
+        assert len(victims) == len(set(victims))
+
+    def test_histogram_counts_windows(self):
+        sampler = TrrSampler(capacity=2, policy="first", seed=0)
+        for window in range(5):
+            sampler.sample_window(window, 3, [10, 11, 12])
+        snapshot = sampler.histogram_snapshot()
+        assert snapshot == {3: {10: 5, 11: 5}}
+        assert sampler.windows_observed == 5
+        assert sampler.rows_sampled == 10
+        sampler.reset()
+        assert sampler.histogram_snapshot() == {}
+
+
+class TestRoundTrips:
+    @settings(max_examples=20, deadline=None)
+    @given(windows=windows_st, acts=acts_st)
+    def test_trace_round_trip(self, windows, acts):
+        timeline = build_hammer_timeline(
+            TIMINGS, bank=0, aggressor_rows=(23, 25),
+            windows=windows, acts_per_window=acts,
+        )
+        rebuilt = CommandTimeline.from_trace(timeline.to_trace())
+        assert np.array_equal(rebuilt.ops, timeline.ops)
+        assert np.array_equal(rebuilt.banks, timeline.banks)
+        assert np.array_equal(rebuilt.rows, timeline.rows)
+        assert np.array_equal(rebuilt.cycles, timeline.cycles)
+        assert np.array_equal(rebuilt.open_cycles, timeline.open_cycles)
