@@ -40,6 +40,11 @@ Quick start::
 
 from repro.core.objective import ObjectiveConfig
 from repro.experiments.cache import ExperimentContext, VictimCache, VictimKey
+from repro.experiments.checkpoint import (
+    CheckpointedBackend,
+    ChunkCheckpoint,
+    checkpoint_chunks,
+)
 from repro.experiments.distributed import DistributedBackend
 from repro.experiments.queue import Job, JobQueue
 from repro.experiments.registry import VictimRegistry
@@ -91,8 +96,10 @@ __all__ = [
     "MECHANISMS",
     "SCHEMA_VERSION",
     "SPEC_KINDS",
+    "CheckpointedBackend",
     "ChipProfileOutcome",
     "ChipProfileSpec",
+    "ChunkCheckpoint",
     "ComparisonSpec",
     "DefenseConfig",
     "DefenseMatrixSpec",
@@ -126,6 +133,7 @@ __all__ = [
     "VictimKey",
     "VictimRegistry",
     "canonical_spec_json",
+    "checkpoint_chunks",
     "default_defense_roster",
     "make_backend",
     "open_store",

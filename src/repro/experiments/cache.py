@@ -125,9 +125,14 @@ class VictimCache:
     def _from_manifest(self, spec: ModelSpec, key: VictimKey, manifest) -> Optional[VictimTriple]:
         """Materialise from a shared-memory manifest; ``None`` on any miss.
 
-        A manifest whose segment no longer exists (evicted by its owner, or
-        never present because this worker runs on another host) returns
-        ``None`` so the caller falls through to retraining.
+        A manifest whose segment is unusable — gone entirely (evicted by
+        its owner, or never present because this worker runs on another
+        host), torn mid-export, or failing to mmap — returns ``None`` so
+        the caller falls through to the next resolution and ultimately to
+        deterministic retraining.  Catching ``OSError`` broadly (not just
+        ``FileNotFoundError``) is what makes shared-memory failure a
+        degradation instead of a crash, and it covers injected
+        ``shared.attach`` chaos faults by construction.
         """
         if manifest is None:
             return None
@@ -135,7 +140,7 @@ class VictimCache:
 
         try:
             handle = attach_state(manifest.state)
-        except FileNotFoundError:
+        except OSError:
             return None
         self._attached.append(handle)
         self.shared_attaches += 1

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.experiments.specs import spec_hash
+from repro.testing import chaos
 
 PathLike = Union[str, Path]
 
@@ -126,10 +127,21 @@ class JobQueue:
         return self.directory / f"{_JOB_PREFIX}{job_id}.json"
 
     def _persist(self, job: Job) -> None:
-        """Atomically write one job file (tmp + rename survives crashes)."""
+        """Atomically write one job file (tmp + rename survives crashes).
+
+        The ``queue.persist`` fault point sits before the write: an
+        injected ``partial_write`` tears the temp file, and the load path's
+        truncated-file tolerance plus the untouched previous job file are
+        what keep the queue consistent.
+        """
         path = self._path_for(job.job_id)
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(job.to_dict(), indent=2))
+        text = json.dumps(job.to_dict(), indent=2)
+        action = chaos.fault_point("queue.persist")
+        if action == "partial_write":
+            tmp.write_text(text[: max(1, len(text) // 2)])
+            raise OSError(f"chaos[queue.persist]: job file write torn for {job.job_id}")
+        tmp.write_text(text)
         os.replace(tmp, path)
 
     # -- submission and lifecycle --------------------------------------

@@ -296,17 +296,22 @@ BACKENDS = {
 }
 
 
-def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+def make_backend(
+    name: str, max_workers: Optional[int] = None, resilience=None
+) -> ExecutionBackend:
     """Build a backend by name: ``serial``, ``thread``, ``process`` or ``distributed``.
 
     ``distributed`` is resolved lazily from
     :mod:`repro.experiments.distributed` (it pulls in sockets and worker
-    process management the local backends never need).
+    process management the local backends never need) and is the only
+    backend consuming the optional
+    :class:`~repro.utils.resilience.ResilienceConfig` — the local backends
+    have no failure model to parameterise.
     """
     if name == "distributed":
         from repro.experiments.distributed import DistributedBackend
 
-        return DistributedBackend(num_workers=max_workers)
+        return DistributedBackend(num_workers=max_workers, resilience=resilience)
     try:
         backend_cls = BACKENDS[name]
     except KeyError as exc:

@@ -39,11 +39,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.experiments.cache import VictimCache
+from repro.experiments.checkpoint import CheckpointedBackend, ChunkCheckpoint
 from repro.experiments.queue import JobQueue, Job
 from repro.experiments.registry import VictimRegistry
 from repro.experiments.runner import ExperimentRunner, make_backend
 from repro.experiments.specs import spec_from_dict
 from repro.experiments.store import open_store
+from repro.testing import chaos
+from repro.utils.resilience import ResilienceConfig
 
 PathLike = Union[str, Path]
 
@@ -94,6 +97,15 @@ class ExperimentService:
     Use :meth:`start` + :meth:`stop` (or :meth:`serve_forever`) for the
     network daemon; tests drive the same object deterministically with
     :meth:`process_once` / :meth:`drain` and no socket at all.
+
+    Jobs execute through a
+    :class:`~repro.experiments.checkpoint.CheckpointedBackend` (unless
+    ``checkpoint=False``): each job's completed chunks are persisted under
+    ``<queue_dir>/checkpoints/<job_id>/`` as they finish, so a daemon
+    killed mid-job and restarted resumes the requeued job from its
+    checkpoints instead of rerunning completed chunks.  ``resilience``
+    parameterises the failure model of the execution backend (and defaults
+    to the ``REPRO_*`` environment).
     """
 
     def __init__(
@@ -106,18 +118,31 @@ class ExperimentService:
         registry_max_entries: Optional[int] = None,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
+        resilience: Optional[ResilienceConfig] = None,
+        checkpoint: bool = True,
     ):
         self.queue = JobQueue(queue_dir)
         self.recovery = self.queue.recover()
         self.store = open_store(store_dir, sharded=True)
+        self.resilience = resilience or ResilienceConfig.from_env()
         self.registry = VictimRegistry(
             max_bytes=registry_max_bytes, max_entries=registry_max_entries
         )
         cache = VictimCache()
         cache.attach_registry(self.registry)
-        execution = make_backend(backend, max_workers=max_workers)
+        execution = make_backend(
+            backend, max_workers=max_workers, resilience=self.resilience
+        )
         if hasattr(execution, "registry"):
             execution.registry = self.registry
+        #: Where per-job chunk checkpoints live (one subdirectory per job).
+        self.checkpoint_root = self.queue.directory / "checkpoints"
+        #: The checkpointing wrapper jobs execute through; ``None`` when
+        #: checkpointing is disabled.
+        self.checkpointed: Optional[CheckpointedBackend] = None
+        if checkpoint:
+            self.checkpointed = CheckpointedBackend(execution)
+            execution = self.checkpointed
         self.runner = ExperimentRunner(
             backend=execution, store=self.store, victim_cache=cache
         )
@@ -138,11 +163,28 @@ class ExperimentService:
         job = self.queue.claim()
         if job is None:
             return None
+        checkpoint: Optional[ChunkCheckpoint] = None
+        if self.checkpointed is not None:
+            checkpoint = ChunkCheckpoint(self.checkpoint_root / job.job_id)
+            self.checkpointed.checkpoint = checkpoint
         try:
+            # The claim fault point sits inside the try: an injected error
+            # fails the job cleanly, while an injected crash leaves it
+            # RUNNING — exactly what a daemon death mid-job looks like —
+            # so the next start's queue recovery requeues it and the kept
+            # checkpoints resume it.
+            chaos.fault_point("service.claim")
             spec = spec_from_dict(job.spec)
             self.runner.run(spec, save_as=job.name)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
+            # Checkpoints are kept on failure: completed chunks are valid
+            # (execution is deterministic), so a resubmission resumes them.
             return self.queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
+        finally:
+            if self.checkpointed is not None:
+                self.checkpointed.checkpoint = None
+        if checkpoint is not None:
+            checkpoint.clear()
         return self.queue.complete(job.job_id)
 
     def drain(self) -> int:
@@ -212,9 +254,13 @@ class ExperimentService:
         self._server = _Server((self.host, self.port), _Handler)
         self._server.service = self
         self.port = self._server.server_address[1]
-        self.endpoint_path.write_text(
+        # Atomic publish: a client discovering the endpoint mid-write must
+        # never read a truncated JSON file.
+        tmp = self.endpoint_path.with_suffix(".json.tmp")
+        tmp.write_text(
             json.dumps({"host": self.host, "port": self.port, "pid": os.getpid()})
         )
+        os.replace(tmp, self.endpoint_path)
         self._executor = threading.Thread(target=self._execute_loop, daemon=True)
         self._executor.start()
         self._serve_thread = threading.Thread(

@@ -45,6 +45,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.testing import chaos
+
 #: Prefix of every segment this module creates (useful for test cleanup
 #: assertions against ``/dev/shm``).
 SEGMENT_PREFIX = "repro_victim_"
@@ -236,7 +238,13 @@ def attach_state(manifest: SharedArrayManifest) -> SharedStateHandle:
     ``/dev/shm``, which keeps :mod:`multiprocessing`'s resource tracker out
     of the attach path entirely (see :data:`_SHM_DIR`); elsewhere the
     stdlib attach is used and immediately untracked.
+
+    The ``shared.attach`` fault point models a torn or vanished segment;
+    callers (:meth:`VictimCache._from_manifest`) treat any ``OSError``
+    here as "segment unusable" and fall back to deterministic local
+    retraining, so an injected failure degrades instead of crashing.
     """
+    chaos.fault_point("shared.attach")
     path = _SHM_DIR / manifest.shm_name
     if path.is_file():
         fd = os.open(path, os.O_RDONLY)

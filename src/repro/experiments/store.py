@@ -26,6 +26,7 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Tuple, Union
 
+from repro.testing import chaos
 from repro.core.comparison import MechanismOutcome, ModelComparisonResult
 from repro.core.results import AttackResult
 from repro.defenses.evaluation import DefenseEvaluationResult
@@ -46,6 +47,24 @@ from repro.experiments.specs import (
 SCHEMA_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+def _atomic_write_text(path: Path, text: str, point: str = "store.write") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash — or an injected fault at the named chaos point — can strand a
+    ``*.tmp`` file but can never leave a truncated or half-old envelope at
+    ``path`` itself: readers either see the previous complete file or the
+    new complete file.  The cooperative ``partial_write`` kind writes half
+    the text to the temp file and then fails, modelling a torn write.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    action = chaos.fault_point(point)
+    if action == "partial_write":
+        tmp.write_text(text[: max(1, len(text) // 2)])
+        raise OSError(f"chaos[{point}]: write torn after {len(text) // 2} bytes")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 def _jsonify(value: Any) -> Any:
@@ -342,11 +361,18 @@ class ResultStore:
         )
 
     def save(self, name: str, result: ExperimentResult) -> Path:
-        """Persist ``result`` under ``name``, returning the written path."""
+        """Persist ``result`` under ``name`` atomically; returns the path.
+
+        The temp-file + rename write guarantees a reader (or a daemon
+        restart) never observes a torn envelope, whatever kills the writer
+        mid-save.
+        """
         envelope = self._encode_envelope(result)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(name)
-        path.write_text(json.dumps(envelope, indent=2, default=float, allow_nan=False))
+        _atomic_write_text(
+            path, json.dumps(envelope, indent=2, default=float, allow_nan=False)
+        )
         return path
 
     def load(self, name: str) -> ExperimentResult:
@@ -511,7 +537,9 @@ class ShardedResultStore(ResultStore):
         shard_dir = self.directory / self.SHARD_DIR / self.shard_prefix(envelope["spec"])
         shard_dir.mkdir(parents=True, exist_ok=True)
         path = shard_dir / f"{name}.json"
-        path.write_text(json.dumps(envelope, indent=2, default=float, allow_nan=False))
+        _atomic_write_text(
+            path, json.dumps(envelope, indent=2, default=float, allow_nan=False)
+        )
         flat = self.directory / f"{name}.json"
         if flat.is_file():
             flat.unlink()

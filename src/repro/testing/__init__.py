@@ -1,0 +1,27 @@
+"""Deterministic testing infrastructure (fault injection, chaos plans).
+
+:mod:`repro.testing.chaos` provides the named fault points the experiment
+stack is instrumented with and the seed-keyed :class:`FaultPlan` that
+activates them — entirely inert (one ``None`` check per point) unless a
+plan is installed programmatically or via ``REPRO_FAULT_PLAN``.
+"""
+
+from repro.testing.chaos import (
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_point,
+    install_plan,
+    uninstall_plan,
+)
+
+__all__ = [
+    "ChaosError",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fault_point",
+    "install_plan",
+    "uninstall_plan",
+]

@@ -5,6 +5,14 @@ subpackage (:mod:`repro.dram`, :mod:`repro.faults`, :mod:`repro.nn`,
 :mod:`repro.core`) can rely on them without creating import cycles.
 """
 
+from repro.utils.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.utils.rng import RngMixin, derive_rng, spawn_seeds
 from repro.utils.units import (
     CYCLES_PER_MS_DDR4_2400,
@@ -23,6 +31,12 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RngMixin",
     "derive_rng",
     "spawn_seeds",

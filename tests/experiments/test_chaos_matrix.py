@@ -1,0 +1,324 @@
+"""Chaos matrix: injected faults must recover to byte-identical results.
+
+Each scenario installs a deterministic :class:`FaultPlan`, runs a cheap
+experiment through the faulted path, and asserts three things: the run
+recovers (or fails with quarantine diagnostics where that is the contract),
+the stored result is byte-identical to the fault-free serial run, and no
+``repro_victim_*`` shared-memory segment is left behind in ``/dev/shm``.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    DefenseMatrixSpec,
+    ExperimentRunner,
+    ExperimentService,
+    ResultStore,
+    ShardedResultStore,
+)
+from repro.experiments.distributed import DistributedBackend, PoisonChunkError
+from repro.testing import chaos
+from repro.testing.chaos import ALLOW_CRASH_ENV, PLAN_ENV, FaultPlan, FaultSpec
+from repro.utils.resilience import ResilienceConfig
+
+SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_state(monkeypatch):
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    monkeypatch.delenv(ALLOW_CRASH_ENV, raising=False)
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+def _cheap_spec(seed=11):
+    return DefenseMatrixSpec(geometry=SMALL_GEOMETRY, chip_seed=seed)
+
+
+def _serial_bytes(tmp_path, spec, name="exp"):
+    """The stored envelope text of a fault-free serial run."""
+    store = ResultStore(tmp_path / "serial")
+    ExperimentRunner(store=store).run(spec, save_as=name)
+    return store.path_for(name).read_text()
+
+
+def _shm_segments():
+    return glob.glob("/dev/shm/repro_victim_*")
+
+
+@pytest.mark.slow
+class TestWorkerKilledMidChunk:
+    def test_crashing_workers_degrade_to_byte_identical_serial(
+        self, tmp_path, monkeypatch
+    ):
+        """Every worker crashes on its first chunk; the run must still finish.
+
+        The env-inherited plan kills each spawned worker process on its
+        first ``worker.chunk`` traversal, so the whole fleet (originals
+        and the respawned replacement) dies mid-chunk.  The backend
+        requeues every lost chunk, exhausts its respawn budget, declares a
+        stall and degrades to the serial fallback — producing exactly the
+        fault-free bytes.
+        """
+        spec = _cheap_spec(seed=3)
+        expected = _serial_bytes(tmp_path, spec)
+        plan = FaultPlan.single("worker.chunk", "crash", after=1, count=1)
+        monkeypatch.setenv(PLAN_ENV, plan.to_json())
+        monkeypatch.setenv(ALLOW_CRASH_ENV, "1")
+        backend = DistributedBackend(
+            num_workers=2,
+            resilience=ResilienceConfig.from_env(
+                {},  # ignore the env: the plan variables are for workers
+                connect_timeout=3.0,
+                worker_respawns=1,
+                fallback_backend="serial",
+            ),
+        )
+        store = ResultStore(tmp_path / "dist")
+        ExperimentRunner(store=store, backend=backend).run(spec, save_as="exp")
+        assert backend.last_execution_path == "serial"
+        assert store.path_for("exp").read_text() == expected
+        assert _shm_segments() == []
+
+
+@pytest.mark.slow
+class TestDroppedFrame:
+    def test_dropped_task_frame_is_requeued_and_recovers(self, tmp_path):
+        """A task frame vanishing on the wire must not lose its chunk.
+
+        The cooperative ``drop`` fault swallows the first chunk send; the
+        worker keeps heartbeating while it waits for a task that never
+        arrives, so the backend's per-chunk timeout (not the heartbeat
+        monitor) trips, the chunk is requeued to another worker, and the
+        results stay byte-identical.
+        """
+        spec = _cheap_spec(seed=4)
+        expected = _serial_bytes(tmp_path, spec)
+        backend = DistributedBackend(
+            num_workers=2,
+            resilience=ResilienceConfig.from_env(
+                {}, chunk_timeout=1.5, connect_timeout=15.0
+            ),
+        )
+        store = ResultStore(tmp_path / "dist")
+        plan = FaultPlan.single("distributed.send_chunk", "drop", after=1)
+        with chaos.active_plan(plan) as scope:
+            ExperimentRunner(store=store, backend=backend).run(spec, save_as="exp")
+        assert ("distributed.send_chunk", "drop") in scope.fired
+        assert backend.last_execution_path == "distributed"
+        assert store.path_for("exp").read_text() == expected
+        assert _shm_segments() == []
+
+
+class TestInterruptedStoreWrite:
+    def test_partial_sharded_write_leaves_no_torn_envelope(self, tmp_path):
+        """A torn sharded-store write must never corrupt an envelope.
+
+        The first save attempt fails mid-write (temp file only); the store
+        directory holds no readable result.  The retry writes the same
+        bytes a fault-free run stores.
+        """
+        spec = _cheap_spec(seed=5)
+        expected = _serial_bytes(tmp_path, spec)
+        store = ShardedResultStore(tmp_path / "sharded")
+        runner = ExperimentRunner(store=store)
+        with chaos.active_plan(FaultPlan.single("store.write", "partial_write")):
+            with pytest.raises(OSError):
+                runner.run(spec, save_as="exp")
+        assert store.names() == []  # nothing readable was committed
+        runner.run(spec, save_as="exp")
+        assert store.path_for("exp").read_text() == expected
+        assert _shm_segments() == []
+
+    def test_partial_flat_write_preserves_previous_envelope(self, tmp_path):
+        """An overwrite that tears mid-write keeps the old envelope intact."""
+        store = ResultStore(tmp_path / "flat")
+        runner = ExperimentRunner(store=store)
+        runner.run(_cheap_spec(seed=5), save_as="exp")
+        before = store.path_for("exp").read_text()
+        with chaos.active_plan(FaultPlan.single("store.write", "partial_write")):
+            with pytest.raises(OSError):
+                ExperimentRunner(store=store).run(_cheap_spec(seed=6), save_as="exp")
+        assert store.path_for("exp").read_text() == before
+
+
+@pytest.mark.slow
+class TestDaemonSigkillMidJob:
+    def test_restart_resumes_from_chunk_checkpoints(self, tmp_path):
+        """SIGKILL the daemon mid-job; the restart must resume, not rerun.
+
+        A driver process runs the daemon executor with a chaos ``delay``
+        on every ``service.chunk``, widening the kill window.  Once the
+        first chunk checkpoint lands on disk the driver is SIGKILLed.  A
+        fresh service over the same directories requeues the interrupted
+        job (queue recovery), resumes the completed chunks from their
+        checkpoints (``last_resumed > 0``) and finishes — byte-identical
+        to the fault-free serial run.
+        """
+        spec = _cheap_spec(seed=7)
+        expected = _serial_bytes(tmp_path, spec)
+        queue_dir = tmp_path / "queue"
+        store_dir = tmp_path / "store"
+        driver = textwrap.dedent(
+            """
+            import sys
+            from repro.dram.geometry import DramGeometry
+            from repro.experiments import DefenseMatrixSpec, ExperimentService
+
+            spec = DefenseMatrixSpec(
+                geometry=DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128),
+                chip_seed=7,
+            )
+            service = ExperimentService(queue_dir=sys.argv[1], store_dir=sys.argv[2])
+            service._dispatch({"op": "submit", "spec": spec.to_dict(), "name": "exp"})
+            service.process_once()
+            """
+        )
+        plan = FaultPlan.single("service.chunk", "delay", delay=0.25, count=10_000)
+        env = {
+            **os.environ,
+            "PYTHONPATH": SRC,
+            PLAN_ENV: plan.to_json(),
+        }
+        process = subprocess.Popen(
+            [sys.executable, "-c", driver, str(queue_dir), str(store_dir)], env=env
+        )
+        try:
+            checkpoint_root = queue_dir / "checkpoints"
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if list(checkpoint_root.glob("*/chunk-*.pkl")):
+                    break
+                if process.poll() is not None:
+                    pytest.fail("driver finished before it could be killed")
+                time.sleep(0.02)
+            else:
+                pytest.fail("no chunk checkpoint appeared within 60s")
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        service = ExperimentService(queue_dir=queue_dir, store_dir=store_dir)
+        try:
+            # The interrupted job was requeued by queue recovery, not lost.
+            assert len(service.recovery["requeued"]) == 1
+            assert service.drain() == 1
+            assert service.checkpointed.last_resumed > 0
+            (job,) = service.queue.jobs()
+            assert job.state == "done"
+            assert service.store.path_for("exp").read_text() == expected
+            # Finished jobs leave no checkpoint residue behind.
+            assert list((queue_dir / "checkpoints").glob("*/chunk-*.pkl")) == []
+        finally:
+            service.registry.close()
+        assert _shm_segments() == []
+
+
+@pytest.mark.slow
+class TestQuarantine:
+    def test_poison_chunk_fails_with_diagnostics(self, tmp_path):
+        """A chunk that kills every courier must quarantine, not loop.
+
+        Every task send disconnects, so the same chunk keeps bouncing;
+        after ``max_chunk_retries`` requeues the run fails with a
+        :class:`PoisonChunkError` whose diagnostics name each attempt's
+        failure.
+        """
+        spec = _cheap_spec(seed=8)
+        backend = DistributedBackend(
+            num_workers=2,
+            resilience=ResilienceConfig.from_env(
+                {},
+                connect_timeout=20.0,
+                max_chunk_retries=1,
+                worker_respawns=3,
+            ),
+        )
+        plan = FaultPlan.single("distributed.send_chunk", "disconnect", count=10_000)
+        with chaos.active_plan(plan):
+            with pytest.raises(PoisonChunkError) as excinfo:
+                ExperimentRunner(backend=backend).run(spec)
+        error = excinfo.value
+        assert error.attempts == 2  # max_chunk_retries=1 allows one retry
+        assert error.diagnostics[error.index]
+        assert any("ConnectionError" in reason for reason in error.diagnostics[error.index])
+        assert _shm_segments() == []
+
+
+class TestGracefulDegradation:
+    def test_no_workers_degrades_down_the_ladder(self, tmp_path):
+        """With no worker ever connecting, the run finishes on the fallback."""
+        spec = _cheap_spec(seed=9)
+        expected = _serial_bytes(tmp_path, spec)
+        backend = DistributedBackend(
+            spawn_workers=False,
+            resilience=ResilienceConfig.from_env(
+                {}, connect_timeout=0.3, fallback_backend="serial"
+            ),
+        )
+        store = ResultStore(tmp_path / "dist")
+        ExperimentRunner(store=store, backend=backend).run(spec, save_as="exp")
+        assert backend.last_execution_path == "serial"
+        assert store.path_for("exp").read_text() == expected
+        assert _shm_segments() == []
+
+    def test_stall_without_fallback_raises(self):
+        backend = DistributedBackend(
+            spawn_workers=False,
+            resilience=ResilienceConfig.from_env(
+                {}, connect_timeout=0.2, fallback_backend=""
+            ),
+        )
+        with pytest.raises(RuntimeError, match="stalled"):
+            ExperimentRunner(backend=backend).run(_cheap_spec(seed=10))
+
+
+class TestFaultToleranceInProcess:
+    def test_shared_attach_fault_degrades_to_retraining(self):
+        """An injected attach failure must fall back to local training."""
+        from repro.experiments.cache import VictimCache
+        from repro.experiments.shared import SharedArrayManifest, SharedVictimManifest
+
+        cache = VictimCache()
+        bogus = SharedVictimManifest(
+            model_key="resnet20",
+            seed=0,
+            training_epochs=None,
+            state=SharedArrayManifest(shm_name="repro_victim_missing", total_bytes=1, arrays=()),
+        )
+        with chaos.active_plan(FaultPlan.single("shared.attach", "error", count=10)):
+            assert cache._from_manifest(None, None, bogus) is None
+
+    def test_queue_persist_fault_keeps_previous_job_file(self, tmp_path):
+        from repro.experiments.queue import JobQueue
+
+        queue = JobQueue(tmp_path / "queue")
+        job, _ = queue.submit(_cheap_spec(seed=12).to_dict())
+        before = json.loads(queue._path_for(job.job_id).read_text())
+        with chaos.active_plan(FaultPlan.single("queue.persist", "partial_write")):
+            with pytest.raises(OSError):
+                queue.claim()
+        # The job file on disk still parses and holds the pre-claim state.
+        assert json.loads(queue._path_for(job.job_id).read_text()) == before
+        # A reloaded queue sees a consistent (pending) job and can claim it.
+        recovered = JobQueue(tmp_path / "queue")
+        assert recovered.get(job.job_id).state == "pending"
+        assert recovered.claim().job_id == job.job_id

@@ -1,0 +1,150 @@
+"""Chunk checkpointing: stable boundaries, atomic saves, resumed execution."""
+
+import pickle
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    CheckpointedBackend,
+    ChunkCheckpoint,
+    DefenseMatrixSpec,
+    ExperimentContext,
+    SerialBackend,
+    checkpoint_chunks,
+)
+from repro.experiments.checkpoint import ChaosWriteError
+from repro.testing import chaos
+from repro.testing.chaos import FaultPlan
+
+SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
+
+
+def _cheap_spec(seed=11):
+    return DefenseMatrixSpec(geometry=SMALL_GEOMETRY, chip_seed=seed)
+
+
+class TestCheckpointChunks:
+    def test_boundaries_depend_only_on_unit_count(self):
+        units = list(range(40))
+        assert checkpoint_chunks(units) == checkpoint_chunks(list(units))
+        flat = [u for chunk in checkpoint_chunks(units) for u in chunk]
+        assert flat == units
+
+    def test_explicit_chunk_size(self):
+        chunks = checkpoint_chunks(list(range(10)), chunk_size=4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            checkpoint_chunks(list(range(10)), chunk_size=0)
+
+    def test_small_unit_counts_get_single_unit_chunks(self):
+        assert [len(c) for c in checkpoint_chunks(list(range(5)))] == [1] * 5
+
+
+class TestChunkCheckpoint:
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        checkpoint.save_chunk(0, ["a", "b"])
+        checkpoint.save_chunk(3, [{"x": 1}])
+        assert checkpoint.load() == {0: ["a", "b"], 3: [{"x": 1}]}
+
+    def test_truncated_file_is_skipped(self, tmp_path):
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        checkpoint.save_chunk(0, ["ok"])
+        blob = pickle.dumps(["torn"], protocol=pickle.HIGHEST_PROTOCOL)
+        checkpoint.path_for(1).write_bytes(blob[: len(blob) // 2])
+        assert checkpoint.load() == {0: ["ok"]}
+
+    def test_clear_removes_everything(self, tmp_path):
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        checkpoint.save_chunk(0, ["x"])
+        checkpoint.clear()
+        assert checkpoint.load() == {}
+        assert not checkpoint.directory.exists()
+
+    def test_injected_partial_write_never_corrupts_a_checkpoint(self, tmp_path):
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        checkpoint.save_chunk(0, ["first"])
+        with chaos.active_plan(FaultPlan.single("checkpoint.write", "partial_write")):
+            with pytest.raises(ChaosWriteError):
+                checkpoint.save_chunk(0, ["second"])
+        # The torn write hit the temp file only; the real file still holds
+        # the previous complete outputs.
+        assert checkpoint.load() == {0: ["first"]}
+
+
+class _CountingBackend(SerialBackend):
+    """Serial backend that records how many units each call executed."""
+
+    def __init__(self):
+        self.calls = []
+
+    def run_units(self, spec, units, context):
+        self.calls.append(len(units))
+        return super().run_units(spec, units, context)
+
+
+class TestCheckpointedBackend:
+    def test_passthrough_without_checkpoint(self):
+        inner = _CountingBackend()
+        backend = CheckpointedBackend(inner)
+        spec = _cheap_spec()
+        units = spec.work_units()
+        outputs = backend.run_units(spec, units, ExperimentContext())
+        assert len(outputs) == len(units)
+        assert inner.calls == [len(units)]  # one inner call, no chunking
+
+    def test_matches_serial_and_is_durable(self, tmp_path):
+        spec = _cheap_spec()
+        units = spec.work_units()
+        expected = SerialBackend().run_units(spec, units, ExperimentContext())
+
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        backend = CheckpointedBackend(SerialBackend(), checkpoint=checkpoint)
+        outputs = backend.run_units(spec, units, ExperimentContext())
+        assert repr(outputs) == repr(expected)
+        assert backend.last_resumed == 0
+        assert backend.last_executed == len(checkpoint_chunks(units))
+        assert len(checkpoint.load()) == len(checkpoint_chunks(units))
+
+    def test_resume_skips_completed_chunks(self, tmp_path):
+        spec = _cheap_spec()
+        units = spec.work_units()
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+
+        # First attempt "dies" after two chunks: simulate by running only
+        # those chunks through the checkpoint directly.
+        chunks = checkpoint_chunks(units)
+        context = ExperimentContext()
+        for index in (0, 1):
+            checkpoint.save_chunk(
+                index, SerialBackend().run_units(spec, chunks[index], context)
+            )
+
+        inner = _CountingBackend()
+        backend = CheckpointedBackend(inner, checkpoint=checkpoint)
+        outputs = backend.run_units(spec, units, ExperimentContext())
+        assert backend.last_resumed == 2
+        assert backend.last_executed == len(chunks) - 2
+        assert sum(inner.calls) == len(units) - len(chunks[0]) - len(chunks[1])
+        expected = SerialBackend().run_units(spec, units, ExperimentContext())
+        assert repr(outputs) == repr(expected)
+
+    def test_stale_checkpoints_are_discarded(self, tmp_path):
+        spec = _cheap_spec()
+        units = spec.work_units()
+        checkpoint = ChunkCheckpoint(tmp_path / "job")
+        # A checkpoint from a different unit decomposition: wrong length.
+        checkpoint.save_chunk(0, ["bogus", "bogus"])
+        checkpoint.save_chunk(999, ["beyond the chunk map"])
+        backend = CheckpointedBackend(SerialBackend(), checkpoint=checkpoint)
+        outputs = backend.run_units(spec, units, ExperimentContext())
+        assert backend.last_resumed == 0  # nothing stale was trusted
+        expected = SerialBackend().run_units(spec, units, ExperimentContext())
+        assert repr(outputs) == repr(expected)
+
+    def test_empty_units(self, tmp_path):
+        backend = CheckpointedBackend(
+            SerialBackend(), checkpoint=ChunkCheckpoint(tmp_path / "job")
+        )
+        assert backend.run_units(_cheap_spec(), [], ExperimentContext()) == []

@@ -1,0 +1,240 @@
+"""Resilience primitives: retry determinism, deadlines, breakers, config."""
+
+import pytest
+
+from repro.utils.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_delays_are_seed_deterministic(self):
+        policy = RetryPolicy(max_attempts=6, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+        assert list(RetryPolicy(max_attempts=6, seed=42).delays()) == list(policy.delays())
+        assert list(RetryPolicy(max_attempts=6, seed=43).delays()) != list(policy.delays())
+
+    def test_delays_bounded_by_max_delay_and_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.1
+        )
+        for delay in policy.delays():
+            assert delay <= 5.0 * 1.1
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        result = RetryPolicy(max_attempts=5).call(flaky, sleep=slept.append)
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_call_exhausts_attempts_and_reraises(self):
+        def always():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            RetryPolicy(max_attempts=3).call(always, sleep=lambda _: None)
+
+    def test_call_does_not_retry_unlisted_exceptions(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(boom, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_call_stops_at_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        calls = []
+
+        def failing():
+            calls.append(1)
+            clock.advance(2.0)  # past the deadline after the first try
+            raise OSError("slow failure")
+
+        with pytest.raises(OSError):
+            RetryPolicy(max_attempts=5).call(
+                failing, sleep=lambda _: None, deadline=deadline
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("again")
+            return True
+
+        RetryPolicy(max_attempts=4).call(
+            flaky, sleep=lambda _: None, on_retry=lambda a, e: seen.append((a, str(e)))
+        )
+        assert [a for a, _ in seen] == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(3.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("chunk")
+
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        deadline.check()  # never raises
+
+    def test_extend_pushes_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(0.9)
+        deadline.extend(2.0)
+        clock.advance(1.0)
+        assert not deadline.expired()
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError):
+            breaker.check("worker")
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the single half-open probe
+        assert not breaker.allow()  # concurrent probes refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        config = ResilienceConfig()
+        assert config.connect_timeout == 60.0
+        assert config.dial_timeout == 30.0
+        assert config.max_chunk_retries == 3
+        assert config.fallback_backend is None
+
+    def test_from_env_reads_repro_variables(self):
+        env = {
+            "REPRO_CONNECT_TIMEOUT": "7.5",
+            "REPRO_DIAL_RETRIES": "9",
+            "REPRO_MAX_CHUNK_RETRIES": "1",
+            "REPRO_FALLBACK_BACKEND": "thread",
+        }
+        config = ResilienceConfig.from_env(env)
+        assert config.connect_timeout == 7.5
+        assert config.dial_retries == 9
+        assert config.max_chunk_retries == 1
+        assert config.fallback_backend == "thread"
+        # Unset fields keep their defaults.
+        assert config.heartbeat_timeout == 30.0
+
+    def test_overrides_beat_env(self):
+        env = {"REPRO_CONNECT_TIMEOUT": "7.5"}
+        config = ResilienceConfig.from_env(env, connect_timeout=1.0)
+        assert config.connect_timeout == 1.0
+        # A None override means "not specified", not "disable".
+        assert ResilienceConfig.from_env(env, connect_timeout=None).connect_timeout == 7.5
+
+    def test_zero_chunk_timeout_disables_the_bound(self):
+        assert ResilienceConfig.from_env({}, chunk_timeout=0).chunk_timeout is None
+        assert ResilienceConfig.from_env({"REPRO_CHUNK_TIMEOUT": "0"}).chunk_timeout is None
+
+    def test_empty_fallback_disables_degradation(self):
+        env = {"REPRO_FALLBACK_BACKEND": "serial"}
+        assert ResilienceConfig.from_env(env).fallback_backend == "serial"
+        assert ResilienceConfig.from_env(env, fallback_backend="").fallback_backend is None
+        assert ResilienceConfig.from_env(
+            {"REPRO_FALLBACK_BACKEND": ""}
+        ).fallback_backend is None
+
+    def test_round_trip_and_unknown_fields(self):
+        config = ResilienceConfig(connect_timeout=2.0, fallback_backend="serial")
+        assert ResilienceConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="unknown"):
+            ResilienceConfig.from_dict({"bogus": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_chunk_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(fallback_backend="carrier-pigeon")
+
+    def test_factories(self):
+        config = ResilienceConfig(
+            dial_retries=4, dial_backoff=0.5, retry_seed=9,
+            breaker_threshold=2, breaker_reset=1.5,
+        )
+        policy = config.retry_policy()
+        assert policy.max_attempts == 4
+        assert policy.base_delay == 0.5
+        assert policy.seed == 9
+        breaker = config.breaker()
+        assert breaker.failure_threshold == 2
+        assert breaker.reset_timeout == 1.5
+
+    def test_replace_is_pure(self):
+        config = ResilienceConfig()
+        derived = config.replace(connect_timeout=1.0)
+        assert derived.connect_timeout == 1.0
+        assert config.connect_timeout == 60.0

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Chaos smoke: a fixed-seed fault-plan matrix (CI `chaos-smoke` job).
+
+Runs a small-geometry defense matrix through a matrix of deterministic
+:class:`~repro.testing.chaos.FaultPlan` scenarios and checks the headline
+resilience guarantee after every one of them: **an experiment that
+survives a fault plan produces results byte-identical to the fault-free
+serial run**, and nothing is left behind (torn envelopes, stale chunk
+checkpoints, ``/dev/shm`` segments).
+
+Scenarios:
+
+1. a sharded-store write torn mid-envelope (retry produces identical bytes);
+2. a job-queue persist torn mid-file (queue reloads consistently);
+3. a chunk execution error mid-job in the daemon (job fails with kept
+   checkpoints; the resubmission *resumes* instead of rerunning);
+4. a distributed run whose first task frame is dropped on the wire
+   (per-chunk timeout requeues it);
+5. a distributed run no worker ever joins (graceful degradation ladder).
+
+Runs in well under a minute; exits non-zero on the first violated
+invariant.
+"""
+
+import glob
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+# Spawned worker subprocesses import repro too.
+os.environ["PYTHONPATH"] = os.pathsep.join(
+    part for part in (_SRC, os.environ.get("PYTHONPATH")) if part
+)
+
+from repro.dram.geometry import DramGeometry
+from repro.experiments import (
+    DefenseMatrixSpec,
+    DistributedBackend,
+    ExperimentRunner,
+    ExperimentService,
+    JobQueue,
+    ResultStore,
+    ShardedResultStore,
+)
+from repro.experiments.shared import SEGMENT_PREFIX
+from repro.testing import chaos
+from repro.testing.chaos import FaultPlan
+from repro.utils.resilience import ResilienceConfig
+
+#: One fixed seed per scenario: the spec (and therefore every expected
+#: byte) is a pure function of the scenario's row in this matrix.
+SCENARIO_SEEDS = {
+    "store-partial-write": 21,
+    "queue-partial-write": 22,
+    "service-checkpoint-resume": 23,
+    "distributed-frame-drop": 24,
+    "distributed-degradation": 25,
+}
+
+
+def _spec(seed):
+    return DefenseMatrixSpec(
+        geometry=DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128),
+        chip_seed=seed,
+    )
+
+
+def _serial_bytes(root, seed):
+    store = ResultStore(root / f"serial-{seed}")
+    ExperimentRunner(store=store).run(_spec(seed), save_as="exp")
+    return store.path_for("exp").read_text()
+
+
+def main() -> int:
+    failures = []
+
+    def check(condition, label):
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as raw:
+        root = Path(raw)
+
+        # 1. Torn sharded-store write: no corrupt envelope, retry identical.
+        seed = SCENARIO_SEEDS["store-partial-write"]
+        expected = _serial_bytes(root, seed)
+        store = ShardedResultStore(root / "sharded")
+        with chaos.active_plan(FaultPlan.single("store.write", "partial_write")):
+            try:
+                ExperimentRunner(store=store).run(_spec(seed), save_as="exp")
+                check(False, "torn store write raises")
+            except OSError:
+                check(True, "torn store write raises")
+        check(store.names() == [], "torn write commits no readable envelope")
+        ExperimentRunner(store=store).run(_spec(seed), save_as="exp")
+        check(
+            store.path_for("exp").read_text() == expected,
+            "store retry is byte-identical to serial",
+        )
+
+        # 2. Torn queue persist: the previous job file survives intact.
+        seed = SCENARIO_SEEDS["queue-partial-write"]
+        queue = JobQueue(root / "queue")
+        job, _ = queue.submit(_spec(seed).to_dict())
+        before = json.loads(queue._path_for(job.job_id).read_text())
+        with chaos.active_plan(FaultPlan.single("queue.persist", "partial_write")):
+            try:
+                queue.claim()
+                check(False, "torn queue persist raises")
+            except OSError:
+                check(True, "torn queue persist raises")
+        after = json.loads(queue._path_for(job.job_id).read_text())
+        check(after == before, "torn persist preserves the previous job file")
+        check(
+            JobQueue(root / "queue").claim().job_id == job.job_id,
+            "reloaded queue still serves the job",
+        )
+
+        # 3. Daemon checkpoint resume: a mid-job failure keeps completed
+        # chunks; the resubmitted job resumes them instead of rerunning.
+        seed = SCENARIO_SEEDS["service-checkpoint-resume"]
+        expected = _serial_bytes(root, seed)
+        service = ExperimentService(queue_dir=root / "q3", store_dir=root / "s3")
+        service._dispatch({"op": "submit", "spec": _spec(seed).to_dict(), "name": "exp"})
+        with chaos.active_plan(FaultPlan.single("service.chunk", "error", after=3)):
+            service.drain()
+        (failed,) = service.queue.jobs()
+        check(failed.state == "failed", "injected chunk error fails the job")
+        kept = list((root / "q3" / "checkpoints").glob("*/chunk-*.pkl"))
+        check(len(kept) == 2, "completed chunks stay checkpointed on failure")
+        service._dispatch({"op": "submit", "spec": _spec(seed).to_dict(), "name": "exp"})
+        check(service.drain() == 1, "resubmitted job runs")
+        check(
+            service.checkpointed.last_resumed == 2,
+            "retry resumes the checkpointed chunks",
+        )
+        check(
+            service.store.path_for("exp").read_text() == expected,
+            "resumed job result is byte-identical to serial",
+        )
+        service.registry.close()
+
+        # 4. Dropped task frame mid-distributed-run: chunk requeued by the
+        # per-chunk timeout, results unchanged.
+        seed = SCENARIO_SEEDS["distributed-frame-drop"]
+        expected = _serial_bytes(root, seed)
+        backend = DistributedBackend(
+            num_workers=2,
+            resilience=ResilienceConfig.from_env({}, chunk_timeout=1.5),
+        )
+        drop_store = ResultStore(root / "drop")
+        with chaos.active_plan(FaultPlan.single("distributed.send_chunk", "drop")) as scope:
+            ExperimentRunner(store=drop_store, backend=backend).run(
+                _spec(seed), save_as="exp"
+            )
+        check(
+            ("distributed.send_chunk", "drop") in scope.fired,
+            "frame-drop fault fired",
+        )
+        check(
+            drop_store.path_for("exp").read_text() == expected,
+            "dropped frame recovers byte-identical to serial",
+        )
+
+        # 5. No worker ever connects: graceful degradation ladder finishes
+        # the run with identical bytes.
+        seed = SCENARIO_SEEDS["distributed-degradation"]
+        expected = _serial_bytes(root, seed)
+        backend = DistributedBackend(
+            spawn_workers=False,
+            resilience=ResilienceConfig.from_env(
+                {}, connect_timeout=0.3, fallback_backend="serial"
+            ),
+        )
+        degraded_store = ResultStore(root / "degraded")
+        ExperimentRunner(store=degraded_store, backend=backend).run(
+            _spec(seed), save_as="exp"
+        )
+        check(
+            backend.last_execution_path == "serial",
+            "stalled run degraded to the serial rung",
+        )
+        check(
+            degraded_store.path_for("exp").read_text() == expected,
+            "degraded run is byte-identical to serial",
+        )
+
+        check(
+            not glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"),
+            "no shared-memory segments leaked",
+        )
+
+    if failures:
+        print(f"chaos smoke FAILED ({len(failures)} problem(s))")
+        return 1
+    print("chaos smoke passed: every fault plan recovered byte-identical to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
