@@ -26,6 +26,11 @@ reproduction defines:
 * :mod:`~repro.experiments.distributed` — :class:`DistributedBackend`,
   executing work units in TCP-connected worker processes (same-host or
   multi-host) with serial-identical results;
+* :mod:`~repro.experiments.fsck` — offline integrity checking behind
+  ``python -m repro fsck``: :func:`fsck_store` / :func:`fsck_queue`
+  verify every checksummed file and quarantine corruption,
+  :func:`sweep_shm` reclaims shared-memory segments orphaned by dead
+  daemons;
 * :mod:`~repro.experiments.cli` — the ``python -m repro`` command line.
 
 Quick start::
@@ -46,7 +51,14 @@ from repro.experiments.checkpoint import (
     checkpoint_chunks,
 )
 from repro.experiments.distributed import DistributedBackend
-from repro.experiments.queue import Job, JobQueue
+from repro.experiments.fsck import (
+    FsckIssue,
+    FsckReport,
+    fsck_queue,
+    fsck_store,
+    sweep_shm,
+)
+from repro.experiments.queue import Job, JobQueue, QueueFullError
 from repro.experiments.registry import VictimRegistry
 from repro.experiments.runner import (
     BACKENDS,
@@ -58,7 +70,13 @@ from repro.experiments.runner import (
     ThreadPoolBackend,
     make_backend,
 )
-from repro.experiments.service import ExperimentService, ServiceClient
+from repro.experiments.service import (
+    ExperimentService,
+    ServiceClient,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+    WatchdogTimeout,
+)
 from repro.experiments.shared import SharedStateHandle, SharedVictimManifest
 from repro.experiments.specs import (
     MECHANISMS,
@@ -85,10 +103,13 @@ from repro.experiments.specs import (
 )
 from repro.experiments.store import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    IntegrityError,
     ResultStore,
     ShardedResultStore,
     open_store,
     register_codec,
+    verify_envelope,
 )
 
 __all__ = [
@@ -96,6 +117,7 @@ __all__ = [
     "MECHANISMS",
     "SCHEMA_VERSION",
     "SPEC_KINDS",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "CheckpointedBackend",
     "ChipProfileOutcome",
     "ChipProfileSpec",
@@ -112,9 +134,13 @@ __all__ = [
     "ExperimentSpec",
     "FlipSweepOutcome",
     "FlipSweepSpec",
+    "FsckIssue",
+    "FsckReport",
+    "IntegrityError",
     "Job",
     "JobQueue",
     "ObjectiveConfig",
+    "QueueFullError",
     "ProcessPoolBackend",
     "ProfileDensityOutcome",
     "ProfileDensitySpec",
@@ -125,6 +151,8 @@ __all__ = [
     "ResultStore",
     "SerialBackend",
     "ServiceClient",
+    "ServiceOverloadError",
+    "ServiceUnavailableError",
     "SharedStateHandle",
     "SharedVictimManifest",
     "ShardedResultStore",
@@ -132,13 +160,18 @@ __all__ = [
     "VictimCache",
     "VictimKey",
     "VictimRegistry",
+    "WatchdogTimeout",
     "canonical_spec_json",
     "checkpoint_chunks",
     "default_defense_roster",
+    "fsck_queue",
+    "fsck_store",
     "make_backend",
     "open_store",
     "register_codec",
     "register_spec",
     "spec_from_dict",
     "spec_hash",
+    "sweep_shm",
+    "verify_envelope",
 ]

@@ -18,6 +18,7 @@ chaos suite asserts this byte-for-byte after SIGKILLing a daemon mid-job.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import shutil
@@ -28,11 +29,20 @@ from repro.experiments.cache import ExperimentContext
 from repro.experiments.runner import ExecutionBackend
 from repro.experiments.specs import ExperimentSpec
 from repro.testing import chaos
+from repro.utils.resilience import Deadline
 
 PathLike = Union[str, Path]
 
 #: Chunk files are ``chunk-<index>.pkl`` under the checkpoint directory.
 _CHUNK_PREFIX = "chunk-"
+
+#: Chunk file header: magic + sha256 of the pickle payload that follows.
+#: A flipped bit anywhere in the file (silent bit-rot, the chaos
+#: ``corrupt`` kind) breaks the digest, the chunk is dropped at load time
+#: and simply rerun — a corrupted checkpoint can never smuggle wrong
+#: values into a resumed job.  Headerless files (legacy format) are still
+#: read as bare pickles.
+_CHUNK_MAGIC = b"ckpt1"
 
 
 class ChaosWriteError(OSError):
@@ -72,25 +82,34 @@ class ChunkCheckpoint:
         return self.directory / f"{_CHUNK_PREFIX}{index:06d}.pkl"
 
     def save_chunk(self, index: int, outputs: List[Any]) -> Path:
-        """Atomically persist one chunk's outputs; returns the written path."""
+        """Atomically persist one chunk's outputs; returns the written path.
+
+        The file is ``magic + sha256(payload) + payload`` so silent
+        corruption (including the chaos ``corrupt`` kind, which flips one
+        bit of the committed file) is always caught by :meth:`load`.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(index)
         tmp = path.with_suffix(".pkl.tmp")
         blob = pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = _CHUNK_MAGIC + hashlib.sha256(blob).digest() + blob
         action = chaos.fault_point("checkpoint.write")
         if action == "partial_write":
-            tmp.write_bytes(blob[: max(1, len(blob) // 2)])
+            tmp.write_bytes(framed[: max(1, len(framed) // 2)])
             raise ChaosWriteError(f"injected partial checkpoint write at chunk {index}")
-        tmp.write_bytes(blob)
+        if action == "corrupt":
+            framed = chaos.corrupt_bytes(framed, "checkpoint.write")
+        tmp.write_bytes(framed)
         os.replace(tmp, path)
         return path
 
     def load(self) -> Dict[int, List[Any]]:
         """Every completed chunk on disk, as ``{chunk index: outputs}``.
 
-        Unreadable or truncated files (a torn write from a crash that beat
-        the rename, a foreign file) are skipped — the resume simply reruns
-        those chunks, which is always correct.
+        Unreadable, truncated or digest-mismatched files (a torn write
+        from a crash that beat the rename, a foreign file, silent
+        bit-rot) are skipped — the resume simply reruns those chunks,
+        which is always correct.
         """
         completed: Dict[int, List[Any]] = {}
         if not self.directory.is_dir():
@@ -98,7 +117,15 @@ class ChunkCheckpoint:
         for path in sorted(self.directory.glob(f"{_CHUNK_PREFIX}*.pkl")):
             try:
                 index = int(path.stem[len(_CHUNK_PREFIX):])
-                completed[index] = pickle.loads(path.read_bytes())
+                raw = path.read_bytes()
+                if raw.startswith(_CHUNK_MAGIC):
+                    digest = raw[len(_CHUNK_MAGIC) : len(_CHUNK_MAGIC) + 32]
+                    blob = raw[len(_CHUNK_MAGIC) + 32 :]
+                    if hashlib.sha256(blob).digest() != digest:
+                        continue  # corrupted checkpoint: rerun the chunk
+                else:
+                    blob = raw  # legacy headerless chunk file
+                completed[index] = pickle.loads(blob)
             except (ValueError, OSError, pickle.UnpicklingError, EOFError):
                 continue
         return completed
@@ -122,6 +149,12 @@ class CheckpointedBackend(ExecutionBackend):
     the service's default serial backend makes that trade free.  Use a
     larger ``chunk_size`` to bias back toward throughput under pooled
     inner backends.
+
+    A :class:`~repro.utils.resilience.Deadline` assigned to
+    :attr:`deadline` is checked before every chunk: a job whose budget is
+    spent raises ``DeadlineExceeded`` at the next chunk boundary instead
+    of running on — completed chunks stay checkpointed, so a later
+    resubmission with a fresh budget resumes rather than reruns.
     """
 
     name = "checkpointed"
@@ -137,6 +170,7 @@ class CheckpointedBackend(ExecutionBackend):
         self.chunk_size = chunk_size
         self.last_resumed = 0
         self.last_executed = 0
+        self.deadline: Optional[Deadline] = None
 
     def run_units(
         self,
@@ -162,6 +196,8 @@ class CheckpointedBackend(ExecutionBackend):
         for index, chunk in enumerate(chunks):
             if index in outputs_by_chunk:
                 continue
+            if self.deadline is not None:
+                self.deadline.check("job")
             chaos.fault_point("service.chunk")
             outputs = self.inner.run_units(spec, chunk, context)
             self.checkpoint.save_chunk(index, outputs)

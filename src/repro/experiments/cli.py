@@ -22,7 +22,17 @@ Subcommands
     Join a distributed run (or a daemon using ``--backend distributed``)
     as a TCP worker process, possibly from another host.
 ``migrate-store``
-    Move a legacy flat results directory into the sharded layout.
+    Move a legacy flat results directory into the sharded layout,
+    upgrading checksum-less legacy envelopes to the checksummed schema
+    on the way (idempotent; re-running is a no-op).
+``fsck``
+    Verify every stored result and queued job against its sha256
+    checksum, optionally quarantining corrupt files and rebuilding
+    shard indexes (``--quarantine``), and optionally sweeping orphaned
+    ``/dev/shm`` victim segments left by dead daemons (``--shm``).
+``health``
+    One-shot health snapshot of a running daemon: queue depth, active
+    job, load-shedding limits and victim-registry statistics.
 """
 
 from __future__ import annotations
@@ -362,6 +372,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="victim registry shared-memory budget")
     serve.add_argument("--registry-max-entries", type=int, default=None,
                        help="victim registry entry cap")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="bound the pending queue depth; submissions past it "
+                            "are shed with a retry-after hint instead of queued")
+    serve.add_argument("--watchdog-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail any job still running after this wall-clock "
+                            "budget (checkpoints are kept for resume)")
     _add_resilience_arguments(serve)
 
     submit = sub.add_parser("submit", help="queue an experiment on a running daemon")
@@ -371,6 +388,14 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--name", default=None, help="store entry name for the result")
     submit.add_argument("--wait", action="store_true", help="block until the job finishes")
     submit.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher claims first; default 0)")
+    submit.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="seconds of useful life; the daemon fails the job "
+                             "instead of starting it after this budget expires")
+    submit.add_argument("--no-retry", action="store_true",
+                        help="fail immediately when the daemon sheds the "
+                             "submission instead of backing off and retrying")
 
     status = sub.add_parser("status", help="show one job of a running daemon")
     status.add_argument("job_id")
@@ -393,6 +418,21 @@ def _build_parser() -> argparse.ArgumentParser:
     migrate = sub.add_parser("migrate-store",
                              help="move a flat results directory into the sharded layout")
     migrate.add_argument("--store", default=DEFAULT_STORE)
+
+    fsck = sub.add_parser("fsck",
+                          help="verify stored results and queued jobs against "
+                               "their checksums")
+    fsck.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
+    fsck.add_argument("--queue", default=DEFAULT_QUEUE, help="job queue directory")
+    fsck.add_argument("--quarantine", action="store_true",
+                      help="move corrupt files into <dir>/quarantine/ and "
+                           "rebuild the touched shard indexes")
+    fsck.add_argument("--shm", action="store_true",
+                      help="also sweep /dev/shm victim segments orphaned by "
+                           "dead daemons (live daemons' segments are kept)")
+
+    health = sub.add_parser("health", help="health snapshot of a running daemon")
+    health.add_argument("--queue", default=DEFAULT_QUEUE)
     return parser
 
 
@@ -495,6 +535,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=DEFAULT_PORT if args.port is None else args.port,
         resilience=_resilience_from_args(args),
+        max_pending=args.max_pending,
+        watchdog_timeout=args.watchdog_timeout,
     )
     service.start()
     print(f"experiment service listening on {service.host}:{service.port}")
@@ -529,13 +571,28 @@ def _client(args: argparse.Namespace):
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.service import ServiceOverloadError
+    from repro.utils.resilience import RetryPolicy
+
     spec = _resolve_spec(args)
     if isinstance(spec, int):
         return spec
     client = _client(args)
     if isinstance(client, int):
         return client
-    response = client.submit(spec.to_dict(), name=args.name)
+    retries = None if args.no_retry else RetryPolicy(max_attempts=5, base_delay=0.1)
+    try:
+        response = client.submit(
+            spec.to_dict(),
+            name=args.name,
+            priority=args.priority,
+            deadline=args.deadline,
+            retries=retries,
+        )
+    except ServiceOverloadError as error:
+        print(f"error: daemon is overloaded ({error}); "
+              f"retry after ~{error.retry_after:.1f}s", file=sys.stderr)
+        return 1
     verb = "queued" if response["created"] else "already queued (deduplicated)"
     print(f"{verb}: job {response['job_id']} -> result {response['name']!r} "
           f"[{response['state']}]")
@@ -594,12 +651,70 @@ def cmd_worker(args: argparse.Namespace) -> int:
 
 
 def cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.experiments.fsck import fsck_store
+
     store = ShardedResultStore(args.store)
     moved = store.migrate()
     print(f"migrated {len(moved)} result file(s) into "
           f"{store.directory / ShardedResultStore.SHARD_DIR}")
     for name in moved:
         print(f"  {name}")
+    # Migration upgrades checksum-less legacy envelopes to the
+    # checksummed schema; prove the result verifies before declaring
+    # success (a corrupt source file should not migrate silently).
+    report = fsck_store(store.directory)
+    print(f"verified {report.verified} checksummed result file(s)"
+          + (f", {report.legacy} legacy" if report.legacy else ""))
+    if not report.clean:
+        for issue in report.issues:
+            print(f"  {issue.problem}: {issue.path} ({issue.detail})", file=sys.stderr)
+        print("error: store failed verification after migration; "
+              "run `python -m repro fsck --quarantine`", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.experiments.fsck import fsck_queue, fsck_store, sweep_shm
+
+    issues = 0
+    for label, directory, check in (
+        ("store", Path(args.store), fsck_store),
+        ("queue", Path(args.queue), fsck_queue),
+    ):
+        if not directory.is_dir():
+            print(f"{label}: {directory} (missing; skipped)")
+            continue
+        report = check(directory, quarantine=args.quarantine)
+        detail = f"{report.scanned} scanned, {report.verified} verified"
+        if report.legacy:
+            detail += f", {report.legacy} legacy (no checksum)"
+        print(f"{label}: {directory} — {detail}")
+        for issue in report.issues:
+            action = "quarantined" if issue.quarantined else "found"
+            print(f"  {action} {issue.problem}: {issue.path}")
+            print(f"    {issue.detail}")
+            if not issue.quarantined:
+                issues += 1
+    if args.shm:
+        swept = sweep_shm(queue_dirs=[Path(args.queue)])
+        print(f"shm: removed {len(swept['removed'])} orphaned segment(s), "
+              f"kept {len(swept['kept'])}, "
+              f"{len(swept['stale_manifests'])} stale manifest(s)")
+        for name in swept["removed"]:
+            print(f"  removed {name}")
+    if issues:
+        print(f"error: {issues} corrupt file(s) remain; rerun with --quarantine "
+              "to move them aside", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if isinstance(client, int):
+        return client
+    print(json.dumps(client.health(), indent=2))
     return 0
 
 
@@ -614,6 +729,8 @@ _COMMANDS = {
     "jobs": cmd_jobs,
     "worker": cmd_worker,
     "migrate-store": cmd_migrate,
+    "fsck": cmd_fsck,
+    "health": cmd_health,
 }
 
 

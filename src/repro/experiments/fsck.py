@@ -1,0 +1,419 @@
+"""Offline integrity check and repair for the experiment state on disk.
+
+``repro fsck`` is the operator's answer to "can I trust this store?": it
+scans a result store (flat and sharded layouts), verifies every
+schema-2 envelope against its embedded sha256 digest, optionally
+**quarantines** corrupt files into a ``quarantine/`` subdirectory,
+rebuilds the shard ``_index.json`` files from the surviving envelopes,
+and re-verifies the result.  The same machinery checks a job-queue
+directory (checksummed ``job-*.json`` files) and — with ``--shm`` —
+sweeps ``/dev/shm`` for victim-registry segments orphaned by a daemon
+that died without cleanup, keyed on the registry's liveness manifest
+(``registry.json``: owner pid + owned segment names).
+
+Design rules:
+
+* **Zero false positives.**  Only a file whose embedded checksum fails
+  to verify (or that no longer parses at all) is ever reported or
+  quarantined; version-1 envelopes without a checksum are counted as
+  ``legacy`` and left untouched.
+* **Nothing is destroyed.**  Quarantine *moves* files (same filesystem,
+  ``os.replace``) into ``quarantine/`` — an operator can inspect or
+  restore them; nothing is unlinked except provably-orphaned shared
+  memory (a dead pid's manifest entries).
+* **Deterministic.**  The scan order is sorted, so two fscks of the same
+  tree produce identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.experiments.queue import _JOB_PREFIX, _job_checksum
+from repro.experiments.shared import SEGMENT_PREFIX, _SHM_DIR
+from repro.experiments.specs import spec_hash
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ShardedResultStore,
+    _content_digest,
+    _envelope_content,
+)
+
+PathLike = Union[str, Path]
+
+#: Name of the registry liveness manifest inside a queue directory
+#: (mirrors ``service.REGISTRY_MANIFEST_FILE`` without importing the
+#: daemon stack).
+REGISTRY_MANIFEST = "registry.json"
+
+#: Subdirectory corrupt files are moved into (store root / queue root).
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class FsckIssue:
+    """One problem fsck found: a file and why it cannot be trusted.
+
+    ``problem`` is one of ``digest-mismatch`` (content no longer matches
+    the embedded sha256), ``unreadable`` (the file does not parse as an
+    envelope at all) or ``index-stale`` (a shard index entry pointing at
+    a missing or divergent file).  ``quarantined`` records whether the
+    repair pass moved the file.
+    """
+
+    path: Path
+    problem: str
+    detail: str = ""
+    quarantined: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable description of the issue."""
+        return {
+            "path": str(self.path),
+            "problem": self.problem,
+            "detail": self.detail,
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass
+class FsckReport:
+    """What an fsck pass scanned, verified, and flagged.
+
+    ``scanned`` counts every candidate file examined, ``verified`` the
+    ones whose checksum held, ``legacy`` the version-1 files that carry
+    no checksum (nothing to verify — not corruption).  ``issues`` lists
+    every untrustworthy file; ``rebuilt_indexes`` the shard index files
+    rewritten from surviving envelopes.
+    """
+
+    scanned: int = 0
+    verified: int = 0
+    legacy: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+    rebuilt_indexes: List[Path] = field(default_factory=list)
+
+    @property
+    def corrupt(self) -> List[FsckIssue]:
+        """Issues that name a corrupt (not merely stale-indexed) file."""
+        return [i for i in self.issues if i.problem in ("digest-mismatch", "unreadable")]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the tree is fully trustworthy (no issues at all)."""
+        return not self.issues
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable description of the report."""
+        return {
+            "scanned": self.scanned,
+            "verified": self.verified,
+            "legacy": self.legacy,
+            "issues": [issue.to_dict() for issue in self.issues],
+            "rebuilt_indexes": [str(path) for path in self.rebuilt_indexes],
+            "clean": self.clean,
+        }
+
+
+def _quarantine(path: Path, root: Path) -> Path:
+    """Move ``path`` into ``root/quarantine/`` (never overwriting)."""
+    target_dir = root / QUARANTINE_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / path.name
+    counter = 1
+    while target.exists():
+        target = target_dir / f"{path.stem}.{counter}{path.suffix}"
+        counter += 1
+    os.replace(path, target)
+    return target
+
+
+def _check_envelope_file(path: Path) -> Tuple[str, Optional[Dict[str, Any]], str]:
+    """Classify one result file: ``(verdict, envelope, detail)``.
+
+    Verdict is ``ok`` / ``legacy`` / ``foreign`` / ``unreadable`` /
+    ``digest-mismatch``.  Detection is belt-and-braces for checksummed
+    envelopes: the content digest catches value corruption, and a
+    byte-exact comparison against the canonical serialisation catches
+    flips the digest cannot see (whitespace, a mangled key name) — every
+    schema-2 file is machine-written in exactly one format, so any drift
+    from it is damage, not style.  Files that are not envelopes at all
+    (no schema marker, no integrity block) are ``foreign`` and never
+    flagged — fsck must report zero false positives on clean trees.
+    """
+    try:
+        raw = path.read_text()
+        envelope = json.loads(raw)
+    except (OSError, json.JSONDecodeError) as exc:
+        return "unreadable", None, f"{type(exc).__name__}: {exc}"
+    if not isinstance(envelope, dict):
+        return "foreign", None, "not a result envelope"
+    version = envelope.get("schema_version")
+    integrity = envelope.get("integrity")
+    has_integrity = isinstance(integrity, dict)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        if has_integrity or version is not None:
+            # Envelope-like but mislabeled: a flipped bit in the schema
+            # marker is corruption, not a foreign file.
+            return "unreadable", None, f"bad schema version {version!r}"
+        return "foreign", None, "not a result envelope"
+    if not has_integrity:
+        if version >= 2:
+            return "digest-mismatch", envelope, "schema-2 envelope missing its integrity block"
+        return "legacy", envelope, "version-1 envelope (no checksum)"
+    computed = _content_digest(_envelope_content(envelope))
+    stored = integrity.get("digest")
+    if computed != stored:
+        return (
+            "digest-mismatch",
+            envelope,
+            f"stored {stored!r}, computed {computed!r}",
+        )
+    if raw != json.dumps(envelope, indent=2, allow_nan=False):
+        return (
+            "digest-mismatch",
+            envelope,
+            "file bytes differ from the canonical serialisation",
+        )
+    return "ok", envelope, ""
+
+
+def _result_files(root: Path) -> Iterable[Path]:
+    """Every candidate result file: flat root plus ``shards/*/``."""
+    for path in sorted(root.glob("*.json")):
+        yield path
+    shard_root = root / ShardedResultStore.SHARD_DIR
+    if shard_root.is_dir():
+        for path in sorted(shard_root.glob("*/*.json")):
+            if path.name != "_index.json":
+                yield path
+
+
+def _rebuild_shard_index(shard_dir: Path) -> None:
+    """Rewrite one shard's ``_index.json`` from its surviving envelopes."""
+    entries: Dict[str, Any] = {}
+    for path in sorted(shard_dir.glob("*.json")):
+        if path.name == "_index.json":
+            continue
+        verdict, envelope, _ = _check_envelope_file(path)
+        if verdict not in ("ok", "legacy"):
+            continue
+        stat = path.stat()
+        integrity = envelope.get("integrity")
+        entries[path.stem] = {
+            "kind": envelope["kind"],
+            "spec_hash": spec_hash(envelope["spec"]),
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": integrity.get("digest") if isinstance(integrity, dict) else None,
+        }
+    index_path = shard_dir / "_index.json"
+    tmp = index_path.with_suffix(".json.tmp")
+    tmp.write_text(
+        json.dumps({"schema_version": SCHEMA_VERSION, "entries": entries}, indent=2)
+    )
+    os.replace(tmp, index_path)
+
+
+def fsck_store(directory: PathLike, quarantine: bool = False) -> FsckReport:
+    """Scan a result store; verify, optionally quarantine, rebuild indexes.
+
+    Walks every result file (flat and sharded), verifies checksummed
+    envelopes, and reports the rest.  With ``quarantine=True`` the
+    corrupt files are moved to ``<directory>/quarantine/``, every shard's
+    ``_index.json`` is rebuilt from the surviving files, and the scan's
+    accounting reflects the repaired tree (a second fsck is clean).
+    Index entries whose file vanished or whose recorded digest diverges
+    from the file's are reported as ``index-stale`` (and fixed by the
+    rebuild).
+    """
+    root = Path(directory)
+    report = FsckReport()
+    if not root.is_dir():
+        return report
+    touched_shards: set = set()
+    for path in _result_files(root):
+        report.scanned += 1
+        verdict, _, detail = _check_envelope_file(path)
+        if verdict == "ok":
+            report.verified += 1
+            continue
+        if verdict == "legacy":
+            report.legacy += 1
+            continue
+        if verdict == "foreign":
+            continue  # not ours: never a false positive
+        issue = FsckIssue(path=path, problem=verdict, detail=detail)
+        if quarantine:
+            issue.path = _quarantine(path, root)
+            issue.quarantined = True
+            if path.parent.parent == root / ShardedResultStore.SHARD_DIR:
+                touched_shards.add(path.parent)
+        report.issues.append(issue)
+    # Cross-check shard indexes against the files they describe.
+    shard_root = root / ShardedResultStore.SHARD_DIR
+    if shard_root.is_dir():
+        for index_path in sorted(shard_root.glob("*/_index.json")):
+            shard_dir = index_path.parent
+            try:
+                entries = json.loads(index_path.read_text()).get("entries", {})
+            except (OSError, json.JSONDecodeError, AttributeError):
+                touched_shards.add(shard_dir)
+                report.issues.append(
+                    FsckIssue(index_path, "index-stale", "index unreadable")
+                )
+                entries = {}
+            for name, entry in sorted(entries.items()):
+                file_path = shard_dir / f"{name}.json"
+                if not file_path.is_file():
+                    touched_shards.add(shard_dir)
+                    report.issues.append(
+                        FsckIssue(index_path, "index-stale", f"{name} missing on disk")
+                    )
+                    continue
+                recorded = entry.get("sha256") if isinstance(entry, dict) else None
+                if recorded is not None:
+                    verdict, envelope, _ = _check_envelope_file(file_path)
+                    if verdict == "ok":
+                        actual = envelope["integrity"]["digest"]
+                        if actual != recorded:
+                            touched_shards.add(shard_dir)
+                            report.issues.append(
+                                FsckIssue(
+                                    index_path,
+                                    "index-stale",
+                                    f"{name}: index sha256 {recorded!r} != file {actual!r}",
+                                )
+                            )
+    if quarantine:
+        for shard_dir in sorted(touched_shards):
+            _rebuild_shard_index(shard_dir)
+            report.rebuilt_indexes.append(shard_dir / "_index.json")
+    return report
+
+
+def fsck_queue(directory: PathLike, quarantine: bool = False) -> FsckReport:
+    """Scan a job-queue directory's checksummed ``job-*.json`` files.
+
+    A job file whose embedded ``sha256`` fails to verify (or that no
+    longer parses) is reported — and moved to
+    ``<directory>/quarantine/`` with ``quarantine=True`` so a daemon
+    reloading the queue never resurrects corrupt job state.  Legacy files
+    without a checksum are counted, not flagged.
+    """
+    root = Path(directory)
+    report = FsckReport()
+    if not root.is_dir():
+        return report
+    for path in sorted(root.glob(f"{_JOB_PREFIX}*.json")):
+        report.scanned += 1
+        try:
+            raw = path.read_text()
+            payload = json.loads(raw)
+        except (OSError, json.JSONDecodeError) as exc:
+            issue = FsckIssue(path, "unreadable", f"{type(exc).__name__}: {exc}")
+            if quarantine:
+                issue.path = _quarantine(path, root)
+                issue.quarantined = True
+            report.issues.append(issue)
+            continue
+        if not isinstance(payload, dict):
+            issue = FsckIssue(path, "unreadable", "not a job record")
+            if quarantine:
+                issue.path = _quarantine(path, root)
+                issue.quarantined = True
+            report.issues.append(issue)
+            continue
+        stored = payload.pop("sha256", None)
+        if stored is None:
+            report.legacy += 1
+            continue
+        computed = _job_checksum(payload)
+        detail = ""
+        if computed != stored:
+            detail = f"stored {stored!r}, computed {computed!r}"
+        elif raw != json.dumps({**payload, "sha256": stored}, indent=2):
+            # Same belt-and-braces as result envelopes: a flip the content
+            # digest cannot see (whitespace, key text) still shows up as
+            # drift from the writer's canonical serialisation.
+            detail = "file bytes differ from the canonical serialisation"
+        if detail:
+            issue = FsckIssue(path, "digest-mismatch", detail)
+            if quarantine:
+                issue.path = _quarantine(path, root)
+                issue.quarantined = True
+            report.issues.append(issue)
+            continue
+        report.verified += 1
+    return report
+
+
+def sweep_shm(
+    queue_dirs: Iterable[PathLike] = (),
+    shm_dir: Optional[PathLike] = None,
+) -> Dict[str, List[str]]:
+    """Remove victim-registry segments whose owning daemon is dead.
+
+    Reads every ``registry.json`` liveness manifest under the given queue
+    directories.  A manifest whose recorded pid is alive protects its
+    segments; a dead pid's manifest marks its segments as orphans — they
+    are unlinked and the stale manifest is removed.  ``repro_victim_*``
+    segments claimed by **no** manifest are also treated as orphans (a
+    crashed export that never reached a manifest).  Segments outside the
+    ``repro_victim_`` namespace are never touched.
+
+    Returns ``{"removed": [...], "kept": [...], "stale_manifests": [...]}``.
+    """
+    shm_root = _SHM_DIR if shm_dir is None else Path(shm_dir)
+    protected: set = set()
+    stale_manifests: List[Path] = []
+    for queue_dir in queue_dirs:
+        manifest_path = Path(queue_dir) / REGISTRY_MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        pid = manifest.get("pid")
+        segments = manifest.get("segments", [])
+        if pid is not None and _pid_alive(int(pid)):
+            protected.update(segments)
+        else:
+            stale_manifests.append(manifest_path)
+    removed: List[str] = []
+    kept: List[str] = []
+    if shm_root.is_dir():
+        for path in sorted(shm_root.glob(f"{SEGMENT_PREFIX}*")):
+            if path.name in protected:
+                kept.append(path.name)
+                continue
+            try:
+                path.unlink()
+                removed.append(path.name)
+            except OSError:  # pragma: no cover - raced removal
+                kept.append(path.name)
+    for manifest_path in stale_manifests:
+        try:
+            manifest_path.unlink()
+        except OSError:  # pragma: no cover - raced removal
+            pass
+    return {
+        "removed": removed,
+        "kept": kept,
+        "stale_manifests": [str(path) for path in stale_manifests],
+    }
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True

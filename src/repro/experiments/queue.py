@@ -19,6 +19,20 @@ Semantics:
   ``requeued`` flag; :meth:`JobQueue.recover` returns an interrupted
   running job to the pending state the first time and fails it the second,
   so a job that crashes the daemon cannot crash-loop forever.
+* **Priorities and deadlines** — :meth:`JobQueue.claim` serves the
+  highest ``priority`` first (FIFO within a priority band), and a pending
+  job whose absolute ``deadline`` has passed is failed fast instead of
+  being claimed — queued work that can no longer be useful never occupies
+  the executor.
+* **Admission control** — a queue constructed with ``max_pending`` rejects
+  submissions that would exceed that many pending jobs with
+  :class:`QueueFullError`, the load-shedding signal the service turns
+  into a ``retry-after`` response.
+* **Integrity** — every job file embeds a sha256 checksum of its content;
+  a file whose checksum no longer verifies (disk rot, injected
+  corruption) is skipped on load and recorded in
+  :attr:`JobQueue.corrupt_files` for ``repro fsck`` to report.  Legacy
+  files without a checksum are still read.
 
 The queue is thread-safe (one lock guards all state) but single-writer:
 exactly one daemon process owns a queue directory at a time.
@@ -26,17 +40,41 @@ exactly one daemon process owns a queue directory at a time.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.experiments.specs import spec_hash
 from repro.testing import chaos
 
 PathLike = Union[str, Path]
+
+
+class QueueFullError(RuntimeError):
+    """Submission rejected: the queue already holds ``max_pending`` jobs.
+
+    Carries ``pending`` (the depth at rejection time) so callers — the
+    service's load-shedding response in particular — can derive a
+    meaningful retry-after hint.
+    """
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            f"queue full: {pending} pending jobs (limit {max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+def _job_checksum(payload: Mapping[str, Any]) -> str:
+    """sha256 over the canonical JSON of a job's checksummed fields."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -60,7 +98,11 @@ class Job:
     ``name`` the result-store entry the output is saved under, and
     ``sequence`` the FIFO submission order.  ``attempts`` counts claims and
     ``requeued`` records whether the crash-recovery path already gave the
-    job its one retry.
+    job its one retry.  ``priority`` orders claims (higher first, FIFO
+    within a band) and ``deadline`` is an absolute Unix timestamp after
+    which the job is useless: expired pending jobs fail fast, and the
+    service hands the remaining budget of a claimed job to its backend as
+    a :class:`~repro.utils.resilience.Deadline`.
     """
 
     job_id: str
@@ -71,6 +113,8 @@ class Job:
     attempts: int = 0
     requeued: bool = False
     error: Optional[str] = None
+    priority: int = 0
+    deadline: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable description; inverse of :meth:`from_dict`."""
@@ -83,6 +127,8 @@ class Job:
             "attempts": self.attempts,
             "requeued": self.requeued,
             "error": self.error,
+            "priority": self.priority,
+            "deadline": self.deadline,
         }
 
     @classmethod
@@ -97,6 +143,12 @@ class Job:
             attempts=int(payload.get("attempts", 0)),
             requeued=bool(payload.get("requeued", False)),
             error=payload.get("error"),
+            priority=int(payload.get("priority", 0)),
+            deadline=(
+                None
+                if payload.get("deadline") is None
+                else float(payload["deadline"])
+            ),
         )
 
 
@@ -105,18 +157,36 @@ class JobQueue:
 
     Construction loads every persisted job from ``directory``; call
     :meth:`recover` afterwards (the daemon does) to requeue work that was
-    interrupted mid-run.
+    interrupted mid-run.  ``max_pending`` bounds the number of pending
+    jobs a :meth:`submit` may create (``None`` = unbounded); ``clock`` is
+    the time source deadline expiry is judged against (injectable for
+    tests).
     """
 
-    def __init__(self, directory: PathLike):
+    def __init__(
+        self,
+        directory: PathLike,
+        max_pending: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_pending = max_pending
+        self.clock = clock
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._sequence = 0
+        #: Job files skipped at load time because their embedded checksum
+        #: no longer verified — ``repro fsck`` reports these.
+        self.corrupt_files: List[Path] = []
         for path in sorted(self.directory.glob(f"{_JOB_PREFIX}*.json")):
             try:
-                job = Job.from_dict(json.loads(path.read_text()))
+                payload = json.loads(path.read_text())
+                stored = payload.pop("sha256", None)
+                if stored is not None and stored != _job_checksum(payload):
+                    self.corrupt_files.append(path)
+                    continue
+                job = Job.from_dict(payload)
             except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
                 continue  # foreign or truncated file: never block the queue
             self._jobs[job.job_id] = job
@@ -132,21 +202,34 @@ class JobQueue:
         The ``queue.persist`` fault point sits before the write: an
         injected ``partial_write`` tears the temp file, and the load path's
         truncated-file tolerance plus the untouched previous job file are
-        what keep the queue consistent.
+        what keep the queue consistent.  An injected ``corrupt`` flips one
+        bit of the committed file silently — the checksum verification at
+        load time (and ``repro fsck``) is what catches it.  Every file
+        embeds a ``sha256`` of its canonical content for exactly that.
         """
         path = self._path_for(job.job_id)
         tmp = path.with_suffix(".json.tmp")
-        text = json.dumps(job.to_dict(), indent=2)
+        payload = job.to_dict()
+        payload["sha256"] = _job_checksum(payload)
+        text = json.dumps(payload, indent=2)
         action = chaos.fault_point("queue.persist")
         if action == "partial_write":
             tmp.write_text(text[: max(1, len(text) // 2)])
             raise OSError(f"chaos[queue.persist]: job file write torn for {job.job_id}")
+        if action == "corrupt":
+            tmp.write_bytes(chaos.corrupt_bytes(text.encode("utf-8"), "queue.persist"))
+            os.replace(tmp, path)
+            return
         tmp.write_text(text)
         os.replace(tmp, path)
 
     # -- submission and lifecycle --------------------------------------
     def submit(
-        self, spec_payload: Mapping[str, Any], name: Optional[str] = None
+        self,
+        spec_payload: Mapping[str, Any],
+        name: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> Tuple[Job, bool]:
         """Queue a spec payload; returns ``(job, created)``.
 
@@ -155,6 +238,11 @@ class JobQueue:
         submissions never queue duplicate work).  A previous job that
         failed or was cancelled is re-activated with fresh attempt
         counters.  ``name`` defaults to ``<kind>-<job id prefix>``.
+        ``priority`` orders claims (higher first) and ``deadline`` is the
+        absolute Unix time after which the job should not run.  When the
+        queue is bounded and already holds ``max_pending`` pending jobs, a
+        submission that would *create* work raises :class:`QueueFullError`
+        (deduplicating resubmissions always succeed — they add no load).
         """
         payload = dict(spec_payload)
         job_id = spec_hash(payload)[:16]
@@ -162,11 +250,14 @@ class JobQueue:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state in _ACTIVE_STATES:
                 return existing, False
+            self._check_admission()
             if existing is not None:
                 existing.state = PENDING
                 existing.attempts = 0
                 existing.requeued = False
                 existing.error = None
+                existing.priority = priority
+                existing.deadline = deadline
                 self._persist(existing)
                 return existing, True
             self._sequence += 1
@@ -175,22 +266,53 @@ class JobQueue:
                 name=name or f"{payload.get('kind', 'job')}-{job_id[:8]}",
                 spec=payload,
                 sequence=self._sequence,
+                priority=priority,
+                deadline=deadline,
             )
             self._jobs[job_id] = job
             self._persist(job)
             return job, True
 
+    def _check_admission(self) -> None:
+        """Raise :class:`QueueFullError` when the pending depth is at cap."""
+        if self.max_pending is None:
+            return
+        pending = sum(1 for job in self._jobs.values() if job.state == PENDING)
+        if pending >= self.max_pending:
+            raise QueueFullError(pending, self.max_pending)
+
     def claim(self) -> Optional[Job]:
-        """Move the oldest pending job to ``running`` and return it."""
+        """Move the best pending job to ``running`` and return it.
+
+        "Best" is highest priority first, submission order within a
+        priority band.  Pending jobs whose deadline has already passed are
+        failed fast here (never claimed): by the time the executor could
+        start them their result would be useless.
+        """
         with self._lock:
-            pending = [job for job in self._jobs.values() if job.state == PENDING]
+            now = self.clock()
+            pending = []
+            for job in self._jobs.values():
+                if job.state != PENDING:
+                    continue
+                if job.deadline is not None and now >= job.deadline:
+                    job.state = FAILED
+                    job.error = "deadline expired before the job could start"
+                    self._persist(job)
+                    continue
+                pending.append(job)
             if not pending:
                 return None
-            job = min(pending, key=lambda entry: entry.sequence)
+            job = min(pending, key=lambda entry: (-entry.priority, entry.sequence))
             job.state = RUNNING
             job.attempts += 1
             self._persist(job)
             return job
+
+    def pending_count(self) -> int:
+        """Number of jobs currently waiting to run."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == PENDING)
 
     def complete(self, job_id: str) -> Job:
         """Mark a running job as successfully done."""

@@ -21,9 +21,12 @@ entries; workers attach read-only and can never destroy registry state.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Mapping, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -43,15 +46,25 @@ class VictimRegistry:
     either bound evicts least-recently-used entries — never the entry
     being inserted, so a single oversized victim is still served (it is
     simply evicted by the next insertion).  All methods are thread-safe.
+
+    ``manifest_path`` (the service passes ``<queue_dir>/registry.json``)
+    makes the registry write a **liveness manifest** — its pid plus the
+    shared-memory segment names it currently owns — atomically after
+    every mutation, and remove it on :meth:`close`.  A daemon that dies
+    without closing leaves the manifest behind; ``repro fsck --shm``
+    checks the recorded pid and unlinks the orphaned segments of dead
+    owners (and only those — segments claimed by a live pid are kept).
     """
 
     def __init__(
         self,
         max_bytes: Optional[int] = None,
         max_entries: Optional[int] = None,
+        manifest_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
+        self.manifest_path = None if manifest_path is None else Path(manifest_path)
         self._entries: "OrderedDict[VictimKey, SharedStateHandle]" = OrderedDict()
         self._manifests: Dict[VictimKey, SharedVictimManifest] = {}
         self._lock = threading.Lock()
@@ -59,6 +72,22 @@ class VictimRegistry:
         self.misses = 0
         self.evictions = 0
         self._closed = False
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        """Publish pid + owned segment names (atomic; lock held or init)."""
+        if self.manifest_path is None:
+            return
+        self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "pid": os.getpid(),
+            "segments": [
+                manifest.state.shm_name for manifest in self._manifests.values()
+            ],
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, self.manifest_path)
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,6 +130,7 @@ class VictimRegistry:
             self._entries[key] = handle
             self._manifests[key] = manifest
             self._evict_over_budget()
+            self._write_manifest()
             return manifest
 
     def get_or_export(
@@ -150,6 +180,7 @@ class VictimRegistry:
                 return False
             self._drop(key)
             self.evictions += 1
+            self._write_manifest()
             return True
 
     # -- introspection and shutdown ------------------------------------
@@ -180,11 +211,20 @@ class VictimRegistry:
             }
 
     def close(self) -> None:
-        """Unlink every resident segment; the registry rejects further puts."""
+        """Unlink every resident segment; the registry rejects further puts.
+
+        Also removes the liveness manifest — a manifest still on disk is
+        the marker of an *unclean* death ``repro fsck --shm`` keys on.
+        """
         with self._lock:
             self._closed = True
             for key in list(self._entries):
                 self._drop(key)
+            if self.manifest_path is not None:
+                try:
+                    self.manifest_path.unlink()
+                except OSError:
+                    pass
 
     def __enter__(self) -> "VictimRegistry":
         """Context-manager entry returning the registry itself."""

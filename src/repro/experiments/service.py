@@ -40,13 +40,13 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.experiments.cache import VictimCache
 from repro.experiments.checkpoint import CheckpointedBackend, ChunkCheckpoint
-from repro.experiments.queue import JobQueue, Job
+from repro.experiments.queue import JobQueue, Job, QueueFullError
 from repro.experiments.registry import VictimRegistry
 from repro.experiments.runner import ExperimentRunner, make_backend
 from repro.experiments.specs import spec_from_dict
 from repro.experiments.store import open_store
 from repro.testing import chaos
-from repro.utils.resilience import ResilienceConfig
+from repro.utils.resilience import Deadline, ResilienceConfig, RetryPolicy
 
 PathLike = Union[str, Path]
 
@@ -55,6 +55,47 @@ DEFAULT_PORT = 7421
 
 #: Name of the discovery file the daemon writes into its queue directory.
 ENDPOINT_FILE = "endpoint.json"
+
+#: Name of the registry liveness manifest in the queue directory.
+REGISTRY_MANIFEST_FILE = "registry.json"
+
+
+class ServiceUnavailableError(ConnectionError):
+    """No live daemon behind the discovered endpoint.
+
+    Raised by :class:`ServiceClient` when ``endpoint.json`` is missing —
+    or present but written by a process that is no longer alive (a daemon
+    that died without cleanup), so dialing it could only burn a connect
+    timeout.
+    """
+
+
+class ServiceOverloadError(RuntimeError):
+    """The daemon shed this submission: its pending queue is at capacity.
+
+    ``retry_after`` is the daemon's estimate (seconds) of when capacity
+    frees up; :meth:`ServiceClient.submit` honours it when given a
+    :class:`~repro.utils.resilience.RetryPolicy`.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WatchdogTimeout(RuntimeError):
+    """The execution backend wedged: a job exceeded the watchdog budget."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: the process exists, just not ours
+    return True
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -106,6 +147,16 @@ class ExperimentService:
     checkpoints instead of rerunning completed chunks.  ``resilience``
     parameterises the failure model of the execution backend (and defaults
     to the ``REPRO_*`` environment).
+
+    Overload protection: ``max_pending`` bounds the pending queue depth —
+    a submission past the bound is *shed* with an ``overloaded`` response
+    carrying a ``retry_after`` estimate instead of being accepted and
+    starved.  ``watchdog_timeout`` bounds a single job's wall-clock; a
+    wedged backend fails the job (checkpoints kept) rather than hanging
+    the daemon forever.  Submissions may carry a priority (claimed first)
+    and a deadline (seconds of useful life: expired queued jobs fail
+    fast, a running job's backend gets the remaining budget as a
+    :class:`~repro.utils.resilience.Deadline`).
     """
 
     def __init__(
@@ -120,13 +171,18 @@ class ExperimentService:
         port: int = DEFAULT_PORT,
         resilience: Optional[ResilienceConfig] = None,
         checkpoint: bool = True,
+        max_pending: Optional[int] = None,
+        watchdog_timeout: Optional[float] = None,
     ):
-        self.queue = JobQueue(queue_dir)
+        self.queue = JobQueue(queue_dir, max_pending=max_pending)
         self.recovery = self.queue.recover()
         self.store = open_store(store_dir, sharded=True)
         self.resilience = resilience or ResilienceConfig.from_env()
+        self.watchdog_timeout = watchdog_timeout
         self.registry = VictimRegistry(
-            max_bytes=registry_max_bytes, max_entries=registry_max_entries
+            max_bytes=registry_max_bytes,
+            max_entries=registry_max_entries,
+            manifest_path=self.queue.directory / REGISTRY_MANIFEST_FILE,
         )
         cache = VictimCache()
         cache.attach_registry(self.registry)
@@ -152,40 +208,114 @@ class ExperimentService:
         self._executor: Optional[threading.Thread] = None
         self._wake = threading.Event()
         self._stopping = threading.Event()
+        self._started_at = time.time()
+        #: Exponential moving average of completed-job wall-clock seconds
+        #: (None until the first job finishes) — feeds ``retry_after``.
+        self._avg_job_seconds: Optional[float] = None
+        self._active_job: Optional[str] = None
 
     # -- job execution -------------------------------------------------
+    def _run_job(self, job: Job) -> None:
+        """Execute one claimed job through the runner (raises on failure)."""
+        # The claim fault point sits inside the caller's try: an injected
+        # error fails the job cleanly, while an injected crash leaves it
+        # RUNNING — exactly what a daemon death mid-job looks like — so
+        # the next start's queue recovery requeues it and the kept
+        # checkpoints resume it.
+        chaos.fault_point("service.claim")
+        spec = spec_from_dict(job.spec)
+        self.runner.run(spec, save_as=job.name)
+
     def process_once(self) -> Optional[Job]:
         """Claim and run one pending job; ``None`` when the queue is idle.
 
         The synchronous core of the executor thread, exposed so tests (and
         embedders) can drain the queue deterministically without sockets.
+        A job with a deadline hands its remaining budget to the
+        checkpointed backend (checked at every chunk boundary); with
+        ``watchdog_timeout`` set, the job runs on a watched thread and a
+        backend that stops making progress fails the job instead of
+        wedging the daemon.
         """
         job = self.queue.claim()
         if job is None:
             return None
+        started = time.monotonic()
+        self._active_job = job.job_id
         checkpoint: Optional[ChunkCheckpoint] = None
         if self.checkpointed is not None:
             checkpoint = ChunkCheckpoint(self.checkpoint_root / job.job_id)
             self.checkpointed.checkpoint = checkpoint
+            if job.deadline is not None:
+                self.checkpointed.deadline = Deadline(
+                    max(0.0, job.deadline - time.time())
+                )
         try:
-            # The claim fault point sits inside the try: an injected error
-            # fails the job cleanly, while an injected crash leaves it
-            # RUNNING — exactly what a daemon death mid-job looks like —
-            # so the next start's queue recovery requeues it and the kept
-            # checkpoints resume it.
-            chaos.fault_point("service.claim")
-            spec = spec_from_dict(job.spec)
-            self.runner.run(spec, save_as=job.name)
+            if self.watchdog_timeout is None:
+                self._run_job(job)
+            else:
+                self._run_watched(job)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             # Checkpoints are kept on failure: completed chunks are valid
             # (execution is deterministic), so a resubmission resumes them.
             return self.queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
         finally:
+            self._active_job = None
             if self.checkpointed is not None:
                 self.checkpointed.checkpoint = None
+                self.checkpointed.deadline = None
+        self._record_duration(time.monotonic() - started)
         if checkpoint is not None:
             checkpoint.clear()
         return self.queue.complete(job.job_id)
+
+    def _run_watched(self, job: Job) -> None:
+        """Run a job on a watched thread; raise if the backend wedges.
+
+        The watchdog bounds *wall-clock per job*: a backend that blocks
+        indefinitely (deadlocked pool, unreachable peer with no timeout)
+        is detected here, the job is failed with a clear error, and the
+        daemon moves on.  The wedged thread is a daemon thread, so a
+        never-returning backend cannot block process exit either.
+        """
+        outcome: Dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                self._run_job(job)
+                outcome["done"] = True
+            except BaseException as exc:  # noqa: BLE001 - carried to watcher
+                outcome["error"] = exc
+
+        worker = threading.Thread(
+            target=target, name=f"job-{job.job_id[:8]}", daemon=True
+        )
+        worker.start()
+        worker.join(timeout=self.watchdog_timeout)
+        if worker.is_alive():
+            raise WatchdogTimeout(
+                f"job {job.job_id} exceeded the {self.watchdog_timeout}s "
+                "watchdog budget; backend presumed wedged"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+
+    def _record_duration(self, seconds: float) -> None:
+        """Fold one completed job's wall-clock into the EMA."""
+        if self._avg_job_seconds is None:
+            self._avg_job_seconds = seconds
+        else:
+            self._avg_job_seconds = 0.7 * self._avg_job_seconds + 0.3 * seconds
+
+    def retry_after_hint(self) -> float:
+        """Seconds a shed client should wait before resubmitting.
+
+        The pending depth times the average job duration (1s until the
+        first job completes), floored at half a second so a hint is never
+        a busy-loop invitation.
+        """
+        avg = self._avg_job_seconds if self._avg_job_seconds else 1.0
+        return max(0.5, self.queue.pending_count() * avg)
 
     def drain(self) -> int:
         """Run queued jobs until none are pending; returns the count run."""
@@ -211,7 +341,24 @@ class ExperimentService:
                 spec_from_dict(request["spec"])  # reject malformed specs up front
             except (ValueError, TypeError, KeyError) as exc:
                 return {"ok": False, "error": f"invalid spec: {exc}"}
-            job, created = self.queue.submit(request["spec"], name=request.get("name"))
+            deadline = request.get("deadline")
+            try:
+                job, created = self.queue.submit(
+                    request["spec"],
+                    name=request.get("name"),
+                    priority=int(request.get("priority", 0)),
+                    # The wire carries seconds-of-useful-life; the queue
+                    # stores the absolute expiry so a daemon restart
+                    # cannot reset the clock.
+                    deadline=None if deadline is None else time.time() + float(deadline),
+                )
+            except QueueFullError as exc:
+                return {
+                    "ok": False,
+                    "error": str(exc),
+                    "overloaded": True,
+                    "retry_after": self.retry_after_hint(),
+                }
             self._wake.set()
             return {
                 "ok": True,
@@ -219,6 +366,21 @@ class ExperimentService:
                 "name": job.name,
                 "state": job.state,
                 "created": created,
+            }
+        if op == "health":
+            counts = self.queue.counts()
+            return {
+                "ok": True,
+                "health": {
+                    "pid": os.getpid(),
+                    "uptime_seconds": time.time() - self._started_at,
+                    "queue": counts,
+                    "pending": counts["pending"],
+                    "max_pending": self.queue.max_pending,
+                    "active_job": self._active_job,
+                    "avg_job_seconds": self._avg_job_seconds,
+                    "registry": self.registry.stats(),
+                },
             }
         if op == "status":
             try:
@@ -312,8 +474,12 @@ class ServiceClient:
 
     Address resolution: pass ``host``/``port`` explicitly, or a
     ``queue_dir`` whose ``endpoint.json`` (written by the daemon) is read
-    instead.  Every method opens a short-lived connection, so a client
-    object is cheap and stateless.
+    instead.  A discovered endpoint is checked for **liveness** first:
+    the daemon records its pid in the file, and an endpoint whose owner
+    is dead (a daemon that crashed without cleanup) raises
+    :class:`ServiceUnavailableError` immediately instead of burning a
+    connect timeout on a port nobody listens on.  Every method opens a
+    short-lived connection, so a client object is cheap and stateless.
     """
 
     def __init__(
@@ -325,7 +491,18 @@ class ServiceClient:
         if host is None or port is None:
             if queue_dir is None:
                 raise ValueError("need host+port or a queue_dir with endpoint.json")
-            endpoint = json.loads((Path(queue_dir) / ENDPOINT_FILE).read_text())
+            endpoint_path = Path(queue_dir) / ENDPOINT_FILE
+            try:
+                endpoint = json.loads(endpoint_path.read_text())
+            except OSError as exc:
+                raise ServiceUnavailableError(
+                    f"no service endpoint at {endpoint_path} — is the daemon running?"
+                ) from exc
+            pid = endpoint.get("pid")
+            if pid is not None and not _pid_alive(int(pid)):
+                raise ServiceUnavailableError(
+                    f"endpoint {endpoint_path} is stale: daemon pid {pid} is dead"
+                )
             host = host or endpoint["host"]
             port = port or endpoint["port"]
         self.host = host
@@ -340,6 +517,11 @@ class ServiceClient:
             raise ConnectionError("service closed the connection without replying")
         response = json.loads(line)
         if not response.get("ok"):
+            if response.get("overloaded"):
+                raise ServiceOverloadError(
+                    response.get("error", "service overloaded"),
+                    retry_after=float(response.get("retry_after", 1.0)),
+                )
             raise RuntimeError(response.get("error", "service request failed"))
         return response
 
@@ -348,13 +530,45 @@ class ServiceClient:
         return self._call({"op": "ping"})
 
     def submit(
-        self, spec_payload: Mapping[str, Any], name: Optional[str] = None
+        self,
+        spec_payload: Mapping[str, Any],
+        name: Optional[str] = None,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+        retries: Optional[RetryPolicy] = None,
+        sleep: Any = time.sleep,
     ) -> Dict[str, Any]:
-        """Submit a spec payload; returns job id/name/state and dedup flag."""
+        """Submit a spec payload; returns job id/name/state and dedup flag.
+
+        ``priority`` orders the daemon's queue (higher first); ``deadline``
+        is seconds of useful life from now.  With ``retries`` (a
+        :class:`~repro.utils.resilience.RetryPolicy`), an overloaded
+        daemon's shed response is retried, sleeping at least the daemon's
+        ``retry_after`` hint between attempts; without it,
+        :class:`ServiceOverloadError` propagates to the caller.
+        """
         request: Dict[str, Any] = {"op": "submit", "spec": dict(spec_payload)}
         if name is not None:
             request["name"] = name
-        return self._call(request)
+        if priority is not None:
+            request["priority"] = priority
+        if deadline is not None:
+            request["deadline"] = deadline
+        if retries is None:
+            return self._call(request)
+        delays = list(retries.delays()) + [None]
+        for backoff in delays:
+            try:
+                return self._call(request)
+            except ServiceOverloadError as exc:
+                if backoff is None:
+                    raise
+                sleep(max(backoff, exc.retry_after))
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health snapshot (queue depth, active job, registry)."""
+        return self._call({"op": "health"})["health"]
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """Full job record (state, attempts, error) for ``job_id``."""

@@ -5,10 +5,11 @@ back from — the ``benchmarks/results/*.json`` format the repository's
 benchmarks have always used.  Each file is an *envelope*::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "<experiment kind>",
       "spec": { ...spec_from_dict payload... },
-      "payload": { ...kind-specific encoding... }
+      "payload": { ...kind-specific encoding... },
+      "integrity": {"algo": "sha256", "digest": "<hex>"}
     }
 
 so a stored result carries the full declarative description of the
@@ -16,10 +17,18 @@ experiment that produced it.  :meth:`ResultStore.load` rebuilds the same
 in-memory result objects (:class:`ModelComparisonResult`,
 :class:`DefenseEvaluationResult`, :class:`FlipCurve`, ...) the live run
 returned.
+
+Schema version 2 added the ``integrity`` block: a sha256 digest of the
+envelope's canonical content, verified on every load (``verify=False``
+opts out), so silent bit-rot in a stored result raises
+:class:`IntegrityError` instead of feeding corrupt numbers into reports.
+Version-1 envelopes (no digest) remain fully readable; ``repro fsck``
+and :meth:`ShardedResultStore.migrate` upgrade them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -44,9 +53,58 @@ from repro.experiments.specs import (
     spec_hash,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Envelope versions this build reads.  1 is the pre-integrity format
+#: (no checksum — accepted, unverifiable); 2 embeds the sha256 digest.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
+
+
+class IntegrityError(ValueError):
+    """A stored envelope's content no longer matches its sha256 digest.
+
+    Subclasses ``ValueError`` so callers with historical "unreadable
+    result" handling treat corruption like any other undecodable file;
+    ``repro fsck`` distinguishes it to quarantine precisely.
+    """
+
+
+def _content_digest(content: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON of an envelope's content fields.
+
+    Canonical means sorted keys and compact separators, so the digest is
+    independent of the pretty-printing the envelope file itself uses.
+    ``content`` must already be JSON-native (round-tripped), so the
+    digest computed at save time equals the one recomputed from the
+    parsed file at load time.
+    """
+    canonical = json.dumps(content, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _envelope_content(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """The checksummed subset of an envelope (kind, spec, payload)."""
+    return {key: envelope[key] for key in ("kind", "spec", "payload") if key in envelope}
+
+
+def verify_envelope(path: Path, envelope: Dict[str, Any]) -> None:
+    """Raise :class:`IntegrityError` when an envelope fails its checksum.
+
+    Version-1 envelopes carry no ``integrity`` block and pass vacuously
+    (there is nothing to verify against — that is exactly why the schema
+    was bumped).
+    """
+    integrity = envelope.get("integrity")
+    if not isinstance(integrity, dict):
+        return
+    computed = _content_digest(_envelope_content(envelope))
+    stored = integrity.get("digest")
+    if computed != stored:
+        raise IntegrityError(
+            f"{path}: content digest mismatch (stored {stored!r}, computed {computed!r})"
+        )
 
 
 def _atomic_write_text(path: Path, text: str, point: str = "store.write") -> None:
@@ -57,12 +115,19 @@ def _atomic_write_text(path: Path, text: str, point: str = "store.write") -> Non
     ``path`` itself: readers either see the previous complete file or the
     new complete file.  The cooperative ``partial_write`` kind writes half
     the text to the temp file and then fails, modelling a torn write.
+    The cooperative ``corrupt`` kind flips one bit of the payload and
+    completes the replace *silently* — the disk-rot/bad-RAM failure that
+    only checksum verification (``repro fsck``) can catch.
     """
     tmp = path.with_name(path.name + ".tmp")
     action = chaos.fault_point(point)
     if action == "partial_write":
         tmp.write_text(text[: max(1, len(text) // 2)])
         raise OSError(f"chaos[{point}]: write torn after {len(text) // 2} bytes")
+    if action == "corrupt":
+        tmp.write_bytes(chaos.corrupt_bytes(text.encode("utf-8"), point))
+        os.replace(tmp, path)
+        return
     tmp.write_text(text)
     os.replace(tmp, path)
 
@@ -288,10 +353,16 @@ class ResultStore:
     repeated CLI ``list`` / ``report`` calls (and programmatic
     :meth:`names` / :meth:`load` loops) over a large result directory cost
     one ``stat`` per file instead of one full JSON parse.
+
+    ``verify`` controls load-time checksum verification of schema-2
+    envelopes (default on; version-1 envelopes have no checksum and are
+    always accepted).  ``repro fsck`` is the offline scan over the same
+    verification.
     """
 
-    def __init__(self, directory: PathLike):
+    def __init__(self, directory: PathLike, verify: bool = True):
         self.directory = Path(directory)
+        self.verify = verify
         #: path -> (mtime_ns, size, parsed envelope or None when unreadable
         #: / not a result envelope); entries invalidate themselves whenever
         #: the stat signature stops matching.
@@ -336,20 +407,37 @@ class ResultStore:
             encode, _ = _CODECS[result.kind]
         except KeyError as exc:
             raise ValueError(f"no result codec registered for kind {result.kind!r}") from exc
-        return {
-            "schema_version": SCHEMA_VERSION,
+        content = {
             "kind": result.kind,
             "spec": result.spec.to_dict(),
             "payload": _jsonify(encode(result.payload)),
         }
+        # Round-trip through JSON before digesting so the checksummed
+        # values are exactly what a reader parses back (tuples become
+        # lists, numpy scalars become floats) — the digest verifies
+        # identically against the file content forever after.
+        content = json.loads(json.dumps(content, default=float, allow_nan=False))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            **content,
+            "integrity": {"algo": "sha256", "digest": _content_digest(content)},
+        }
 
     def _decode_envelope(self, path: Path, envelope: Dict[str, Any]) -> ExperimentResult:
-        """Rebuild the in-memory result from a parsed envelope dict."""
+        """Rebuild the in-memory result from a parsed envelope dict.
+
+        Verifies the embedded checksum first (when the store verifies and
+        the envelope carries one): corrupt content raises
+        :class:`IntegrityError` before any decoding can misread it.
+        """
         version = envelope.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ValueError(
-                f"{path} has schema version {version!r}; this build reads {SCHEMA_VERSION}"
+                f"{path} has schema version {version!r}; "
+                f"this build reads {SUPPORTED_SCHEMA_VERSIONS}"
             )
+        if self.verify:
+            verify_envelope(path, envelope)
         kind = envelope["kind"]
         try:
             _, decode = _CODECS[kind]
@@ -413,7 +501,10 @@ class ResultStore:
         found = []
         for path in sorted(self.directory.glob("*.json")):
             envelope = self._envelope_for(path)
-            if envelope is not None and envelope.get("schema_version") == SCHEMA_VERSION:
+            if (
+                envelope is not None
+                and envelope.get("schema_version") in SUPPORTED_SCHEMA_VERSIONS
+            ):
                 found.append(path.stem)
         return found
 
@@ -444,8 +535,8 @@ class ShardedResultStore(ResultStore):
     #: directory as sharded (see :func:`open_store`).
     SHARD_DIR = "shards"
 
-    def __init__(self, directory: PathLike):
-        super().__init__(directory)
+    def __init__(self, directory: PathLike, verify: bool = True):
+        super().__init__(directory, verify=verify)
         #: result name -> path of its sharded file (rebuilt from the shard
         #: indexes whenever a lookup misses).
         self._locations: Dict[str, Path] = {}
@@ -512,11 +603,15 @@ class ShardedResultStore(ResultStore):
         index_path = shard_dir / "_index.json"
         entries = dict(self._read_shard_index(index_path))
         stat = path.stat()
+        integrity = envelope.get("integrity")
         entries[name] = {
             "kind": envelope["kind"],
             "spec_hash": spec_hash(envelope["spec"]),
             "mtime_ns": stat.st_mtime_ns,
             "size": stat.st_size,
+            # Mirror of the envelope's content digest (None for a legacy
+            # checksum-less envelope): fsck cross-checks index against file.
+            "sha256": integrity.get("digest") if isinstance(integrity, dict) else None,
         }
         tmp = index_path.with_suffix(".json.tmp")
         tmp.write_text(
@@ -574,10 +669,15 @@ class ShardedResultStore(ResultStore):
     def migrate(self) -> List[str]:
         """Move every legacy flat result file into the sharded layout.
 
-        Returns the migrated names.  Files move with ``os.replace`` (their
-        bytes are unchanged — the envelope's spec supplies the shard), so a
-        half-completed migration leaves every result in exactly one place
-        and a rerun finishes the job.
+        Returns the migrated names.  A checksummed (schema-2) file moves
+        with ``os.replace``, bytes unchanged; a version-1 file is upgraded
+        in flight — rewritten as a schema-2 envelope with a freshly
+        computed content digest — so a migrated store is uniformly
+        verifiable.  Either way each write is atomic and the flat copy is
+        only removed once the sharded copy exists, so a half-completed
+        migration leaves every result in exactly one readable place and a
+        rerun finishes the job.  Re-running on an already-sharded store is
+        a no-op (returns ``[]``).
         """
         moved = []
         for name in ResultStore.names(self):
@@ -588,7 +688,19 @@ class ShardedResultStore(ResultStore):
             shard_dir = self.directory / self.SHARD_DIR / self.shard_prefix(envelope["spec"])
             shard_dir.mkdir(parents=True, exist_ok=True)
             target = shard_dir / f"{name}.json"
-            os.replace(flat, target)
+            if isinstance(envelope.get("integrity"), dict):
+                os.replace(flat, target)
+            else:
+                content = _envelope_content(envelope)
+                envelope = {
+                    "schema_version": SCHEMA_VERSION,
+                    **content,
+                    "integrity": {"algo": "sha256", "digest": _content_digest(content)},
+                }
+                _atomic_write_text(
+                    target, json.dumps(envelope, indent=2, allow_nan=False)
+                )
+                flat.unlink()
             self._index.pop(flat, None)
             self._update_shard_index(shard_dir, name, envelope, target)
             self._locations[name] = target
@@ -596,16 +708,19 @@ class ShardedResultStore(ResultStore):
         return moved
 
 
-def open_store(directory: PathLike, sharded: Union[bool, None] = None) -> ResultStore:
+def open_store(
+    directory: PathLike, sharded: Union[bool, None] = None, verify: bool = True
+) -> ResultStore:
     """Open the right store flavour for ``directory``.
 
     Auto-detects by layout: a ``shards/`` subdirectory means
     :class:`ShardedResultStore`, anything else the flat
     :class:`ResultStore`.  Pass ``sharded=True``/``False`` to force a
     flavour (e.g. when creating a new sharded store, or before running
-    :meth:`ShardedResultStore.migrate` on a flat tree).
+    :meth:`ShardedResultStore.migrate` on a flat tree).  ``verify`` is
+    forwarded to the store (checksum verification on load, default on).
     """
     root = Path(directory)
     if sharded is None:
         sharded = (root / ShardedResultStore.SHARD_DIR).is_dir()
-    return ShardedResultStore(root) if sharded else ResultStore(root)
+    return ShardedResultStore(root, verify=verify) if sharded else ResultStore(root, verify=verify)

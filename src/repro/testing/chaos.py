@@ -34,10 +34,14 @@ Fault kinds
     installed plan cannot take down a test runner by accident.
 ``enospc``
     Raise ``OSError(ENOSPC)`` — the disk-full write failure.
-``drop`` / ``partial_write``
+``drop`` / ``partial_write`` / ``corrupt``
     *Cooperative* kinds: :func:`fault_point` returns the kind string and
     the instrumented site implements the semantics (drop a frame on the
-    floor, write a truncated file) because only the site knows how.
+    floor, write a truncated file, flip a payload bit) because only the
+    site knows how.  ``corrupt`` sites call :func:`corrupt_bytes` to
+    obtain the deterministically bit-flipped payload — the flipped byte
+    and bit are a pure function of the plan ``seed``, the point name and
+    the traversal number, so a corruption scenario is exactly repeatable.
 
 Activation
 ----------
@@ -55,6 +59,7 @@ import errno
 import fnmatch
 import json
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -68,10 +73,19 @@ PLAN_ENV = "REPRO_FAULT_PLAN"
 ALLOW_CRASH_ENV = "REPRO_CHAOS_ALLOW_CRASH"
 
 #: The fault kinds a plan may request.
-KINDS = ("error", "disconnect", "delay", "crash", "enospc", "drop", "partial_write")
+KINDS = (
+    "error",
+    "disconnect",
+    "delay",
+    "crash",
+    "enospc",
+    "drop",
+    "partial_write",
+    "corrupt",
+)
 
 #: Kinds :func:`fault_point` returns to the site instead of acting itself.
-COOPERATIVE_KINDS = ("drop", "partial_write")
+COOPERATIVE_KINDS = ("drop", "partial_write", "corrupt")
 
 
 class ChaosError(OSError):
@@ -339,4 +353,28 @@ def fault_point(name: str) -> Optional[str]:
         raise ChaosError(
             f"chaos[{name}]: crash requested but {ALLOW_CRASH_ENV} is unset"
         )
-    return fault.kind  # cooperative: drop / partial_write
+    return fault.kind  # cooperative: drop / partial_write / corrupt
+
+
+def corrupt_bytes(data: bytes, point: str) -> bytes:
+    """The deterministically bit-flipped form of ``data`` for ``point``.
+
+    Called by a site after :func:`fault_point` returned ``"corrupt"``.
+    The flipped position is derived from the installed plan's ``seed``,
+    the point name and the point's current traversal number, so the same
+    plan corrupts the same byte of the same write every run.  Empty
+    payloads are returned unchanged (there is no bit to flip).
+    """
+    if not data:
+        return data
+    current = _resolve()
+    seed, hit = 0, 0
+    if current is not None:
+        seed = current.plan.seed
+        with current.lock:
+            hit = current.hits.get(point, 0)
+    rng = random.Random(f"{seed}:{point}:{hit}")
+    index = rng.randrange(len(data))
+    mutated = bytearray(data)
+    mutated[index] ^= 1 << rng.randrange(8)
+    return bytes(mutated)

@@ -156,8 +156,38 @@ class TestKinds:
                 faults=(
                     FaultSpec(point="a", kind="drop"),
                     FaultSpec(point="b", kind="partial_write"),
+                    FaultSpec(point="c", kind="corrupt"),
                 )
             )
         )
         assert chaos.fault_point("a") == "drop"
         assert chaos.fault_point("b") == "partial_write"
+        assert chaos.fault_point("c") == "corrupt"
+
+
+class TestCorruptBytes:
+    def test_flips_exactly_one_bit(self):
+        data = bytes(range(64))
+        mutated = chaos.corrupt_bytes(data, "store.write")
+        assert len(mutated) == len(data)
+        diff = [
+            (i, a ^ b) for i, (a, b) in enumerate(zip(data, mutated)) if a != b
+        ]
+        assert len(diff) == 1
+        assert bin(diff[0][1]).count("1") == 1  # single-bit flip
+
+    def test_deterministic_in_plan_seed_and_hit(self):
+        data = b"x" * 128
+        chaos.install_plan(FaultPlan.single("p", "corrupt"), )
+        first = chaos.corrupt_bytes(data, "p")
+        # Same seed, same hit count: identical flip.
+        chaos.install_plan(FaultPlan.single("p", "corrupt"))
+        assert chaos.corrupt_bytes(data, "p") == first
+        # A different seed picks a different flip (for this data length).
+        chaos.install_plan(
+            FaultPlan(faults=(FaultSpec(point="p", kind="corrupt"),), seed=99)
+        )
+        assert chaos.corrupt_bytes(data, "p") != first
+
+    def test_empty_payload_passes_through(self):
+        assert chaos.corrupt_bytes(b"", "p") == b""

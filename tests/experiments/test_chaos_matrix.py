@@ -24,8 +24,12 @@ from repro.experiments import (
     DefenseMatrixSpec,
     ExperimentRunner,
     ExperimentService,
+    IntegrityError,
+    JobQueue,
     ResultStore,
     ShardedResultStore,
+    fsck_queue,
+    fsck_store,
 )
 from repro.experiments.distributed import DistributedBackend, PoisonChunkError
 from repro.testing import chaos
@@ -289,6 +293,91 @@ class TestGracefulDegradation:
         )
         with pytest.raises(RuntimeError, match="stalled"):
             ExperimentRunner(backend=backend).run(_cheap_spec(seed=10))
+
+
+class TestSilentCorruption:
+    """Closure for the ``corrupt`` kind: a single flipped bit injected at
+    any durable-write site is always *detected* — never silently served —
+    and recovery converges back to the fault-free serial bytes."""
+
+    def test_corrupt_store_write_is_detected_and_repaired(self, tmp_path):
+        """Silent bit-rot in a stored envelope can never be loaded.
+
+        The corrupt fault flips one bit of the committed result file and
+        the write still "succeeds" — the failure mode checksums exist
+        for.  Loading fails the digest, fsck flags exactly the damaged
+        file (zero false positives), and the rerun after quarantine
+        stores the fault-free serial bytes.
+        """
+        spec = _cheap_spec(seed=13)
+        expected = _serial_bytes(tmp_path, spec)
+        store = ResultStore(tmp_path / "flat")
+        with chaos.active_plan(FaultPlan.single("store.write", "corrupt")) as scope:
+            ExperimentRunner(store=store).run(spec, save_as="exp")
+        assert ("store.write", "corrupt") in scope.fired
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            store.load("exp")
+        report = fsck_store(tmp_path / "flat", quarantine=True)
+        assert [issue.problem for issue in report.issues] == ["digest-mismatch"]
+        assert report.issues[0].quarantined
+        assert fsck_store(tmp_path / "flat").clean
+        fresh = ResultStore(tmp_path / "flat")
+        ExperimentRunner(store=fresh).run(spec, save_as="exp")
+        assert fresh.path_for("exp").read_text() == expected
+        assert _shm_segments() == []
+
+    def test_corrupt_checkpoint_is_dropped_and_rerun(self, tmp_path):
+        """A corrupted chunk checkpoint must rerun, not poison the resume.
+
+        The plan corrupts the first chunk's checkpoint file and then
+        errors the job at its third chunk.  The resubmission resumes only
+        the chunk whose checksum frame still verifies (``last_resumed ==
+        1``), silently reruns the corrupted one, and the final envelope
+        is byte-identical to serial — a flipped bit can never smuggle
+        wrong values into a resumed job.
+        """
+        spec = _cheap_spec(seed=14)
+        expected = _serial_bytes(tmp_path, spec)
+        service = ExperimentService(
+            queue_dir=tmp_path / "queue", store_dir=tmp_path / "store"
+        )
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(point="checkpoint.write", kind="corrupt", after=1, count=1),
+                FaultSpec(point="service.chunk", kind="error", after=3, count=1),
+            )
+        )
+        try:
+            with chaos.active_plan(plan):
+                service._dispatch(
+                    {"op": "submit", "spec": spec.to_dict(), "name": "exp"}
+                )
+                failed = service.process_once()
+            assert failed.state == "failed"
+            # Both completed chunks were checkpointed; one carries the flip.
+            kept = list((tmp_path / "queue" / "checkpoints").glob("*/chunk-*.pkl"))
+            assert len(kept) == 2
+            service._dispatch({"op": "submit", "spec": spec.to_dict(), "name": "exp"})
+            assert service.drain() == 1
+            assert service.checkpointed.last_resumed == 1  # intact chunk only
+            assert service.store.path_for("exp").read_text() == expected
+        finally:
+            service.registry.close()
+        assert _shm_segments() == []
+
+    def test_corrupt_queue_persist_never_resurrects_the_job(self, tmp_path):
+        """A corrupted job file is refused on reload and pinned by fsck."""
+        queue = JobQueue(tmp_path / "queue")
+        with chaos.active_plan(FaultPlan.single("queue.persist", "corrupt")) as scope:
+            queue.submit(_cheap_spec(seed=15).to_dict())
+        assert ("queue.persist", "corrupt") in scope.fired
+        # A reloading daemon refuses the tampered record entirely...
+        assert JobQueue(tmp_path / "queue").jobs() == []
+        # ...and fsck flags exactly that file, then repairs the tree.
+        report = fsck_queue(tmp_path / "queue", quarantine=True)
+        assert len(report.issues) == 1
+        assert report.issues[0].problem in ("digest-mismatch", "unreadable")
+        assert fsck_queue(tmp_path / "queue").clean
 
 
 class TestFaultToleranceInProcess:

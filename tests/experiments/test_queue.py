@@ -2,8 +2,10 @@
 
 import json
 
-from repro.experiments import ComparisonSpec, DefenseMatrixSpec, JobQueue
-from repro.experiments.queue import Job
+import pytest
+
+from repro.experiments import ComparisonSpec, DefenseMatrixSpec, JobQueue, QueueFullError
+from repro.experiments.queue import Job, _job_checksum
 
 
 def _payload(seed=0):
@@ -60,6 +62,104 @@ class TestSubmit:
         assert created
         assert again.state == "pending"
         assert again.attempts == 0 and again.error is None
+
+
+class TestAdmissionControl:
+    def test_submit_past_the_bound_raises_queue_full(self, tmp_path):
+        queue = JobQueue(tmp_path, max_pending=2)
+        queue.submit(_payload(seed=1))
+        queue.submit(_payload(seed=2))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(_payload(seed=3))
+        assert excinfo.value.pending == 2 and excinfo.value.max_pending == 2
+        assert len(queue) == 2  # the shed job was never persisted
+
+    def test_duplicate_submission_is_admitted_when_full(self, tmp_path):
+        # Dedup resubmissions add no load: they must not be shed.
+        queue = JobQueue(tmp_path, max_pending=1)
+        job, _ = queue.submit(_payload(seed=1))
+        again, created = queue.submit(_payload(seed=1))
+        assert not created and again is job
+
+    def test_claiming_frees_capacity(self, tmp_path):
+        queue = JobQueue(tmp_path, max_pending=1)
+        queue.submit(_payload(seed=1))
+        queue.claim()
+        job, created = queue.submit(_payload(seed=2))  # pending is empty again
+        assert created and job.state == "pending"
+
+
+class TestPriorityAndDeadline:
+    def test_higher_priority_claims_first(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        low, _ = queue.submit(_payload(seed=1), priority=0)
+        high, _ = queue.submit(_payload(seed=2), priority=5)
+        mid, _ = queue.submit(_payload(seed=3), priority=2)
+        order = [queue.claim().job_id for _ in range(3)]
+        assert order == [high.job_id, mid.job_id, low.job_id]
+
+    def test_equal_priority_stays_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit(_payload(seed=1), priority=1)
+        second, _ = queue.submit(_payload(seed=2), priority=1)
+        assert queue.claim().job_id == first.job_id
+        assert queue.claim().job_id == second.job_id
+
+    def test_priority_survives_restart(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(_payload(seed=1), priority=0)
+        high, _ = queue.submit(_payload(seed=2), priority=9)
+        assert JobQueue(tmp_path).claim().job_id == high.job_id
+
+    def test_expired_deadline_fails_fast_at_claim(self, tmp_path):
+        now = [100.0]
+        queue = JobQueue(tmp_path, clock=lambda: now[0])
+        doomed, _ = queue.submit(_payload(seed=1), deadline=105.0)
+        fine, _ = queue.submit(_payload(seed=2))
+        now[0] = 110.0  # past doomed's absolute deadline
+        claimed = queue.claim()
+        assert claimed.job_id == fine.job_id
+        failed = queue.get(doomed.job_id)
+        assert failed.state == "failed"
+        assert "deadline expired" in failed.error
+
+    def test_unexpired_deadline_claims_normally(self, tmp_path):
+        now = [100.0]
+        queue = JobQueue(tmp_path, clock=lambda: now[0])
+        job, _ = queue.submit(_payload(seed=1), deadline=105.0)
+        assert queue.claim().job_id == job.job_id
+
+
+class TestJobChecksums:
+    def test_job_file_carries_checksum(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        on_disk = json.loads((tmp_path / f"job-{job.job_id}.json").read_text())
+        stored = on_disk.pop("sha256")
+        assert stored == _job_checksum(on_disk)
+
+    def test_corrupt_job_file_is_skipped_and_reported(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        good, _ = queue.submit(_payload(seed=1))
+        bad, _ = queue.submit(_payload(seed=2))
+        path = tmp_path / f"job-{bad.job_id}.json"
+        payload = json.loads(path.read_text())
+        payload["name"] = "tampered"  # checksum no longer matches
+        path.write_text(json.dumps(payload, indent=2))
+        reloaded = JobQueue(tmp_path)
+        assert [job.job_id for job in reloaded.jobs()] == [good.job_id]
+        assert reloaded.corrupt_files == [path]
+
+    def test_legacy_checksum_less_file_still_loads(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        path = tmp_path / f"job-{job.job_id}.json"
+        payload = json.loads(path.read_text())
+        del payload["sha256"]
+        path.write_text(json.dumps(payload, indent=2))
+        reloaded = JobQueue(tmp_path)
+        assert [j.job_id for j in reloaded.jobs()] == [job.job_id]
+        assert reloaded.corrupt_files == []
 
 
 class TestClaimAndLifecycle:

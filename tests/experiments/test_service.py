@@ -14,7 +14,10 @@ from repro.experiments import (
     ExperimentService,
     ResultStore,
     ServiceClient,
+    ServiceOverloadError,
+    ServiceUnavailableError,
 )
+from repro.utils.resilience import RetryPolicy
 
 SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
 
@@ -121,6 +124,179 @@ class TestRestartRecovery:
         fourth = _service(tmp_path)
         assert fourth.recovery["failed"] == [poisoned.job_id]
         assert fourth.queue.get(poisoned.job_id).state == "failed"
+
+
+class TestOverloadProtection:
+    def test_submission_past_bound_is_shed_with_retry_after(self, tmp_path):
+        service = _service(tmp_path, max_pending=1)
+        accepted = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        shed = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=2).to_dict()})
+        assert accepted["ok"]
+        assert not shed["ok"] and shed["overloaded"]
+        assert shed["retry_after"] >= 0.5
+        # Shedding never loses accepted work: the first job still runs.
+        assert service.drain() == 1
+        assert service.store.names() == [accepted["name"]]
+
+    def test_duplicate_submission_is_not_shed(self, tmp_path):
+        service = _service(tmp_path, max_pending=1)
+        first = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        again = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        assert again["ok"] and not again["created"]
+        assert again["job_id"] == first["job_id"]
+
+    def test_retry_after_scales_with_backlog(self, tmp_path):
+        service = _service(tmp_path)
+        service._avg_job_seconds = 2.0
+        for seed in range(3):
+            service._dispatch({"op": "submit", "spec": _cheap_spec(seed=seed).to_dict()})
+        assert service.retry_after_hint() == pytest.approx(6.0)
+
+    def test_health_reports_queue_and_registry(self, tmp_path):
+        service = _service(tmp_path, max_pending=7)
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        health = service._dispatch({"op": "health"})["health"]
+        assert health["pending"] == 1 and health["max_pending"] == 7
+        assert health["queue"]["pending"] == 1
+        assert health["active_job"] is None
+        assert health["uptime_seconds"] >= 0
+        assert set(health["registry"]) >= {"hits", "misses", "entries", "bytes"}
+
+    def test_client_submit_retries_until_capacity(self, tmp_path, monkeypatch):
+        client = ServiceClient(host="127.0.0.1", port=1)
+        responses = iter([
+            {"ok": False, "error": "queue full", "overloaded": True, "retry_after": 0.7},
+            {"ok": False, "error": "queue full", "overloaded": True, "retry_after": 0.7},
+            {"ok": True, "job_id": "j", "name": "n", "state": "pending", "created": True},
+        ])
+
+        def fake_call(self, request):
+            response = next(responses)
+            if not response.get("ok"):
+                raise ServiceOverloadError(response["error"], response["retry_after"])
+            return response
+
+        monkeypatch.setattr(ServiceClient, "_call", fake_call)
+        sleeps = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+        response = client.submit(
+            _cheap_spec().to_dict(), retries=policy, sleep=sleeps.append
+        )
+        assert response["created"]
+        # Backoff honours the daemon's hint when it exceeds the policy delay.
+        assert len(sleeps) == 2 and all(delay >= 0.7 for delay in sleeps)
+
+    def test_client_submit_without_retries_raises(self, tmp_path, monkeypatch):
+        client = ServiceClient(host="127.0.0.1", port=1)
+
+        def always_shed(self, request):
+            raise ServiceOverloadError("queue full", retry_after=1.5)
+
+        monkeypatch.setattr(ServiceClient, "_call", always_shed)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            client.submit(_cheap_spec().to_dict())
+        assert excinfo.value.retry_after == 1.5
+
+
+class TestPrioritiesAndDeadlines:
+    def test_priority_orders_execution(self, tmp_path):
+        service = _service(tmp_path)
+        low = service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        high = service._dispatch({
+            "op": "submit", "spec": _cheap_spec(seed=2).to_dict(), "priority": 5,
+        })
+        first = service.process_once()
+        assert first.job_id == high["job_id"]
+        assert service.process_once().job_id == low["job_id"]
+
+    def test_expired_deadline_fails_before_start(self, tmp_path):
+        service = _service(tmp_path)
+        response = service._dispatch({
+            "op": "submit", "spec": _cheap_spec(seed=1).to_dict(), "deadline": -1.0,
+        })
+        assert service.process_once() is None  # nothing runnable remained
+        job = service.queue.get(response["job_id"])
+        assert job.state == "failed"
+        assert "deadline expired" in job.error
+        assert service.store.names() == []
+
+    def test_deadline_budget_reaches_the_backend(self, tmp_path, monkeypatch):
+        service = _service(tmp_path)
+        service._dispatch({
+            "op": "submit", "spec": _cheap_spec(seed=1).to_dict(), "deadline": 60.0,
+        })
+        seen = {}
+        original = service.runner.run
+
+        def capture(spec, save_as=None):
+            seen["deadline"] = service.checkpointed.deadline
+            return original(spec, save_as=save_as)
+
+        monkeypatch.setattr(service.runner, "run", capture)
+        job = service.process_once()
+        assert job.state == "done"
+        assert seen["deadline"] is not None
+        assert 0 < seen["deadline"].remaining() <= 60.0
+        assert service.checkpointed.deadline is None  # cleared after the job
+
+
+class TestWatchdog:
+    def test_watchdog_fails_wedged_job(self, tmp_path, monkeypatch):
+        import threading
+
+        service = _service(tmp_path, watchdog_timeout=0.1)
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        release = threading.Event()
+        monkeypatch.setattr(
+            service.runner, "run", lambda spec, save_as=None: release.wait(10.0)
+        )
+        job = service.process_once()
+        assert job.state == "failed"
+        assert "WatchdogTimeout" in job.error and "watchdog" in job.error
+        release.set()  # let the wedged daemon thread finish
+
+    def test_watchdog_passes_healthy_jobs(self, tmp_path):
+        service = _service(tmp_path, watchdog_timeout=60.0)
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+        job = service.process_once()
+        assert job.state == "done"
+        assert len(service.store.names()) == 1
+
+    def test_watched_job_errors_propagate(self, tmp_path, monkeypatch):
+        service = _service(tmp_path, watchdog_timeout=60.0)
+        service._dispatch({"op": "submit", "spec": _cheap_spec(seed=1).to_dict()})
+
+        def boom(spec, save_as=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service.runner, "run", boom)
+        job = service.process_once()
+        assert job.state == "failed" and "boom" in job.error
+
+
+class TestStaleEndpoint:
+    def test_missing_endpoint_raises_service_unavailable(self, tmp_path):
+        with pytest.raises(ServiceUnavailableError, match="is the daemon running"):
+            ServiceClient(queue_dir=tmp_path)
+
+    def test_dead_pid_endpoint_detected_without_connecting(self, tmp_path):
+        import subprocess
+
+        probe = subprocess.Popen(["sleep", "0"])
+        probe.wait()  # this pid is now dead (and very unlikely to be reused)
+        (tmp_path / "endpoint.json").write_text(json.dumps({
+            "host": "127.0.0.1", "port": 1, "pid": probe.pid,
+        }))
+        with pytest.raises(ServiceUnavailableError, match="stale"):
+            ServiceClient(queue_dir=tmp_path)
+
+    def test_endpoint_without_pid_is_trusted(self, tmp_path):
+        # Legacy endpoint files (pre-liveness) carry no pid: accept them.
+        (tmp_path / "endpoint.json").write_text(json.dumps({
+            "host": "127.0.0.1", "port": 7421,
+        }))
+        client = ServiceClient(queue_dir=tmp_path)
+        assert client.port == 7421
 
 
 class TestSocketProtocol:

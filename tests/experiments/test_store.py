@@ -10,15 +10,18 @@ from repro.core.results import AttackEvent, AttackResult
 from repro.dram.geometry import DramGeometry
 from repro.experiments import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ChipProfileSpec,
     ComparisonSpec,
     DefenseMatrixSpec,
     ExperimentResult,
     ExperimentRunner,
     FlipSweepSpec,
+    IntegrityError,
     ProfileDensityOutcome,
     ProfileDensitySpec,
     ResultStore,
+    verify_envelope,
 )
 
 SMALL_GEOMETRY = DramGeometry(num_banks=1, rows_per_bank=24, cols_per_row=128)
@@ -98,6 +101,60 @@ class TestEnvelope:
         (tmp_path / "legacy.json").write_text(json.dumps({"rows": []}))
         store.save("real", ExperimentResult(spec=ComparisonSpec(), payload=_comparison_payload()))
         assert store.names() == ["real"]
+
+
+class TestIntegrity:
+    """Schema-2 envelopes carry a sha256 digest verified on every load."""
+
+    def _saved(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("r", ExperimentResult(spec=ComparisonSpec(), payload=_comparison_payload()))
+        return store
+
+    def test_envelope_carries_content_digest(self, tmp_path):
+        store = self._saved(tmp_path)
+        envelope = json.loads(store.path_for("r").read_text())
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["integrity"]["algo"] == "sha256"
+        assert len(envelope["integrity"]["digest"]) == 64
+        verify_envelope(store.path_for("r"), envelope)  # does not raise
+
+    def test_tampered_payload_fails_load(self, tmp_path):
+        store = self._saved(tmp_path)
+        envelope = json.loads(store.path_for("r").read_text())
+        envelope["payload"]["comparisons"][0]["clean_accuracy"] = 11.1  # silent flip
+        store.path_for("r").write_text(json.dumps(envelope, indent=2))
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            store.load("r")
+        assert issubclass(IntegrityError, ValueError)  # old callers still catch it
+
+    def test_verify_false_skips_the_check(self, tmp_path):
+        store = self._saved(tmp_path)
+        envelope = json.loads(store.path_for("r").read_text())
+        envelope["payload"]["comparisons"][0]["clean_accuracy"] = 11.1
+        store.path_for("r").write_text(json.dumps(envelope, indent=2))
+        trusting = ResultStore(tmp_path, verify=False)
+        assert trusting.load("r").payload[0].clean_accuracy == 11.1
+
+    def test_legacy_v1_envelope_reads_through(self, tmp_path):
+        store = self._saved(tmp_path)
+        envelope = json.loads(store.path_for("r").read_text())
+        del envelope["integrity"]
+        envelope["schema_version"] = 1
+        store.path_for("r").write_text(json.dumps(envelope, indent=2))
+        assert 1 in SUPPORTED_SCHEMA_VERSIONS
+        fresh = ResultStore(tmp_path)
+        assert fresh.names() == ["r"]
+        assert fresh.load("r").payload == _comparison_payload()
+
+    def test_digest_is_format_independent(self, tmp_path):
+        # Re-indenting the file (same content, different bytes) still
+        # verifies: the digest covers canonical JSON, not file bytes.
+        store = self._saved(tmp_path)
+        envelope = json.loads(store.path_for("r").read_text())
+        store.path_for("r").write_text(json.dumps(envelope))  # compact form
+        fresh = ResultStore(tmp_path)
+        assert fresh.load("r").payload == _comparison_payload()
 
 
 class TestMtimeIndex:

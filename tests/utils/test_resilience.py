@@ -165,6 +165,25 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.OPEN
         assert not breaker.allow()
 
+    def test_half_open_retrip_restarts_the_full_reset_window(self):
+        # A failed probe must not leave a shortened (or already-elapsed)
+        # window behind: the re-trip restarts reset_timeout from the
+        # moment the probe failed, not from the original trip.
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()  # trips at t=0
+        clock.advance(5.0)  # t=5: half-open
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails: re-trips at t=5
+        clock.advance(4.9)  # t=9.9: still inside the restarted window
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(0.1)  # t=10: a full reset_timeout after the re-trip
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
 
 class TestResilienceConfig:
     def test_defaults(self):
@@ -199,6 +218,16 @@ class TestResilienceConfig:
     def test_zero_chunk_timeout_disables_the_bound(self):
         assert ResilienceConfig.from_env({}, chunk_timeout=0).chunk_timeout is None
         assert ResilienceConfig.from_env({"REPRO_CHUNK_TIMEOUT": "0"}).chunk_timeout is None
+
+    def test_falsy_overrides_still_beat_env(self):
+        # 0 is an explicit value, not "unspecified": it must win over the
+        # environment for every field (and disable where 0 means off).
+        env = {"REPRO_CHUNK_TIMEOUT": "120", "REPRO_MAX_CHUNK_RETRIES": "5"}
+        config = ResilienceConfig.from_env(env, chunk_timeout=0, max_chunk_retries=0)
+        assert config.chunk_timeout is None  # 0 override disables, env ignored
+        assert config.max_chunk_retries == 0  # 0 retries, not env's 5
+        # Only None means "fall through to the environment".
+        assert ResilienceConfig.from_env(env, chunk_timeout=None).chunk_timeout == 120.0
 
     def test_empty_fallback_disables_degradation(self):
         env = {"REPRO_FALLBACK_BACKEND": "serial"}
