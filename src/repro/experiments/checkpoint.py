@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import shutil
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -72,10 +73,17 @@ class ChunkCheckpoint:
     atomically (temp + ``os.replace``) so a crash mid-write can never
     leave a truncated checkpoint that poisons the resume — a partial temp
     file is simply ignored by :meth:`load`.
+
+    ``owner`` (the service passes the job id) is stamped into every chunk
+    written and checked on load: a chunk carrying a different owner is a
+    foreign file — however it got there — and is skipped, never resumed.
+    The count/length guard in :class:`CheckpointedBackend` catches shape
+    drift; the owner tag catches same-shape foreign outputs it cannot.
     """
 
-    def __init__(self, directory: PathLike):
+    def __init__(self, directory: PathLike, owner: Optional[str] = None):
         self.directory = Path(directory)
+        self.owner = owner
 
     def path_for(self, index: int) -> Path:
         """The file chunk ``index``'s outputs are stored at."""
@@ -91,7 +99,8 @@ class ChunkCheckpoint:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(index)
         tmp = path.with_suffix(".pkl.tmp")
-        blob = pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {"owner": self.owner, "outputs": outputs}
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         framed = _CHUNK_MAGIC + hashlib.sha256(blob).digest() + blob
         action = chaos.fault_point("checkpoint.write")
         if action == "partial_write":
@@ -109,7 +118,9 @@ class ChunkCheckpoint:
         Unreadable, truncated or digest-mismatched files (a torn write
         from a crash that beat the rename, a foreign file, silent
         bit-rot) are skipped — the resume simply reruns those chunks,
-        which is always correct.
+        which is always correct.  A chunk stamped with a *different*
+        owner than this checkpoint's is skipped the same way: it belongs
+        to another job and must never be combined into this one.
         """
         completed: Dict[int, List[Any]] = {}
         if not self.directory.is_dir():
@@ -125,7 +136,19 @@ class ChunkCheckpoint:
                         continue  # corrupted checkpoint: rerun the chunk
                 else:
                     blob = raw  # legacy headerless chunk file
-                completed[index] = pickle.loads(blob)
+                payload = pickle.loads(blob)
+                if isinstance(payload, dict) and "outputs" in payload:
+                    chunk_owner = payload.get("owner")
+                    if (
+                        self.owner is not None
+                        and chunk_owner is not None
+                        and chunk_owner != self.owner
+                    ):
+                        continue  # foreign job's chunk: never resume it
+                    outputs = payload["outputs"]
+                else:
+                    outputs = payload  # legacy bare-outputs chunk file
+                completed[index] = outputs
             except (ValueError, OSError, pickle.UnpicklingError, EOFError):
                 continue
         return completed
@@ -155,6 +178,15 @@ class CheckpointedBackend(ExecutionBackend):
     spent raises ``DeadlineExceeded`` at the next chunk boundary instead
     of running on — completed chunks stay checkpointed, so a later
     resubmission with a fresh budget resumes rather than reruns.
+
+    :attr:`checkpoint` and :attr:`deadline` are **thread-bound**: an
+    assignment is visible only to the assigning thread (the constructor
+    binds the constructing thread).  The service runs each watched job on
+    its own worker thread and binds that job's checkpoint/deadline there,
+    so a watchdog-abandoned thread — a job that was slow but not dead —
+    keeps its own binding: it can neither hit a nulled-out checkpoint nor
+    write its chunks into the checkpoint directory of whatever job the
+    daemon claims next.
     """
 
     name = "checkpointed"
@@ -166,11 +198,30 @@ class CheckpointedBackend(ExecutionBackend):
         chunk_size: Optional[int] = None,
     ):
         self.inner = inner
-        self.checkpoint = checkpoint
         self.chunk_size = chunk_size
         self.last_resumed = 0
         self.last_executed = 0
-        self.deadline: Optional[Deadline] = None
+        self._bound = threading.local()
+        if checkpoint is not None:
+            self.checkpoint = checkpoint
+
+    @property
+    def checkpoint(self) -> Optional[ChunkCheckpoint]:
+        """This thread's checkpoint binding (``None`` when unbound)."""
+        return getattr(self._bound, "checkpoint", None)
+
+    @checkpoint.setter
+    def checkpoint(self, value: Optional[ChunkCheckpoint]) -> None:
+        self._bound.checkpoint = value
+
+    @property
+    def deadline(self) -> Optional[Deadline]:
+        """This thread's deadline binding (``None`` when unbound)."""
+        return getattr(self._bound, "deadline", None)
+
+    @deadline.setter
+    def deadline(self, value: Optional[Deadline]) -> None:
+        self._bound.deadline = value
 
     def run_units(
         self,

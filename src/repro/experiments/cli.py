@@ -430,6 +430,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--shm", action="store_true",
                       help="also sweep /dev/shm victim segments orphaned by "
                            "dead daemons (live daemons' segments are kept)")
+    fsck.add_argument("--force-unclaimed", action="store_true",
+                      help="with --shm: also remove repro_victim_* segments no "
+                           "manifest claims — only safe once every daemon on "
+                           "this host is stopped")
 
     health = sub.add_parser("health", help="health snapshot of a running daemon")
     health.add_argument("--queue", default=DEFAULT_QUEUE)
@@ -691,13 +695,20 @@ def cmd_fsck(args: argparse.Namespace) -> int:
             detail += f", {report.legacy} legacy (no checksum)"
         print(f"{label}: {directory} — {detail}")
         for issue in report.issues:
-            action = "quarantined" if issue.quarantined else "found"
+            if issue.quarantined:
+                action = "quarantined"
+            elif issue.repaired:
+                action = "repaired"
+            else:
+                action = "found"
+                issues += 1
             print(f"  {action} {issue.problem}: {issue.path}")
             print(f"    {issue.detail}")
-            if not issue.quarantined:
-                issues += 1
     if args.shm:
-        swept = sweep_shm(queue_dirs=[Path(args.queue)])
+        swept = sweep_shm(
+            queue_dirs=[Path(args.queue)],
+            force_unclaimed=args.force_unclaimed,
+        )
         print(f"shm: removed {len(swept['removed'])} orphaned segment(s), "
               f"kept {len(swept['kept'])}, "
               f"{len(swept['stale_manifests'])} stale manifest(s)")

@@ -63,13 +63,15 @@ class FsckIssue:
     the embedded sha256), ``unreadable`` (the file does not parse as an
     envelope at all) or ``index-stale`` (a shard index entry pointing at
     a missing or divergent file).  ``quarantined`` records whether the
-    repair pass moved the file.
+    repair pass moved the file; ``repaired`` whether it was fixed in
+    place (an ``index-stale`` entry whose shard index was rebuilt).
     """
 
     path: Path
     problem: str
     detail: str = ""
     quarantined: bool = False
+    repaired: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable description of the issue."""
@@ -78,6 +80,7 @@ class FsckIssue:
             "problem": self.problem,
             "detail": self.detail,
             "quarantined": self.quarantined,
+            "repaired": self.repaired,
         }
 
 
@@ -203,11 +206,18 @@ def _rebuild_shard_index(shard_dir: Path) -> None:
         verdict, envelope, _ = _check_envelope_file(path)
         if verdict not in ("ok", "legacy"):
             continue
+        kind = envelope.get("kind")
+        spec = envelope.get("spec")
+        if kind is None or spec is None:
+            # A structurally incomplete (yet parseable, checksum-less)
+            # legacy envelope: leave it on disk but unindexed rather than
+            # aborting the whole rebuild on a KeyError.
+            continue
         stat = path.stat()
         integrity = envelope.get("integrity")
         entries[path.stem] = {
-            "kind": envelope["kind"],
-            "spec_hash": spec_hash(envelope["spec"]),
+            "kind": kind,
+            "spec_hash": spec_hash(spec),
             "mtime_ns": stat.st_mtime_ns,
             "size": stat.st_size,
             "sha256": integrity.get("digest") if isinstance(integrity, dict) else None,
@@ -294,6 +304,14 @@ def fsck_store(directory: PathLike, quarantine: bool = False) -> FsckReport:
         for shard_dir in sorted(touched_shards):
             _rebuild_shard_index(shard_dir)
             report.rebuilt_indexes.append(shard_dir / "_index.json")
+        # An index-stale issue whose index was just rewritten is fixed,
+        # not outstanding — callers counting remaining corruption (the
+        # fsck CLI's exit code) must not tell the operator to rerun a
+        # repair that already happened.
+        rebuilt = set(report.rebuilt_indexes)
+        for issue in report.issues:
+            if issue.problem == "index-stale" and issue.path in rebuilt:
+                issue.repaired = True
     return report
 
 
@@ -356,6 +374,7 @@ def fsck_queue(directory: PathLike, quarantine: bool = False) -> FsckReport:
 def sweep_shm(
     queue_dirs: Iterable[PathLike] = (),
     shm_dir: Optional[PathLike] = None,
+    force_unclaimed: bool = False,
 ) -> Dict[str, List[str]]:
     """Remove victim-registry segments whose owning daemon is dead.
 
@@ -363,14 +382,20 @@ def sweep_shm(
     directories.  A manifest whose recorded pid is alive protects its
     segments; a dead pid's manifest marks its segments as orphans — they
     are unlinked and the stale manifest is removed.  ``repro_victim_*``
-    segments claimed by **no** manifest are also treated as orphans (a
-    crashed export that never reached a manifest).  Segments outside the
-    ``repro_victim_`` namespace are never touched.
+    segments claimed by **no** manifest are *kept*: "unclaimed by the
+    manifests we were shown" is not proof of orphanhood — a live daemon
+    serving a queue directory outside ``queue_dirs`` may own them, and
+    sweeping them would yank shared memory out from under it.  Pass
+    ``force_unclaimed=True`` to remove unclaimed segments too; that is an
+    explicit operator decision, only safe once every daemon on the host
+    is stopped.  Segments outside the ``repro_victim_`` namespace are
+    never touched.
 
     Returns ``{"removed": [...], "kept": [...], "stale_manifests": [...]}``.
     """
     shm_root = _SHM_DIR if shm_dir is None else Path(shm_dir)
     protected: set = set()
+    orphaned: set = set()
     stale_manifests: List[Path] = []
     for queue_dir in queue_dirs:
         manifest_path = Path(queue_dir) / REGISTRY_MANIFEST
@@ -383,6 +408,7 @@ def sweep_shm(
         if pid is not None and _pid_alive(int(pid)):
             protected.update(segments)
         else:
+            orphaned.update(segments)
             stale_manifests.append(manifest_path)
     removed: List[str] = []
     kept: List[str] = []
@@ -390,6 +416,9 @@ def sweep_shm(
         for path in sorted(shm_root.glob(f"{SEGMENT_PREFIX}*")):
             if path.name in protected:
                 kept.append(path.name)
+                continue
+            if path.name not in orphaned and not force_unclaimed:
+                kept.append(path.name)  # unclaimed != provably orphaned
                 continue
             try:
                 path.unlink()

@@ -234,8 +234,11 @@ class JobQueue:
         """Queue a spec payload; returns ``(job, created)``.
 
         ``created`` is ``False`` when an active job for the same spec
-        already exists (the existing job is returned unchanged — duplicate
-        submissions never queue duplicate work).  A previous job that
+        already exists — duplicate submissions never queue duplicate
+        work, but the new submission's ``priority``/``deadline`` still
+        replace the existing job's (last writer wins, matching the
+        reactivation path), so resubmitting is how an operator raises a
+        queued job's priority or attaches a deadline.  A previous job that
         failed or was cancelled is re-activated with fresh attempt
         counters.  ``name`` defaults to ``<kind>-<job id prefix>``.
         ``priority`` orders claims (higher first) and ``deadline`` is the
@@ -249,6 +252,14 @@ class JobQueue:
         with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state in _ACTIVE_STATES:
+                # Deduplicated, not ignored: the resubmission's QoS fields
+                # win.  A new deadline on an already-running job bounds its
+                # *next* claim (the running attempt's budget was fixed at
+                # claim time).
+                if existing.priority != priority or existing.deadline != deadline:
+                    existing.priority = priority
+                    existing.deadline = deadline
+                    self._persist(existing)
                 return existing, False
             self._check_admission()
             if existing is not None:

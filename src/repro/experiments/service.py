@@ -213,18 +213,43 @@ class ExperimentService:
         #: (None until the first job finishes) — feeds ``retry_after``.
         self._avg_job_seconds: Optional[float] = None
         self._active_job: Optional[str] = None
+        #: Watchdog-abandoned worker threads (slow-but-alive jobs); pruned
+        #: of finished threads by :meth:`abandoned_workers`.
+        self._abandoned: List[threading.Thread] = []
 
     # -- job execution -------------------------------------------------
-    def _run_job(self, job: Job) -> None:
-        """Execute one claimed job through the runner (raises on failure)."""
+    def _run_job(
+        self,
+        job: Job,
+        checkpoint: Optional[ChunkCheckpoint] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        """Execute one claimed job through the runner (raises on failure).
+
+        The job's checkpoint and deadline are bound to the *calling*
+        thread (the bindings on
+        :class:`~repro.experiments.checkpoint.CheckpointedBackend` are
+        thread-local): under the watchdog this runs on the job's own
+        worker thread, so an abandoned slow-but-alive job keeps writing
+        into its own checkpoint directory and can never touch the
+        binding of whatever job the daemon claims next.
+        """
         # The claim fault point sits inside the caller's try: an injected
         # error fails the job cleanly, while an injected crash leaves it
         # RUNNING — exactly what a daemon death mid-job looks like — so
         # the next start's queue recovery requeues it and the kept
         # checkpoints resume it.
         chaos.fault_point("service.claim")
-        spec = spec_from_dict(job.spec)
-        self.runner.run(spec, save_as=job.name)
+        if self.checkpointed is not None:
+            self.checkpointed.checkpoint = checkpoint
+            self.checkpointed.deadline = deadline
+        try:
+            spec = spec_from_dict(job.spec)
+            self.runner.run(spec, save_as=job.name)
+        finally:
+            if self.checkpointed is not None:
+                self.checkpointed.checkpoint = None
+                self.checkpointed.deadline = None
 
     def process_once(self) -> Optional[Job]:
         """Claim and run one pending job; ``None`` when the queue is idle.
@@ -243,46 +268,58 @@ class ExperimentService:
         started = time.monotonic()
         self._active_job = job.job_id
         checkpoint: Optional[ChunkCheckpoint] = None
+        deadline: Optional[Deadline] = None
         if self.checkpointed is not None:
-            checkpoint = ChunkCheckpoint(self.checkpoint_root / job.job_id)
-            self.checkpointed.checkpoint = checkpoint
+            # The owner tag means a chunk written by any other job —
+            # including one a previous watchdog abandoned — is rejected
+            # on resume rather than combined into this job's result.
+            checkpoint = ChunkCheckpoint(
+                self.checkpoint_root / job.job_id, owner=job.job_id
+            )
             if job.deadline is not None:
-                self.checkpointed.deadline = Deadline(
-                    max(0.0, job.deadline - time.time())
-                )
+                deadline = Deadline(max(0.0, job.deadline - time.time()))
         try:
             if self.watchdog_timeout is None:
-                self._run_job(job)
+                self._run_job(job, checkpoint, deadline)
             else:
-                self._run_watched(job)
+                self._run_watched(job, checkpoint, deadline)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             # Checkpoints are kept on failure: completed chunks are valid
             # (execution is deterministic), so a resubmission resumes them.
             return self.queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
         finally:
             self._active_job = None
-            if self.checkpointed is not None:
-                self.checkpointed.checkpoint = None
-                self.checkpointed.deadline = None
         self._record_duration(time.monotonic() - started)
         if checkpoint is not None:
             checkpoint.clear()
         return self.queue.complete(job.job_id)
 
-    def _run_watched(self, job: Job) -> None:
+    def _run_watched(
+        self,
+        job: Job,
+        checkpoint: Optional[ChunkCheckpoint] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         """Run a job on a watched thread; raise if the backend wedges.
 
         The watchdog bounds *wall-clock per job*: a backend that blocks
         indefinitely (deadlocked pool, unreachable peer with no timeout)
         is detected here, the job is failed with a clear error, and the
         daemon moves on.  The wedged thread is a daemon thread, so a
-        never-returning backend cannot block process exit either.
+        never-returning backend cannot block process exit either.  An
+        abandoned thread that turns out to be slow rather than dead is
+        harmless: its checkpoint binding is thread-local and points at
+        its *own* job's directory, so it cannot contaminate later jobs —
+        it is tracked in :meth:`abandoned_workers` (surfaced by
+        ``health``) until it finishes.
         """
         outcome: Dict[str, Any] = {}
 
         def target() -> None:
+            # Bind checkpoint/deadline *here*, on the worker thread: the
+            # binding must belong to the thread that executes the job.
             try:
-                self._run_job(job)
+                self._run_job(job, checkpoint, deadline)
                 outcome["done"] = True
             except BaseException as exc:  # noqa: BLE001 - carried to watcher
                 outcome["error"] = exc
@@ -293,12 +330,18 @@ class ExperimentService:
         worker.start()
         worker.join(timeout=self.watchdog_timeout)
         if worker.is_alive():
+            self._abandoned.append(worker)
             raise WatchdogTimeout(
                 f"job {job.job_id} exceeded the {self.watchdog_timeout}s "
                 "watchdog budget; backend presumed wedged"
             )
         if "error" in outcome:
             raise outcome["error"]
+
+    def abandoned_workers(self) -> int:
+        """Watchdog-abandoned job threads that are still alive."""
+        self._abandoned = [t for t in self._abandoned if t.is_alive()]
+        return len(self._abandoned)
 
     def _record_duration(self, seconds: float) -> None:
         """Fold one completed job's wall-clock into the EMA."""
@@ -379,6 +422,7 @@ class ExperimentService:
                     "max_pending": self.queue.max_pending,
                     "active_job": self._active_job,
                     "avg_job_seconds": self._avg_job_seconds,
+                    "abandoned_workers": self.abandoned_workers(),
                     "registry": self.registry.stats(),
                 },
             }

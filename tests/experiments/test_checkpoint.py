@@ -62,6 +62,27 @@ class TestChunkCheckpoint:
         assert checkpoint.load() == {}
         assert not checkpoint.directory.exists()
 
+    def test_foreign_owner_chunks_are_never_resumed(self, tmp_path):
+        # A chunk stamped by another job (however it landed in this
+        # directory) must rerun, not smuggle foreign outputs in.
+        ChunkCheckpoint(tmp_path / "job", owner="job-a").save_chunk(0, ["a's"])
+        mine = ChunkCheckpoint(tmp_path / "job", owner="job-b")
+        assert mine.load() == {}
+        mine.save_chunk(0, ["b's"])
+        assert mine.load() == {0: ["b's"]}
+
+    def test_untagged_checkpoint_accepts_any_owner(self, tmp_path):
+        ChunkCheckpoint(tmp_path / "job", owner="job-a").save_chunk(0, ["x"])
+        assert ChunkCheckpoint(tmp_path / "job").load() == {0: ["x"]}
+
+    def test_legacy_bare_pickle_chunks_still_load(self, tmp_path):
+        checkpoint = ChunkCheckpoint(tmp_path / "job", owner="job-a")
+        checkpoint.directory.mkdir(parents=True)
+        checkpoint.path_for(0).write_bytes(
+            pickle.dumps(["legacy"], protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert checkpoint.load() == {0: ["legacy"]}
+
     def test_injected_partial_write_never_corrupts_a_checkpoint(self, tmp_path):
         checkpoint = ChunkCheckpoint(tmp_path / "job")
         checkpoint.save_chunk(0, ["first"])
@@ -148,3 +169,21 @@ class TestCheckpointedBackend:
             SerialBackend(), checkpoint=ChunkCheckpoint(tmp_path / "job")
         )
         assert backend.run_units(_cheap_spec(), [], ExperimentContext()) == []
+
+    def test_checkpoint_and_deadline_bindings_are_thread_local(self, tmp_path):
+        import threading
+
+        backend = CheckpointedBackend(SerialBackend())
+        backend.checkpoint = ChunkCheckpoint(tmp_path / "mine")
+        seen = {}
+
+        def probe():
+            seen["checkpoint"] = backend.checkpoint  # unbound on this thread
+            backend.checkpoint = ChunkCheckpoint(tmp_path / "other")
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen["checkpoint"] is None
+        # The other thread's assignment never leaks into this thread.
+        assert backend.checkpoint.directory == tmp_path / "mine"

@@ -133,6 +133,32 @@ class TestStoreFsck:
         report = fsck_store(tmp_path / "nope")
         assert report.clean and report.scanned == 0
 
+    def test_quarantine_marks_rebuilt_index_issues_repaired(self, tmp_path):
+        store = ShardedResultStore(tmp_path)
+        path = store.save("a", _result(seed=1))
+        path.unlink()  # file vanished; the index still names it
+        report = fsck_store(tmp_path, quarantine=True)
+        stale = [i for i in report.issues if i.problem == "index-stale"]
+        assert stale and all(issue.repaired for issue in stale)
+        assert all(issue.to_dict()["repaired"] for issue in stale)
+        assert fsck_store(tmp_path).clean
+
+    def test_rebuild_survives_envelope_missing_kind_and_spec(self, tmp_path):
+        # A parseable version-1 envelope without kind/spec is classified
+        # legacy; the index rebuild must skip it, not abort on KeyError.
+        store = ShardedResultStore(tmp_path)
+        good = store.save("a", _result(seed=1))
+        shard_dir = good.parent
+        (shard_dir / "odd.json").write_text(
+            json.dumps({"schema_version": 1, "payload": []})
+        )
+        _flip_byte(good)  # forces the shard's index to be rebuilt
+        report = fsck_store(tmp_path, quarantine=True)
+        assert report.rebuilt_indexes
+        index = json.loads((shard_dir / "_index.json").read_text())
+        assert "odd" not in index["entries"]
+        assert fsck_store(tmp_path).clean
+
 
 class TestQueueFsck:
     def test_clean_queue_reports_zero_issues(self, tmp_path):
@@ -202,14 +228,41 @@ class TestShmSweep:
         assert (shm / mine).exists()
         assert (queue_dir / "registry.json").exists()  # live manifest kept
 
-    def test_unclaimed_segments_are_orphans(self, tmp_path):
+    def test_unclaimed_segments_are_kept_by_default(self, tmp_path):
+        # "Claimed by no manifest *we were shown*" is not proof of
+        # orphanhood: a live daemon serving another queue dir may own the
+        # segment, and sweeping it would yank its shared memory away.
+        shm = tmp_path / "shm"
+        shm.mkdir()
+        unclaimed = self._segment(shm, "repro_victim_unclaimed")
+        swept = sweep_shm(shm_dir=shm)
+        assert swept["removed"] == [] and swept["kept"] == [unclaimed]
+        assert (shm / unclaimed).exists()
+
+    def test_unclaimed_segments_removed_only_when_forced(self, tmp_path):
         shm = tmp_path / "shm"
         shm.mkdir()
         unclaimed = self._segment(shm, "repro_victim_unclaimed")
         foreign = self._segment(shm, "someone_elses_segment")
-        swept = sweep_shm(shm_dir=shm)
+        swept = sweep_shm(shm_dir=shm, force_unclaimed=True)
         assert swept["removed"] == [unclaimed]
         assert (shm / foreign).exists()  # never touch foreign names
+
+    def test_other_queues_live_segments_survive_a_forced_sweep(self, tmp_path):
+        # Even under --force-unclaimed, a manifest that IS visible and
+        # alive protects its segments.
+        shm = tmp_path / "shm"
+        shm.mkdir()
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        mine = self._segment(shm, "repro_victim_mine")
+        (queue_dir / "registry.json").write_text(json.dumps({
+            "pid": os.getpid(), "segments": [mine],
+        }))
+        swept = sweep_shm(
+            queue_dirs=[queue_dir], shm_dir=shm, force_unclaimed=True
+        )
+        assert swept["kept"] == [mine] and (shm / mine).exists()
 
 
 class TestFsckCli:
@@ -246,6 +299,25 @@ class TestFsckCli:
         assert rc == 0
         assert "quarantined digest-mismatch" in capsys.readouterr().out
         assert (store_dir / "quarantine" / "r.json").is_file()
+
+    def test_quarantine_with_stale_index_exits_zero(self, tmp_path, capsys):
+        # Quarantining a sharded file leaves its index entry dangling; the
+        # same run rebuilds the index, so the exit code must not claim
+        # corruption remains and tell the operator to rerun --quarantine.
+        store_dir = tmp_path / "store"
+        store = ShardedResultStore(store_dir)
+        store.save("a", _result(seed=1))
+        store.save("b", _result(seed=2))
+        _flip_byte(store.path_for("a"))
+        rc = main([
+            "fsck", "--store", str(store_dir), "--queue", str(tmp_path / "q"),
+            "--quarantine",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "quarantined digest-mismatch" in captured.out
+        assert "repaired index-stale" in captured.out
+        assert "corrupt file(s) remain" not in captured.err
 
     def test_shm_flag_sweeps(self, tmp_path, capsys):
         rc = main([

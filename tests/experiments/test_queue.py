@@ -37,6 +37,19 @@ class TestSubmit:
         assert second is first
         assert len(queue) == 1
 
+    def test_duplicate_submission_updates_priority_and_deadline(self, tmp_path):
+        # Deduplicated, not ignored: resubmitting is how an operator
+        # raises a queued job's priority or attaches a deadline.
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(_payload())
+        assert job.priority == 0 and job.deadline is None
+        again, created = queue.submit(_payload(), priority=5, deadline=1e12)
+        assert not created and again is job
+        assert job.priority == 5 and job.deadline == 1e12
+        # The QoS update is persisted, not in-memory only.
+        reloaded = JobQueue(tmp_path).get(job.job_id)
+        assert reloaded.priority == 5 and reloaded.deadline == 1e12
+
     def test_different_specs_are_different_jobs(self, tmp_path):
         queue = JobQueue(tmp_path)
         a, _ = queue.submit(_payload(seed=1))

@@ -273,6 +273,56 @@ class TestWatchdog:
         job = service.process_once()
         assert job.state == "failed" and "boom" in job.error
 
+    def test_abandoned_slow_job_cannot_touch_the_next_jobs_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A watchdog-abandoned thread that is slow — not dead — must keep
+        its own job's checkpoint binding: it may never observe a nulled
+        checkpoint (AttributeError) or the *next* job's checkpoint
+        directory, which would let it smuggle foreign chunk outputs into
+        that job's resume."""
+        import threading
+
+        service = _service(tmp_path, watchdog_timeout=0.1)
+        release = threading.Event()
+        observed = {}
+        original = service.runner.run
+
+        def run(spec, save_as=None):
+            if save_as == "slow":
+                release.wait(10.0)
+                # Recorded from the abandoned worker thread, after the
+                # daemon has already claimed and finished the next job.
+                observed["checkpoint"] = service.checkpointed.checkpoint
+            return original(spec, save_as=save_as)
+
+        monkeypatch.setattr(service.runner, "run", run)
+        service._dispatch({
+            "op": "submit", "spec": _cheap_spec(seed=1).to_dict(), "name": "slow",
+        })
+        slow = service.process_once()
+        assert slow.state == "failed" and "WatchdogTimeout" in slow.error
+        assert service.abandoned_workers() == 1
+        service.watchdog_timeout = 60.0  # the next job is healthy
+        service._dispatch({
+            "op": "submit", "spec": _cheap_spec(seed=2).to_dict(), "name": "fast",
+        })
+        fast = service.process_once()
+        assert fast.state == "done"
+        release.set()
+        (worker,) = service._abandoned
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert observed["checkpoint"] is not None
+        assert observed["checkpoint"].directory == (
+            service.checkpoint_root / slow.job_id
+        )
+        assert observed["checkpoint"].owner == slow.job_id
+        assert service.abandoned_workers() == 0
+        # The finished job's result is intact and its checkpoints cleared.
+        assert "fast" in service.store.names()
+        assert not (service.checkpoint_root / fast.job_id).exists()
+
 
 class TestStaleEndpoint:
     def test_missing_endpoint_raises_service_unavailable(self, tmp_path):

@@ -203,9 +203,10 @@ def main() -> int:
         )
         check(fsck_queue(root / "q4").clean, "queue is clean after quarantine")
 
-        # 5. Registry sweep: segments claimed by a dead daemon's manifest
-        # (and unclaimed repro_victim_* strays) are orphans; live claims
-        # and foreign names are untouchable.
+        # 5. Registry sweep: only segments a dead daemon's manifest claims
+        # are provably orphaned; live claims, *unclaimed* strays (another
+        # queue dir's live daemon may own them) and foreign names are
+        # untouchable — strays go only under an explicit force_unclaimed.
         shm = root / "shm"
         shm.mkdir()
         for name in ("repro_victim_dead", "repro_victim_live", "repro_victim_stray",
@@ -224,12 +225,24 @@ def main() -> int:
         )
         swept = sweep_shm(queue_dirs=[dead_dir, live_dir], shm_dir=shm)
         check(
-            sorted(swept["removed"]) == ["repro_victim_dead", "repro_victim_stray"],
-            "dead-owner and unclaimed segments are swept",
+            swept["removed"] == ["repro_victim_dead"],
+            "only dead-owner segments are swept by default",
         )
         check(
-            swept["kept"] == ["repro_victim_live"] and (shm / "repro_victim_live").exists(),
-            "live-owner segment is kept",
+            sorted(swept["kept"]) == ["repro_victim_live", "repro_victim_stray"]
+            and (shm / "repro_victim_stray").exists(),
+            "live-owner and unclaimed segments are kept",
+        )
+        forced = sweep_shm(
+            queue_dirs=[live_dir], shm_dir=shm, force_unclaimed=True
+        )
+        check(
+            forced["removed"] == ["repro_victim_stray"],
+            "unclaimed stray is removed only under force_unclaimed",
+        )
+        check(
+            (shm / "repro_victim_live").exists(),
+            "live-owner segment survives even a forced sweep",
         )
         check(
             (shm / "someone_elses_segment").exists(),
